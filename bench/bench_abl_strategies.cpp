@@ -1,0 +1,114 @@
+// Ablation bench (DESIGN.md A1): how much does each of Max-WE's design
+// choices contribute?
+//
+//   1. weak-priority spare selection  vs  random spare regions,
+//   2. weak-strong matching           vs  identity (like-order) matching,
+//   3. sensitivity to intra-region endurance jitter the manufacture-time
+//      map cannot see (region-level mapping's blind spot).
+//
+// All runs: UAA on the full-size device, 10% spares, event-driven engine.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/maxwe.h"
+#include "sim/event_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace nvmsec;
+
+double lifetime_with(const MaxWeParams& params, double jitter_sigma,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  const EnduranceModel model;
+  auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::paper_1gb(), model, rng));
+  if (jitter_sigma > 0) map->apply_line_jitter(jitter_sigma, rng);
+  auto scheme = make_maxwe(map, params);
+  UniformEventSimulator sim(map, *scheme);
+  return sim.run().normalized;
+}
+
+double averaged(const MaxWeParams& params, double jitter, int seeds) {
+  RunningStats stats;
+  for (int s = 0; s < seeds; ++s) {
+    stats.add(lifetime_with(params, jitter, 42 + static_cast<std::uint64_t>(s)));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Ablation: Max-WE design choices under UAA (10% spares)");
+  cli.add_flag("seeds", "endurance-map draws to average", "3");
+  if (!cli.parse(argc, argv)) return 0;
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+
+  Table strategies({"variant", "lifetime (%)"});
+  strategies.set_title("Ablation 1/2 - allocation-strategy variants");
+  strategies.set_precision(1);
+
+  MaxWeParams full;  // paper design
+  strategies.add_row({Cell{std::string{"Max-WE (weak-priority + weak-strong)"}},
+                      Cell{bench::pct(averaged(full, 0.0, seeds))}});
+
+  MaxWeParams identity = full;
+  identity.matching = MatchingPolicy::kIdentity;
+  strategies.add_row({Cell{std::string{"identity matching"}},
+                      Cell{bench::pct(averaged(identity, 0.0, seeds))}});
+
+  MaxWeParams random_sel = full;
+  random_sel.selection = SpareSelectionPolicy::kRandomRegions;
+  strategies.add_row({Cell{std::string{"random spare selection"}},
+                      Cell{bench::pct(averaged(random_sel, 0.0, seeds))}});
+
+  MaxWeParams both = random_sel;
+  both.matching = MatchingPolicy::kIdentity;
+  strategies.add_row({Cell{std::string{"random selection + identity matching"}},
+                      Cell{bench::pct(averaged(both, 0.0, seeds))}});
+  strategies.print(std::cout);
+
+  // With the default 90/10 SWR/ASR split, a weak chain that dies early is
+  // silently rescued from the ASR pool, hiding most of the matching
+  // benefit. At 100% SWR the chains bind — this is where weak-strong
+  // matching earns its keep.
+  Table binding({"variant (100% SWR, no ASR fallback)", "lifetime (%)"});
+  binding.set_title("Ablation 2b - matching policy where chains bind");
+  binding.set_precision(1);
+  for (const auto matching :
+       {MatchingPolicy::kWeakStrong, MatchingPolicy::kIdentity}) {
+    MaxWeParams p;
+    p.swr_fraction = 1.0;
+    p.matching = matching;
+    binding.add_row(
+        {Cell{std::string{matching == MatchingPolicy::kWeakStrong
+                              ? "weak-strong matching"
+                              : "identity matching"}},
+         Cell{bench::pct(averaged(p, 0.0, seeds))}});
+  }
+  binding.print(std::cout);
+
+  Table jitter({"intra-region jitter sigma", "Max-WE (%)",
+                "all-ASR Max-WE q=0 (%)"});
+  jitter.set_title(
+      "Ablation 3 - sensitivity to endurance the region map cannot see");
+  jitter.set_precision(1);
+  for (double sigma : {0.0, 0.1, 0.2, 0.3}) {
+    MaxWeParams all_asr = full;
+    all_asr.swr_fraction = 0.0;
+    jitter.add_row({Cell{sigma},
+                    Cell{bench::pct(averaged(full, sigma, seeds))},
+                    Cell{bench::pct(averaged(all_asr, sigma, seeds))}});
+  }
+  jitter.print(std::cout);
+  std::cout << "reading: weak-strong matching and weak-priority selection "
+               "should each cost lifetime when removed; rising jitter "
+               "erodes the region-mapped (90% SWR) design faster than the "
+               "line-mapped (q=0) one.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/stats.h"
+
+namespace nvmsec::bench {
+
+/// Average a lifetime experiment over `seeds` seeds starting at base_seed.
+inline double mean_normalized_lifetime(ExperimentConfig config, int seeds,
+                                       std::uint64_t base_seed = 42) {
+  RunningStats stats;
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = base_seed + static_cast<std::uint64_t>(s);
+    stats.add(run_experiment(config).normalized);
+  }
+  return stats.mean();
+}
+
+/// Percentage formatting convention used in every table (paper reports
+/// normalized lifetime in percent).
+inline double pct(double normalized) { return 100.0 * normalized; }
+
+}  // namespace nvmsec::bench

@@ -1,0 +1,98 @@
+// Extension bench: the full defense stack under UAA, cell-granular.
+//
+//   payload -> write codec -> (wear leveling) -> spare scheme
+//           -> per-cell wear with ECP repair
+//
+// One table answers the question the paper's related-work section raises
+// qualitatively: how do write reduction (§3.3.2), salvaging (§2.2.2) and
+// spare-line replacement (§4) compose, and which one actually moves the
+// needle against a uniform attack?
+
+#include <iostream>
+#include <memory>
+
+#include "core/maxwe.h"
+#include "sim/bit_engine.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "wearlevel/none.h"
+
+namespace {
+
+using namespace nvmsec;
+
+struct RunSpec {
+  const char* label;
+  const char* payload;
+  const char* codec;
+  std::uint32_t ecp;
+  bool maxwe;
+};
+
+double run_spec(const RunSpec& spec, std::uint64_t lines,
+                std::uint64_t regions, double endurance_mean,
+                std::uint64_t seed) {
+  Rng setup(seed);
+  EnduranceModelParams ep;
+  ep.endurance_at_mean = endurance_mean;
+  const EnduranceModel model(ep);
+  auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::scaled(lines, regions), model,
+                               setup));
+  BitDeviceParams dp;
+  dp.ecp_entries = spec.ecp;
+  Rng rng(seed + 1);
+  BitDevice device(map, dp, rng);
+  auto attack = make_uaa();
+  auto payload = make_payload(spec.payload);
+  auto codec = make_codec(spec.codec);
+  std::unique_ptr<SpareScheme> spare;
+  if (spec.maxwe) {
+    spare = make_maxwe(map, MaxWeParams{});
+  } else {
+    spare = make_no_spare(map);
+  }
+  NoWearLeveling wl(spare->working_lines());
+  BitEngine engine(device, *attack, *payload, *codec, wl, *spare, rng);
+  return engine.run().normalized;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Extension: composed defenses under UAA (cell-granular)");
+  cli.add_flag("lines", "device size in lines", "1024");
+  cli.add_flag("regions", "region count", "64");
+  cli.add_flag("endurance", "mean line endurance (scaled)", "1000");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto lines = static_cast<std::uint64_t>(cli.get_int("lines"));
+  const auto regions = static_cast<std::uint64_t>(cli.get_int("regions"));
+  const double endurance = cli.get_double("endurance");
+
+  const RunSpec specs[] = {
+      {"baseline (full write)", "random", "full", 0, false},
+      {"+ differential write", "random", "differential", 0, false},
+      {"+ Flip-N-Write", "random", "fnw", 0, false},
+      {"+ FNW + ECP-6", "random", "fnw", 6, false},
+      {"+ FNW + ECP-6 + Max-WE", "random", "fnw", 6, true},
+      {"adversarial data, FNW + ECP-6", "fnw-adversarial", "fnw", 6, false},
+      {"adversarial data, FNW + ECP-6 + Max-WE", "fnw-adversarial", "fnw", 6,
+       true},
+  };
+
+  Table table({"configuration", "normalized lifetime (%)"});
+  table.set_title(
+      "Composed defenses under UAA (cell-level; >100% is possible because "
+      "write-reducing codecs beat the full-stress reference)");
+  table.set_precision(1);
+  for (const RunSpec& spec : specs) {
+    const double lifetime =
+        run_spec(spec, lines, regions, endurance, /*seed=*/42);
+    table.add_row({Cell{std::string{spec.label}}, Cell{100.0 * lifetime}});
+  }
+  table.print(std::cout);
+  std::cout << "reading: codecs and ECP shift the curve a little and are "
+               "erased by adversarial data; the spare-line scheme is the "
+               "only layer whose gain survives the attack (§1's thesis).\n";
+  return 0;
+}

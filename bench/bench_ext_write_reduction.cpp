@@ -1,0 +1,88 @@
+// Extension bench (§3.3.2 / §2.2.2): write reduction and salvaging under
+// benign vs adversarial data, at cell granularity.
+//
+// Reproduces the paper's two prose claims as measurements:
+//  * "For Flip-N-Write ... an adversary can always write 0x0000 and 0x5555
+//    to the same address in turn" — FNW's lifetime gain over differential
+//    write vanishes under that pattern;
+//  * ECP's per-line salvaging buys only a bounded lifetime slice ("ECP can
+//    correct six hard failures per line"), far from a spare-line scheme's
+//    multiples.
+
+#include <iostream>
+
+#include "salvage/line_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace nvmsec;
+  CliParser cli("Extension: write-reduction codecs and ECP at cell level");
+  cli.add_flag("trials", "independent lines per cell", "6");
+  cli.add_flag("cell-endurance", "mean cell endurance (scaled)", "2000");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto trials = static_cast<std::uint32_t>(cli.get_int("trials"));
+
+  LineSimConfig config;
+  config.cell_endurance_mean = cli.get_double("cell-endurance");
+  config.cell_endurance_sigma = 0.15;
+
+  Rng rng(42);
+
+  {
+    Table table({"payload", "full-write", "differential", "flip-n-write",
+                 "FNW gain over differential"});
+    table.set_title(
+        "Write-reduction codecs - line lifetime in writes (cell-level sim)");
+    table.set_precision(2);
+    for (const std::string payload_name :
+         {"random", "complement", "fnw-adversarial"}) {
+      std::vector<Cell> row{Cell{payload_name}};
+      double diff_life = 0, fnw_life = 0;
+      for (const std::string codec_name : {"full", "differential", "fnw"}) {
+        auto payload = make_payload(payload_name);
+        auto codec = make_codec(codec_name);
+        const auto r =
+            average_line_lifetime(*codec, *payload, config, rng, trials);
+        row.push_back(Cell{static_cast<std::int64_t>(r.writes_to_failure)});
+        if (codec_name == "differential") {
+          diff_life = static_cast<double>(r.writes_to_failure);
+        }
+        if (codec_name == "fnw") {
+          fnw_life = static_cast<double>(r.writes_to_failure);
+        }
+      }
+      row.push_back(Cell{fnw_life / diff_life});
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "shape target: FNW gain > 1 for benign data, ~1.0 for the "
+                 "0x0000/0x5555 alternation (§3.3.2).\n\n";
+  }
+
+  {
+    Table table({"ECP entries", "lifetime (writes)", "gain vs no ECP"});
+    table.set_title(
+        "ECP salvaging - line lifetime under always-program stress");
+    table.set_precision(2);
+    double base = 0;
+    for (std::uint32_t entries : {0u, 1u, 2u, 4u, 6u, 12u}) {
+      auto payload = make_random_payload();
+      auto codec = make_full_write_codec();
+      LineSimConfig c = config;
+      c.ecp_entries = entries;
+      const auto r =
+          average_line_lifetime(*codec, *payload, c, rng, trials);
+      if (entries == 0) base = static_cast<double>(r.writes_to_failure);
+      table.add_row({Cell{static_cast<std::int64_t>(entries)},
+                     Cell{static_cast<std::int64_t>(r.writes_to_failure)},
+                     Cell{static_cast<double>(r.writes_to_failure) / base}});
+    }
+    table.print(std::cout);
+    std::cout << "shape target: monotone but saturating gain in the few-"
+                 "percent range — §2.2.2's argument that salvaging cannot "
+                 "counter wear-out attacks the way spare-line replacement "
+                 "does (Max-WE: multiple-x, see bench_tbl_uaa_lifetime).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) for the hot paths a memory controller
+// would execute per access: Max-WE's read-path translation (§4.2's
+// LMT -> RMT -> raw cascade), the O(1) resolve cache, wear-leveler
+// translation, and a full simulated write through the engine pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/maxwe.h"
+#include "nvm/device.h"
+#include "reduction/codec.h"
+#include "sim/engine.h"
+#include "util/alias_table.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace {
+
+using namespace nvmsec;
+
+std::shared_ptr<const EnduranceMap> bench_map() {
+  static const auto map = [] {
+    Rng rng(42);
+    const EnduranceModel model;
+    return std::make_shared<EnduranceMap>(EnduranceMap::from_model(
+        DeviceGeometry::scaled(1 << 18, 512), model, rng));
+  }();
+  return map;
+}
+
+std::unique_ptr<MaxWe> worn_maxwe(double worn_fraction) {
+  auto m = std::make_unique<MaxWe>(bench_map(), MaxWeParams{});
+  Rng rng(7);
+  const auto target = static_cast<std::uint64_t>(
+      worn_fraction * static_cast<double>(m->working_lines()));
+  for (std::uint64_t k = 0; k < target; ++k) {
+    m->on_wear_out(rng.uniform_u64(m->working_lines()));
+  }
+  return m;
+}
+
+void BM_MaxWeTranslateRead(benchmark::State& state) {
+  const auto m = worn_maxwe(static_cast<double>(state.range(0)) / 100.0);
+  Rng rng(1);
+  const std::uint64_t n = bench_map()->geometry().num_lines();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m->translate_read(PhysLineAddr{rng.uniform_u64(n)}));
+  }
+}
+BENCHMARK(BM_MaxWeTranslateRead)->Arg(0)->Arg(5)->Arg(20);
+
+void BM_MaxWeResolveCache(benchmark::State& state) {
+  auto m = worn_maxwe(0.05);
+  Rng rng(2);
+  const std::uint64_t u = m->working_lines();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->resolve(rng.uniform_u64(u)));
+  }
+}
+BENCHMARK(BM_MaxWeResolveCache);
+
+void BM_WearLevelerTranslate(benchmark::State& state) {
+  static const char* kNames[] = {"none", "startgap", "tlsr", "pcms", "bwl",
+                                 "wawl"};
+  const std::string name = kNames[state.range(0)];
+  Rng rng(3);
+  constexpr std::uint64_t kLines = 1 << 16;
+  EnduranceView view(kLines);
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    view[i] = 1000.0 + static_cast<double>(i % 512);
+  }
+  WearLevelerParams params;
+  params.group_lines = 512;
+  auto wl = make_wear_leveler(name, kLines, view, params, rng);
+  state.SetLabel(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wl->translate(LogicalLineAddr{rng.uniform_u64(wl->logical_lines())}));
+  }
+}
+BENCHMARK(BM_WearLevelerTranslate)->DenseRange(0, 5);
+
+void BM_EnginePipelineWrite(benchmark::State& state) {
+  // Whole write path: attack -> wear leveler -> spare resolve -> device.
+  Rng rng(4);
+  auto map = bench_map();
+  Device device(map);
+  auto attack = make_bpa(256);
+  auto spare = make_maxwe(map, MaxWeParams{});
+  EnduranceView view(spare->working_lines());
+  for (std::uint64_t i = 0; i < view.size(); ++i) {
+    view[i] = map->line_endurance(spare->working_line(i));
+  }
+  WearLevelerParams params;
+  params.group_lines = 512;
+  auto wl = make_wear_leveler("wawl", spare->working_lines(), view, params,
+                              rng);
+  std::vector<WlPhysWrite> batch;
+  for (auto _ : state) {
+    const LogicalLineAddr la = attack->next(rng, wl->logical_lines());
+    batch.clear();
+    wl->on_write(la, rng, batch);
+    for (const WlPhysWrite& w : batch) {
+      benchmark::DoNotOptimize(spare->resolve(w.working_index));
+    }
+  }
+}
+BENCHMARK(BM_EnginePipelineWrite);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_u64(1000003));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 97);
+  }
+  AliasTable table(weights);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(128)->Arg(2048)->Arg(1 << 16);
+
+void BM_EnduranceMapConstruction(benchmark::State& state) {
+  const EnduranceModel model;
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(EnduranceMap::from_model(
+        DeviceGeometry::scaled(1 << 14, static_cast<std::uint64_t>(
+                                            state.range(0))),
+        model, rng));
+  }
+}
+BENCHMARK(BM_EnduranceMapConstruction)->Arg(128)->Arg(2048);
+
+void BM_FnwCodecProgram(benchmark::State& state) {
+  auto codec = make_codec("fnw");
+  StoredLine stored;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->program(stored, LineData::random(rng)));
+  }
+}
+BENCHMARK(BM_FnwCodecProgram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

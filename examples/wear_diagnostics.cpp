@@ -1,0 +1,76 @@
+// Wear-diagnostics example: look *inside* the device after a run.
+//
+// Runs a benign Zipf workload and the UAA attack against an unleveled and
+// a TLSR-leveled device, then prints each run's endurance harvest and the
+// Gini coefficient of per-line utilization. Wear leveling should crush the
+// Gini for the skewed benign workload — and visibly fail to buy anything
+// under UAA, whose wear is already uniform (§3.3.1, seen from the wear
+// side instead of the lifetime side).
+//
+// Run: build/examples/wear_diagnostics
+
+#include <cstdio>
+#include <memory>
+
+#include "attack/attack.h"
+#include "attack/zipf.h"
+#include "nvm/device.h"
+#include "sim/engine.h"
+#include "sim/wear_report.h"
+#include "spare/spare_scheme.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace {
+
+using namespace nvmsec;
+
+void run_case(const char* label, const std::string& attack_name,
+              const std::string& wl_name) {
+  Rng rng(3);
+  EnduranceModelParams params;
+  params.endurance_at_mean = 3000.0;
+  const EnduranceModel model(params);
+  auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::scaled(1024, 64), model, rng));
+  Device device(map);
+  auto spare = make_no_spare(map);
+
+  std::unique_ptr<Attack> attack;
+  if (attack_name == "zipf") {
+    attack = make_zipf(1.1, spare->working_lines());
+  } else {
+    attack = make_attack(attack_name);
+  }
+
+  EnduranceView view(spare->working_lines());
+  for (std::uint64_t i = 0; i < view.size(); ++i) {
+    view[i] = map->line_endurance(spare->working_line(i));
+  }
+  WearLevelerParams wl_params;
+  wl_params.swap_interval = 8;
+  wl_params.tlsr_subregion_lines = 16;
+  auto wl = make_wear_leveler(wl_name, spare->working_lines(), view,
+                              wl_params, rng);
+
+  Engine engine(device, *attack, *wl, *spare, rng);
+  const LifetimeResult result = engine.run();
+  const WearReport report = analyze_wear(device);
+  std::printf("%-22s lifetime %6.2f%%  harvest %5.1f%%  gini %.3f\n", label,
+              100 * result.normalized, 100 * report.harvest_fraction,
+              report.utilization_gini);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("workload x wear leveling, no spares (1024 lines, 64 regions)\n");
+  run_case("zipf, unleveled", "zipf", "none");
+  run_case("zipf + TLSR", "zipf", "tlsr");
+  run_case("uaa, unleveled", "uaa", "none");
+  run_case("uaa + TLSR", "uaa", "tlsr");
+  std::printf(
+      "\nreading: TLSR slashes the zipf run's wear inequality (gini) and "
+      "multiplies its lifetime; under UAA the wear was already uniform, so "
+      "leveling buys nothing — §3.3.1 observed from the wear side.\n");
+  return 0;
+}

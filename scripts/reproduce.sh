@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table reproduction and archive the outputs.
+#
+# Usage: scripts/reproduce.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "build first: cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  "$bench" | tee "$RESULTS_DIR/$name.txt"
+  echo
+done
+
+# CSV variants for the figure benches (plot-ready).
+for fig in bench_fig5_analytic_surface bench_fig6_spare_sweep \
+           bench_fig7_swr_sweep bench_fig8_bpa_comparison \
+           bench_tbl_uaa_lifetime; do
+  if [[ -x "$BUILD_DIR/bench/$fig" ]]; then
+    "$BUILD_DIR/bench/$fig" --csv > "$RESULTS_DIR/$fig.csv" || true
+  fi
+done
+
+echo "results archived in $RESULTS_DIR/"

@@ -1,0 +1,43 @@
+// Attack model interface (paper §3).
+//
+// NVMsim "generates the read/write requests according to the attack models,
+// thus avoiding reading memory requests from the workload files" (§5.1) —
+// an attack is therefore just a generator of logical line addresses. The
+// address space bound is passed per call because some spare schemes (PCD)
+// shrink the usable space as lines fail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Produce the next logical address to write, strictly < user_lines.
+  virtual LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Restore the attack's initial state (e.g. UAA's sweep cursor).
+  virtual void reset() = 0;
+};
+
+/// Named constructors for the attacks the paper evaluates, plus extras used
+/// by tests and examples.
+std::unique_ptr<Attack> make_uaa();
+std::unique_ptr<Attack> make_bpa(std::uint64_t burst_length = 1024);
+std::unique_ptr<Attack> make_hotspot(std::uint64_t working_set = 1);
+std::unique_ptr<Attack> make_random_uniform();
+
+/// Factory by name ("uaa", "bpa", "hotspot", "random"); throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<Attack> make_attack(const std::string& name);
+
+}  // namespace nvmsec

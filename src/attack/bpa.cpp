@@ -1,0 +1,32 @@
+#include "attack/bpa.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+BirthdayParadoxAttack::BirthdayParadoxAttack(std::uint64_t burst_length)
+    : burst_length_(burst_length) {
+  if (burst_length == 0) {
+    throw std::invalid_argument("BPA: burst_length must be > 0");
+  }
+}
+
+LogicalLineAddr BirthdayParadoxAttack::next(Rng& rng,
+                                            std::uint64_t user_lines) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("BPA: empty address space");
+  }
+  if (remaining_in_burst_ == 0 || target_.value() >= user_lines) {
+    target_ = LogicalLineAddr{rng.uniform_u64(user_lines)};
+    remaining_in_burst_ = burst_length_;
+  }
+  --remaining_in_burst_;
+  return target_;
+}
+
+void BirthdayParadoxAttack::reset() {
+  remaining_in_burst_ = 0;
+  target_ = LogicalLineAddr::invalid();
+}
+
+}  // namespace nvmsec

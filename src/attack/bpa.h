@@ -1,0 +1,33 @@
+// Birthday Paradox Attack (BPA), the secondary attack the paper evaluates
+// against (§5.2.2, Figs. 7-8).
+//
+// BPA originates from Seong et al.'s Security Refresh analysis (ISCA'10):
+// against a randomized address mapping the attacker cannot aim at a chosen
+// physical line, but by hammering one logical address in long bursts and
+// re-picking the address at random, repeated bursts collide with weak
+// physical lines with birthday-paradox probability. The burst length
+// controls how much wear each randomized placement absorbs before the
+// attacker moves on.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+class BirthdayParadoxAttack final : public Attack {
+ public:
+  explicit BirthdayParadoxAttack(std::uint64_t burst_length);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "bpa"; }
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t burst_length() const { return burst_length_; }
+
+ private:
+  std::uint64_t burst_length_;
+  std::uint64_t remaining_in_burst_{0};
+  LogicalLineAddr target_{LogicalLineAddr::invalid()};
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,24 @@
+#include "attack/hotspot.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvmsec {
+
+HotspotAttack::HotspotAttack(std::uint64_t working_set)
+    : working_set_(working_set) {
+  if (working_set == 0) {
+    throw std::invalid_argument("HotspotAttack: working_set must be > 0");
+  }
+}
+
+LogicalLineAddr HotspotAttack::next(Rng& /*rng*/, std::uint64_t user_lines) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("HotspotAttack: empty address space");
+  }
+  const std::uint64_t set = std::min(working_set_, user_lines);
+  if (cursor_ >= set) cursor_ = 0;
+  return LogicalLineAddr{cursor_++};
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,26 @@
+// Hotspot attack: hammer a small fixed working set of logical addresses
+// forever. This is the classic wear-out attack that address-randomizing
+// wear levelers (Start-Gap, Security Refresh) were designed to defeat; we
+// keep it as a sanity baseline for the wear-leveling implementations.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+class HotspotAttack final : public Attack {
+ public:
+  explicit HotspotAttack(std::uint64_t working_set);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+  void reset() override { cursor_ = 0; }
+
+  [[nodiscard]] std::uint64_t working_set() const { return working_set_; }
+
+ private:
+  std::uint64_t working_set_;
+  std::uint64_t cursor_{0};
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,19 @@
+// Uniform-random attack: every write targets an independently drawn random
+// logical address. In expectation this produces the same per-line write
+// rate as UAA's deterministic sweep; we use it in tests to confirm the
+// simulator's UAA results are a property of uniformity, not of the sweep
+// order, and it doubles as a generic "no locality" workload for examples.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+class RandomUniformAttack final : public Attack {
+ public:
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void reset() override {}
+};
+
+}  // namespace nvmsec

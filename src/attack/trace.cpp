@@ -1,0 +1,92 @@
+#include "attack/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace nvmsec {
+
+namespace {
+constexpr const char* kMagic = "# maxwe-trace v1";
+}
+
+TraceRecorder::TraceRecorder(std::unique_ptr<Attack> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) {
+    throw std::invalid_argument("TraceRecorder: inner attack is null");
+  }
+}
+
+LogicalLineAddr TraceRecorder::next(Rng& rng, std::uint64_t user_lines) {
+  const LogicalLineAddr la = inner_->next(rng, user_lines);
+  addresses_.push_back(la.value());
+  return la;
+}
+
+void TraceRecorder::reset() {
+  inner_->reset();
+  addresses_.clear();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceRecorder::save: cannot open " + path);
+  }
+  out << kMagic << "\n";
+  for (std::uint64_t a : addresses_) out << a << "\n";
+  if (!out) {
+    throw std::runtime_error("TraceRecorder::save: write failed for " + path);
+  }
+}
+
+TraceReplay::TraceReplay(std::vector<std::uint64_t> addresses)
+    : addresses_(std::move(addresses)) {
+  if (addresses_.empty()) {
+    throw std::invalid_argument("TraceReplay: empty trace");
+  }
+}
+
+TraceReplay TraceReplay::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("TraceReplay: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("TraceReplay: empty file " + path);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kMagic) {
+    throw std::runtime_error("TraceReplay: bad header in " + path);
+  }
+  std::vector<std::uint64_t> addresses;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(line, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != line.size()) {
+      throw std::runtime_error("TraceReplay: malformed address at line " +
+                               std::to_string(line_number) + " of " + path);
+    }
+    addresses.push_back(value);
+  }
+  return TraceReplay(std::move(addresses));
+}
+
+LogicalLineAddr TraceReplay::next(Rng& /*rng*/, std::uint64_t user_lines) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("TraceReplay: empty address space");
+  }
+  if (cursor_ >= addresses_.size()) cursor_ = 0;
+  return LogicalLineAddr{addresses_[cursor_++] % user_lines};
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,64 @@
+// Trace recording and replay.
+//
+// The paper's NVMsim generates requests directly from attack models to
+// avoid workload files (§5.1) — and so does this simulator. But a usable
+// tool also needs the other direction: record any generator's address
+// stream for inspection/sharing, and replay an externally produced trace
+// (e.g. from a real application run) through the same pipeline. Format:
+//
+//   # maxwe-trace v1
+//   <decimal logical address>
+//   <decimal logical address>
+//   ...
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+/// Wraps another attack and tees every generated address into a buffer
+/// that can be saved as a trace file.
+class TraceRecorder final : public Attack {
+ public:
+  explicit TraceRecorder(std::unique_ptr<Attack> inner);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+record";
+  }
+  void reset() override;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& recorded() const {
+    return addresses_;
+  }
+  void save(const std::string& path) const;
+
+ private:
+  std::unique_ptr<Attack> inner_;
+  std::vector<std::uint64_t> addresses_;
+};
+
+/// Replays a trace, looping when it is exhausted. Addresses outside the
+/// current space are folded with modulo (the space can shrink under PCD).
+class TraceReplay final : public Attack {
+ public:
+  explicit TraceReplay(std::vector<std::uint64_t> addresses);
+
+  static TraceReplay from_file(const std::string& path);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "trace"; }
+  void reset() override { cursor_ = 0; }
+
+  [[nodiscard]] std::size_t length() const { return addresses_.size(); }
+
+ private:
+  std::vector<std::uint64_t> addresses_;
+  std::size_t cursor_{0};
+};
+
+}  // namespace nvmsec

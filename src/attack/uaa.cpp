@@ -1,0 +1,18 @@
+#include "attack/uaa.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+LogicalLineAddr UniformAddressAttack::next(Rng& /*rng*/,
+                                           std::uint64_t user_lines) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("UAA: empty address space");
+  }
+  // The space can shrink between calls (PCD); wrap the cursor so the sweep
+  // stays uniform over whatever space remains.
+  if (cursor_ >= user_lines) cursor_ = 0;
+  return LogicalLineAddr{cursor_++};
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,23 @@
+// Uniform Address Attack (UAA), the paper's attack model (§3.1).
+//
+// "UAA performs one write operation to each line one by one and repeats
+// such a procedure until many of the memory lines are worn out." The
+// attacker needs no endurance information; the sweep alone guarantees every
+// line — including the weakest — receives the same write rate.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+class UniformAddressAttack final : public Attack {
+ public:
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "uaa"; }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::uint64_t cursor_{0};
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,50 @@
+#include "attack/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+namespace {
+
+std::vector<double> zipf_weights(double s, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("ZipfWorkload: max_lines == 0");
+  if (s < 0) throw std::invalid_argument("ZipfWorkload: skew must be >= 0");
+  std::vector<double> w(n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  return w;
+}
+
+}  // namespace
+
+ZipfWorkload::ZipfWorkload(double s, std::uint64_t max_lines,
+                           std::uint64_t placement_seed)
+    : s_(s), max_lines_(max_lines), ranks_(zipf_weights(s, max_lines)) {
+  if (max_lines > UINT32_MAX) {
+    throw std::invalid_argument("ZipfWorkload: max_lines exceeds 2^32");
+  }
+  placement_.resize(max_lines);
+  for (std::uint64_t i = 0; i < max_lines; ++i) {
+    placement_[i] = static_cast<std::uint32_t>(i);
+  }
+  Rng placement_rng(placement_seed);
+  placement_rng.shuffle(placement_);
+}
+
+LogicalLineAddr ZipfWorkload::next(Rng& rng, std::uint64_t user_lines) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("ZipfWorkload: empty address space");
+  }
+  // Draw a rank, scatter it; fold into the current space if it shrank.
+  const std::uint64_t addr = placement_[ranks_.sample(rng)];
+  return LogicalLineAddr{addr % user_lines};
+}
+
+std::unique_ptr<Attack> make_zipf(double s, std::uint64_t max_lines,
+                                  std::uint64_t placement_seed) {
+  return std::make_unique<ZipfWorkload>(s, max_lines, placement_seed);
+}
+
+}  // namespace nvmsec

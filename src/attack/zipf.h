@@ -1,0 +1,43 @@
+// Zipfian workload: a benign-application proxy, not an attack.
+//
+// The wear-leveling baselines exist because real workloads have skewed
+// cold/hot locality; UAA's whole point is to *remove* that skew (§3.3.1).
+// A Zipf(s) address stream gives the examples and tests a representative
+// "normal program" against which the wear levelers visibly help — the
+// contrast that makes UAA's flatness meaningful.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attack/attack.h"
+#include "util/alias_table.h"
+
+namespace nvmsec {
+
+class ZipfWorkload final : public Attack {
+ public:
+  /// P(rank k) proportional to 1/k^s over `max_lines` ranks; rank-to-address
+  /// assignment is a fixed pseudo-random permutation so the hot set is
+  /// scattered across the address space (seeded by `placement_seed`).
+  ZipfWorkload(double s, std::uint64_t max_lines,
+               std::uint64_t placement_seed = 1);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  [[nodiscard]] std::string name() const override { return "zipf"; }
+  void reset() override {}
+
+  [[nodiscard]] double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::uint64_t max_lines_;
+  AliasTable ranks_;
+  /// rank -> logical address scatter.
+  std::vector<std::uint32_t> placement_;
+};
+
+std::unique_ptr<Attack> make_zipf(double s, std::uint64_t max_lines,
+                                  std::uint64_t placement_seed = 1);
+
+}  // namespace nvmsec

@@ -1,0 +1,55 @@
+#include "cache/dram_buffer.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+DramBuffer::DramBuffer(std::uint64_t capacity_lines)
+    : capacity_(capacity_lines) {
+  if (capacity_lines == 0) {
+    throw std::invalid_argument("DramBuffer: capacity must be > 0");
+  }
+  map_.reserve(capacity_lines);
+}
+
+std::optional<LogicalLineAddr> DramBuffer::write(LogicalLineAddr la) {
+  const auto it = map_.find(la.value());
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    return std::nullopt;
+  }
+  ++stats_.misses;
+  std::optional<LogicalLineAddr> evicted;
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+    evicted = LogicalLineAddr{victim};
+  }
+  lru_.push_front(la.value());
+  map_[la.value()] = lru_.begin();
+  return evicted;
+}
+
+std::vector<LogicalLineAddr> DramBuffer::flush() {
+  std::vector<LogicalLineAddr> out;
+  out.reserve(map_.size());
+  for (std::uint64_t la : lru_) out.push_back(LogicalLineAddr{la});
+  lru_.clear();
+  map_.clear();
+  return out;
+}
+
+bool DramBuffer::contains(LogicalLineAddr la) const {
+  return map_.contains(la.value());
+}
+
+void DramBuffer::reset() {
+  lru_.clear();
+  map_.clear();
+  stats_ = {};
+}
+
+}  // namespace nvmsec

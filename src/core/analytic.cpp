@@ -1,0 +1,93 @@
+#include "core/analytic.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+void LinearLifetimeModel::validate() const {
+  if (num_lines <= 0) {
+    throw std::invalid_argument("LinearLifetimeModel: num_lines <= 0");
+  }
+  if (e_low <= 0 || e_high < e_low) {
+    throw std::invalid_argument(
+        "LinearLifetimeModel: need 0 < e_low <= e_high");
+  }
+  if (spare_lines < 0 || spare_lines >= num_lines) {
+    throw std::invalid_argument(
+        "LinearLifetimeModel: spare_lines must be in [0, num_lines)");
+  }
+}
+
+double LinearLifetimeModel::ideal() const {
+  validate();
+  return num_lines * (e_high - e_low) / 2.0 + num_lines * e_low;
+}
+
+double LinearLifetimeModel::uaa_unprotected() const {
+  validate();
+  return num_lines * e_low;
+}
+
+double LinearLifetimeModel::uaa_fraction_of_ideal() const {
+  validate();
+  return 2.0 * e_low / (e_high + e_low);
+}
+
+double LinearLifetimeModel::maxwe() const {
+  validate();
+  return (num_lines - spare_lines) *
+         (e_low + 2.0 * spare_lines * (e_high - e_low) / num_lines);
+}
+
+double LinearLifetimeModel::pcd_ps() const {
+  validate();
+  return spare_lines * (num_lines - spare_lines / 2.0) * (e_high - e_low) /
+             num_lines +
+         num_lines * e_low;
+}
+
+double LinearLifetimeModel::ps_worst() const {
+  validate();
+  return (num_lines - spare_lines) *
+         (e_low + spare_lines * (e_high - e_low) / num_lines);
+}
+
+Fig5Point fig5_point(double p, double q) {
+  if (p < 0 || p >= 1) {
+    throw std::invalid_argument("fig5_point: p must be in [0, 1)");
+  }
+  if (q < 1) throw std::invalid_argument("fig5_point: q must be >= 1");
+  // Absolute scale cancels in the normalized ratios; fix N = 1, EL = 1.
+  LinearLifetimeModel m;
+  m.num_lines = 1.0;
+  m.e_low = 1.0;
+  m.e_high = q;
+  m.spare_lines = p;
+  const double ideal = m.ideal();
+  return Fig5Point{p, q, m.maxwe() / ideal, m.pcd_ps() / ideal,
+                   m.ps_worst() / ideal};
+}
+
+std::vector<Fig5Point> fig5_surface(double p_lo, double p_hi,
+                                    std::uint32_t p_steps, double q_lo,
+                                    double q_hi, std::uint32_t q_steps) {
+  if (p_steps < 2 || q_steps < 2) {
+    throw std::invalid_argument("fig5_surface: need at least 2 steps per axis");
+  }
+  std::vector<Fig5Point> out;
+  out.reserve(static_cast<std::size_t>(p_steps) * q_steps);
+  for (std::uint32_t i = 0; i < p_steps; ++i) {
+    const double p =
+        p_lo + (p_hi - p_lo) * static_cast<double>(i) /
+                   static_cast<double>(p_steps - 1);
+    for (std::uint32_t j = 0; j < q_steps; ++j) {
+      const double q =
+          q_lo + (q_hi - q_lo) * static_cast<double>(j) /
+                     static_cast<double>(q_steps - 1);
+      out.push_back(fig5_point(p, q));
+    }
+  }
+  return out;
+}
+
+}  // namespace nvmsec

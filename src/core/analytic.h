@@ -1,0 +1,65 @@
+// Closed-form lifetime model (paper §3.1 and §4.3, Eqs. (3)-(8)).
+//
+// The paper approximates the endurance distribution with a linear ramp
+// between the weakest line's endurance E_L and the strongest line's E_H and
+// derives UAA lifetimes for the ideal case, the unprotected case, Max-WE,
+// PCD / average PS, and worst-case PS. These formulas drive Fig. 1's
+// headline ratio, Fig. 5's comparison surface, and the cross-checks the
+// tests run against the event-driven simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nvmsec {
+
+/// The linear endurance model's parameters: N lines with endurance linearly
+/// distributed in [e_low, e_high], of which `spare_lines` = S are spare.
+struct LinearLifetimeModel {
+  double num_lines{0};    // N
+  double e_low{0};        // E_L, weakest line endurance
+  double e_high{0};       // E_H, strongest line endurance
+  double spare_lines{0};  // S
+
+  void validate() const;  // throws std::invalid_argument on bad values
+
+  /// Eq. (3): ideal lifetime = N*(EH-EL)/2 + N*EL.
+  [[nodiscard]] double ideal() const;
+
+  /// Eq. (4): unprotected lifetime under UAA = N*EL.
+  [[nodiscard]] double uaa_unprotected() const;
+
+  /// Eq. (5): LUAA / LIdeal = 2*EL / (EH + EL).
+  [[nodiscard]] double uaa_fraction_of_ideal() const;
+
+  /// Eq. (6): Max-WE = (N-S) * (EL + 2S(EH-EL)/N).
+  [[nodiscard]] double maxwe() const;
+
+  /// Eq. (7): PCD (~= average PS) = S(N-S/2)(EH-EL)/N + N*EL.
+  [[nodiscard]] double pcd_ps() const;
+
+  /// Eq. (8): PS worst case = (N-S) * (EL + S(EH-EL)/N).
+  [[nodiscard]] double ps_worst() const;
+};
+
+/// One cell of Fig. 5's surface: normalized (to ideal) lifetimes at spare
+/// ratio p = S/N and variation degree q = EH/EL.
+struct Fig5Point {
+  double p{0};
+  double q{0};
+  double maxwe{0};
+  double pcd_ps{0};
+  double ps_worst{0};
+};
+
+/// Evaluate the three schemes' normalized lifetimes at (p, q) under the
+/// linear model (the absolute scale cancels, so only p and q matter).
+Fig5Point fig5_point(double p, double q);
+
+/// The full Fig. 5 sweep: p in [p_lo, p_hi] x q in [q_lo, q_hi] on a
+/// grid with the given step counts (inclusive endpoints).
+std::vector<Fig5Point> fig5_surface(double p_lo, double p_hi,
+                                    std::uint32_t p_steps, double q_lo,
+                                    double q_hi, std::uint32_t q_steps);
+
+}  // namespace nvmsec

@@ -1,0 +1,36 @@
+#include "core/latency_model.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+void LatencyModelParams::validate() const {
+  if (array_read_ns <= 0 || sram_lookup_ns < 0) {
+    throw std::invalid_argument("LatencyModelParams: non-positive latency");
+  }
+}
+
+TranslationLatency table_translation_latency(
+    const LatencyModelParams& params) {
+  params.validate();
+  TranslationLatency out;
+  out.translation_ns = params.sram_lookup_ns;
+  out.mean_access_ns = params.sram_lookup_ns + params.array_read_ns;
+  out.relative = out.mean_access_ns / params.array_read_ns;
+  return out;
+}
+
+TranslationLatency pointer_chain_latency(const LatencyModelParams& params,
+                                         double mean_hops) {
+  params.validate();
+  if (mean_hops < 0) {
+    throw std::invalid_argument("pointer_chain_latency: negative hops");
+  }
+  TranslationLatency out;
+  out.translation_ns = mean_hops * params.array_read_ns;
+  out.mean_access_ns = (1.0 + mean_hops) * params.array_read_ns;
+  out.relative = 1.0 + mean_hops;
+  return out;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,43 @@
+// Access-latency cost model for the translation paths.
+//
+// The paper's §4.1 requirement — "To ensure low address translation
+// latency, RMT and LMT are both stored in SRAM" — is a latency argument,
+// and FREE-p's table-free design trades that latency for storage. This
+// model turns both into numbers with explicitly stated constants:
+//
+//   Max-WE access  = SRAM lookup + 1 array access
+//   FREE-p access  = (1 + mean pointer hops) array accesses
+//   line-level-table access = larger-SRAM lookup + 1 array access
+//
+// Constants default to commonly cited PCM figures; they are parameters,
+// not claims.
+#pragma once
+
+namespace nvmsec {
+
+struct LatencyModelParams {
+  /// PCM array read latency, ns (Lee ISCA'09-era figure).
+  double array_read_ns{55.0};
+  /// Small (sub-MB) SRAM lookup, ns.
+  double sram_lookup_ns{1.0};
+
+  void validate() const;
+};
+
+struct TranslationLatency {
+  /// Mean end-to-end read-access latency, ns.
+  double mean_access_ns{0};
+  /// Translation-only share of that latency, ns.
+  double translation_ns{0};
+  /// Overhead relative to a raw array access (1.0 = no overhead).
+  double relative{1.0};
+};
+
+/// Max-WE / table-based translation: one SRAM lookup, then the access.
+TranslationLatency table_translation_latency(const LatencyModelParams& params);
+
+/// FREE-p-style pointer walking: `mean_hops` extra array reads per access.
+TranslationLatency pointer_chain_latency(const LatencyModelParams& params,
+                                         double mean_hops);
+
+}  // namespace nvmsec

@@ -1,0 +1,135 @@
+#include "core/mapping_tables.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+std::uint64_t ceil_log2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("ceil_log2: x must be >= 1");
+  std::uint64_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+RegionMappingTable::RegionMappingTable(std::uint64_t num_regions,
+                                       std::uint64_t lines_per_region)
+    : num_regions_(num_regions),
+      lines_per_region_(lines_per_region),
+      index_(num_regions, -1),
+      sra_used_(num_regions, false) {
+  if (num_regions == 0 || lines_per_region == 0) {
+    throw std::invalid_argument("RegionMappingTable: empty geometry");
+  }
+}
+
+void RegionMappingTable::add_pair(RegionId pra, RegionId sra) {
+  if (pra.value() >= num_regions_ || sra.value() >= num_regions_) {
+    throw std::invalid_argument("RMT::add_pair: region out of range");
+  }
+  if (pra == sra) {
+    throw std::invalid_argument("RMT::add_pair: region cannot rescue itself");
+  }
+  if (index_[pra.value()] != -1) {
+    throw std::invalid_argument("RMT::add_pair: pra already paired");
+  }
+  if (sra_used_[sra.value()]) {
+    throw std::invalid_argument("RMT::add_pair: sra already used");
+  }
+  index_[pra.value()] = static_cast<std::int32_t>(entries_.size());
+  entries_.push_back(Entry{sra, std::vector<bool>(lines_per_region_, false)});
+  pairs_.emplace_back(pra, sra);
+  sra_used_[sra.value()] = true;
+}
+
+std::optional<RegionId> RegionMappingTable::spare_of(RegionId pra) const {
+  if (pra.value() >= num_regions_) {
+    throw std::out_of_range("RMT::spare_of: region out of range");
+  }
+  const std::int32_t i = index_[pra.value()];
+  if (i < 0) return std::nullopt;
+  return entries_[static_cast<std::size_t>(i)].sra;
+}
+
+bool RegionMappingTable::has_region(RegionId pra) const {
+  return pra.value() < num_regions_ && index_[pra.value()] >= 0;
+}
+
+bool RegionMappingTable::wear_out_tag(RegionId pra,
+                                      LineInRegion offset) const {
+  if (!has_region(pra)) {
+    throw std::invalid_argument("RMT::wear_out_tag: pra not in table");
+  }
+  if (offset.value() >= lines_per_region_) {
+    throw std::out_of_range("RMT::wear_out_tag: offset out of range");
+  }
+  return entries_[static_cast<std::size_t>(index_[pra.value()])]
+      .wot[offset.value()];
+}
+
+void RegionMappingTable::set_wear_out_tag(RegionId pra, LineInRegion offset) {
+  if (!has_region(pra)) {
+    throw std::invalid_argument("RMT::set_wear_out_tag: pra not in table");
+  }
+  if (offset.value() >= lines_per_region_) {
+    throw std::out_of_range("RMT::set_wear_out_tag: offset out of range");
+  }
+  auto& entry = entries_[static_cast<std::size_t>(index_[pra.value()])];
+  if (!entry.wot[offset.value()]) {
+    entry.wot[offset.value()] = true;
+    ++tags_set_;
+  }
+}
+
+std::uint64_t RegionMappingTable::storage_bits() const {
+  const std::uint64_t id_bits = ceil_log2(num_regions_);
+  // Per entry: the spare-region id and one wear-out tag per line. (The pra
+  // itself indexes the table, mirroring §4.1: "RMT only records the region
+  // id of SWRs and RWRs" paired by position.)
+  return size() * (id_bits + lines_per_region_);
+}
+
+void RegionMappingTable::reset_tags() {
+  for (auto& e : entries_) {
+    e.wot.assign(lines_per_region_, false);
+  }
+  tags_set_ = 0;
+}
+
+LineMappingTable::LineMappingTable(std::uint64_t capacity,
+                                   std::uint64_t num_lines)
+    : capacity_(capacity), num_lines_(num_lines) {
+  map_.reserve(capacity);
+}
+
+std::optional<PhysLineAddr> LineMappingTable::lookup(PhysLineAddr pla) const {
+  const auto it = map_.find(pla.value());
+  if (it == map_.end()) return std::nullopt;
+  return PhysLineAddr{it->second};
+}
+
+void LineMappingTable::insert_or_replace(PhysLineAddr pla, PhysLineAddr sla) {
+  if (pla.value() >= num_lines_ || sla.value() >= num_lines_) {
+    throw std::out_of_range("LMT::insert_or_replace: address out of range");
+  }
+  const auto it = map_.find(pla.value());
+  if (it != map_.end()) {
+    it->second = sla.value();
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    throw std::length_error("LMT::insert_or_replace: table full");
+  }
+  map_.emplace(pla.value(), sla.value());
+}
+
+void LineMappingTable::erase(PhysLineAddr pla) { map_.erase(pla.value()); }
+
+std::uint64_t LineMappingTable::storage_bits() const {
+  return capacity_ * ceil_log2(num_lines_);
+}
+
+}  // namespace nvmsec

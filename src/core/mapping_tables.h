@@ -1,0 +1,115 @@
+// Hybrid spare-line mapping management (paper §4.1-§4.2, Fig. 3).
+//
+// Max-WE tracks wear-out replacements with two SRAM-resident tables:
+//
+//  * RMT (Region Mapping Table) — coarse, region-level, *permanent* pairs
+//    (pra -> sra) built at boot from the endurance map, plus one wear-out
+//    tag (wot) per line of the paired spare region. Because the pairing
+//    never changes, an RMT entry costs only the spare-region id and the tag
+//    bits — this is where the 85% table-size reduction comes from.
+//
+//  * LMT (Line Mapping Table) — fine, line-level mapping (pla -> sla) for
+//    wear-outs that occur outside the RWRs, backed by the additional spare
+//    regions. Entries are replaced when a spare line itself wears out
+//    (§4.2: "we remove the old entry from LMT before adding a new one").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace nvmsec {
+
+class RegionMappingTable {
+ public:
+  /// `num_regions`: total regions in the device (bounds pra/sra);
+  /// `lines_per_region`: size of each entry's wear-out tag vector.
+  RegionMappingTable(std::uint64_t num_regions,
+                     std::uint64_t lines_per_region);
+
+  /// Record the permanent rescue pair "sra rescues pra". Each pra and sra
+  /// may appear at most once; violations throw std::invalid_argument.
+  void add_pair(RegionId pra, RegionId sra);
+
+  /// Spare region paired with `pra`, or nullopt if pra has no entry.
+  [[nodiscard]] std::optional<RegionId> spare_of(RegionId pra) const;
+
+  [[nodiscard]] bool has_region(RegionId pra) const;
+
+  /// Wear-out tag of line `offset` in rescued region `pra`. Throws if pra
+  /// has no entry.
+  [[nodiscard]] bool wear_out_tag(RegionId pra, LineInRegion offset) const;
+  void set_wear_out_tag(RegionId pra, LineInRegion offset);
+
+  /// Number of region pairs.
+  [[nodiscard]] std::uint64_t size() const { return pairs_.size(); }
+
+  /// Count of wear-out tags currently set (replaced lines).
+  [[nodiscard]] std::uint64_t tags_set() const { return tags_set_; }
+
+  /// All (pra, sra) pairs in insertion (weak-strong-matching) order.
+  [[nodiscard]] const std::vector<std::pair<RegionId, RegionId>>& pairs()
+      const {
+    return pairs_;
+  }
+
+  /// Exact SRAM cost of this table: per pair, one sra id (log2 R bits,
+  /// rounded up) plus one wot bit per line (§4.4).
+  [[nodiscard]] std::uint64_t storage_bits() const;
+
+  void reset_tags();
+
+ private:
+  struct Entry {
+    RegionId sra;
+    std::vector<bool> wot;
+  };
+
+  std::uint64_t num_regions_;
+  std::uint64_t lines_per_region_;
+  /// pra -> index into entries_, -1 when absent. Dense: R is small (2048).
+  std::vector<std::int32_t> index_;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<RegionId, RegionId>> pairs_;
+  std::vector<bool> sra_used_;
+  std::uint64_t tags_set_{0};
+};
+
+class LineMappingTable {
+ public:
+  /// `capacity`: maximum entries (the number of additional spare lines);
+  /// `num_lines`: device line count (bounds addresses, sizes entries).
+  LineMappingTable(std::uint64_t capacity, std::uint64_t num_lines);
+
+  /// Current spare line for `pla`, or nullopt.
+  [[nodiscard]] std::optional<PhysLineAddr> lookup(PhysLineAddr pla) const;
+
+  /// Map pla -> sla, replacing any previous entry for pla. Throws
+  /// std::length_error when the table is full and pla is a new key.
+  void insert_or_replace(PhysLineAddr pla, PhysLineAddr sla);
+
+  void erase(PhysLineAddr pla);
+
+  [[nodiscard]] std::uint64_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+  /// Exact SRAM cost: capacity * (log2 N)-bit spare pointers (§4.4's
+  /// (1-q)*S*log2(N) term), independent of current occupancy — the table is
+  /// provisioned for the worst case.
+  [[nodiscard]] std::uint64_t storage_bits() const;
+
+  void clear() { map_.clear(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t num_lines_;
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+std::uint64_t ceil_log2(std::uint64_t x);
+
+}  // namespace nvmsec

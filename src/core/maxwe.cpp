@@ -1,0 +1,235 @@
+#include "core/maxwe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+void MaxWeParams::validate() const {
+  if (spare_fraction < 0.0 || spare_fraction >= 1.0) {
+    throw std::invalid_argument("MaxWeParams: spare_fraction must be in [0,1)");
+  }
+  if (swr_fraction < 0.0 || swr_fraction > 1.0) {
+    throw std::invalid_argument("MaxWeParams: swr_fraction must be in [0,1]");
+  }
+}
+
+MaxWe::MaxWe(std::shared_ptr<const EnduranceMap> endurance, MaxWeParams params)
+    : endurance_(std::move(endurance)),
+      params_(params),
+      rmt_(endurance_->geometry().num_regions(),
+           endurance_->geometry().lines_per_region()),
+      lmt_(0, endurance_->geometry().num_lines()) {
+  params_.validate();
+  if (endurance_->geometry().num_lines() > UINT32_MAX) {
+    throw std::invalid_argument("MaxWe: device exceeds 2^32 lines");
+  }
+  build_allocation();
+}
+
+void MaxWe::build_allocation() {
+  const DeviceGeometry& geom = endurance_->geometry();
+  const std::uint64_t num_regions = geom.num_regions();
+  const std::uint64_t lpr = geom.lines_per_region();
+
+  const auto n_spare = static_cast<std::uint64_t>(
+      std::llround(params_.spare_fraction * static_cast<double>(num_regions)));
+  const auto n_swr = static_cast<std::uint64_t>(
+      std::llround(params_.swr_fraction * static_cast<double>(n_spare)));
+  const std::uint64_t n_asr = n_spare - n_swr;
+
+  // SWRs need an equal number of RWRs left in the user space, and at least
+  // one region must remain purely user capacity.
+  if (2 * n_swr + n_asr >= num_regions) {
+    throw std::invalid_argument(
+        "MaxWe: spare configuration leaves no user capacity");
+  }
+
+  const std::vector<RegionId> order = endurance_->regions_weakest_first();
+  if (params_.selection == SpareSelectionPolicy::kWeakPriority) {
+    // Weak-priority: carve the spare roles off the weak end of the
+    // manufacture-time endurance ordering (Fig. 3's worked example).
+    swrs_.assign(order.begin(),
+                 order.begin() + static_cast<std::ptrdiff_t>(n_swr));
+    rwrs_.assign(order.begin() + static_cast<std::ptrdiff_t>(n_swr),
+                 order.begin() + static_cast<std::ptrdiff_t>(2 * n_swr));
+    asrs_.assign(order.begin() + static_cast<std::ptrdiff_t>(2 * n_swr),
+                 order.begin() + static_cast<std::ptrdiff_t>(2 * n_swr + n_asr));
+  } else {
+    // Ablation baseline: spares picked uniformly at random (traditional
+    // schemes' behaviour). The SWR/ASR split and the RWR choice still use
+    // the endurance ordering so only the *selection* differs.
+    Rng selection_rng(params_.selection_seed);
+    std::vector<RegionId> spares;
+    for (std::uint64_t r : selection_rng.sample_without_replacement(
+             num_regions, n_swr + n_asr)) {
+      spares.push_back(RegionId{r});
+    }
+    std::sort(spares.begin(), spares.end(), [&](RegionId a, RegionId b) {
+      const Endurance ea = endurance_->region_endurance(a);
+      const Endurance eb = endurance_->region_endurance(b);
+      if (ea != eb) return ea < eb;
+      return a.value() < b.value();
+    });
+    swrs_.assign(spares.begin(),
+                 spares.begin() + static_cast<std::ptrdiff_t>(n_swr));
+    asrs_.assign(spares.begin() + static_cast<std::ptrdiff_t>(n_swr),
+                 spares.end());
+    std::vector<bool> is_spare(num_regions, false);
+    for (RegionId r : spares) is_spare[r.value()] = true;
+    rwrs_.clear();
+    for (RegionId r : order) {
+      if (rwrs_.size() == n_swr) break;
+      if (!is_spare[r.value()]) rwrs_.push_back(r);
+    }
+  }
+
+  std::vector<bool> is_spare_region(num_regions, false);
+  for (RegionId r : swrs_) is_spare_region[r.value()] = true;
+  for (RegionId r : asrs_) is_spare_region[r.value()] = true;
+
+  user_regions_.clear();
+  for (std::uint64_t r = 0; r < num_regions; ++r) {
+    if (!is_spare_region[r]) user_regions_.push_back(RegionId{r});
+  }
+  user_lines_ = user_regions_.size() * lpr;
+
+  // rwrs_ and swrs_ are both ascending by endurance. Weak-strong matching
+  // pairs the weakest RWR with the strongest SWR (walk the SWR slice
+  // backwards); the identity-matching ablation pairs them in like order.
+  for (std::uint64_t i = 0; i < n_swr; ++i) {
+    const RegionId sra = params_.matching == MatchingPolicy::kWeakStrong
+                             ? swrs_[n_swr - 1 - i]
+                             : swrs_[i];
+    rmt_.add_pair(/*pra=*/rwrs_[i], sra);
+  }
+
+  // Additional spare pool, strongest line first (§4.2: "allocates the
+  // strongest spare line"). Regions have constant endurance, so order the
+  // regions strongest-first and take their lines in address order.
+  std::vector<RegionId> asr_by_strength = asrs_;
+  std::sort(asr_by_strength.begin(), asr_by_strength.end(),
+            [&](RegionId a, RegionId b) {
+              const Endurance ea = endurance_->region_endurance(a);
+              const Endurance eb = endurance_->region_endurance(b);
+              if (ea != eb) return ea > eb;
+              return a.value() < b.value();
+            });
+  asr_pool_.clear();
+  asr_pool_.reserve(n_asr * lpr);
+  for (RegionId r : asr_by_strength) {
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      asr_pool_.push_back(static_cast<std::uint32_t>(
+          geom.line_at(r, LineInRegion{k}).value()));
+    }
+  }
+  lmt_ = LineMappingTable(asr_pool_.size(), geom.num_lines());
+  next_asr_ = 0;
+
+  backing_.resize(user_lines_);
+  for (std::uint64_t i = 0; i < user_lines_; ++i) {
+    backing_[i] = static_cast<std::uint32_t>(working_line(i).value());
+  }
+}
+
+PhysLineAddr MaxWe::working_line(std::uint64_t idx) const {
+  if (idx >= user_lines_) {
+    throw std::out_of_range("MaxWe::working_line: index out of range");
+  }
+  const std::uint64_t lpr = endurance_->geometry().lines_per_region();
+  return endurance_->geometry().line_at(user_regions_[idx / lpr],
+                                        LineInRegion{idx % lpr});
+}
+
+PhysLineAddr MaxWe::resolve(std::uint64_t idx) {
+  if (idx >= user_lines_) {
+    throw std::out_of_range("MaxWe::resolve: index out of range");
+  }
+  return PhysLineAddr{backing_[idx]};
+}
+
+bool MaxWe::allocate_from_asr(std::uint64_t idx, PhysLineAddr pla) {
+  if (next_asr_ >= asr_pool_.size()) {
+    return false;  // no spare lines left: device worn out (§4.2)
+  }
+  const PhysLineAddr sla{asr_pool_[next_asr_++]};
+  lmt_.insert_or_replace(pla, sla);
+  backing_[idx] = static_cast<std::uint32_t>(sla.value());
+  ++stats_.replacements;
+  return true;
+}
+
+bool MaxWe::on_wear_out(std::uint64_t idx) {
+  if (idx >= user_lines_) {
+    throw std::out_of_range("MaxWe::on_wear_out: index out of range");
+  }
+  ++stats_.line_deaths;
+  const DeviceGeometry& geom = endurance_->geometry();
+  const PhysLineAddr pla = working_line(idx);
+  const PhysLineAddr worn{backing_[idx]};
+
+  if (worn == pla) {
+    // First failure of this user line.
+    const RegionId region = geom.region_of(pla);
+    if (rmt_.has_region(region)) {
+      // RWR line: flip the wear-out tag and redirect to the permanently
+      // paired line of the matched SWR.
+      const LineInRegion offset = geom.offset_in_region(pla);
+      rmt_.set_wear_out_tag(region, offset);
+      const PhysLineAddr spare = geom.line_at(*rmt_.spare_of(region), offset);
+      backing_[idx] = static_cast<std::uint32_t>(spare.value());
+      ++stats_.replacements;
+      return true;
+    }
+    return allocate_from_asr(idx, pla);
+  }
+  // A replacement line died (the SWR partner or an LMT spare): fall back to
+  // a fresh additional spare, replacing any existing LMT entry for pla.
+  return allocate_from_asr(idx, pla);
+}
+
+PhysLineAddr MaxWe::translate_read(PhysLineAddr pla) const {
+  const DeviceGeometry& geom = endurance_->geometry();
+  if (!geom.contains(pla)) {
+    throw std::out_of_range("MaxWe::translate_read: address out of range");
+  }
+  if (const auto sla = lmt_.lookup(pla)) return *sla;
+  const RegionId region = geom.region_of(pla);
+  if (rmt_.has_region(region)) {
+    const LineInRegion offset = geom.offset_in_region(pla);
+    if (rmt_.wear_out_tag(region, offset)) {
+      return geom.line_at(*rmt_.spare_of(region), offset);
+    }
+  }
+  return pla;
+}
+
+SpareSchemeStats MaxWe::stats() const {
+  SpareSchemeStats s = stats_;
+  s.spares_remaining = asr_pool_remaining();
+  s.lmt_entries = lmt_.size();
+  s.rmt_entries = rmt_.size();
+  return s;
+}
+
+std::uint64_t MaxWe::mapping_overhead_bits() const {
+  return rmt_.storage_bits() + lmt_.storage_bits();
+}
+
+void MaxWe::reset() {
+  stats_ = {};
+  rmt_.reset_tags();
+  lmt_.clear();
+  next_asr_ = 0;
+  for (std::uint64_t i = 0; i < user_lines_; ++i) {
+    backing_[i] = static_cast<std::uint32_t>(working_line(i).value());
+  }
+}
+
+std::unique_ptr<SpareScheme> make_maxwe(
+    std::shared_ptr<const EnduranceMap> endurance, MaxWeParams params) {
+  return std::make_unique<MaxWe>(std::move(endurance), params);
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,69 @@
+#include "core/overhead.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+void MappingOverheadInputs::validate() const {
+  if (num_lines == 0 || num_regions == 0) {
+    throw std::invalid_argument("MappingOverheadInputs: empty geometry");
+  }
+  if (num_regions > num_lines) {
+    throw std::invalid_argument(
+        "MappingOverheadInputs: more regions than lines");
+  }
+  if (spare_lines >= num_lines) {
+    throw std::invalid_argument(
+        "MappingOverheadInputs: spare_lines must be < num_lines");
+  }
+  if (swr_fraction < 0.0 || swr_fraction > 1.0) {
+    throw std::invalid_argument(
+        "MappingOverheadInputs: swr_fraction must be in [0,1]");
+  }
+}
+
+MappingOverheadInputs MappingOverheadInputs::from_geometry(
+    const DeviceGeometry& geometry, double spare_fraction,
+    double swr_fraction) {
+  if (spare_fraction < 0.0 || spare_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "MappingOverheadInputs: spare_fraction must be in [0,1)");
+  }
+  MappingOverheadInputs in;
+  in.num_lines = geometry.num_lines();
+  in.num_regions = geometry.num_regions();
+  in.spare_lines = static_cast<std::uint64_t>(
+      std::llround(spare_fraction * static_cast<double>(geometry.num_lines())));
+  in.swr_fraction = swr_fraction;
+  return in;
+}
+
+double MappingOverheadResult::maxwe_total_mb() const {
+  return maxwe_total_bits / 8.0 / 1024.0 / 1024.0;
+}
+
+double MappingOverheadResult::traditional_mb() const {
+  return traditional_bits / 8.0 / 1024.0 / 1024.0;
+}
+
+MappingOverheadResult mapping_overhead(const MappingOverheadInputs& in) {
+  in.validate();
+  const double n = static_cast<double>(in.num_lines);
+  const double r = static_cast<double>(in.num_regions);
+  const double s = static_cast<double>(in.spare_lines);
+  const double q = in.swr_fraction;
+
+  MappingOverheadResult out;
+  out.lmt_bits = (1.0 - q) * s * std::log2(n);
+  out.rmt_bits = q * s * r * std::log2(r) / n;
+  out.wear_out_tag_bits = q * s;
+  out.maxwe_total_bits = out.lmt_bits + out.rmt_bits + out.wear_out_tag_bits;
+  out.traditional_bits = s * std::log2(n);
+  out.ratio = out.traditional_bits > 0
+                  ? out.maxwe_total_bits / out.traditional_bits
+                  : 0.0;
+  return out;
+}
+
+}  // namespace nvmsec

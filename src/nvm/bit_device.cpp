@@ -1,0 +1,121 @@
+#include "nvm/bit_device.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+void BitDeviceParams::validate() const {
+  if (cell_sigma < 0) {
+    throw std::invalid_argument("BitDeviceParams: negative cell_sigma");
+  }
+}
+
+BitDevice::BitDevice(std::shared_ptr<const EnduranceMap> endurance,
+                     BitDeviceParams params, Rng& rng)
+    : endurance_(std::move(endurance)), params_(params), rng_(rng.fork()) {
+  if (!endurance_) {
+    throw std::invalid_argument("BitDevice: endurance map is null");
+  }
+  params_.validate();
+  const std::uint64_t n = endurance_->geometry().num_lines();
+  // Each line keeps ~2 KiB of cell state; cap the device size so a
+  // misconfigured full-scale run fails fast instead of exhausting memory.
+  if (n > (1ULL << 20)) {
+    throw std::invalid_argument(
+        "BitDevice: cell-granular state is meant for scaled devices "
+        "(<= 2^20 lines); use Device for full-scale line-level runs");
+  }
+  lines_.resize(n);
+  for (std::uint64_t l = 0; l < n; ++l) {
+    const double e = endurance_->line_endurance(PhysLineAddr{l});
+    lines_[l].remaining.resize(kPositions);
+    for (auto& r : lines_[l].remaining) r = draw_cell_budget(e, rng_);
+    reference_lifetime_ += e;
+  }
+}
+
+std::uint32_t BitDevice::draw_cell_budget(double line_endurance,
+                                          Rng& rng) const {
+  const double factor =
+      std::exp(params_.cell_sigma * rng.normal() -
+               0.5 * params_.cell_sigma * params_.cell_sigma);
+  const double e = line_endurance * factor;
+  const double clamped = std::min(e, 4.0e9);
+  return static_cast<std::uint32_t>(std::llround(std::max(1.0, clamped)));
+}
+
+bool BitDevice::wear_position(LineState& state, std::size_t position,
+                              double line_endurance) {
+  if (--state.remaining[position] > 0) return true;
+  if (state.ecp_used >= params_.ecp_entries) {
+    state.dead = true;
+    return false;
+  }
+  ++state.ecp_used;  // redirect to a fresh spare cell in the ECP area
+  state.remaining[position] = draw_cell_budget(line_endurance, rng_);
+  return true;
+}
+
+BitWriteOutcome BitDevice::write(PhysLineAddr line, const LineData& payload,
+                                 WriteCodec& codec) {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("BitDevice::write: line out of range");
+  }
+  LineState& state = lines_[line.value()];
+  if (state.dead) {
+    throw std::logic_error(
+        "BitDevice::write: write to a worn-out line (spare layer must "
+        "redirect)");
+  }
+  const double line_endurance = endurance_->line_endurance(line);
+
+  ProgramMask mask;
+  const WriteCost cost = codec.program(state.stored, payload, &mask);
+  ++state.writes;
+  ++total_writes_;
+  total_cells_programmed_ += cost.total();
+
+  bool alive = true;
+  for (std::size_t w = 0; w < LineData::kWords && alive; ++w) {
+    std::uint64_t bits = mask.cells.words[w];
+    while (bits && alive) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      alive = wear_position(state, w * 64 + static_cast<std::size_t>(bit),
+                            line_endurance);
+    }
+    if (alive && mask.flags[w]) {
+      alive = wear_position(state, LineData::kBits + w, line_endurance);
+    }
+  }
+  if (!alive) {
+    ++worn_out_count_;
+    return BitWriteOutcome::kWornOut;
+  }
+  return BitWriteOutcome::kOk;
+}
+
+bool BitDevice::is_worn_out(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("BitDevice::is_worn_out: line out of range");
+  }
+  return lines_[line.value()].dead;
+}
+
+WriteCount BitDevice::writes_to(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("BitDevice::writes_to: line out of range");
+  }
+  return lines_[line.value()].writes;
+}
+
+std::uint32_t BitDevice::ecp_used(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("BitDevice::ecp_used: line out of range");
+  }
+  return lines_[line.value()].ecp_used;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,105 @@
+// BitDevice: cell-granular device wear state.
+//
+// The line-level Device charges one wear unit per line write — the right
+// abstraction for the paper's lifetime experiments. BitDevice refines it
+// for the full-stack studies: every line holds individually worn cells
+// (512 data + 8 Flip-N-Write flag cells), writes are programmed through a
+// WriteCodec so the data pattern determines which cells wear, and ECP
+// entries (§2.2.2) repair the first k cell failures. A line is worn out
+// when a cell fails beyond the ECP budget; from there the spare-scheme
+// layer takes over exactly as with the line-level device.
+//
+// Per-line cell endurance is drawn lognormally around the line's endurance
+// from the EnduranceMap, so region-level variation (the paper's model) and
+// within-line variation compose.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvm/endurance_map.h"
+#include "reduction/codec.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+struct BitDeviceParams {
+  /// Lognormal sigma of per-cell endurance within a line.
+  double cell_sigma{0.1};
+  /// ECP entries per line (cell failures tolerated before line death).
+  std::uint32_t ecp_entries{0};
+
+  void validate() const;
+};
+
+enum class BitWriteOutcome {
+  kOk,       ///< write absorbed; line alive (ECP may have repaired cells)
+  kWornOut,  ///< a cell failed beyond the ECP budget: line is dead
+};
+
+class BitDevice {
+ public:
+  BitDevice(std::shared_ptr<const EnduranceMap> endurance,
+            BitDeviceParams params, Rng& rng);
+
+  [[nodiscard]] const DeviceGeometry& geometry() const {
+    return endurance_->geometry();
+  }
+
+  /// Program `payload` onto `line` through `codec`. Throws std::logic_error
+  /// if the line is already worn out.
+  BitWriteOutcome write(PhysLineAddr line, const LineData& payload,
+                        WriteCodec& codec);
+
+  [[nodiscard]] bool is_worn_out(PhysLineAddr line) const;
+  [[nodiscard]] WriteCount writes_to(PhysLineAddr line) const;
+  [[nodiscard]] std::uint32_t ecp_used(PhysLineAddr line) const;
+  [[nodiscard]] WriteCount total_writes() const { return total_writes_; }
+  [[nodiscard]] WriteCount total_cells_programmed() const {
+    return total_cells_programmed_;
+  }
+  [[nodiscard]] std::uint64_t worn_out_count() const {
+    return worn_out_count_;
+  }
+
+  /// Comparison denominator: the writes the device would absorb if every
+  /// line took one full-stress write per cell-endurance unit — identical in
+  /// expectation to the line-level Device's total budget, so normalized
+  /// lifetimes are comparable across the two devices (and can exceed 1
+  /// when a codec programs fewer cells per write than full stress).
+  [[nodiscard]] double reference_lifetime() const {
+    return reference_lifetime_;
+  }
+
+ private:
+  struct LineState {
+    StoredLine stored;
+    /// Remaining programs per cell position (data then flags).
+    std::vector<std::uint32_t> remaining;
+    WriteCount writes{0};
+    std::uint32_t ecp_used{0};
+    bool dead{false};
+  };
+
+  static constexpr std::size_t kPositions =
+      LineData::kBits + LineData::kWords;
+
+  [[nodiscard]] std::uint32_t draw_cell_budget(double line_endurance,
+                                               Rng& rng) const;
+  /// Wear one position; true while the line remains correctable.
+  bool wear_position(LineState& state, std::size_t position,
+                     double line_endurance);
+
+  std::shared_ptr<const EnduranceMap> endurance_;
+  BitDeviceParams params_;
+  Rng rng_;
+  std::vector<LineState> lines_;
+  WriteCount total_writes_{0};
+  WriteCount total_cells_programmed_{0};
+  std::uint64_t worn_out_count_{0};
+  double reference_lifetime_{0};
+};
+
+}  // namespace nvmsec

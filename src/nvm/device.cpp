@@ -1,0 +1,88 @@
+#include "nvm/device.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+Device::Device(std::shared_ptr<const EnduranceMap> endurance)
+    : endurance_(std::move(endurance)) {
+  if (!endurance_) {
+    throw std::invalid_argument("Device: endurance map is null");
+  }
+  const std::uint64_t n = endurance_->geometry().num_lines();
+  budget_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double e = endurance_->line_endurance(PhysLineAddr{i});
+    budget_[i] = static_cast<WriteCount>(std::llround(std::max(1.0, e)));
+    total_budget_ += static_cast<double>(budget_[i]);
+  }
+  remaining_ = budget_;
+}
+
+WriteOutcome Device::write(PhysLineAddr line) {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::write: line out of range");
+  }
+  WriteCount& rem = remaining_[line.value()];
+  if (rem == 0) {
+    throw std::logic_error(
+        "Device::write: write to a worn-out line (spare layer must redirect)");
+  }
+  ++total_writes_;
+  --rem;
+  if (rem == 0) {
+    ++worn_out_count_;
+    return WriteOutcome::kWornOut;
+  }
+  return WriteOutcome::kOk;
+}
+
+WriteCount Device::write_budget(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::write_budget: line out of range");
+  }
+  return budget_[line.value()];
+}
+
+WriteCount Device::remaining(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::remaining: line out of range");
+  }
+  return remaining_[line.value()];
+}
+
+bool Device::is_worn_out(PhysLineAddr line) const {
+  return remaining(line) == 0;
+}
+
+WriteCount Device::writes_to(PhysLineAddr line) const {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::writes_to: line out of range");
+  }
+  return budget_[line.value()] - remaining_[line.value()];
+}
+
+void Device::weaken(PhysLineAddr line, WriteCount remaining) {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::weaken: line out of range");
+  }
+  if (remaining == 0) {
+    throw std::invalid_argument(
+        "Device::weaken: remaining must be >= 1 (the line dies through a "
+        "write, not by fiat)");
+  }
+  WriteCount& rem = remaining_[line.value()];
+  if (rem == 0) {
+    throw std::logic_error("Device::weaken: line already worn out");
+  }
+  rem = std::min(rem, remaining);
+}
+
+void Device::reset() {
+  remaining_ = budget_;
+  total_writes_ = 0;
+  worn_out_count_ = 0;
+}
+
+}  // namespace nvmsec

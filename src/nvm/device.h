@@ -1,0 +1,77 @@
+// Device: the raw NVM bank's wear state.
+//
+// Tracks per-line write budgets derived from the EnduranceMap and reports
+// the wear-out event on exactly the write that exhausts a line. Writing to
+// a line that is already worn out is a logic error (the spare-replacement
+// layer above must redirect such writes), so it throws rather than silently
+// corrupting lifetime accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvm/endurance_map.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+enum class WriteOutcome {
+  kOk,       ///< Write absorbed; line still alive.
+  kWornOut,  ///< This write was the line's last: it is now worn out.
+};
+
+class Device {
+ public:
+  explicit Device(std::shared_ptr<const EnduranceMap> endurance);
+
+  [[nodiscard]] const DeviceGeometry& geometry() const {
+    return endurance_->geometry();
+  }
+  [[nodiscard]] const EnduranceMap& endurance_map() const { return *endurance_; }
+
+  /// Apply one write to `line`. Throws std::logic_error if the line is
+  /// already worn out.
+  WriteOutcome write(PhysLineAddr line);
+
+  /// Integer write budget of `line` (endurance rounded, at least 1).
+  [[nodiscard]] WriteCount write_budget(PhysLineAddr line) const;
+
+  /// Writes `line` can still absorb.
+  [[nodiscard]] WriteCount remaining(PhysLineAddr line) const;
+
+  [[nodiscard]] bool is_worn_out(PhysLineAddr line) const;
+
+  /// Writes absorbed by `line` so far.
+  [[nodiscard]] WriteCount writes_to(PhysLineAddr line) const;
+
+  /// Total writes absorbed by the whole device.
+  [[nodiscard]] WriteCount total_writes() const { return total_writes_; }
+
+  /// Number of worn-out lines.
+  [[nodiscard]] std::uint64_t worn_out_count() const { return worn_out_count_; }
+
+  /// Sum of all line write budgets: the ideal lifetime denominator (§5.1's
+  /// normalized-lifetime metric).
+  [[nodiscard]] double total_budget() const { return total_budget_; }
+
+  /// Failure injection: cap `line`'s remaining writes at `remaining`
+  /// (>= 1), modelling a latent defect that the manufacture-time endurance
+  /// map missed. The line still dies through the normal wear-out event on
+  /// its last write, so the spare-replacement flow is exercised unchanged.
+  /// Throws std::logic_error if the line is already worn out.
+  void weaken(PhysLineAddr line, WriteCount remaining);
+
+  /// Restore the factory-fresh wear state.
+  void reset();
+
+ private:
+  std::shared_ptr<const EnduranceMap> endurance_;
+  std::vector<WriteCount> remaining_;
+  std::vector<WriteCount> budget_;
+  WriteCount total_writes_{0};
+  std::uint64_t worn_out_count_{0};
+  double total_budget_{0};
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,108 @@
+#include "nvm/endurance_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nvmsec {
+
+namespace {
+
+constexpr const char* kMagic = "# maxwe-endurance-map v1";
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+  throw std::runtime_error("endurance CSV, line " +
+                           std::to_string(line_number) + ": " + what);
+}
+
+std::string next_line(std::istream& in, std::size_t& line_number) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    fail(line_number, "unexpected end of input");
+  }
+  ++line_number;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+void write_endurance_csv(const EnduranceMap& map, std::ostream& out) {
+  const DeviceGeometry& geom = map.geometry();
+  out << kMagic << "\n";
+  out << "total_bytes,line_bytes,num_regions\n";
+  out << geom.total_bytes() << "," << geom.line_bytes() << ","
+      << geom.num_regions() << "\n";
+  out << "region,endurance\n";
+  out.precision(17);
+  for (std::uint64_t r = 0; r < geom.num_regions(); ++r) {
+    out << r << "," << map.region_endurance(RegionId{r}) << "\n";
+  }
+}
+
+void save_endurance_csv(const EnduranceMap& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_endurance_csv: cannot open " + path);
+  }
+  write_endurance_csv(map, out);
+  if (!out) {
+    throw std::runtime_error("save_endurance_csv: write failed for " + path);
+  }
+}
+
+EnduranceMap read_endurance_csv(std::istream& in) {
+  std::size_t line_number = 0;
+  if (next_line(in, line_number) != kMagic) {
+    fail(line_number, std::string("expected header '") + kMagic + "'");
+  }
+  if (next_line(in, line_number) != "total_bytes,line_bytes,num_regions") {
+    fail(line_number, "expected geometry column header");
+  }
+  const std::string geom_line = next_line(in, line_number);
+  std::uint64_t total_bytes = 0, num_regions = 0;
+  std::uint32_t line_bytes = 0;
+  {
+    std::istringstream fields(geom_line);
+    char c1 = 0, c2 = 0;
+    if (!(fields >> total_bytes >> c1 >> line_bytes >> c2 >> num_regions) ||
+        c1 != ',' || c2 != ',') {
+      fail(line_number, "malformed geometry row: " + geom_line);
+    }
+  }
+  if (next_line(in, line_number) != "region,endurance") {
+    fail(line_number, "expected data column header");
+  }
+
+  std::vector<Endurance> endurance(num_regions, 0.0);
+  std::vector<bool> seen(num_regions, false);
+  for (std::uint64_t i = 0; i < num_regions; ++i) {
+    const std::string row = next_line(in, line_number);
+    std::istringstream fields(row);
+    std::uint64_t region = 0;
+    double value = 0;
+    char comma = 0;
+    if (!(fields >> region >> comma >> value) || comma != ',') {
+      fail(line_number, "malformed data row: " + row);
+    }
+    if (region >= num_regions) fail(line_number, "region id out of range");
+    if (seen[region]) fail(line_number, "duplicate region id");
+    seen[region] = true;
+    endurance[region] = value;
+  }
+  // Geometry and endurance validation (positivity etc.) happens in the
+  // respective constructors and surfaces as std::invalid_argument.
+  return EnduranceMap(DeviceGeometry(total_bytes, line_bytes, num_regions),
+                      std::move(endurance));
+}
+
+EnduranceMap load_endurance_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_endurance_csv: cannot open " + path);
+  }
+  return read_endurance_csv(in);
+}
+
+}  // namespace nvmsec

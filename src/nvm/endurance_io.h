@@ -1,0 +1,36 @@
+// CSV import/export of endurance maps.
+//
+// The endurance distribution is the experiment's most important input:
+// persisting it lets a study fix the map once and vary everything else, or
+// feed measured per-region endurance from a real characterization into the
+// simulator. Format:
+//
+//   # maxwe-endurance-map v1
+//   total_bytes,line_bytes,num_regions
+//   <u64>,<u32>,<u64>
+//   region,endurance
+//   0,<double>
+//   1,<double>
+//   ...
+//
+// Only region-level endurance is persisted (the paper's model; per-line
+// jitter is a run-time transformation and is reapplied from its sigma).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nvm/endurance_map.h"
+
+namespace nvmsec {
+
+/// Serialize `map` to the CSV format above.
+void write_endurance_csv(const EnduranceMap& map, std::ostream& out);
+void save_endurance_csv(const EnduranceMap& map, const std::string& path);
+
+/// Parse the CSV format; throws std::runtime_error with a line number on
+/// malformed input.
+EnduranceMap read_endurance_csv(std::istream& in);
+EnduranceMap load_endurance_csv(const std::string& path);
+
+}  // namespace nvmsec

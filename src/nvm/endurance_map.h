@@ -1,0 +1,78 @@
+// EnduranceMap: the per-region (and derived per-line) endurance of a device.
+//
+// Max-WE assumes the endurance distribution parameters "can be obtained at
+// the manufacture time" (§2.1) and that "the endurance of each region is
+// constant" (§4.4): every line in a region shares the region's endurance.
+// An optional per-line jitter is provided for robustness studies (how do the
+// schemes behave when the manufacture-time map is imperfect?); it is off by
+// default to match the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvm/endurance_model.h"
+#include "nvm/geometry.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+class EnduranceMap {
+ public:
+  /// Per-region endurances sampled from the Zhang&Li current model.
+  static EnduranceMap from_model(const DeviceGeometry& geometry,
+                                 const EnduranceModel& model, Rng& rng);
+
+  /// The tractable linear model of §3.1 / §4.3: region endurances linearly
+  /// spaced between `weakest` and `strongest`. `shuffled` randomizes which
+  /// physical region gets which endurance (true matches real devices; false
+  /// gives an address-ordered ramp convenient for tests).
+  static EnduranceMap linear(const DeviceGeometry& geometry, Endurance weakest,
+                             Endurance strongest, bool shuffled, Rng& rng);
+
+  /// Every region has the same endurance (variation-free baseline).
+  static EnduranceMap uniform(const DeviceGeometry& geometry,
+                              Endurance endurance);
+
+  /// Explicit per-region endurances (size must equal num_regions).
+  EnduranceMap(const DeviceGeometry& geometry,
+               std::vector<Endurance> region_endurance);
+
+  /// Multiply every line's endurance by lognormal-ish jitter exp(sigma * Z),
+  /// modelling intra-region cell variation the manufacture-time map cannot
+  /// see. After this call line_endurance() != region_endurance().
+  void apply_line_jitter(double sigma, Rng& rng);
+
+  [[nodiscard]] const DeviceGeometry& geometry() const { return geometry_; }
+
+  [[nodiscard]] Endurance region_endurance(RegionId region) const;
+  [[nodiscard]] Endurance line_endurance(PhysLineAddr line) const;
+
+  /// Sum of all line endurances = the ideal lifetime in writes (§3.1).
+  [[nodiscard]] double ideal_lifetime() const { return ideal_lifetime_; }
+
+  [[nodiscard]] Endurance min_line_endurance() const;
+  [[nodiscard]] Endurance max_line_endurance() const;
+
+  /// Region ids sorted by ascending region endurance (weakest first).
+  /// Ties broken by region id so the order is deterministic.
+  [[nodiscard]] std::vector<RegionId> regions_weakest_first() const;
+
+  /// Line addresses sorted by ascending line endurance (weakest first).
+  [[nodiscard]] std::vector<PhysLineAddr> lines_weakest_first() const;
+
+  [[nodiscard]] bool has_line_jitter() const { return !line_endurance_.empty(); }
+
+ private:
+  DeviceGeometry geometry_;
+  std::vector<Endurance> region_endurance_;
+  /// Empty unless apply_line_jitter() was called; then one entry per line.
+  std::vector<Endurance> line_endurance_;
+  double ideal_lifetime_{0};
+
+  void recompute_ideal_lifetime();
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,124 @@
+#include "nvm/endurance_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+void EnduranceModelParams::validate() const {
+  if (current_mean_ma <= 0) {
+    throw std::invalid_argument("EnduranceModelParams: mean current <= 0");
+  }
+  if (current_stddev_ma < 0) {
+    throw std::invalid_argument("EnduranceModelParams: negative stddev");
+  }
+  if (truncate_sigma <= 0) {
+    throw std::invalid_argument("EnduranceModelParams: truncate_sigma <= 0");
+  }
+  if (current_mean_ma - truncate_sigma * current_stddev_ma <= 0) {
+    throw std::invalid_argument(
+        "EnduranceModelParams: truncation window allows non-positive current");
+  }
+  if (endurance_exponent <= 0) {
+    throw std::invalid_argument("EnduranceModelParams: exponent <= 0");
+  }
+  if (endurance_at_mean <= 0) {
+    throw std::invalid_argument("EnduranceModelParams: endurance_at_mean <= 0");
+  }
+}
+
+EnduranceModel::EnduranceModel(EnduranceModelParams params) : params_(params) {
+  params_.validate();
+}
+
+Endurance EnduranceModel::endurance_for_current(double current_ma) const {
+  if (current_ma <= 0) {
+    throw std::invalid_argument("endurance_for_current: current <= 0");
+  }
+  return params_.endurance_at_mean *
+         std::pow(current_ma / params_.current_mean_ma,
+                  -params_.endurance_exponent);
+}
+
+double EnduranceModel::current_for_endurance(Endurance endurance) const {
+  if (endurance <= 0) {
+    throw std::invalid_argument("current_for_endurance: endurance <= 0");
+  }
+  return params_.current_mean_ma *
+         std::pow(endurance / params_.endurance_at_mean,
+                  -1.0 / params_.endurance_exponent);
+}
+
+double EnduranceModel::sample_current(Rng& rng) const {
+  const double lo = -params_.truncate_sigma;
+  const double hi = params_.truncate_sigma;
+  double z = rng.normal();
+  // Truncation by rejection: acceptance probability is ~0.9995 at 3.5 sigma,
+  // so this loop terminates almost immediately.
+  while (z < lo || z > hi) z = rng.normal();
+  return params_.current_mean_ma + params_.current_stddev_ma * z;
+}
+
+std::vector<Endurance> EnduranceModel::sample_region_endurances(
+    std::uint64_t num_regions, Rng& rng) const {
+  std::vector<Endurance> out;
+  out.reserve(num_regions);
+  for (std::uint64_t i = 0; i < num_regions; ++i) {
+    out.push_back(endurance_for_current(sample_current(rng)));
+  }
+  return out;
+}
+
+double EnduranceModel::extreme_ratio(double z) const {
+  const double weak_current =
+      params_.current_mean_ma + z * params_.current_stddev_ma;
+  const double strong_current =
+      params_.current_mean_ma - z * params_.current_stddev_ma;
+  if (strong_current <= 0) {
+    throw std::invalid_argument("extreme_ratio: z too large for the model");
+  }
+  return endurance_for_current(strong_current) /
+         endurance_for_current(weak_current);
+}
+
+double EnduranceModel::expected_extreme_z(std::uint64_t n) {
+  if (n < 2) return 0.0;
+  // Blom's approximation for the expected maximum of n standard normals:
+  // E[max] ~= Phi^-1((n - 0.375) / (n + 0.25)). We invert the normal CDF
+  // with the Acklam rational approximation (|error| < 1.2e-9).
+  const double p =
+      (static_cast<double>(n) - 0.375) / (static_cast<double>(n) + 0.25);
+  // Acklam inverse-normal-CDF coefficients (central + tail regions).
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q = 0.0;
+  if (p < p_low) {
+    const double r = std::sqrt(-2 * std::log(p));
+    q = (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) /
+        ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1);
+  } else if (p <= 1 - p_low) {
+    const double r = p - 0.5;
+    const double s = r * r;
+    q = (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s + a[5]) *
+        r /
+        (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s + 1);
+  } else {
+    const double r = std::sqrt(-2 * std::log(1 - p));
+    q = -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) /
+        ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1);
+  }
+  return q;
+}
+
+}  // namespace nvmsec

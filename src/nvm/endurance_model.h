@@ -1,0 +1,84 @@
+// Endurance-variation model (paper §2.1, Eqs. (1)-(2)).
+//
+// Following Zhang & Li (MICRO'09), the memory is divided into equal-size
+// domains (we identify domains with the simulator's regions) whose
+// programming current is normally distributed: I ~ N(mu, sigma). Endurance
+// follows a power law of the programming energy:
+//
+//     E(I) = E_ref * (I / I_ref)^(-k)            (Eq. 1, normalized form)
+//
+// The paper prints E(I) = 1e8 * (I^2 * R * T)^-6 with R, T constant, i.e.
+// E proportional to I^-12, but its own worked numbers are inconsistent with
+// that exponent:
+//   * §2.1 claims a 56x strongest/weakest ratio for 512 domains with
+//     mu = 0.3 mA, sigma = 0.033 mA — that implies E ~ I^-6;
+//   * §5's headline "UAA lifetime = 4.1% of ideal" for 2048 regions implies
+//     an exponent near 8 (I^-12 would give ~0.9%, I^-6 would give ~11%).
+// We therefore expose the exponent as a parameter, defaulting to the value
+// calibrated against the headline result (see EXPERIMENTS.md, "Endurance
+// model calibration").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+struct EnduranceModelParams {
+  /// Mean programming current of a domain, in mA (paper: 0.3).
+  double current_mean_ma{0.3};
+  /// Standard deviation of the domain programming current, in mA (paper:
+  /// 0.033).
+  double current_stddev_ma{0.033};
+  /// Normal draws are truncated to +/- this many sigmas so a pathological
+  /// draw can never produce a non-positive current.
+  double truncate_sigma{3.5};
+  /// Power-law exponent k in E ~ I^-k. 6 reproduces the paper's §2.1 "56x
+  /// for 512 domains" example; 12 is the formula as printed; 8 (default)
+  /// reproduces the headline "4.1% of ideal under UAA" for 2048 regions
+  /// while keeping the Max-WE vs PCD vs PS-worst ordering and gaps. See
+  /// EXPERIMENTS.md, "Endurance model calibration", for the full sweep.
+  double endurance_exponent{8.0};
+  /// Endurance of a cell programmed at exactly the mean current (paper's
+  /// 1e8 prefactor).
+  double endurance_at_mean{1e8};
+
+  void validate() const;  // throws std::invalid_argument on bad values
+};
+
+/// Generates per-region (domain) endurance values from the current model.
+class EnduranceModel {
+ public:
+  explicit EnduranceModel(EnduranceModelParams params = {});
+
+  [[nodiscard]] const EnduranceModelParams& params() const { return params_; }
+
+  /// Eq. (1): endurance of a cell with programming current `current_ma`.
+  [[nodiscard]] Endurance endurance_for_current(double current_ma) const;
+
+  /// Inverse of Eq. (1): programming current that yields `endurance`.
+  [[nodiscard]] double current_for_endurance(Endurance endurance) const;
+
+  /// Draw one domain programming current (truncated normal), in mA.
+  [[nodiscard]] double sample_current(Rng& rng) const;
+
+  /// Draw endurance values for `num_regions` domains.
+  [[nodiscard]] std::vector<Endurance> sample_region_endurances(
+      std::uint64_t num_regions, Rng& rng) const;
+
+  /// Analytic strongest/weakest endurance ratio when the extreme domains sit
+  /// at +/- `z` standard deviations (used to reproduce the §2.1 56x example).
+  [[nodiscard]] double extreme_ratio(double z) const;
+
+  /// Expected extreme z-score for the min/max of `n` standard-normal draws
+  /// (Blom's approximation); used by tests and the calibration bench.
+  [[nodiscard]] static double expected_extreme_z(std::uint64_t n);
+
+ private:
+  EnduranceModelParams params_;
+};
+
+}  // namespace nvmsec

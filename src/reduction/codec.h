@@ -1,0 +1,77 @@
+// Write codecs: how a new payload is programmed over a line's old contents,
+// and what it costs in programmed (worn) cells.
+//
+//  * FullWrite          — every cell reprogrammed every write (no
+//                         differential-write hardware).
+//  * DifferentialWrite  — only changed cells programmed (standard PCM
+//                         read-modify-write).
+//  * FlipNWrite         — Cho & Lee (MICRO'09): per 64-bit word, if more
+//                         than half the bits would change, store the
+//                         inverted word and flip the word's flag bit, so at
+//                         most 32(+1) cells are ever programmed per word.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "reduction/line_data.h"
+
+namespace nvmsec {
+
+/// Result of programming one write.
+struct WriteCost {
+  /// Data cells actually programmed.
+  std::uint32_t cells_programmed{0};
+  /// Flag-bit cells programmed (Flip-N-Write bookkeeping).
+  std::uint32_t flag_cells_programmed{0};
+
+  [[nodiscard]] std::uint32_t total() const {
+    return cells_programmed + flag_cells_programmed;
+  }
+};
+
+/// Physical line state: stored cell values plus per-word inversion flags.
+struct StoredLine {
+  LineData cells;
+  std::array<bool, LineData::kWords> inverted{};  // FNW flags
+
+  /// Logical contents as seen by a reader.
+  [[nodiscard]] LineData logical() const {
+    LineData out = cells;
+    for (std::size_t w = 0; w < LineData::kWords; ++w) {
+      if (inverted[w]) out.words[w] = ~out.words[w];
+    }
+    return out;
+  }
+};
+
+/// Which cells a write programmed: one bit per data cell, one flag per word.
+struct ProgramMask {
+  LineData cells;  // bit set = cell programmed
+  std::array<bool, LineData::kWords> flags{};
+};
+
+class WriteCodec {
+ public:
+  virtual ~WriteCodec() = default;
+
+  /// Program `incoming` over `stored`. Returns the wear cost; `stored` is
+  /// updated so that stored.logical() == incoming afterwards (encoding
+  /// correctness is asserted by the tests). When `mask` is non-null it
+  /// receives exactly which cells were programmed (for cell-level wear
+  /// tracking in the salvaging model).
+  virtual WriteCost program(StoredLine& stored, const LineData& incoming,
+                            ProgramMask* mask = nullptr) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+std::unique_ptr<WriteCodec> make_full_write_codec();
+std::unique_ptr<WriteCodec> make_differential_write_codec();
+std::unique_ptr<WriteCodec> make_flip_n_write_codec();
+
+/// Factory by name: "full", "differential", "fnw".
+std::unique_ptr<WriteCodec> make_codec(const std::string& name);
+
+}  // namespace nvmsec

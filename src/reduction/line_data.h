@@ -1,0 +1,67 @@
+// Bit-level line contents for the write-reduction and salvaging models.
+//
+// The lifetime simulator treats a 256 B line as the wear unit; the
+// §3.3.2/§2.2.2 analyses need to look *inside* a line: which cells flip on
+// a write (Flip-N-Write), and which cells fail first (ECP). We model a
+// line as 512 cells (a 64 B cache-line worth of data at one cell per bit —
+// the granularity the cited schemes operate on).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace nvmsec {
+
+/// 512 data bits as eight 64-bit words.
+struct LineData {
+  static constexpr std::size_t kWords = 8;
+  static constexpr std::size_t kBits = kWords * 64;
+
+  std::array<std::uint64_t, kWords> words{};
+
+  bool operator==(const LineData&) const = default;
+
+  /// Number of bit positions where the two lines differ.
+  [[nodiscard]] std::uint32_t hamming_distance(const LineData& other) const {
+    std::uint32_t d = 0;
+    for (std::size_t w = 0; w < kWords; ++w) {
+      d += static_cast<std::uint32_t>(std::popcount(words[w] ^ other.words[w]));
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::uint32_t popcount() const {
+    std::uint32_t c = 0;
+    for (std::uint64_t w : words) {
+      c += static_cast<std::uint32_t>(std::popcount(w));
+    }
+    return c;
+  }
+
+  [[nodiscard]] LineData inverted() const {
+    LineData out;
+    for (std::size_t w = 0; w < kWords; ++w) out.words[w] = ~words[w];
+    return out;
+  }
+
+  [[nodiscard]] bool bit(std::size_t i) const {
+    return (words[i / 64] >> (i % 64)) & 1;
+  }
+
+  static LineData filled(std::uint64_t pattern) {
+    LineData out;
+    out.words.fill(pattern);
+    return out;
+  }
+
+  static LineData random(Rng& rng) {
+    LineData out;
+    for (auto& w : out.words) w = rng.generator().next();
+    return out;
+  }
+};
+
+}  // namespace nvmsec

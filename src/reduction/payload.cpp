@@ -1,0 +1,82 @@
+#include "reduction/payload.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nvmsec {
+
+namespace {
+
+class RandomPayload final : public PayloadModel {
+ public:
+  LineData next(Rng& rng, LogicalLineAddr /*la*/) override {
+    return LineData::random(rng);
+  }
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void reset() override {}
+};
+
+class ConstantPayload final : public PayloadModel {
+ public:
+  explicit ConstantPayload(std::uint64_t pattern) : pattern_(pattern) {}
+  LineData next(Rng& /*rng*/, LogicalLineAddr /*la*/) override {
+    return LineData::filled(pattern_);
+  }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+  void reset() override {}
+
+ private:
+  std::uint64_t pattern_;
+};
+
+class AlternatingPayload final : public PayloadModel {
+ public:
+  AlternatingPayload(std::uint64_t a, std::uint64_t b, std::string name)
+      : a_(a), b_(b), name_(std::move(name)) {}
+  LineData next(Rng& /*rng*/, LogicalLineAddr la) override {
+    // Per-address alternation: the attacker writes "0x0000 and 0x5555 to
+    // the same address in turn" (§3.3.2) — the toggle is address state,
+    // not global state, or a sweeping attack would deliver a constant to
+    // every line.
+    bool& toggle = toggles_[la.value()];
+    toggle = !toggle;
+    return LineData::filled(toggle ? a_ : b_);
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  void reset() override { toggles_.clear(); }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::string name_;
+  std::unordered_map<std::uint64_t, bool> toggles_;
+};
+
+}  // namespace
+
+std::unique_ptr<PayloadModel> make_random_payload() {
+  return std::make_unique<RandomPayload>();
+}
+
+std::unique_ptr<PayloadModel> make_constant_payload(std::uint64_t pattern) {
+  return std::make_unique<ConstantPayload>(pattern);
+}
+
+std::unique_ptr<PayloadModel> make_fnw_adversarial_payload() {
+  return std::make_unique<AlternatingPayload>(
+      0x0000000000000000ULL, 0x5555555555555555ULL, "fnw-adversarial");
+}
+
+std::unique_ptr<PayloadModel> make_complement_payload(std::uint64_t pattern) {
+  return std::make_unique<AlternatingPayload>(pattern, ~pattern, "complement");
+}
+
+std::unique_ptr<PayloadModel> make_payload(const std::string& name) {
+  if (name == "random") return make_random_payload();
+  if (name == "constant") return make_constant_payload(0);
+  if (name == "fnw-adversarial") return make_fnw_adversarial_payload();
+  if (name == "complement") return make_complement_payload(0);
+  throw std::invalid_argument("make_payload: unknown model '" + name + "'");
+}
+
+}  // namespace nvmsec

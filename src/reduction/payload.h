@@ -1,0 +1,51 @@
+// Payload models: what data does each write carry?
+//
+// Write-reduction codecs save endurance only for *favourable* data. §3.3.2:
+// "Write reduction techniques also suffer from malicious attacks, because
+// an adversary can write specific data to invalidate the techniques. For
+// Flip-N-Write ... an adversary can always write 0x0000 and 0x5555 to the
+// same address in turn." These generators provide the benign and the
+// adversarial ends of that spectrum.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "reduction/line_data.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+class PayloadModel {
+ public:
+  virtual ~PayloadModel() = default;
+  /// Contents of the next write to logical address `la`. The address
+  /// matters: the adversarial patterns alternate *per address* (writing
+  /// "0x0000 and 0x5555 to the same address in turn"), which is different
+  /// from alternating per call once the attack sweeps multiple addresses.
+  virtual LineData next(Rng& rng, LogicalLineAddr la) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void reset() = 0;
+};
+
+/// Independent uniform-random data each write (benign workload proxy).
+std::unique_ptr<PayloadModel> make_random_payload();
+
+/// The same constant every write (nothing ever flips after the first).
+std::unique_ptr<PayloadModel> make_constant_payload(std::uint64_t pattern);
+
+/// §3.3.2's Flip-N-Write killer: alternate 0x0000... and 0x5555... so that
+/// exactly half of every word's bits differ between consecutive writes —
+/// the flip count sits exactly at FNW's inversion threshold, where
+/// inverting cannot reduce it.
+std::unique_ptr<PayloadModel> make_fnw_adversarial_payload();
+
+/// Alternate a pattern and its complement: every bit flips every write,
+/// the worst case for a plain differential write (and the best showcase
+/// for FNW, which caps the damage at half).
+std::unique_ptr<PayloadModel> make_complement_payload(std::uint64_t pattern);
+
+/// Factory by name: "random", "constant", "fnw-adversarial", "complement".
+std::unique_ptr<PayloadModel> make_payload(const std::string& name);
+
+}  // namespace nvmsec

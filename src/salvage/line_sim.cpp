@@ -1,0 +1,108 @@
+#include "salvage/line_sim.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace nvmsec {
+
+namespace {
+
+/// Draw one cell's endurance: lognormal around the mean (the exp(-s^2/2)
+/// factor keeps the arithmetic mean at cell_endurance_mean).
+WriteCount draw_cell_budget(const LineSimConfig& config, Rng& rng) {
+  const double factor =
+      std::exp(config.cell_endurance_sigma * rng.normal() -
+               0.5 * config.cell_endurance_sigma * config.cell_endurance_sigma);
+  const double e = config.cell_endurance_mean * factor;
+  return static_cast<WriteCount>(std::llround(std::max(1.0, e)));
+}
+
+}  // namespace
+
+LineSimResult simulate_line_lifetime(WriteCodec& codec, PayloadModel& payload,
+                                     const LineSimConfig& config, Rng& rng) {
+  if (config.cell_endurance_mean <= 0) {
+    throw std::invalid_argument("LineSimConfig: cell endurance must be > 0");
+  }
+  if (config.cell_endurance_sigma < 0) {
+    throw std::invalid_argument("LineSimConfig: negative endurance sigma");
+  }
+  payload.reset();
+
+  // Positions 0..511 are data cells, 512..519 the per-word flag cells.
+  constexpr std::size_t kPositions = LineData::kBits + LineData::kWords;
+  std::vector<WriteCount> remaining(kPositions);
+  for (auto& r : remaining) r = draw_cell_budget(config, rng);
+
+  StoredLine stored;
+  ProgramMask mask;
+  LineSimResult result;
+  std::uint64_t cells_programmed_total = 0;
+
+  // Wear one position; returns false when the line is beyond salvage.
+  const auto wear = [&](std::size_t position) {
+    if (--remaining[position] > 0) return true;
+    ++result.cells_failed;
+    if (result.cells_failed > config.ecp_entries) return false;
+    // ECP entry consumed: the position is permanently redirected to a
+    // fresh spare cell in the line's ECP area.
+    remaining[position] = draw_cell_budget(config, rng);
+    return true;
+  };
+
+  bool alive = true;
+  while (alive && (config.max_writes == 0 ||
+                   result.writes_to_failure < config.max_writes)) {
+    const LineData data = payload.next(rng, LogicalLineAddr{0});
+    const WriteCost cost = codec.program(stored, data, &mask);
+    cells_programmed_total += cost.total();
+    ++result.writes_to_failure;
+
+    for (std::size_t w = 0; w < LineData::kWords && alive; ++w) {
+      std::uint64_t bits = mask.cells.words[w];
+      while (bits && alive) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        alive = wear(w * 64 + static_cast<std::size_t>(bit));
+      }
+      if (alive && mask.flags[w]) {
+        alive = wear(LineData::kBits + w);
+      }
+    }
+  }
+
+  result.hit_cap = alive;
+  result.avg_cells_programmed =
+      result.writes_to_failure > 0
+          ? static_cast<double>(cells_programmed_total) /
+                static_cast<double>(result.writes_to_failure)
+          : 0.0;
+  return result;
+}
+
+LineSimResult average_line_lifetime(WriteCodec& codec, PayloadModel& payload,
+                                    const LineSimConfig& config, Rng& rng,
+                                    std::uint32_t trials) {
+  if (trials == 0) {
+    throw std::invalid_argument("average_line_lifetime: trials must be > 0");
+  }
+  LineSimResult acc;
+  double writes = 0, failed = 0, cells = 0;
+  bool any_cap = false;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const LineSimResult r = simulate_line_lifetime(codec, payload, config, rng);
+    writes += static_cast<double>(r.writes_to_failure);
+    failed += r.cells_failed;
+    cells += r.avg_cells_programmed;
+    any_cap = any_cap || r.hit_cap;
+  }
+  acc.writes_to_failure =
+      static_cast<WriteCount>(writes / trials);
+  acc.cells_failed = static_cast<std::uint32_t>(failed / trials);
+  acc.avg_cells_programmed = cells / trials;
+  acc.hit_cap = any_cap;
+  return acc;
+}
+
+}  // namespace nvmsec

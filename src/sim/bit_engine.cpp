@@ -1,0 +1,78 @@
+#include "sim/bit_engine.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace nvmsec {
+
+BitEngine::BitEngine(BitDevice& device, Attack& attack, PayloadModel& payload,
+                     WriteCodec& codec, WearLeveler& wear_leveler,
+                     SpareScheme& spare_scheme, Rng& rng)
+    : device_(device),
+      attack_(attack),
+      payload_(payload),
+      codec_(codec),
+      wl_(wear_leveler),
+      spare_(spare_scheme),
+      rng_(rng) {
+  if (wl_.working_lines() != spare_.working_lines()) {
+    throw std::invalid_argument(
+        "BitEngine: wear leveler and spare scheme disagree on working size");
+  }
+}
+
+LifetimeResult BitEngine::run(WriteCount max_user_writes) {
+  LifetimeResult result;
+  result.ideal_lifetime = device_.reference_lifetime();
+
+  std::vector<WlPhysWrite> batch;
+  WriteCount user_writes = 0;
+  WriteCount overhead_writes = 0;
+  std::uint64_t line_deaths = 0;
+
+  while (!result.failed &&
+         (max_user_writes == 0 || user_writes < max_user_writes)) {
+    const LogicalLineAddr la = attack_.next(rng_, wl_.logical_lines());
+    batch.clear();
+    wl_.on_write(la, rng_, batch);
+
+    for (const WlPhysWrite& w : batch) {
+      const PhysLineAddr line = spare_.resolve(w.working_index);
+      // User writes carry the attack's payload; migrations carry data from
+      // elsewhere in memory, modelled as random content.
+      const LineData data =
+          w.is_overhead ? LineData::random(rng_) : payload_.next(rng_, la);
+      const BitWriteOutcome outcome = device_.write(line, data, codec_);
+      if (w.is_overhead) {
+        ++overhead_writes;
+      } else {
+        ++user_writes;
+      }
+      if (outcome == BitWriteOutcome::kWornOut) {
+        ++line_deaths;
+        if (!spare_.on_wear_out(w.working_index)) {
+          result.failed = true;
+          result.failure_reason =
+              "unreplaceable wear-out at working index " +
+              std::to_string(w.working_index) + " (line " +
+              std::to_string(line.value()) + ")";
+          break;
+        }
+      }
+    }
+  }
+
+  result.user_writes = static_cast<double>(user_writes);
+  result.overhead_writes = overhead_writes;
+  result.device_writes = device_.total_writes();
+  result.line_deaths = line_deaths;
+  result.normalized =
+      result.ideal_lifetime > 0 ? result.user_writes / result.ideal_lifetime
+                                : 0.0;
+  if (!result.failed) {
+    result.failure_reason = "write cap reached";
+  }
+  return result;
+}
+
+}  // namespace nvmsec

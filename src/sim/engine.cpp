@@ -1,0 +1,90 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace nvmsec {
+
+Engine::Engine(Device& device, Attack& attack, WearLeveler& wear_leveler,
+               SpareScheme& spare_scheme, Rng& rng)
+    : device_(device),
+      attack_(attack),
+      wl_(wear_leveler),
+      spare_(spare_scheme),
+      rng_(rng) {
+  if (wl_.working_lines() != spare_.working_lines()) {
+    throw std::invalid_argument(
+        "Engine: wear leveler and spare scheme disagree on working size");
+  }
+}
+
+LifetimeResult Engine::run(WriteCount max_user_writes) {
+  LifetimeResult result;
+  result.ideal_lifetime = device_.total_budget();
+
+  if (buffer_ && max_user_writes == 0) {
+    throw std::invalid_argument(
+        "Engine::run: a DRAM front buffer can absorb a small-footprint "
+        "workload forever; set max_user_writes");
+  }
+
+  std::vector<WlPhysWrite> batch;
+  WriteCount user_writes = 0;      // user writes completed (device or buffer)
+  WriteCount absorbed_writes = 0;  // subset absorbed by the front buffer
+  WriteCount overhead_writes = 0;  // migration writes the device absorbed
+  std::uint64_t line_deaths = 0;
+
+  while (!result.failed &&
+         (max_user_writes == 0 || user_writes < max_user_writes)) {
+    LogicalLineAddr la = attack_.next(rng_, wl_.logical_lines());
+    if (buffer_) {
+      const std::optional<LogicalLineAddr> evicted = buffer_->write(la);
+      if (!evicted) {
+        ++user_writes;
+        ++absorbed_writes;
+        continue;
+      }
+      la = *evicted;  // the write-back carries this line's data to the NVM
+    }
+    batch.clear();
+    wl_.on_write(la, rng_, batch);
+
+    for (const WlPhysWrite& w : batch) {
+      const PhysLineAddr line = spare_.resolve(w.working_index);
+      const WriteOutcome outcome = device_.write(line);
+      // Count only writes the device absorbed: when failure aborts the
+      // batch, the unissued remainder must not inflate the lifetime.
+      if (w.is_overhead) {
+        ++overhead_writes;
+      } else {
+        ++user_writes;
+      }
+      if (outcome == WriteOutcome::kWornOut) {
+        ++line_deaths;
+        if (!spare_.on_wear_out(w.working_index)) {
+          result.failed = true;
+          result.failure_reason =
+              "unreplaceable wear-out at working index " +
+              std::to_string(w.working_index) + " (line " +
+              std::to_string(line.value()) + ")";
+          break;
+        }
+      }
+    }
+  }
+
+  result.user_writes = static_cast<double>(user_writes);
+  result.absorbed_writes = absorbed_writes;
+  result.overhead_writes = overhead_writes;
+  result.device_writes = device_.total_writes();
+  result.line_deaths = line_deaths;
+  result.normalized =
+      result.ideal_lifetime > 0 ? result.user_writes / result.ideal_lifetime
+                                : 0.0;
+  if (!result.failed) {
+    result.failure_reason = "write cap reached";
+  }
+  return result;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,48 @@
+// Stochastic request-level lifetime engine (the paper's "NVMsim" role).
+//
+// Drives the full pipeline per user write:
+//   attack -> wear leveler (logical->working, + migration writes)
+//          -> spare scheme (working index -> backing line)
+//          -> device (wear accounting, wear-out events)
+//          -> spare scheme replacement on wear-out
+// and stops at the first wear-out the spare scheme cannot replace (§4.2's
+// failure criterion) or at an optional write cap.
+#pragma once
+
+#include "attack/attack.h"
+#include "cache/dram_buffer.h"
+#include "nvm/device.h"
+#include "sim/lifetime.h"
+#include "spare/spare_scheme.h"
+#include "util/rng.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace nvmsec {
+
+class Engine {
+ public:
+  /// All components are borrowed; the caller keeps them alive for the run.
+  Engine(Device& device, Attack& attack, WearLeveler& wear_leveler,
+         SpareScheme& spare_scheme, Rng& rng);
+
+  /// Optional DRAM front buffer (§3.3.2): user writes that hit it are
+  /// absorbed; evictions carry the data to the NVM. A workload whose
+  /// footprint fits the buffer never wears the device, so runs with a
+  /// buffer must set a write cap.
+  void set_front_buffer(DramBuffer* buffer) { buffer_ = buffer; }
+
+  /// Run until device failure, or until `max_user_writes` user writes if
+  /// non-zero. Callable once per component setup; reset the components to
+  /// rerun.
+  LifetimeResult run(WriteCount max_user_writes = 0);
+
+ private:
+  Device& device_;
+  Attack& attack_;
+  WearLeveler& wl_;
+  SpareScheme& spare_;
+  Rng& rng_;
+  DramBuffer* buffer_{nullptr};
+};
+
+}  // namespace nvmsec

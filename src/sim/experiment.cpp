@@ -1,0 +1,153 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "attack/attack.h"
+#include "attack/zipf.h"
+#include "cache/dram_buffer.h"
+#include "core/maxwe.h"
+#include "spare/freep.h"
+#include "nvm/device.h"
+#include "sim/bit_engine.h"
+#include "sim/engine.h"
+#include "sim/event_sim.h"
+#include "spare/spare_scheme.h"
+#include "util/rng.h"
+
+namespace nvmsec {
+
+std::uint64_t ExperimentConfig::spare_lines() const {
+  const auto spare_regions = static_cast<std::uint64_t>(std::llround(
+      spare_fraction * static_cast<double>(geometry.num_regions())));
+  return spare_regions * geometry.lines_per_region();
+}
+
+namespace {
+
+std::unique_ptr<SpareScheme> build_spare_scheme(
+    const ExperimentConfig& config,
+    const std::shared_ptr<const EnduranceMap>& endurance, Rng& rng) {
+  const std::string& name = config.spare_scheme;
+  if (name == "none") return make_no_spare(endurance);
+  const std::uint64_t spare_lines = config.spare_lines();
+  if (spare_lines == 0) {
+    throw std::invalid_argument(
+        "run_experiment: spare scheme '" + name +
+        "' needs a non-zero spare budget (spare_fraction too small?)");
+  }
+  if (name == "pcd") return make_pcd(endurance, spare_lines, rng);
+  if (name == "ps") return make_ps(endurance, spare_lines, rng);
+  if (name == "ps-worst") return make_ps_worst(endurance, spare_lines, rng);
+  if (name == "freep") return make_freep(endurance, spare_lines);
+  if (name == "maxwe") {
+    MaxWeParams params;
+    params.spare_fraction = config.spare_fraction;
+    params.swr_fraction = config.swr_fraction;
+    return make_maxwe(endurance, params);
+  }
+  throw std::invalid_argument("run_experiment: unknown spare scheme '" + name +
+                              "'");
+}
+
+}  // namespace
+
+LifetimeResult run_experiment(const ExperimentConfig& config) {
+  Rng rng(config.seed);
+
+  const EnduranceModel model(config.endurance);
+  auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(config.geometry, model, rng));
+  if (config.line_jitter_sigma > 0) {
+    auto jittered = std::make_shared<EnduranceMap>(*map);
+    jittered->apply_line_jitter(config.line_jitter_sigma, rng);
+    map = jittered;
+  }
+
+  auto spare = build_spare_scheme(config, map, rng);
+
+  if (config.mode == SimulationMode::kUniformEvent) {
+    if (config.attack != "uaa") {
+      throw std::invalid_argument(
+          "run_experiment: the event-driven engine models uniform sweeps; "
+          "use stochastic mode for attack '" + config.attack + "'");
+    }
+    if (config.wear_leveler != "none") {
+      throw std::invalid_argument(
+          "run_experiment: the event-driven engine is wear-leveler-free "
+          "(bijective remapping does not change uniform-rate wear); use "
+          "stochastic mode to include wear-leveler overhead");
+    }
+    UniformEventSimulator sim(map, *spare);
+    return sim.run();
+  }
+
+  std::unique_ptr<Attack> attack;
+  if (config.attack == "bpa") {
+    attack = make_bpa(config.bpa_burst);
+  } else if (config.attack == "zipf") {
+    attack = make_zipf(config.zipf_skew, spare->working_lines(), config.seed);
+  } else {
+    attack = make_attack(config.attack);
+  }
+
+  EnduranceView view(spare->working_lines());
+  for (std::uint64_t i = 0; i < view.size(); ++i) {
+    view[i] = map->line_endurance(spare->working_line(i));
+  }
+  WearLevelerParams wl_params = config.wl;
+  if (wl_params.group_lines == 0 &&
+      spare->working_lines() % config.geometry.lines_per_region() == 0) {
+    // Align the endurance-aware levelers' groups with the device's regions
+    // (possible whenever the spare scheme reserves whole regions, as Max-WE
+    // does): a group then has one endurance, not a weak/strong mixture.
+    wl_params.group_lines = config.geometry.lines_per_region();
+  }
+  auto wl = make_wear_leveler(config.wear_leveler, spare->working_lines(),
+                              view, wl_params, rng);
+
+  if (config.mode == SimulationMode::kBitLevel) {
+    if (config.dram_buffer_lines > 0) {
+      throw std::invalid_argument(
+          "run_experiment: the bit-level engine does not support the DRAM "
+          "buffer yet; use stochastic mode");
+    }
+    BitDeviceParams dp;
+    dp.cell_sigma = config.cell_sigma;
+    dp.ecp_entries = config.ecp_entries;
+    BitDevice device(map, dp, rng);
+    auto payload = make_payload(config.payload);
+    auto codec = make_codec(config.codec);
+    BitEngine engine(device, *attack, *payload, *codec, *wl, *spare, rng);
+    return engine.run(config.max_user_writes);
+  }
+
+  Device device(map);
+  Engine engine(device, *attack, *wl, *spare, rng);
+  std::unique_ptr<DramBuffer> buffer;
+  if (config.dram_buffer_lines > 0) {
+    buffer = std::make_unique<DramBuffer>(config.dram_buffer_lines);
+    engine.set_front_buffer(buffer.get());
+  }
+  return engine.run(config.max_user_writes);
+}
+
+ExperimentConfig scaled_stochastic_config(std::uint64_t num_lines,
+                                          std::uint64_t num_regions,
+                                          double endurance_at_mean) {
+  ExperimentConfig config;
+  config.geometry = DeviceGeometry::scaled(num_lines, num_regions);
+  config.endurance.endurance_at_mean = endurance_at_mean;
+  config.mode = SimulationMode::kStochastic;
+  // Scale the remap cadences with the endurance scale: at full scale the
+  // worst-case wear a line absorbs between remaps (interval, or
+  // subregion_lines * interval for TLSR) is a vanishing fraction of any
+  // line's endurance, and the scheme comparison only holds if that stays
+  // true after scaling (otherwise wear-outs stop being endurance-ordered).
+  config.wl.swap_interval = 20;
+  config.wl.tlsr_subregion_lines = 32;
+  config.bpa_burst = 200;
+  return config;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,91 @@
+// High-level experiment runner: one declarative config -> one lifetime
+// number. This is the API the benchmark harness, the examples, and most
+// integration tests drive; it owns component construction and the
+// budget-matching rules that keep PCD / PS / PS-worst / Max-WE comparisons
+// fair (all schemes get the same region-aligned spare budget).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nvm/endurance_model.h"
+#include "nvm/geometry.h"
+#include "sim/lifetime.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace nvmsec {
+
+enum class SimulationMode {
+  /// Per-write stochastic simulation (any attack, any wear leveler).
+  kStochastic,
+  /// Event-driven uniform-rate simulation (UAA only, wear-leveler-free;
+  /// exact and fast enough for the paper's full-size configuration).
+  kUniformEvent,
+  /// Cell-granular stochastic simulation with data-dependent wear: adds a
+  /// payload model, a write codec and per-line ECP (scaled devices only).
+  kBitLevel,
+};
+
+struct ExperimentConfig {
+  DeviceGeometry geometry{DeviceGeometry::paper_1gb()};
+  EnduranceModelParams endurance{};
+  /// Optional intra-region endurance jitter (lognormal sigma); 0 matches
+  /// the paper's region-constant model.
+  double line_jitter_sigma{0.0};
+  std::uint64_t seed{42};
+
+  /// "uaa", "bpa", "hotspot", "random", or "zipf" (a benign-workload proxy
+  /// rather than an attack).
+  std::string attack{"uaa"};
+  std::uint64_t bpa_burst{1024};
+  double zipf_skew{0.99};
+
+  /// "none", "startgap", "tlsr", "pcms", "bwl", "wawl".
+  std::string wear_leveler{"none"};
+  WearLevelerParams wl{};
+
+  /// "none", "pcd", "ps", "ps-worst", "freep", "maxwe".
+  std::string spare_scheme{"none"};
+  /// Spare budget as a fraction of total capacity, allocated in whole
+  /// regions for every scheme so comparisons are budget-matched.
+  double spare_fraction{0.10};
+  /// Max-WE only: fraction q of the spare budget used as SWRs.
+  double swr_fraction{0.90};
+
+  SimulationMode mode{SimulationMode::kUniformEvent};
+  /// Stochastic mode only: stop after this many user writes (0 = until
+  /// failure).
+  WriteCount max_user_writes{0};
+  /// Stochastic mode only: DRAM front-buffer capacity in lines (0 = no
+  /// buffer). Requires max_user_writes > 0 — a workload that fits in the
+  /// buffer never fails the device (§3.3.2).
+  std::uint64_t dram_buffer_lines{0};
+
+  /// Bit-level mode only: payload model ("random", "constant",
+  /// "fnw-adversarial", "complement"), write codec ("full",
+  /// "differential", "fnw"), per-line ECP entries, and within-line cell
+  /// endurance sigma.
+  std::string payload{"random"};
+  std::string codec{"differential"};
+  std::uint32_t ecp_entries{0};
+  double cell_sigma{0.1};
+
+  /// Region-aligned spare budget in lines: round(spare_fraction * R) * L/R.
+  [[nodiscard]] std::uint64_t spare_lines() const;
+};
+
+/// Run one experiment end to end. Throws std::invalid_argument for
+/// inconsistent configs (e.g. event mode with a non-uniform attack).
+LifetimeResult run_experiment(const ExperimentConfig& config);
+
+/// Paper §5.1's scaled-down stochastic configuration used by the BPA
+/// benches and integration tests: `num_lines` lines, `num_regions` regions,
+/// endurance scaled so runs finish in seconds while preserving the
+/// distribution shape (normalized lifetime is scale-free).
+ExperimentConfig scaled_stochastic_config(std::uint64_t num_lines,
+                                          std::uint64_t num_regions,
+                                          double endurance_at_mean);
+
+}  // namespace nvmsec

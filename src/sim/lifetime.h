@@ -1,0 +1,41 @@
+// Lifetime result types shared by both simulation engines.
+//
+// The paper's metric (§5.1): "normalized lifetime ... is defined as (the
+// total number of writes before the system fails) / (the sum of the
+// endurance of all memory lines)". We count *user* (attacker) writes in the
+// numerator; wear-leveling migration writes are reported separately so the
+// remap-amplification effect of §3.3.1 stays visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace nvmsec {
+
+struct LifetimeResult {
+  /// User (attack) writes completed before failure. Double because the
+  /// event-driven engine measures continuous rounds; the stochastic engine
+  /// always stores an integer value here.
+  double user_writes{0};
+  /// Wear-leveling data-migration writes.
+  WriteCount overhead_writes{0};
+  /// User writes absorbed by the DRAM front buffer (never reached the NVM).
+  WriteCount absorbed_writes{0};
+  /// All writes absorbed by the device (user + overhead); only tracked by
+  /// the stochastic engine.
+  WriteCount device_writes{0};
+  /// Sum of all line endurances (the ideal lifetime).
+  double ideal_lifetime{0};
+  /// user_writes / ideal_lifetime.
+  double normalized{0};
+  /// Backing-line wear-outs observed.
+  std::uint64_t line_deaths{0};
+  /// True when the device failed; false when the run stopped at the write
+  /// cap (stochastic engine only).
+  bool failed{false};
+  std::string failure_reason;
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,31 @@
+#include "sim/multi_bank.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+MultiBankResult run_multi_bank(const ExperimentConfig& config,
+                               std::uint32_t banks) {
+  if (banks == 0) {
+    throw std::invalid_argument("run_multi_bank: banks must be > 0");
+  }
+  MultiBankResult result;
+  result.per_bank.reserve(banks);
+  double sum = 0;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    ExperimentConfig bank_config = config;
+    bank_config.seed = config.seed + b;
+    const double lifetime = run_experiment(bank_config).normalized;
+    result.per_bank.push_back(lifetime);
+    sum += lifetime;
+    if (b == 0 || lifetime < result.system_normalized) {
+      result.system_normalized = lifetime;
+      result.weakest_bank = b;
+    }
+    result.max_bank = std::max(result.max_bank, lifetime);
+  }
+  result.mean_bank = sum / banks;
+  return result;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,38 @@
+// System-level (multi-bank) lifetime.
+//
+// The paper evaluates "a 1GB NVM bank" (§5.1); a deployed module has many
+// banks, each with its own endurance draw and its own spare capacity, and
+// the module is dead when its first bank dies (capacity guarantees are
+// per-module). With line-interleaved addressing a uniform attack stays
+// uniform within every bank, so the per-bank experiment is exactly the
+// single-bank experiment with an independent endurance map — the system
+// question is purely extreme-value statistics: lifetime_min shrinks as the
+// bank count grows, and protection schemes matter *more* at system scale
+// because they compress the per-bank lifetime distribution (see
+// bench_ext_lifetime_distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace nvmsec {
+
+struct MultiBankResult {
+  /// Per-bank normalized lifetimes, bank order.
+  std::vector<double> per_bank;
+  /// System lifetime: the first bank death ends the module.
+  double system_normalized{0};
+  /// Index of the limiting bank.
+  std::uint32_t weakest_bank{0};
+  double mean_bank{0};
+  double max_bank{0};
+};
+
+/// Run `banks` independent per-bank experiments (bank b uses seed
+/// config.seed + b) and aggregate. Throws on banks == 0.
+MultiBankResult run_multi_bank(const ExperimentConfig& config,
+                               std::uint32_t banks);
+
+}  // namespace nvmsec

@@ -1,0 +1,53 @@
+#include "sim/wear_report.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvmsec {
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  for (double v : values) {
+    if (v < 0) throw std::invalid_argument("gini_coefficient: negative value");
+  }
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  double weighted = 0, total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += (static_cast<double>(i) + 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0) return 0.0;
+  // Gini = (2 * sum(i * x_i) / (n * sum x)) - (n + 1) / n, with x sorted.
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+WearReport analyze_wear(const Device& device) {
+  const DeviceGeometry& geom = device.geometry();
+  const std::uint64_t n = geom.num_lines();
+  const std::uint64_t lpr = geom.lines_per_region();
+
+  WearReport report;
+  std::vector<double> utilization(n);
+  report.region_utilization.assign(geom.num_regions(), 0.0);
+  double consumed = 0;
+  report.min_line_utilization = 1.0;
+  for (std::uint64_t l = 0; l < n; ++l) {
+    const PhysLineAddr line{l};
+    const auto budget = static_cast<double>(device.write_budget(line));
+    const auto used = static_cast<double>(device.writes_to(line));
+    consumed += used;
+    const double u = budget > 0 ? used / budget : 0.0;
+    utilization[l] = u;
+    report.region_utilization[l / lpr] += u / static_cast<double>(lpr);
+    report.max_line_utilization = std::max(report.max_line_utilization, u);
+    report.min_line_utilization = std::min(report.min_line_utilization, u);
+    if (device.is_worn_out(line)) ++report.worn_out_lines;
+  }
+  report.harvest_fraction =
+      device.total_budget() > 0 ? consumed / device.total_budget() : 0.0;
+  report.utilization_gini = gini_coefficient(std::move(utilization));
+  return report;
+}
+
+}  // namespace nvmsec

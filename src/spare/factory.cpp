@@ -1,0 +1,33 @@
+#include "spare/none.h"
+#include "spare/pcd.h"
+#include "spare/ps.h"
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+
+std::unique_ptr<SpareScheme> make_no_spare(
+    std::shared_ptr<const EnduranceMap> endurance) {
+  return std::make_unique<NoSpare>(std::move(endurance));
+}
+
+std::unique_ptr<SpareScheme> make_pcd(
+    std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines,
+    Rng& rng) {
+  return std::make_unique<Pcd>(std::move(endurance), spare_lines, rng);
+}
+
+std::unique_ptr<SpareScheme> make_ps(
+    std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines,
+    Rng& rng) {
+  return std::make_unique<PhysicalSparing>(std::move(endurance), spare_lines,
+                                           PsPoolPolicy::kRandom, rng);
+}
+
+std::unique_ptr<SpareScheme> make_ps_worst(
+    std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines,
+    Rng& rng) {
+  return std::make_unique<PhysicalSparing>(std::move(endurance), spare_lines,
+                                           PsPoolPolicy::kStrongest, rng);
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,86 @@
+#include "spare/freep.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+FreeP::FreeP(std::shared_ptr<const EnduranceMap> endurance,
+             std::uint64_t spare_lines)
+    : num_lines_(endurance->geometry().num_lines()), spare_lines_(spare_lines) {
+  if (num_lines_ > UINT32_MAX) {
+    throw std::invalid_argument("FreeP: device exceeds 2^32 lines");
+  }
+  if (spare_lines == 0 || spare_lines >= num_lines_) {
+    throw std::invalid_argument(
+        "FreeP: spare_lines must be in (0, num_lines)");
+  }
+  working_lines_ = num_lines_ - spare_lines;
+  reset();
+}
+
+PhysLineAddr FreeP::working_line(std::uint64_t idx) const {
+  if (idx >= working_lines_) {
+    throw std::out_of_range("FreeP::working_line: index out of range");
+  }
+  return PhysLineAddr{idx};  // pool occupies the address tail
+}
+
+PhysLineAddr FreeP::resolve(std::uint64_t idx) {
+  if (idx >= working_lines_) {
+    throw std::out_of_range("FreeP::resolve: index out of range");
+  }
+  // The controller must read each dead line in the chain to find the next
+  // pointer: chain_depth extra array reads.
+  ++resolves_;
+  hops_ += chain_depth_[idx];
+  return PhysLineAddr{backing_[idx]};
+}
+
+bool FreeP::on_wear_out(std::uint64_t idx) {
+  if (idx >= working_lines_) {
+    throw std::out_of_range("FreeP::on_wear_out: index out of range");
+  }
+  ++stats_.line_deaths;
+  if (next_spare_ >= spare_lines_) {
+    return false;  // pool exhausted
+  }
+  backing_[idx] =
+      static_cast<std::uint32_t>(working_lines_ + next_spare_++);
+  ++chain_depth_[idx];
+  max_chain_ = std::max<std::uint64_t>(max_chain_, chain_depth_[idx]);
+  ++stats_.replacements;
+  return true;
+}
+
+SpareSchemeStats FreeP::stats() const {
+  SpareSchemeStats s = stats_;
+  s.spares_remaining = spare_lines_ - next_spare_;
+  return s;
+}
+
+std::uint64_t FreeP::chain_depth(std::uint64_t idx) const {
+  if (idx >= working_lines_) {
+    throw std::out_of_range("FreeP::chain_depth: index out of range");
+  }
+  return chain_depth_[idx];
+}
+
+void FreeP::reset() {
+  stats_ = {};
+  next_spare_ = 0;
+  max_chain_ = 0;
+  hops_ = 0;
+  resolves_ = 0;
+  backing_.resize(working_lines_);
+  chain_depth_.assign(working_lines_, 0);
+  for (std::uint64_t i = 0; i < working_lines_; ++i) {
+    backing_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::unique_ptr<SpareScheme> make_freep(
+    std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines) {
+  return std::make_unique<FreeP>(std::move(endurance), spare_lines);
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,68 @@
+// FREE-p-style spare-line replacement (Yoon et al., HPCA'11; paper §2.2.2).
+//
+// Instead of an SRAM mapping table, FREE-p stores the remap pointer *inside
+// the dead line itself* (a few heavily-ECC'd bits survive in any worn-out
+// line). The trade: zero dedicated table storage, but every access to a
+// remapped line walks the pointer chain through memory — one extra array
+// read per replacement generation — and the pool is allocated in address
+// order because the scheme has no endurance knowledge. The paper's §2.2.2
+// critique ("Free-p ... simply interpret[s] process variation as
+// non-uniform error rate without considering the endurance distribution of
+// different regions") falls out of the measurements: lifetime tracks
+// PS-average while the pointer-walk cost grows with wear.
+#pragma once
+
+#include <vector>
+
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+
+class FreeP final : public SpareScheme {
+ public:
+  /// Reserves the `spare_lines` highest physical addresses as the pool
+  /// (FREE-p reserves a fixed region; it has no endurance map to be
+  /// cleverer with).
+  FreeP(std::shared_ptr<const EnduranceMap> endurance,
+        std::uint64_t spare_lines);
+
+  [[nodiscard]] std::uint64_t working_lines() const override {
+    return working_lines_;
+  }
+  [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
+  PhysLineAddr resolve(std::uint64_t idx) override;
+  bool on_wear_out(std::uint64_t idx) override;
+  [[nodiscard]] std::string name() const override { return "freep"; }
+  [[nodiscard]] SpareSchemeStats stats() const override;
+  void reset() override;
+
+  /// Pointer-walk accounting: resolving a line remapped through k
+  /// generations costs k extra array reads.
+  [[nodiscard]] std::uint64_t chain_depth(std::uint64_t idx) const;
+  [[nodiscard]] std::uint64_t max_chain_depth() const { return max_chain_; }
+  /// Total extra array reads performed by resolve() so far.
+  [[nodiscard]] std::uint64_t total_pointer_hops() const { return hops_; }
+  /// Extra array reads per resolve, averaged over all resolve() calls.
+  [[nodiscard]] double mean_pointer_hops() const {
+    return resolves_ > 0 ? static_cast<double>(hops_) /
+                               static_cast<double>(resolves_)
+                         : 0.0;
+  }
+
+ private:
+  std::uint64_t working_lines_;
+  std::uint64_t num_lines_;
+  std::vector<std::uint32_t> backing_;
+  std::vector<std::uint32_t> chain_depth_;
+  std::size_t next_spare_{0};
+  std::uint64_t spare_lines_;
+  std::uint64_t max_chain_{0};
+  std::uint64_t hops_{0};
+  std::uint64_t resolves_{0};
+  SpareSchemeStats stats_;
+};
+
+std::unique_ptr<SpareScheme> make_freep(
+    std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines);
+
+}  // namespace nvmsec

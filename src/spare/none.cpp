@@ -1,0 +1,27 @@
+#include "spare/none.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+NoSpare::NoSpare(std::shared_ptr<const EnduranceMap> endurance)
+    : num_lines_(endurance->geometry().num_lines()) {}
+
+PhysLineAddr NoSpare::working_line(std::uint64_t idx) const {
+  if (idx >= num_lines_) {
+    throw std::out_of_range("NoSpare::working_line: index out of range");
+  }
+  return PhysLineAddr{idx};
+}
+
+PhysLineAddr NoSpare::resolve(std::uint64_t idx) { return working_line(idx); }
+
+bool NoSpare::on_wear_out(std::uint64_t idx) {
+  if (idx >= num_lines_) {
+    throw std::out_of_range("NoSpare::on_wear_out: index out of range");
+  }
+  ++stats_.line_deaths;
+  return false;  // nothing to replace with: first death is device failure
+}
+
+}  // namespace nvmsec

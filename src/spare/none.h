@@ -1,0 +1,29 @@
+// No-protection baseline: every line backs itself and the first wear-out
+// kills the device. This is the configuration behind the paper's headline
+// "UAA reduces lifetime to 4.1% of ideal" measurement (Fig. 6, 0% spares).
+#pragma once
+
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+
+class NoSpare final : public SpareScheme {
+ public:
+  explicit NoSpare(std::shared_ptr<const EnduranceMap> endurance);
+
+  [[nodiscard]] std::uint64_t working_lines() const override {
+    return num_lines_;
+  }
+  [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
+  PhysLineAddr resolve(std::uint64_t idx) override;
+  bool on_wear_out(std::uint64_t idx) override;
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] SpareSchemeStats stats() const override { return stats_; }
+  void reset() override { stats_ = {}; }
+
+ private:
+  std::uint64_t num_lines_;
+  SpareSchemeStats stats_;
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,92 @@
+#include "spare/pcd.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+Pcd::Pcd(std::shared_ptr<const EnduranceMap> endurance,
+         std::uint64_t degradation_budget, Rng& rng)
+    : num_lines_(endurance->geometry().num_lines()),
+      degradation_budget_(degradation_budget),
+      rng_(rng.fork()) {
+  if (num_lines_ > UINT32_MAX) {
+    throw std::invalid_argument("Pcd: device exceeds 2^32 lines");
+  }
+  if (degradation_budget >= num_lines_) {
+    throw std::invalid_argument("Pcd: budget must be < line count");
+  }
+  reset();
+}
+
+PhysLineAddr Pcd::working_line(std::uint64_t idx) const {
+  if (idx >= num_lines_) {
+    throw std::out_of_range("Pcd::working_line: index out of range");
+  }
+  return PhysLineAddr{idx};
+}
+
+void Pcd::mark_dead(PhysLineAddr line) {
+  const auto l = static_cast<std::uint32_t>(line.value());
+  if (dead_[l]) return;
+  dead_[l] = true;
+  ++stats_.line_deaths;
+  // O(1) removal from the alive list: swap with the tail.
+  const std::uint32_t pos = alive_pos_[l];
+  const std::uint32_t tail = alive_list_.back();
+  alive_list_[pos] = tail;
+  alive_pos_[tail] = pos;
+  alive_list_.pop_back();
+}
+
+void Pcd::rehome(std::uint64_t idx) {
+  if (alive_list_.empty()) {
+    throw std::logic_error("Pcd::rehome: no survivors (failure missed)");
+  }
+  backing_[idx] = alive_list_[static_cast<std::size_t>(
+      rng_.uniform_u64(alive_list_.size()))];
+  ++stats_.replacements;
+}
+
+PhysLineAddr Pcd::resolve(std::uint64_t idx) {
+  if (idx >= num_lines_) {
+    throw std::out_of_range("Pcd::resolve: index out of range");
+  }
+  // Lazy repair: the backing may have died while serving another address
+  // (several addresses can share a survivor).
+  if (dead_[backing_[idx]]) rehome(idx);
+  return PhysLineAddr{backing_[idx]};
+}
+
+bool Pcd::on_wear_out(std::uint64_t idx) {
+  if (idx >= num_lines_) {
+    throw std::out_of_range("Pcd::on_wear_out: index out of range");
+  }
+  mark_dead(PhysLineAddr{backing_[idx]});
+  if (stats_.line_deaths > degradation_budget_) {
+    return false;  // capacity guarantee broken
+  }
+  rehome(idx);
+  return true;
+}
+
+SpareSchemeStats Pcd::stats() const {
+  SpareSchemeStats s = stats_;
+  s.spares_remaining = degradation_budget_ - std::min(degradation_budget_,
+                                                      stats_.line_deaths);
+  return s;
+}
+
+void Pcd::reset() {
+  stats_ = {};
+  backing_.resize(num_lines_);
+  dead_.assign(num_lines_, false);
+  alive_list_.resize(num_lines_);
+  alive_pos_.resize(num_lines_);
+  for (std::uint64_t i = 0; i < num_lines_; ++i) {
+    backing_[i] = static_cast<std::uint32_t>(i);
+    alive_list_[i] = static_cast<std::uint32_t>(i);
+    alive_pos_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,86 @@
+#include "spare/ps.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvmsec {
+
+PhysicalSparing::PhysicalSparing(std::shared_ptr<const EnduranceMap> endurance,
+                                 std::uint64_t spare_lines,
+                                 PsPoolPolicy policy, Rng& rng)
+    : endurance_(std::move(endurance)), policy_(policy) {
+  const std::uint64_t n = endurance_->geometry().num_lines();
+  if (n > UINT32_MAX) {
+    throw std::invalid_argument("PhysicalSparing: device exceeds 2^32 lines");
+  }
+  if (spare_lines == 0 || spare_lines >= n) {
+    throw std::invalid_argument(
+        "PhysicalSparing: spare_lines must be in (0, num_lines)");
+  }
+
+  std::vector<bool> is_spare(n, false);
+  pool_.reserve(spare_lines);
+  if (policy_ == PsPoolPolicy::kRandom) {
+    for (std::uint64_t l : rng.sample_without_replacement(n, spare_lines)) {
+      is_spare[l] = true;
+      pool_.push_back(static_cast<std::uint32_t>(l));
+    }
+    // sample_without_replacement returns a random order, which doubles as
+    // the random allocation order of the traditional schemes.
+  } else {
+    const auto strongest_last = endurance_->lines_weakest_first();
+    for (std::uint64_t k = 0; k < spare_lines; ++k) {
+      const PhysLineAddr line = strongest_last[n - 1 - k];
+      is_spare[line.value()] = true;
+      pool_.push_back(static_cast<std::uint32_t>(line.value()));
+    }
+    // Allocation order: strongest first.
+  }
+
+  working_.reserve(n - spare_lines);
+  for (std::uint64_t l = 0; l < n; ++l) {
+    if (!is_spare[l]) working_.push_back(static_cast<std::uint32_t>(l));
+  }
+  reset();
+}
+
+PhysLineAddr PhysicalSparing::working_line(std::uint64_t idx) const {
+  if (idx >= working_.size()) {
+    throw std::out_of_range("PhysicalSparing::working_line: out of range");
+  }
+  return PhysLineAddr{working_[idx]};
+}
+
+PhysLineAddr PhysicalSparing::resolve(std::uint64_t idx) {
+  if (idx >= working_.size()) {
+    throw std::out_of_range("PhysicalSparing::resolve: out of range");
+  }
+  return PhysLineAddr{backing_[idx]};
+}
+
+bool PhysicalSparing::on_wear_out(std::uint64_t idx) {
+  if (idx >= working_.size()) {
+    throw std::out_of_range("PhysicalSparing::on_wear_out: out of range");
+  }
+  ++stats_.line_deaths;
+  if (next_spare_ >= pool_.size()) {
+    return false;  // pool exhausted: replacement procedure fails
+  }
+  backing_[idx] = pool_[next_spare_++];
+  ++stats_.replacements;
+  return true;
+}
+
+SpareSchemeStats PhysicalSparing::stats() const {
+  SpareSchemeStats s = stats_;
+  s.spares_remaining = pool_remaining();
+  return s;
+}
+
+void PhysicalSparing::reset() {
+  stats_ = {};
+  next_spare_ = 0;
+  backing_ = working_;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,59 @@
+// PS: Physical Sparing (§2.2.3) — failed lines are replaced from an excess
+// spare pool. Two pool policies reproduce the paper's comparison points:
+//
+//   * kRandom   — the traditional schemes "randomly allocate the spare
+//                 lines" (§2.2.3): a uniform random pool, allocated in
+//                 random order. This is the *average case* of PS, which
+//                 §4.3 shows behaves like PCD.
+//   * kStrongest — PS-worst (§4.3): the pool is drawn from the strongest
+//                 lines, so the weakest lines all stay in the working set
+//                 and each early death burns a spare whose extra endurance
+//                 is wasted. The device dies on the (S+1)-th weakest line.
+#pragma once
+
+#include <vector>
+
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+
+enum class PsPoolPolicy {
+  kRandom,     ///< average case: uniform random pool
+  kStrongest,  ///< worst case: pool taken from the strongest lines
+};
+
+class PhysicalSparing final : public SpareScheme {
+ public:
+  PhysicalSparing(std::shared_ptr<const EnduranceMap> endurance,
+                  std::uint64_t spare_lines, PsPoolPolicy policy, Rng& rng);
+
+  [[nodiscard]] std::uint64_t working_lines() const override {
+    return working_.size();
+  }
+  [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
+  PhysLineAddr resolve(std::uint64_t idx) override;
+  bool on_wear_out(std::uint64_t idx) override;
+  [[nodiscard]] std::string name() const override {
+    return policy_ == PsPoolPolicy::kRandom ? "ps" : "ps-worst";
+  }
+  [[nodiscard]] SpareSchemeStats stats() const override;
+  void reset() override;
+
+  /// Unallocated spares left in the pool.
+  [[nodiscard]] std::uint64_t pool_remaining() const {
+    return pool_.size() - next_spare_;
+  }
+
+ private:
+  std::shared_ptr<const EnduranceMap> endurance_;
+  PsPoolPolicy policy_;
+  /// Working set (boot backing), ascending physical order.
+  std::vector<std::uint32_t> working_;
+  /// Spare pool in allocation order.
+  std::vector<std::uint32_t> pool_;
+  std::vector<std::uint32_t> backing_;
+  std::size_t next_spare_{0};
+  SpareSchemeStats stats_;
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,65 @@
+#include "util/alias_table.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("AliasTable: empty weight vector");
+  }
+  if (weights.size() > UINT32_MAX) {
+    throw std::invalid_argument("AliasTable: too many weights");
+  }
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("AliasTable: all weights are zero");
+  }
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's algorithm: partition scaled probabilities into under-/over-full
+  // buckets and pair them so every column has at most two outcomes.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both lists should hold columns with weight ~1.
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+std::uint64_t AliasTable::sample(Rng& rng) const {
+  const std::uint64_t column = rng.uniform_u64(prob_.size());
+  return rng.uniform_double() < prob_[column] ? column : alias_[column];
+}
+
+double AliasTable::probability(std::size_t i) const {
+  return normalized_.at(i);
+}
+
+}  // namespace nvmsec

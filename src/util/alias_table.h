@@ -1,0 +1,35 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete distribution.
+//
+// WAWL samples remap destinations with probability proportional to region
+// endurance on every swap epoch; the alias table makes that O(1) per draw
+// regardless of how many regions the device has.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nvmsec {
+
+class AliasTable {
+ public:
+  /// Build from non-negative weights (at least one must be positive).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draw an index with probability weights[i] / sum(weights).
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace nvmsec

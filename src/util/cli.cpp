@@ -1,0 +1,110 @@
+#include "util/cli.h"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvmsec {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_switch("help", "Show this help message");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         std::string default_value) {
+  flags_[name] = Flag{help, std::move(default_value), false};
+}
+
+void CliParser::add_switch(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{help, "false", true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name + "\n" + usage());
+    }
+    Flag& flag = it->second;
+    if (flag.is_switch) {
+      if (inline_value && *inline_value != "true" && *inline_value != "false") {
+        throw std::invalid_argument("switch --" + name +
+                                    " takes only true/false");
+      }
+      flag.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      flag.value = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + name + " needs a value");
+      }
+      flag.value = argv[++i];
+    }
+  }
+  if (get_bool("help")) {
+    std::cout << usage();
+    return false;
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("get_string: unregistered flag --" + name);
+  }
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true") return true;
+  if (v == "false") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (!flag.is_switch) out << "=<value> (default: " << flag.value << ")";
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nvmsec

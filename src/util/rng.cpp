@@ -1,0 +1,134 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nvmsec {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      next();
+    }
+  }
+  s_ = acc;
+}
+
+Xoshiro256 Xoshiro256::fork() {
+  // Child gets the block [J, 2J) of the sequence; the parent resumes at 2J,
+  // so the two streams never overlap.
+  Xoshiro256 child = *this;
+  child.jump();
+  jump();
+  jump();
+  return child;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform_u64: bound must be > 0");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = gen_.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = gen_.next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform_double() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) {
+  return lo + (hi - lo) * uniform_double();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; guard against log(0).
+  double u1 = uniform_double();
+  while (u1 <= 0.0) u1 = uniform_double();
+  const double u2 = uniform_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  // For dense samples do a partial Fisher–Yates; for sparse ones rejection
+  // sampling with a hash set is cheaper than materializing [0, n).
+  if (k * 3 >= n) {
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + uniform_u64(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::uint64_t x = uniform_u64(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(gen_.fork()); }
+
+}  // namespace nvmsec

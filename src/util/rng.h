@@ -1,0 +1,104 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The simulator must be reproducible across runs and platforms, so we ship
+// our own xoshiro256** implementation instead of relying on libstdc++'s
+// unspecified std::default_random_engine. Distribution helpers (uniform,
+// normal via Box–Muller) are also hand-rolled because libstdc++ and libc++
+// produce different std::normal_distribution streams for the same seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nvmsec {
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: all-purpose 64-bit generator (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// 2^128 steps forward; use to derive independent parallel streams.
+  void jump();
+
+  /// Fork an independent generator (jump-based, deterministic).
+  Xoshiro256 fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Random utilities layered on Xoshiro256. One instance per simulation so
+/// that component draws never interleave nondeterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+  Xoshiro256& generator() { return gen_; }
+
+  /// Derive an independent child stream (for parallel experiment arms).
+  Rng fork();
+
+ private:
+  explicit Rng(Xoshiro256 gen) : gen_(gen) {}
+
+  Xoshiro256 gen_;
+  double cached_normal_{0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace nvmsec

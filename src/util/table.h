@@ -1,0 +1,50 @@
+// ASCII / CSV table emitter used by the benchmark harness so every
+// figure/table reproduction prints the same rows the paper reports, in a
+// format that is both human-readable and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nvmsec {
+
+/// One table cell: text, integer, or double (formatted with fixed precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Title printed above the table (e.g. "Figure 6: ...").
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Digits after the decimal point for double cells (default 2).
+  void set_precision(int digits) { precision_ = digits; }
+
+  void add_row(std::vector<Cell> row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const;
+
+  /// Render with aligned columns and +--+ borders.
+  [[nodiscard]] std::string ascii() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  [[nodiscard]] std::string csv() const;
+
+  /// Print the ASCII rendering (and a trailing newline) to a stream.
+  void print(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_{2};
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,62 @@
+// Strong address/index types shared across the library.
+//
+// The simulator deals with distinct address spaces that are easy to
+// confuse: logical line addresses (what the attacker writes), physical line
+// addresses (after wear leveling and spare redirection), region ids, and
+// line offsets within a region. Each is a distinct tagged-integer type so
+// the compiler rejects accidental cross-space mixing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace nvmsec {
+
+/// Number of writes a cell/line can absorb before it hard-fails.
+using Endurance = double;
+
+/// A count of write operations.
+using WriteCount = std::uint64_t;
+
+/// Tagged integer: each Tag instantiation is a distinct, non-convertible
+/// type.
+template <typename Tag>
+struct TaggedU64 {
+  std::uint64_t v{0};
+
+  constexpr TaggedU64() = default;
+  constexpr explicit TaggedU64(std::uint64_t value) : v(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return v; }
+  constexpr auto operator<=>(const TaggedU64&) const = default;
+
+  static constexpr TaggedU64 invalid() {
+    return TaggedU64{std::numeric_limits<std::uint64_t>::max()};
+  }
+  [[nodiscard]] constexpr bool is_valid() const {
+    return v != std::numeric_limits<std::uint64_t>::max();
+  }
+};
+
+/// Line index in the attacker-visible (logical) address space.
+using LogicalLineAddr = TaggedU64<struct LogicalLineTag>;
+
+/// Line index in the physical address space.
+using PhysLineAddr = TaggedU64<struct PhysLineTag>;
+
+/// Region index (a region is a fixed-size group of consecutive lines).
+using RegionId = TaggedU64<struct RegionTag>;
+
+/// Offset of a line within its region.
+using LineInRegion = TaggedU64<struct LineInRegionTag>;
+
+}  // namespace nvmsec
+
+template <typename Tag>
+struct std::hash<nvmsec::TaggedU64<Tag>> {
+  std::size_t operator()(const nvmsec::TaggedU64<Tag>& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.v);
+  }
+};

@@ -1,0 +1,91 @@
+#include "wearlevel/age_based.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvmsec {
+
+AgeBased::AgeBased(std::uint64_t working_lines, std::uint32_t buckets,
+                   std::uint64_t interval, std::uint64_t bucket_width)
+    : PermutationWearLeveler(working_lines),
+      buckets_(buckets),
+      interval_(interval),
+      bucket_width_(bucket_width) {
+  if (buckets == 0) throw std::invalid_argument("AgeBased: buckets == 0");
+  if (interval == 0) throw std::invalid_argument("AgeBased: interval == 0");
+  if (bucket_width == 0) {
+    throw std::invalid_argument("AgeBased: bucket_width == 0");
+  }
+  reset_policy();
+}
+
+std::uint32_t AgeBased::bucket_of(std::uint64_t working_index) const {
+  const std::uint64_t b = age_[working_index] / bucket_width_;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(b, buckets_ - 1));
+}
+
+void AgeBased::record_write(std::uint64_t working_index) {
+  ++age_[working_index];
+  const std::uint32_t target = bucket_of(working_index);
+  const std::uint32_t current = member_bucket_[working_index];
+  if (target == current) return;
+  // O(1) move: swap-remove from the old bucket, append to the new one.
+  auto& old_list = members_[current];
+  const std::uint32_t pos = member_pos_[working_index];
+  const std::uint32_t tail = old_list.back();
+  old_list[pos] = tail;
+  member_pos_[tail] = pos;
+  old_list.pop_back();
+  member_bucket_[working_index] = target;
+  member_pos_[working_index] =
+      static_cast<std::uint32_t>(members_[target].size());
+  members_[target].push_back(static_cast<std::uint32_t>(working_index));
+}
+
+std::uint64_t AgeBased::sample_young_victim(Rng& rng) const {
+  // Near-zero search: walk buckets from the youngest and pick uniformly
+  // inside the first non-empty one.
+  for (std::uint32_t b = 0; b < buckets_; ++b) {
+    if (!members_[b].empty()) {
+      return members_[b][rng.uniform_u64(members_[b].size())];
+    }
+  }
+  throw std::logic_error("AgeBased: no bucket members (invariant broken)");
+}
+
+void AgeBased::on_write(LogicalLineAddr la, Rng& rng,
+                        std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("AgeBased::on_write: address out of range");
+  }
+  if (++writes_since_swap_ >= interval_) {
+    writes_since_swap_ = 0;
+    const std::uint64_t hot_slot = forward(la.value());
+    const std::uint64_t victim = sample_young_victim(rng);
+    if (victim != hot_slot) {
+      swap_working(hot_slot, victim, out);
+      // The migration writes age their destination slots.
+      record_write(hot_slot);
+      record_write(victim);
+    }
+  }
+  const std::uint64_t slot = translate(la);
+  record_write(slot);
+  out.push_back({slot, false});
+}
+
+void AgeBased::reset_policy() {
+  writes_since_swap_ = 0;
+  age_.assign(working_lines_, 0);
+  members_.assign(buckets_, {});
+  member_pos_.resize(working_lines_);
+  member_bucket_.assign(working_lines_, 0);
+  members_[0].reserve(working_lines_);
+  for (std::uint64_t i = 0; i < working_lines_; ++i) {
+    member_pos_[i] = static_cast<std::uint32_t>(i);
+    members_[0].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,60 @@
+// Age-based wear leveling with bucketed (near-zero) search cost, after
+// Chen et al., "Age-based PCM wear leveling with nearly zero search cost"
+// (DAC'12) — cited by the paper in §3.3.1's discussion of schemes that
+// cannot survive a compromised OS.
+//
+// Unlike the endurance-aware schemes (BWL/WAWL, which know the
+// manufacture-time endurance map), age-based leveling reacts to observed
+// *wear*: the controller tracks per-line write counts, keeps lines
+// bucketed by age, and periodically swaps the just-written (old) line with
+// a victim drawn from the youngest bucket. Against skewed benign traffic
+// this equalizes write counts cheaply; against UAA every line ages at the
+// same rate, the buckets never separate, and the scheme degenerates to
+// random swapping — the §3.3.1 argument, executable.
+#pragma once
+
+#include <vector>
+
+#include "wearlevel/permutation_base.h"
+
+namespace nvmsec {
+
+class AgeBased final : public PermutationWearLeveler {
+ public:
+  /// `buckets`: age-resolution of the search structure; `interval`: user
+  /// writes between swap attempts; `bucket_width`: writes per age bucket.
+  AgeBased(std::uint64_t working_lines, std::uint32_t buckets,
+           std::uint64_t interval, std::uint64_t bucket_width);
+
+  void on_write(LogicalLineAddr la, Rng& rng,
+                std::vector<WlPhysWrite>& out) override;
+
+  [[nodiscard]] std::string name() const override { return "agebased"; }
+
+  /// Observed write count of a working slot (exposed for tests).
+  [[nodiscard]] std::uint64_t age(std::uint64_t working_index) const {
+    return age_[working_index];
+  }
+  /// Bucket a slot currently lives in.
+  [[nodiscard]] std::uint32_t bucket_of(std::uint64_t working_index) const;
+
+ private:
+  void reset_policy() override;
+  void record_write(std::uint64_t working_index);
+  [[nodiscard]] std::uint64_t sample_young_victim(Rng& rng) const;
+
+  std::uint32_t buckets_;
+  std::uint64_t interval_;
+  std::uint64_t bucket_width_;
+  std::uint64_t writes_since_swap_{0};
+  /// Observed writes per working slot (the controller's wear counters).
+  std::vector<std::uint64_t> age_;
+  /// Bucket membership lists: bucket 0 = youngest. Slots are moved between
+  /// buckets lazily when their age crosses a bucket boundary.
+  std::vector<std::vector<std::uint32_t>> members_;
+  /// Position of each slot in its bucket's member list (for O(1) moves).
+  std::vector<std::uint32_t> member_pos_;
+  std::vector<std::uint32_t> member_bucket_;
+};
+
+}  // namespace nvmsec

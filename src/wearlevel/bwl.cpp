@@ -1,0 +1,97 @@
+#include "wearlevel/bwl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+Bwl::Bwl(std::uint64_t working_lines, const EnduranceView& endurance,
+         std::uint64_t group_lines, std::uint32_t classes,
+         std::uint64_t interval, double beta)
+    : PermutationWearLeveler(working_lines),
+      group_lines_(group_lines),
+      interval_(interval) {
+  if (beta <= 0) throw std::invalid_argument("Bwl: beta must be > 0");
+  if (endurance.size() != working_lines) {
+    throw std::invalid_argument("Bwl: endurance view size mismatch");
+  }
+  if (group_lines == 0 || working_lines % group_lines != 0) {
+    throw std::invalid_argument(
+        "Bwl: working_lines must be divisible by group_lines");
+  }
+  if (classes == 0) throw std::invalid_argument("Bwl: classes must be > 0");
+  if (interval == 0) throw std::invalid_argument("Bwl: interval must be > 0");
+
+  const std::uint64_t groups = working_lines / group_lines;
+  std::vector<double> group_endurance(groups, 0.0);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    double sum = 0;
+    for (std::uint64_t i = 0; i < group_lines; ++i) {
+      sum += endurance[g * group_lines + i];
+    }
+    group_endurance[g] = sum / static_cast<double>(group_lines);
+  }
+
+  // Quantize groups into `classes` equal-population buckets by endurance
+  // rank (quantile classes), the coarse knowledge BWL is assumed to have.
+  std::vector<std::uint32_t> order(groups);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    order[g] = static_cast<std::uint32_t>(g);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return group_endurance[a] < group_endurance[b];
+                   });
+  const std::uint32_t effective_classes =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(classes, groups));
+  group_class_.resize(groups);
+  class_groups_.assign(effective_classes, {});
+  for (std::uint64_t rank = 0; rank < groups; ++rank) {
+    const auto cls = static_cast<std::uint32_t>(rank * effective_classes /
+                                                groups);
+    group_class_[order[rank]] = cls;
+    class_groups_[cls].push_back(order[rank]);
+  }
+
+  // Class weight = population * (quantized class endurance)^beta: every
+  // group is represented by its class mean (hiding within-class variation),
+  // and the sub-linear exponent keeps wear-out order endurance-ordered.
+  double overall_mean = 0;
+  for (double e : group_endurance) overall_mean += e;
+  overall_mean /= static_cast<double>(groups);
+  std::vector<double> class_weight(effective_classes, 0.0);
+  for (std::uint32_t c = 0; c < effective_classes; ++c) {
+    double mean_e = 0;
+    for (std::uint32_t g : class_groups_[c]) mean_e += group_endurance[g];
+    if (!class_groups_[c].empty()) {
+      mean_e /= static_cast<double>(class_groups_[c].size());
+    }
+    class_weight[c] = std::pow(mean_e / overall_mean, beta) *
+                      static_cast<double>(class_groups_[c].size());
+  }
+  class_sampler_ = std::make_unique<AliasTable>(class_weight);
+}
+
+std::uint64_t Bwl::sample_victim(Rng& rng) const {
+  const std::uint64_t cls = class_sampler_->sample(rng);
+  const auto& groups = class_groups_[cls];
+  const std::uint32_t group = groups[rng.uniform_u64(groups.size())];
+  return static_cast<std::uint64_t>(group) * group_lines_ +
+         rng.uniform_u64(group_lines_);
+}
+
+void Bwl::on_write(LogicalLineAddr la, Rng& rng,
+                   std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("Bwl::on_write: address out of range");
+  }
+  if (++writes_since_swap_ >= interval_) {
+    writes_since_swap_ = 0;
+    // Re-place the data under write pressure onto a class-weighted victim.
+    swap_working(forward(la.value()), sample_victim(rng), out);
+  }
+  out.push_back({translate(la), false});
+}
+
+}  // namespace nvmsec

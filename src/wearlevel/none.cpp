@@ -1,0 +1,10 @@
+#include "wearlevel/none.h"
+
+namespace nvmsec {
+
+void NoWearLeveling::on_write(LogicalLineAddr la, Rng& /*rng*/,
+                              std::vector<WlPhysWrite>& out) {
+  out.push_back({translate(la), false});
+}
+
+}  // namespace nvmsec

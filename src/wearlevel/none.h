@@ -1,0 +1,21 @@
+// Identity wear leveler: logical address == working index, no remapping,
+// no overhead writes. This is the configuration behind the paper's "no
+// protection" baselines (Fig. 1, Fig. 6 at 0% spare).
+#pragma once
+
+#include "wearlevel/permutation_base.h"
+
+namespace nvmsec {
+
+class NoWearLeveling final : public PermutationWearLeveler {
+ public:
+  explicit NoWearLeveling(std::uint64_t working_lines)
+      : PermutationWearLeveler(working_lines) {}
+
+  void on_write(LogicalLineAddr la, Rng& rng,
+                std::vector<WlPhysWrite>& out) override;
+
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,30 @@
+#include "wearlevel/pcm_s.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+PcmS::PcmS(std::uint64_t working_lines, std::uint64_t interval)
+    : PermutationWearLeveler(working_lines), interval_(interval) {
+  if (interval == 0) {
+    throw std::invalid_argument("PcmS: interval must be > 0");
+  }
+}
+
+void PcmS::on_write(LogicalLineAddr la, Rng& rng,
+                    std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("PcmS::on_write: address out of range");
+  }
+  if (++writes_since_swap_ >= interval_) {
+    writes_since_swap_ = 0;
+    // Bias one endpoint to the line just written: the data under attack is
+    // the data that must keep moving. The partner is uniform random.
+    const std::uint64_t a = la.value();
+    const std::uint64_t b = rng.uniform_u64(working_lines_);
+    swap_logical(a, inverse(b), out);
+  }
+  out.push_back({translate(la), false});
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,76 @@
+#include "wearlevel/permutation_base.h"
+
+namespace nvmsec {
+
+PermutationWearLeveler::PermutationWearLeveler(std::uint64_t working_lines)
+    : working_lines_(working_lines) {
+  if (working_lines == 0) {
+    throw std::invalid_argument("PermutationWearLeveler: empty working set");
+  }
+  if (working_lines > UINT32_MAX) {
+    throw std::invalid_argument(
+        "PermutationWearLeveler: working set exceeds 2^32 lines");
+  }
+  fwd_.resize(working_lines);
+  inv_.resize(working_lines);
+  for (std::uint64_t i = 0; i < working_lines; ++i) {
+    fwd_[i] = static_cast<std::uint32_t>(i);
+    inv_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint64_t PermutationWearLeveler::translate(LogicalLineAddr la) const {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("WearLeveler::translate: address out of range");
+  }
+  return fwd_[la.value()];
+}
+
+void PermutationWearLeveler::swap_logical(std::uint64_t a, std::uint64_t b,
+                                          std::vector<WlPhysWrite>& out) {
+  if (a == b) return;
+  const std::uint32_t wa = fwd_[a];
+  const std::uint32_t wb = fwd_[b];
+  fwd_[a] = wb;
+  fwd_[b] = wa;
+  inv_[wa] = static_cast<std::uint32_t>(b);
+  inv_[wb] = static_cast<std::uint32_t>(a);
+  // Data migration: a's contents are rewritten into wb and b's into wa.
+  out.push_back({wb, true});
+  out.push_back({wa, true});
+  overhead_writes_ += 2;
+}
+
+void PermutationWearLeveler::swap_working(std::uint64_t wa, std::uint64_t wb,
+                                          std::vector<WlPhysWrite>& out) {
+  if (wa == wb) return;
+  swap_logical(inv_[wa], inv_[wb], out);
+}
+
+void PermutationWearLeveler::swap_logical_free(std::uint64_t a,
+                                               std::uint64_t b) {
+  if (a == b) return;
+  const std::uint32_t wa = fwd_[a];
+  const std::uint32_t wb = fwd_[b];
+  fwd_[a] = wb;
+  fwd_[b] = wa;
+  inv_[wa] = static_cast<std::uint32_t>(b);
+  inv_[wb] = static_cast<std::uint32_t>(a);
+}
+
+void PermutationWearLeveler::charge_overhead(std::uint64_t wi,
+                                             std::vector<WlPhysWrite>& out) {
+  out.push_back({wi, true});
+  ++overhead_writes_;
+}
+
+void PermutationWearLeveler::reset() {
+  for (std::uint64_t i = 0; i < working_lines_; ++i) {
+    fwd_[i] = static_cast<std::uint32_t>(i);
+    inv_[i] = static_cast<std::uint32_t>(i);
+  }
+  overhead_writes_ = 0;
+  reset_policy();
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,98 @@
+#include "wearlevel/security_refresh.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+SecurityRefresh::SecurityRefresh(std::uint64_t working_lines,
+                                 std::uint64_t interval,
+                                 std::uint64_t subregions, Rng& rng)
+    : PermutationWearLeveler(working_lines),
+      interval_(interval),
+      subregions_(subregions) {
+  if (interval == 0) {
+    throw std::invalid_argument("SecurityRefresh: interval must be > 0");
+  }
+  if (subregions == 0 || working_lines % subregions != 0) {
+    throw std::invalid_argument(
+        "SecurityRefresh: working_lines must be divisible by subregions");
+  }
+  lines_per_subregion_ = working_lines / subregions;
+  if (lines_per_subregion_ < 2) {
+    throw std::invalid_argument("SecurityRefresh: sub-regions too small");
+  }
+  writes_since_step_.assign(subregions_, 0);
+  writes_since_outer_.assign(subregions_, 0);
+  sweep_.assign(subregions_, 0);
+  key_.resize(subregions_);
+  for (auto& k : key_) {
+    k = 0;
+    while (k == 0) k = rng.uniform_u64(lines_per_subregion_);
+  }
+}
+
+void SecurityRefresh::on_write(LogicalLineAddr la, Rng& rng,
+                               std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("SecurityRefresh::on_write: address out of range");
+  }
+  // Write-triggered refresh: the sub-region hosting this write's current
+  // physical slot accounts the write and refreshes when its quota is hit.
+  const std::uint64_t subregion = forward(la.value()) / lines_per_subregion_;
+  if (++writes_since_step_[subregion] >= interval_) {
+    writes_since_step_[subregion] = 0;
+    refresh_step(subregion, rng, out);
+  }
+  // Outer level: once a sub-region has absorbed a full sweep's worth of
+  // writes, its entire contents migrate to a random other sub-region. This
+  // is what stops an attacker from pinning damage inside one inner region.
+  if (++writes_since_outer_[subregion] >= interval_ * lines_per_subregion_) {
+    writes_since_outer_[subregion] = 0;
+    outer_swap(subregion, rng, out);
+  }
+  out.push_back({translate(la), false});
+}
+
+void SecurityRefresh::refresh_step(std::uint64_t subregion, Rng& rng,
+                                   std::vector<WlPhysWrite>& out) {
+  const std::uint64_t base = subregion * lines_per_subregion_;
+  const std::uint64_t at = sweep_[subregion];
+  // XOR with the round key pairs each line with a unique partner, which is
+  // how Security Refresh's incremental re-keying shuffles a region.
+  const std::uint64_t partner = at ^ key_[subregion];
+  if (partner < lines_per_subregion_ && partner != at) {
+    swap_working(base + at, base + partner, out);
+  }
+  if (++sweep_[subregion] == lines_per_subregion_) {
+    sweep_[subregion] = 0;
+    // Sweep complete: draw a fresh key (never 0: that would freeze the map).
+    std::uint64_t k = 0;
+    while (k == 0) k = rng.uniform_u64(lines_per_subregion_);
+    key_[subregion] = k;
+  }
+}
+
+void SecurityRefresh::outer_swap(std::uint64_t subregion, Rng& rng,
+                                 std::vector<WlPhysWrite>& out) {
+  if (subregions_ < 2) return;
+  std::uint64_t other = rng.uniform_u64(subregions_ - 1);
+  if (other >= subregion) ++other;
+  const std::uint64_t base = subregion * lines_per_subregion_;
+  const std::uint64_t other_base = other * lines_per_subregion_;
+  // Slot-wise exchange of the two sub-regions' contents. The migration
+  // writes are real: 2 per line pair, amortized to 2/interval per user
+  // write — the same order as the inner level's cost.
+  for (std::uint64_t k = 0; k < lines_per_subregion_; ++k) {
+    swap_working(base + k, other_base + k, out);
+  }
+}
+
+void SecurityRefresh::reset_policy() {
+  writes_since_step_.assign(subregions_, 0);
+  writes_since_outer_.assign(subregions_, 0);
+  sweep_.assign(subregions_, 0);
+  // Keys keep their constructor-time values; reset() restores the identity
+  // permutation which is what a freshly booted controller would have.
+}
+
+}  // namespace nvmsec

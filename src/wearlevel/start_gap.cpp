@@ -1,0 +1,44 @@
+#include "wearlevel/start_gap.h"
+
+#include <stdexcept>
+
+namespace nvmsec {
+
+StartGap::StartGap(std::uint64_t working_lines, std::uint64_t psi)
+    : PermutationWearLeveler(working_lines),
+      psi_(psi),
+      gap_slot_(working_lines - 1) {
+  if (working_lines < 2) {
+    throw std::invalid_argument("StartGap: needs at least 2 working lines");
+  }
+  if (psi == 0) {
+    throw std::invalid_argument("StartGap: psi must be > 0");
+  }
+}
+
+void StartGap::on_write(LogicalLineAddr la, Rng& /*rng*/,
+                        std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("StartGap::on_write: address out of range");
+  }
+  if (++writes_since_move_ >= psi_) {
+    writes_since_move_ = 0;
+    // Move the line occupying the slot before the gap into the gap; one
+    // migration write lands on the (previously idle) gap slot.
+    const std::uint64_t src_slot =
+        (gap_slot_ + working_lines_ - 1) % working_lines_;
+    const std::uint64_t moving_logical = inverse(src_slot);
+    const std::uint64_t gap_logical = inverse(gap_slot_);
+    swap_logical_free(moving_logical, gap_logical);
+    charge_overhead(gap_slot_, out);
+    gap_slot_ = src_slot;
+  }
+  out.push_back({translate(la), false});
+}
+
+void StartGap::reset_policy() {
+  writes_since_move_ = 0;
+  gap_slot_ = working_lines_ - 1;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,40 @@
+// Start-Gap wear leveling (Qureshi et al., MICRO'09).
+//
+// One working slot is reserved as the "gap". Every `psi` user writes, the
+// line adjacent to the gap is copied into it (one migration write) and the
+// gap moves one slot backwards, so over N*psi writes every logical line
+// shifts by one physical slot. The paper cites Start-Gap as the canonical
+// endurance-variation-*oblivious* scheme that fails quickly under attack
+// (§2.2.1); we ship it for completeness and for the attack regression tests.
+#pragma once
+
+#include "wearlevel/permutation_base.h"
+
+namespace nvmsec {
+
+class StartGap final : public PermutationWearLeveler {
+ public:
+  StartGap(std::uint64_t working_lines, std::uint64_t psi);
+
+  /// One slot is the roving gap, so the attacker sees one line fewer.
+  [[nodiscard]] std::uint64_t logical_lines() const override {
+    return working_lines_ - 1;
+  }
+
+  void on_write(LogicalLineAddr la, Rng& rng,
+                std::vector<WlPhysWrite>& out) override;
+
+  [[nodiscard]] std::string name() const override { return "startgap"; }
+
+  /// Working index currently serving as the gap (exposed for tests).
+  [[nodiscard]] std::uint64_t gap_slot() const { return gap_slot_; }
+
+ private:
+  void reset_policy() override;
+
+  std::uint64_t psi_;
+  std::uint64_t writes_since_move_{0};
+  std::uint64_t gap_slot_;
+};
+
+}  // namespace nvmsec

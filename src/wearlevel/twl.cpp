@@ -1,0 +1,75 @@
+#include "wearlevel/twl.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nvmsec {
+
+Twl::Twl(std::uint64_t working_lines, const EnduranceView& endurance,
+         std::uint64_t group_lines, std::uint64_t interval)
+    : PermutationWearLeveler(working_lines),
+      group_lines_(group_lines),
+      interval_(interval) {
+  if (endurance.size() != working_lines) {
+    throw std::invalid_argument("Twl: endurance view size mismatch");
+  }
+  if (group_lines == 0 || working_lines % group_lines != 0) {
+    throw std::invalid_argument(
+        "Twl: working_lines must be divisible by group_lines");
+  }
+  if (interval == 0) throw std::invalid_argument("Twl: interval must be > 0");
+  const std::uint64_t groups = working_lines / group_lines;
+  if (groups % 2 != 0) {
+    throw std::invalid_argument("Twl: needs an even number of groups to bond");
+  }
+
+  std::vector<double> group_endurance(groups, 0.0);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    double sum = 0;
+    for (std::uint64_t i = 0; i < group_lines; ++i) {
+      sum += endurance[g * group_lines + i];
+    }
+    group_endurance[g] = sum / static_cast<double>(group_lines);
+  }
+
+  // Bond strongest with weakest, second strongest with second weakest, ...
+  std::vector<std::uint64_t> order(groups);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return group_endurance[a] < group_endurance[b];
+                   });
+  bond_.resize(groups);
+  stay_prob_.resize(groups);
+  for (std::uint64_t k = 0; k < groups / 2; ++k) {
+    const std::uint64_t weak = order[k];
+    const std::uint64_t strong = order[groups - 1 - k];
+    bond_[weak] = strong;
+    bond_[strong] = weak;
+    const double total = group_endurance[weak] + group_endurance[strong];
+    stay_prob_[weak] = group_endurance[weak] / total;
+    stay_prob_[strong] = group_endurance[strong] / total;
+  }
+}
+
+void Twl::on_write(LogicalLineAddr la, Rng& rng,
+                   std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("Twl::on_write: address out of range");
+  }
+  if (++writes_since_toss_ >= interval_) {
+    writes_since_toss_ = 0;
+    const std::uint64_t slot = forward(la.value());
+    const std::uint64_t group = slot / group_lines_;
+    const std::uint64_t offset = slot % group_lines_;
+    // Toss: stay with probability proportional to this side's endurance,
+    // otherwise move to the same offset in the bonded group.
+    if (rng.uniform_double() >= stay_prob_[group]) {
+      swap_working(slot, bond_[group] * group_lines_ + offset, out);
+    }
+  }
+  out.push_back({translate(la), false});
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,93 @@
+#include "wearlevel/wawl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+Wawl::Wawl(std::uint64_t working_lines, const EnduranceView& endurance,
+           std::uint64_t group_lines, std::uint64_t base_interval, double alpha)
+    : PermutationWearLeveler(working_lines),
+      group_lines_(group_lines),
+      base_interval_(base_interval),
+      alpha_(alpha) {
+  if (endurance.size() != working_lines) {
+    throw std::invalid_argument("Wawl: endurance view size mismatch");
+  }
+  if (group_lines == 0 || working_lines % group_lines != 0) {
+    throw std::invalid_argument(
+        "Wawl: working_lines must be divisible by group_lines");
+  }
+  if (base_interval == 0) {
+    throw std::invalid_argument("Wawl: base_interval must be > 0");
+  }
+  if (alpha <= 0) throw std::invalid_argument("Wawl: alpha must be > 0");
+
+  const std::uint64_t groups = working_lines / group_lines;
+  group_strength_.resize(groups);
+  double mean_e = 0;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    double sum = 0;
+    for (std::uint64_t i = 0; i < group_lines; ++i) {
+      sum += endurance[g * group_lines + i];
+    }
+    group_strength_[g] = sum / static_cast<double>(group_lines);
+    mean_e += group_strength_[g];
+  }
+  mean_e /= static_cast<double>(groups);
+  std::vector<double> weight(groups);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    group_strength_[g] /= mean_e;  // normalize: mean strength == 1
+    weight[g] = std::pow(group_strength_[g], alpha_);
+  }
+  group_sampler_ = std::make_unique<AliasTable>(weight);
+  countdown_.assign(working_lines, 0);
+}
+
+std::uint64_t Wawl::dwell_budget(std::uint64_t working_index) const {
+  const std::uint64_t group = working_index / group_lines_;
+  const double budget = static_cast<double>(base_interval_) *
+                        std::pow(group_strength_[group], alpha_);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(budget));
+}
+
+std::uint64_t Wawl::sample_victim(Rng& rng) const {
+  const std::uint64_t group = group_sampler_->sample(rng);
+  return group * group_lines_ + rng.uniform_u64(group_lines_);
+}
+
+void Wawl::on_write(LogicalLineAddr la, Rng& rng,
+                    std::vector<WlPhysWrite>& out) {
+  if (la.value() >= logical_lines()) {
+    throw std::out_of_range("Wawl::on_write: address out of range");
+  }
+  const std::uint64_t l = la.value();
+  if (countdown_[l] == 0) {
+    // Fresh placement (first write, or dwell expired last time).
+    countdown_[l] =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            dwell_budget(forward(l)), UINT32_MAX));
+  }
+  if (--countdown_[l] == 0) {
+    // Dwell expired: move this data to an endurance-weighted victim. The
+    // displaced victim's dwell restarts at its new (our old) slot.
+    const std::uint64_t old_slot = forward(l);
+    const std::uint64_t victim_slot = sample_victim(rng);
+    const std::uint64_t victim_logical = inverse(victim_slot);
+    swap_working(old_slot, victim_slot, out);
+    countdown_[l] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dwell_budget(victim_slot), UINT32_MAX));
+    if (victim_logical != l) {
+      countdown_[victim_logical] = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(dwell_budget(old_slot), UINT32_MAX));
+    }
+  }
+  out.push_back({translate(la), false});
+}
+
+void Wawl::reset_policy() {
+  std::fill(countdown_.begin(), countdown_.end(), 0);
+}
+
+}  // namespace nvmsec

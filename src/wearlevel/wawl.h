@@ -1,0 +1,53 @@
+// WAWL: endurance-variation-aware wear leveling after Zhou et al.,
+// "Increasing Lifetime and Security of Phase-Change Memory with Endurance
+// Variation" (ICPADS'16) — the strongest wear-leveling baseline in the
+// paper's Figs. 7-8.
+//
+// Quoting the paper's summary (§2.2.1): "WAWL associates the chosen
+// probability of each region and the swapping interval with [the] endurance
+// metric of the region." We implement both couplings:
+//   * destination choice: remap victims are sampled with probability
+//     proportional to group endurance^alpha (fine granularity), and
+//   * dwell time: a line placed on a strong group stays there longer — the
+//     per-address swap countdown is scaled by the hosting group's
+//     normalized endurance.
+// Together these make long-run per-line write rates track endurance, so all
+// lines approach wear-out together — the best case for lifetime.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/alias_table.h"
+#include "wearlevel/permutation_base.h"
+
+namespace nvmsec {
+
+class Wawl final : public PermutationWearLeveler {
+ public:
+  Wawl(std::uint64_t working_lines, const EnduranceView& endurance,
+       std::uint64_t group_lines, std::uint64_t base_interval, double alpha);
+
+  void on_write(LogicalLineAddr la, Rng& rng,
+                std::vector<WlPhysWrite>& out) override;
+
+  [[nodiscard]] std::string name() const override { return "wawl"; }
+
+  /// Dwell budget granted when data lands on `working_index` (for tests).
+  [[nodiscard]] std::uint64_t dwell_budget(std::uint64_t working_index) const;
+
+ private:
+  void reset_policy() override;
+  [[nodiscard]] std::uint64_t sample_victim(Rng& rng) const;
+
+  std::uint64_t group_lines_;
+  std::uint64_t base_interval_;
+  double alpha_;
+  /// Normalized group endurance (mean = 1) driving dwell scaling.
+  std::vector<double> group_strength_;
+  std::unique_ptr<AliasTable> group_sampler_;
+  /// Remaining dwell writes per logical line; 0 means "assign on next write".
+  std::vector<std::uint32_t> countdown_;
+};
+
+}  // namespace nvmsec

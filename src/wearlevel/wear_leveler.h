@@ -1,0 +1,101 @@
+// Wear-leveling module interface (Fig. 3's "Wear-Leveling Module").
+//
+// A wear leveler maintains a bijection between the attacker-visible logical
+// line space and a *working index* space of the same (or one larger) size.
+// The working index is an index into the spare scheme's working set, not a
+// raw physical address — that lets the same wear-leveler implementations run
+// under every spare-replacement scheme.
+//
+// The write path is expressed as a sequence of physical writes because
+// remapping migrates data: "a remapping operation introduces extra writes to
+// both lines to be remapped" (§3.3.1, Fig. 2). Those overhead writes wear
+// the device exactly like user writes, which is precisely how UAA turns
+// wear leveling against itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nvmsec {
+
+struct WlPhysWrite {
+  std::uint64_t working_index;
+  /// True for data-migration writes caused by remapping; false for the
+  /// user's own write.
+  bool is_overhead;
+};
+
+class WearLeveler {
+ public:
+  virtual ~WearLeveler() = default;
+
+  /// Attacker-visible address-space size (Start-Gap reserves one slot, so
+  /// this can be working_lines() - 1).
+  [[nodiscard]] virtual std::uint64_t logical_lines() const = 0;
+
+  /// Size of the working index space this leveler permutes over.
+  [[nodiscard]] virtual std::uint64_t working_lines() const = 0;
+
+  /// Read-path translation; does not advance any remap counters.
+  [[nodiscard]] virtual std::uint64_t translate(LogicalLineAddr la) const = 0;
+
+  /// Write path: appends the physical writes this user write causes —
+  /// any remap-migration writes first, then the mapped user write last.
+  virtual void on_write(LogicalLineAddr la, Rng& rng,
+                        std::vector<WlPhysWrite>& out) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total migration (overhead) writes emitted so far.
+  [[nodiscard]] virtual WriteCount overhead_writes() const = 0;
+
+  virtual void reset() = 0;
+};
+
+/// Tunables shared by the bundled wear levelers.
+struct WearLevelerParams {
+  /// User writes between remap steps (Start-Gap's psi; also the refresh /
+  /// swap cadence of TLSR, PCM-S, BWL and the base interval of WAWL).
+  std::uint64_t swap_interval{100};
+  /// Number of endurance classes BWL quantizes regions into.
+  std::uint32_t bwl_classes{4};
+  /// BWL: victim-class weight is (class mean endurance)^beta. Sub-linear by
+  /// default: per-line wear rate then grows like e^beta, which lifts weak
+  /// lines' lifetimes while keeping wear-outs endurance-ordered.
+  double bwl_beta{0.5};
+  /// WAWL: both the destination-choice weight and the dwell budget scale
+  /// with endurance^alpha, so the per-line wear rate grows like e^(2*alpha).
+  /// The default keeps the combined exponent at 0.7 — proportional enough
+  /// to clearly beat BWL, sub-linear enough that death order stays
+  /// endurance-ordered (see DESIGN.md §4).
+  double wawl_alpha{0.35};
+  /// Group size (lines) used by the region-granular levelers (BWL, WAWL).
+  /// 0 means "derive from working size": working_lines / 128, at least 1.
+  std::uint64_t group_lines{0};
+  /// TLSR inner sub-region size in lines. A hammered line absorbs at most
+  /// subregion_lines * swap_interval writes between remaps, so scaled-down
+  /// configurations must shrink this together with the endurance scale.
+  std::uint64_t tlsr_subregion_lines{256};
+};
+
+/// Per-working-index endurance view handed to endurance-aware levelers
+/// (BWL, WAWL). Endurance-oblivious schemes ignore it.
+using EnduranceView = std::vector<double>;
+
+/// Factory: name is one of "none", "startgap", "tlsr", "pcms", "bwl",
+/// "wawl", "twl". Throws std::invalid_argument for unknown names.
+std::unique_ptr<WearLeveler> make_wear_leveler(const std::string& name,
+                                               std::uint64_t working_lines,
+                                               const EnduranceView& endurance,
+                                               const WearLevelerParams& params,
+                                               Rng& rng);
+
+/// The four schemes the paper evaluates in Figs. 7-8, in paper order.
+const std::vector<std::string>& paper_wear_levelers();
+
+}  // namespace nvmsec

@@ -1,0 +1,155 @@
+#include "attack/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "attack/bpa.h"
+#include "attack/hotspot.h"
+#include "attack/uaa.h"
+
+namespace nvmsec {
+namespace {
+
+TEST(UaaTest, SweepsSequentiallyAndWraps) {
+  auto a = make_uaa();
+  Rng rng(1);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(a->next(rng, 10).value(), i);
+    }
+  }
+}
+
+TEST(UaaTest, EveryLineGetsExactlyOneWritePerLoop) {
+  // §3.1: "UAA performs one write operation to each line one by one and
+  // repeats such a procedure".
+  auto a = make_uaa();
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 700; ++i) ++counts[a->next(rng, 100).value()];
+  for (const auto& [addr, count] : counts) {
+    EXPECT_EQ(count, 7) << "address " << addr;
+  }
+}
+
+TEST(UaaTest, HandlesShrinkingSpace) {
+  auto a = make_uaa();
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) a->next(rng, 10);
+  // Space shrinks below the cursor: the sweep must wrap, not overflow.
+  EXPECT_LT(a->next(rng, 5).value(), 5u);
+}
+
+TEST(UaaTest, ResetRestartsSweep) {
+  auto a = make_uaa();
+  Rng rng(1);
+  a->next(rng, 10);
+  a->next(rng, 10);
+  a->reset();
+  EXPECT_EQ(a->next(rng, 10).value(), 0u);
+}
+
+TEST(UaaTest, EmptySpaceThrows) {
+  auto a = make_uaa();
+  Rng rng(1);
+  EXPECT_THROW(a->next(rng, 0), std::invalid_argument);
+}
+
+TEST(BpaTest, BurstsHammerOneAddress) {
+  BirthdayParadoxAttack a(16);
+  Rng rng(2);
+  for (int burst = 0; burst < 10; ++burst) {
+    const LogicalLineAddr first = a.next(rng, 1000);
+    for (int i = 1; i < 16; ++i) {
+      EXPECT_EQ(a.next(rng, 1000), first);
+    }
+  }
+}
+
+TEST(BpaTest, TargetsChangeAcrossBursts) {
+  BirthdayParadoxAttack a(4);
+  Rng rng(3);
+  std::set<std::uint64_t> targets;
+  for (int burst = 0; burst < 50; ++burst) {
+    targets.insert(a.next(rng, 1ULL << 30).value());
+    for (int i = 1; i < 4; ++i) a.next(rng, 1ULL << 30);
+  }
+  EXPECT_GT(targets.size(), 45u);  // collisions vanishingly unlikely
+}
+
+TEST(BpaTest, TargetsRoughlyUniform) {
+  BirthdayParadoxAttack a(1);
+  Rng rng(4);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[a.next(rng, 4).value()];
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / 4.0, 5 * std::sqrt(kDraws / 4.0));
+  }
+}
+
+TEST(BpaTest, RepicksWhenSpaceShrinksBelowTarget) {
+  BirthdayParadoxAttack a(1000);
+  Rng rng(5);
+  a.next(rng, 1000);  // target somewhere in [0, 1000)
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(a.next(rng, 3).value(), 3u);
+  }
+}
+
+TEST(BpaTest, ZeroBurstThrows) {
+  EXPECT_THROW(BirthdayParadoxAttack(0), std::invalid_argument);
+}
+
+TEST(BpaTest, ResetStartsNewBurst) {
+  BirthdayParadoxAttack a(1000000);
+  Rng rng(6);
+  const LogicalLineAddr t1 = a.next(rng, 1ULL << 40);
+  a.reset();
+  const LogicalLineAddr t2 = a.next(rng, 1ULL << 40);
+  EXPECT_NE(t1, t2);  // fresh random target (collision ~2^-40)
+}
+
+TEST(HotspotTest, CyclesThroughWorkingSet) {
+  HotspotAttack a(3);
+  Rng rng(7);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(a.next(rng, 100).value(), 0u);
+    EXPECT_EQ(a.next(rng, 100).value(), 1u);
+    EXPECT_EQ(a.next(rng, 100).value(), 2u);
+  }
+}
+
+TEST(HotspotTest, WorkingSetClampedToSpace) {
+  HotspotAttack a(10);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(a.next(rng, 4).value(), 4u);
+  }
+}
+
+TEST(HotspotTest, ZeroWorkingSetThrows) {
+  EXPECT_THROW(HotspotAttack(0), std::invalid_argument);
+}
+
+TEST(RandomUniformTest, CoversSpace) {
+  auto a = make_random_uniform();
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(a->next(rng, 64).value());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(FactoryTest, KnownNames) {
+  EXPECT_EQ(make_attack("uaa")->name(), "uaa");
+  EXPECT_EQ(make_attack("bpa")->name(), "bpa");
+  EXPECT_EQ(make_attack("hotspot")->name(), "hotspot");
+  EXPECT_EQ(make_attack("random")->name(), "random");
+  EXPECT_THROW(make_attack("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmsec

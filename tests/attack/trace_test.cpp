@@ -1,0 +1,110 @@
+#include "attack/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace nvmsec {
+namespace {
+
+TEST(TraceRecorderTest, NullInnerRejected) {
+  EXPECT_THROW(TraceRecorder(nullptr), std::invalid_argument);
+}
+
+TEST(TraceRecorderTest, RecordsPassThrough) {
+  TraceRecorder rec(make_uaa());
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rec.next(rng, 4).value(), static_cast<std::uint64_t>(i) % 4);
+  }
+  ASSERT_EQ(rec.recorded().size(), 10u);
+  EXPECT_EQ(rec.recorded()[5], 1u);
+  EXPECT_EQ(rec.name(), "uaa+record");
+}
+
+TEST(TraceRecorderTest, ResetClearsRecordingAndInner) {
+  TraceRecorder rec(make_uaa());
+  Rng rng(1);
+  rec.next(rng, 4);
+  rec.next(rng, 4);
+  rec.reset();
+  EXPECT_TRUE(rec.recorded().empty());
+  EXPECT_EQ(rec.next(rng, 4).value(), 0u);  // inner sweep restarted
+}
+
+TEST(TraceReplayTest, EmptyTraceRejected) {
+  EXPECT_THROW(TraceReplay(std::vector<std::uint64_t>{}),
+               std::invalid_argument);
+}
+
+TEST(TraceReplayTest, ReplaysAndLoops) {
+  TraceReplay replay({5, 7, 2});
+  Rng rng(1);
+  EXPECT_EQ(replay.next(rng, 100).value(), 5u);
+  EXPECT_EQ(replay.next(rng, 100).value(), 7u);
+  EXPECT_EQ(replay.next(rng, 100).value(), 2u);
+  EXPECT_EQ(replay.next(rng, 100).value(), 5u);  // looped
+  EXPECT_EQ(replay.length(), 3u);
+}
+
+TEST(TraceReplayTest, FoldsIntoShrunkSpace) {
+  TraceReplay replay({99});
+  Rng rng(1);
+  EXPECT_EQ(replay.next(rng, 10).value(), 9u);  // 99 % 10
+}
+
+TEST(TraceRoundTripTest, SaveThenReplayMatches) {
+  const std::string path = ::testing::TempDir() + "/trace_test.txt";
+  TraceRecorder rec(make_bpa(3));
+  Rng rng(7);
+  std::vector<std::uint64_t> generated;
+  for (int i = 0; i < 50; ++i) {
+    generated.push_back(rec.next(rng, 1000).value());
+  }
+  rec.save(path);
+
+  TraceReplay replay = TraceReplay::from_file(path);
+  ASSERT_EQ(replay.length(), 50u);
+  Rng rng2(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(replay.next(rng2, 1000).value(),
+              generated[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(TraceReplayTest, RejectsBadFiles) {
+  const std::string dir = ::testing::TempDir();
+  EXPECT_THROW(TraceReplay::from_file(dir + "/missing.txt"),
+               std::runtime_error);
+  {
+    std::ofstream out(dir + "/bad_header.txt");
+    out << "wrong\n1\n2\n";
+  }
+  EXPECT_THROW(TraceReplay::from_file(dir + "/bad_header.txt"),
+               std::runtime_error);
+  {
+    std::ofstream out(dir + "/bad_row.txt");
+    out << "# maxwe-trace v1\n12\nnot-a-number\n";
+  }
+  EXPECT_THROW(TraceReplay::from_file(dir + "/bad_row.txt"),
+               std::runtime_error);
+}
+
+TEST(TraceReplayTest, DriveableThroughTheEnginePipeline) {
+  // A recorded UAA trace replayed through the event-style stochastic
+  // pipeline behaves like the original attack.
+  TraceReplay replay([]{
+    std::vector<std::uint64_t> t;
+    for (int round = 0; round < 4; ++round) {
+      for (std::uint64_t a = 0; a < 16; ++a) t.push_back(a);
+    }
+    return t;
+  }());
+  Rng rng(1);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 64; ++i) ++counts[replay.next(rng, 16).value()];
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+}  // namespace
+}  // namespace nvmsec

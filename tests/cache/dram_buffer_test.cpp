@@ -1,0 +1,99 @@
+#include "cache/dram_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nvmsec {
+namespace {
+
+TEST(DramBufferTest, ZeroCapacityRejected) {
+  EXPECT_THROW(DramBuffer(0), std::invalid_argument);
+}
+
+TEST(DramBufferTest, HitAbsorbsWrite) {
+  DramBuffer buf(4);
+  EXPECT_EQ(buf.write(LogicalLineAddr{1}), std::nullopt);  // cold miss
+  EXPECT_EQ(buf.write(LogicalLineAddr{1}), std::nullopt);  // hit
+  EXPECT_EQ(buf.stats().hits, 1u);
+  EXPECT_EQ(buf.stats().misses, 1u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DramBufferTest, ColdMissesFillWithoutEviction) {
+  DramBuffer buf(4);
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(buf.write(LogicalLineAddr{a}), std::nullopt);
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.stats().evictions, 0u);
+}
+
+TEST(DramBufferTest, LruVictimIsEvicted) {
+  DramBuffer buf(3);
+  buf.write(LogicalLineAddr{1});
+  buf.write(LogicalLineAddr{2});
+  buf.write(LogicalLineAddr{3});
+  buf.write(LogicalLineAddr{1});  // refresh 1: LRU is now 2
+  const auto evicted = buf.write(LogicalLineAddr{4});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->value(), 2u);
+  EXPECT_FALSE(buf.contains(LogicalLineAddr{2}));
+  EXPECT_TRUE(buf.contains(LogicalLineAddr{1}));
+  EXPECT_TRUE(buf.contains(LogicalLineAddr{4}));
+}
+
+TEST(DramBufferTest, HotWorkingSetWithinCapacityNeverEvicts) {
+  // §3.3.2: "The DRAM buffer is able to cache the hot accessed lines."
+  DramBuffer buf(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(buf.write(LogicalLineAddr{static_cast<std::uint64_t>(i % 8)}),
+              std::nullopt);
+  }
+  EXPECT_EQ(buf.stats().evictions, 0u);
+  EXPECT_GT(buf.stats().hit_rate(), 0.99);
+}
+
+TEST(DramBufferTest, UniformSweepBeyondCapacityAlwaysEvicts) {
+  // §3.3.2: "UAA has uniform write accesses, and therefore the DRAM buffer
+  // does not work."
+  DramBuffer buf(8);
+  std::uint64_t evictions = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t a = 0; a < 64; ++a) {
+      if (buf.write(LogicalLineAddr{a})) ++evictions;
+    }
+  }
+  EXPECT_EQ(buf.stats().hits, 0u);
+  // All but the 8 warm-up fills evict.
+  EXPECT_EQ(evictions, 10u * 64u - 8u);
+}
+
+TEST(DramBufferTest, FlushReturnsAllResidents) {
+  DramBuffer buf(4);
+  buf.write(LogicalLineAddr{5});
+  buf.write(LogicalLineAddr{6});
+  const auto drained = buf.flush();
+  std::set<std::uint64_t> addrs;
+  for (const LogicalLineAddr a : drained) addrs.insert(a.value());
+  EXPECT_EQ(addrs, (std::set<std::uint64_t>{5, 6}));
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(DramBufferTest, ResetClearsEverything) {
+  DramBuffer buf(4);
+  buf.write(LogicalLineAddr{1});
+  buf.write(LogicalLineAddr{1});
+  buf.reset();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.stats().hits, 0u);
+  EXPECT_FALSE(buf.contains(LogicalLineAddr{1}));
+}
+
+TEST(DramBufferStatsTest, HitRateHandlesEmpty) {
+  DramBufferStats s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace nvmsec

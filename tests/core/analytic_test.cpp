@@ -1,0 +1,144 @@
+#include "core/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace nvmsec {
+namespace {
+
+LinearLifetimeModel model(double n, double el, double eh, double s) {
+  LinearLifetimeModel m;
+  m.num_lines = n;
+  m.e_low = el;
+  m.e_high = eh;
+  m.spare_lines = s;
+  return m;
+}
+
+TEST(LinearModelTest, Validation) {
+  EXPECT_THROW(model(0, 1, 2, 0).ideal(), std::invalid_argument);
+  EXPECT_THROW(model(10, 0, 2, 0).ideal(), std::invalid_argument);
+  EXPECT_THROW(model(10, 3, 2, 0).ideal(), std::invalid_argument);
+  EXPECT_THROW(model(10, 1, 2, 10).ideal(), std::invalid_argument);
+  EXPECT_THROW(model(10, 1, 2, -1).ideal(), std::invalid_argument);
+}
+
+TEST(LinearModelTest, Equation3Ideal) {
+  // L_ideal = N*(EH-EL)/2 + N*EL.
+  const auto m = model(100, 10, 50, 0);
+  EXPECT_DOUBLE_EQ(m.ideal(), 100 * 40 / 2.0 + 100 * 10);
+}
+
+TEST(LinearModelTest, Equation4UnprotectedUaa) {
+  const auto m = model(100, 10, 50, 0);
+  EXPECT_DOUBLE_EQ(m.uaa_unprotected(), 1000.0);
+}
+
+TEST(LinearModelTest, Equation5RatioMatchesPaperSpotValue) {
+  // "If EH is 50 times more than EL, LUAA will be only 3.9% of the ideal
+  // lifetime": 2/(50+1) = 3.92%.
+  const auto m = model(1000, 1, 50, 0);
+  EXPECT_NEAR(m.uaa_fraction_of_ideal(), 0.0392, 0.0002);
+  EXPECT_NEAR(m.uaa_unprotected() / m.ideal(), m.uaa_fraction_of_ideal(),
+              1e-12);
+}
+
+TEST(LinearModelTest, Equation6MaxWe) {
+  const auto m = model(100, 10, 50, 10);
+  // (N-S) * (EL + 2S(EH-EL)/N) = 90 * (10 + 2*10*40/100) = 90*18.
+  EXPECT_DOUBLE_EQ(m.maxwe(), 90.0 * 18.0);
+}
+
+TEST(LinearModelTest, Equation7PcdPs) {
+  const auto m = model(100, 10, 50, 10);
+  // S(N-S/2)(EH-EL)/N + N*EL = 10*95*40/100 + 1000 = 380 + 1000.
+  EXPECT_DOUBLE_EQ(m.pcd_ps(), 1380.0);
+}
+
+TEST(LinearModelTest, Equation8PsWorst) {
+  const auto m = model(100, 10, 50, 10);
+  // (N-S)(EL + S(EH-EL)/N) = 90 * (10 + 4) = 1260.
+  EXPECT_DOUBLE_EQ(m.ps_worst(), 1260.0);
+}
+
+TEST(LinearModelTest, PaperSection43SpotValues) {
+  // §4.3: "Assuming that p = 0.1 and q = 50, Max-WE, PCD/PS and PS-worst
+  // can achieve 38.1%, 22.2% and 20.8% of the ideal lifetime."
+  const Fig5Point pt = fig5_point(0.1, 50.0);
+  EXPECT_NEAR(pt.maxwe, 0.381, 0.002);
+  EXPECT_NEAR(pt.pcd_ps, 0.222, 0.002);
+  EXPECT_NEAR(pt.ps_worst, 0.208, 0.002);
+}
+
+TEST(LinearModelTest, MaxWeDominatesAlternatives) {
+  // "Max-WE always outperforms both PCD/PS and PS-worst" over Fig. 5's
+  // parameter box.
+  for (double p = 0.1; p <= 0.3001; p += 0.025) {
+    for (double q = 10; q <= 100.001; q += 7.5) {
+      const Fig5Point pt = fig5_point(p, q);
+      EXPECT_GE(pt.maxwe, pt.pcd_ps - 1e-12) << "p=" << p << " q=" << q;
+      EXPECT_GE(pt.pcd_ps, pt.ps_worst - 1e-12) << "p=" << p << " q=" << q;
+    }
+  }
+}
+
+TEST(LinearModelTest, NoSparesCollapsesToUnprotected) {
+  const auto m = model(100, 10, 50, 0);
+  EXPECT_DOUBLE_EQ(m.maxwe(), m.uaa_unprotected());
+  EXPECT_DOUBLE_EQ(m.ps_worst(), m.uaa_unprotected());
+  EXPECT_DOUBLE_EQ(m.pcd_ps(), m.uaa_unprotected());
+}
+
+TEST(LinearModelTest, NoVariationMakesSparesMatterLess) {
+  // With EH == EL every scheme reaches the same lifetime bound N*EL minus
+  // the capacity sacrificed for spares.
+  const auto m = model(100, 10, 10, 10);
+  EXPECT_DOUBLE_EQ(m.ideal(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.uaa_fraction_of_ideal(), 1.0);
+  EXPECT_DOUBLE_EQ(m.maxwe(), 900.0);
+  EXPECT_DOUBLE_EQ(m.pcd_ps(), 1000.0);
+}
+
+TEST(Fig5Test, PointValidation) {
+  EXPECT_THROW(fig5_point(-0.1, 50), std::invalid_argument);
+  EXPECT_THROW(fig5_point(1.0, 50), std::invalid_argument);
+  EXPECT_THROW(fig5_point(0.1, 0.5), std::invalid_argument);
+}
+
+TEST(Fig5Test, SurfaceShapeAndBounds) {
+  EXPECT_THROW(fig5_surface(0.1, 0.3, 1, 10, 100, 5), std::invalid_argument);
+  const auto surface = fig5_surface(0.1, 0.3, 5, 10, 100, 7);
+  ASSERT_EQ(surface.size(), 35u);
+  EXPECT_DOUBLE_EQ(surface.front().p, 0.1);
+  EXPECT_DOUBLE_EQ(surface.front().q, 10.0);
+  EXPECT_DOUBLE_EQ(surface.back().p, 0.3);
+  EXPECT_DOUBLE_EQ(surface.back().q, 100.0);
+  for (const auto& pt : surface) {
+    EXPECT_GT(pt.maxwe, 0.0);
+    EXPECT_LE(pt.maxwe, 1.0);
+    EXPECT_GE(pt.maxwe, pt.pcd_ps - 1e-12);
+    EXPECT_GE(pt.pcd_ps, pt.ps_worst - 1e-12);
+  }
+}
+
+TEST(Fig5Test, LifetimeDecreasesWithVariation) {
+  // Along the q axis every scheme's normalized lifetime falls.
+  double prev_maxwe = 1.0, prev_pcd = 1.0, prev_worst = 1.0;
+  for (double q = 10; q <= 100; q += 10) {
+    const auto pt = fig5_point(0.2, q);
+    EXPECT_LT(pt.maxwe, prev_maxwe);
+    EXPECT_LT(pt.pcd_ps, prev_pcd);
+    EXPECT_LT(pt.ps_worst, prev_worst);
+    prev_maxwe = pt.maxwe;
+    prev_pcd = pt.pcd_ps;
+    prev_worst = pt.ps_worst;
+  }
+}
+
+TEST(Fig5Test, MoreSparesHelpMaxWeMost) {
+  const auto lo = fig5_point(0.1, 50);
+  const auto hi = fig5_point(0.3, 50);
+  EXPECT_GT(hi.maxwe - lo.maxwe, hi.ps_worst - lo.ps_worst);
+}
+
+}  // namespace
+}  // namespace nvmsec

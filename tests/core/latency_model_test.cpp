@@ -1,0 +1,50 @@
+#include "core/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace nvmsec {
+namespace {
+
+TEST(LatencyModelTest, Validation) {
+  LatencyModelParams p;
+  p.array_read_ns = 0;
+  EXPECT_THROW(table_translation_latency(p), std::invalid_argument);
+  p = {};
+  p.sram_lookup_ns = -1;
+  EXPECT_THROW(table_translation_latency(p), std::invalid_argument);
+  EXPECT_THROW(pointer_chain_latency({}, -0.5), std::invalid_argument);
+}
+
+TEST(LatencyModelTest, TableTranslationAddsOneSramLookup) {
+  LatencyModelParams p;
+  p.array_read_ns = 50;
+  p.sram_lookup_ns = 2;
+  const TranslationLatency t = table_translation_latency(p);
+  EXPECT_DOUBLE_EQ(t.mean_access_ns, 52.0);
+  EXPECT_DOUBLE_EQ(t.translation_ns, 2.0);
+  EXPECT_DOUBLE_EQ(t.relative, 1.04);
+}
+
+TEST(LatencyModelTest, PointerChainScalesWithHops) {
+  LatencyModelParams p;
+  p.array_read_ns = 50;
+  const TranslationLatency none = pointer_chain_latency(p, 0.0);
+  EXPECT_DOUBLE_EQ(none.mean_access_ns, 50.0);
+  EXPECT_DOUBLE_EQ(none.relative, 1.0);
+  const TranslationLatency two = pointer_chain_latency(p, 2.0);
+  EXPECT_DOUBLE_EQ(two.mean_access_ns, 150.0);
+  EXPECT_DOUBLE_EQ(two.relative, 3.0);
+}
+
+TEST(LatencyModelTest, SramBeatsEvenFractionalHops) {
+  // The paper's SRAM-table argument: a table lookup is cheaper than any
+  // realistic mean pointer-walk once a meaningful fraction of lines has
+  // been remapped.
+  LatencyModelParams p;
+  const double table = table_translation_latency(p).mean_access_ns;
+  const double chain = pointer_chain_latency(p, 0.05).mean_access_ns;
+  EXPECT_LT(table, chain);
+}
+
+}  // namespace
+}  // namespace nvmsec

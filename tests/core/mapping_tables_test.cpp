@@ -1,0 +1,140 @@
+#include "core/mapping_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace nvmsec {
+namespace {
+
+TEST(CeilLog2Test, KnownValues) {
+  EXPECT_THROW(ceil_log2(0), std::invalid_argument);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(2048), 11u);
+  EXPECT_EQ(ceil_log2(1ULL << 22), 22u);
+  EXPECT_EQ(ceil_log2((1ULL << 22) + 1), 23u);
+}
+
+TEST(RmtTest, ConstructionValidation) {
+  EXPECT_THROW(RegionMappingTable(0, 4), std::invalid_argument);
+  EXPECT_THROW(RegionMappingTable(4, 0), std::invalid_argument);
+}
+
+TEST(RmtTest, AddAndLookupPairs) {
+  RegionMappingTable rmt(8, 4);
+  rmt.add_pair(RegionId{3}, RegionId{0});
+  rmt.add_pair(RegionId{5}, RegionId{1});
+  EXPECT_EQ(rmt.size(), 2u);
+  EXPECT_TRUE(rmt.has_region(RegionId{3}));
+  EXPECT_FALSE(rmt.has_region(RegionId{0}));  // sra is not a pra
+  EXPECT_EQ(rmt.spare_of(RegionId{3}), RegionId{0});
+  EXPECT_EQ(rmt.spare_of(RegionId{5}), RegionId{1});
+  EXPECT_EQ(rmt.spare_of(RegionId{7}), std::nullopt);
+  ASSERT_EQ(rmt.pairs().size(), 2u);
+  EXPECT_EQ(rmt.pairs()[0].first, RegionId{3});
+  EXPECT_EQ(rmt.pairs()[0].second, RegionId{0});
+}
+
+TEST(RmtTest, PairConstraints) {
+  RegionMappingTable rmt(8, 4);
+  rmt.add_pair(RegionId{3}, RegionId{0});
+  EXPECT_THROW(rmt.add_pair(RegionId{3}, RegionId{1}), std::invalid_argument);
+  EXPECT_THROW(rmt.add_pair(RegionId{4}, RegionId{0}), std::invalid_argument);
+  EXPECT_THROW(rmt.add_pair(RegionId{4}, RegionId{4}), std::invalid_argument);
+  EXPECT_THROW(rmt.add_pair(RegionId{8}, RegionId{0}), std::invalid_argument);
+  EXPECT_THROW(rmt.add_pair(RegionId{4}, RegionId{9}), std::invalid_argument);
+}
+
+TEST(RmtTest, WearOutTags) {
+  RegionMappingTable rmt(8, 4);
+  rmt.add_pair(RegionId{3}, RegionId{0});
+  EXPECT_FALSE(rmt.wear_out_tag(RegionId{3}, LineInRegion{2}));
+  rmt.set_wear_out_tag(RegionId{3}, LineInRegion{2});
+  EXPECT_TRUE(rmt.wear_out_tag(RegionId{3}, LineInRegion{2}));
+  EXPECT_FALSE(rmt.wear_out_tag(RegionId{3}, LineInRegion{1}));
+  EXPECT_EQ(rmt.tags_set(), 1u);
+  // Setting twice does not double-count.
+  rmt.set_wear_out_tag(RegionId{3}, LineInRegion{2});
+  EXPECT_EQ(rmt.tags_set(), 1u);
+}
+
+TEST(RmtTest, TagAccessValidation) {
+  RegionMappingTable rmt(8, 4);
+  rmt.add_pair(RegionId{3}, RegionId{0});
+  EXPECT_THROW(rmt.wear_out_tag(RegionId{4}, LineInRegion{0}),
+               std::invalid_argument);
+  EXPECT_THROW(rmt.wear_out_tag(RegionId{3}, LineInRegion{4}),
+               std::out_of_range);
+  EXPECT_THROW(rmt.set_wear_out_tag(RegionId{4}, LineInRegion{0}),
+               std::invalid_argument);
+}
+
+TEST(RmtTest, StorageBitsPerPair) {
+  RegionMappingTable rmt(2048, 2048);
+  rmt.add_pair(RegionId{1}, RegionId{0});
+  // Per pair: log2(2048)=11 id bits + 2048 wear-out tag bits.
+  EXPECT_EQ(rmt.storage_bits(), 11u + 2048u);
+  rmt.add_pair(RegionId{3}, RegionId{2});
+  EXPECT_EQ(rmt.storage_bits(), 2 * (11u + 2048u));
+}
+
+TEST(RmtTest, ResetTagsKeepsPairs) {
+  RegionMappingTable rmt(8, 4);
+  rmt.add_pair(RegionId{3}, RegionId{0});
+  rmt.set_wear_out_tag(RegionId{3}, LineInRegion{1});
+  rmt.reset_tags();
+  EXPECT_EQ(rmt.tags_set(), 0u);
+  EXPECT_FALSE(rmt.wear_out_tag(RegionId{3}, LineInRegion{1}));
+  EXPECT_EQ(rmt.size(), 1u);
+}
+
+TEST(LmtTest, LookupInsertErase) {
+  LineMappingTable lmt(4, 100);
+  EXPECT_EQ(lmt.lookup(PhysLineAddr{10}), std::nullopt);
+  lmt.insert_or_replace(PhysLineAddr{10}, PhysLineAddr{90});
+  EXPECT_EQ(lmt.lookup(PhysLineAddr{10}), PhysLineAddr{90});
+  lmt.insert_or_replace(PhysLineAddr{10}, PhysLineAddr{91});  // replace
+  EXPECT_EQ(lmt.lookup(PhysLineAddr{10}), PhysLineAddr{91});
+  EXPECT_EQ(lmt.size(), 1u);
+  lmt.erase(PhysLineAddr{10});
+  EXPECT_EQ(lmt.lookup(PhysLineAddr{10}), std::nullopt);
+  EXPECT_EQ(lmt.size(), 0u);
+}
+
+TEST(LmtTest, CapacityEnforced) {
+  LineMappingTable lmt(2, 100);
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{90});
+  lmt.insert_or_replace(PhysLineAddr{2}, PhysLineAddr{91});
+  EXPECT_THROW(lmt.insert_or_replace(PhysLineAddr{3}, PhysLineAddr{92}),
+               std::length_error);
+  // Replacing an existing key is allowed at capacity.
+  EXPECT_NO_THROW(lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{93}));
+}
+
+TEST(LmtTest, AddressRangeEnforced) {
+  LineMappingTable lmt(4, 100);
+  EXPECT_THROW(lmt.insert_or_replace(PhysLineAddr{100}, PhysLineAddr{0}),
+               std::out_of_range);
+  EXPECT_THROW(lmt.insert_or_replace(PhysLineAddr{0}, PhysLineAddr{100}),
+               std::out_of_range);
+}
+
+TEST(LmtTest, StorageBitsIsCapacityTimesPointer) {
+  // Provisioned cost, not occupancy: capacity * ceil(log2(num_lines)).
+  LineMappingTable lmt(10, 1ULL << 22);
+  EXPECT_EQ(lmt.storage_bits(), 10u * 22u);
+  lmt.insert_or_replace(PhysLineAddr{0}, PhysLineAddr{1});
+  EXPECT_EQ(lmt.storage_bits(), 10u * 22u);
+}
+
+TEST(LmtTest, ClearEmptiesTable) {
+  LineMappingTable lmt(4, 100);
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{2});
+  lmt.clear();
+  EXPECT_EQ(lmt.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nvmsec

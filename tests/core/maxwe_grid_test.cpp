@@ -1,0 +1,101 @@
+// Parameter-grid property sweep for Max-WE: structural invariants that
+// must hold for every (spare_fraction, swr_fraction, selection, matching)
+// combination, checked after arbitrary wear-out activity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/maxwe.h"
+
+namespace nvmsec {
+namespace {
+
+using GridParam = std::tuple<double, double, SpareSelectionPolicy,
+                             MatchingPolicy>;
+
+std::shared_ptr<const EnduranceMap> grid_map() {
+  // 64 regions x 8 lines with a sampled (non-monotone) endurance layout.
+  Rng rng(31);
+  EnduranceModelParams params;
+  params.endurance_at_mean = 1000.0;
+  const EnduranceModel model(params);
+  static const auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::scaled(512, 64), model, rng));
+  return map;
+}
+
+class MaxWeGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(MaxWeGridTest, StructuralInvariantsSurviveWear) {
+  const auto& [spare, swr, selection, matching] = GetParam();
+  MaxWeParams p;
+  p.spare_fraction = spare;
+  p.swr_fraction = swr;
+  p.selection = selection;
+  p.matching = matching;
+  MaxWe m(grid_map(), p);
+
+  // Role populations are disjoint and complete.
+  std::set<std::uint64_t> roles;
+  for (RegionId r : m.swr_regions()) {
+    EXPECT_TRUE(roles.insert(r.value()).second);
+  }
+  for (RegionId r : m.asr_regions()) {
+    EXPECT_TRUE(roles.insert(r.value()).second);
+  }
+  for (RegionId r : m.rwr_regions()) {
+    EXPECT_TRUE(roles.insert(r.value()).second) << "RWR overlaps spares";
+  }
+  EXPECT_EQ(m.rmt().size(), m.swr_regions().size());
+  EXPECT_EQ(m.working_lines(),
+            (64 - m.swr_regions().size() - m.asr_regions().size()) * 8);
+
+  // Hammer the scheme with wear-outs until it refuses, checking the cache
+  // and tables stay consistent and backings stay injective.
+  Rng rng(7);
+  bool alive = true;
+  int deaths = 0;
+  while (alive && deaths < 2000) {
+    alive = m.on_wear_out(rng.uniform_u64(m.working_lines()));
+    ++deaths;
+    if (deaths % 64 == 0) {
+      std::set<std::uint64_t> backings;
+      for (std::uint64_t i = 0; i < m.working_lines(); ++i) {
+        EXPECT_TRUE(backings.insert(m.resolve(i).value()).second);
+        EXPECT_EQ(m.resolve(i), m.translate_read(m.working_line(i)));
+      }
+    }
+  }
+  EXPECT_FALSE(alive);  // spares are finite
+  // LMT occupancy can never exceed the ASR pool.
+  EXPECT_LE(m.lmt().size(), m.asr_regions().size() * 8);
+}
+
+std::string grid_param_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const double spare = std::get<0>(info.param);
+  const double swr = std::get<1>(info.param);
+  std::string name = "spare" + std::to_string(static_cast<int>(spare * 100)) +
+                     "_swr" + std::to_string(static_cast<int>(swr * 100));
+  name += std::get<2>(info.param) == SpareSelectionPolicy::kWeakPriority
+              ? "_weak"
+              : "_rand";
+  name += std::get<3>(info.param) == MatchingPolicy::kWeakStrong ? "_antitone"
+                                                                 : "_ident";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MaxWeGridTest,
+    ::testing::Combine(
+        ::testing::Values(0.1, 0.25, 0.4),
+        ::testing::Values(0.0, 0.5, 0.9, 1.0),
+        ::testing::Values(SpareSelectionPolicy::kWeakPriority,
+                          SpareSelectionPolicy::kRandomRegions),
+        ::testing::Values(MatchingPolicy::kWeakStrong,
+                          MatchingPolicy::kIdentity)),
+    grid_param_name);
+
+}  // namespace
+}  // namespace nvmsec

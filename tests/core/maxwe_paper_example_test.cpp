@@ -1,0 +1,134 @@
+// The paper's worked example (Fig. 3) reproduced literally.
+//
+// Seven regions; region ids in ascending endurance order: 2-3-5-1-6-0-4.
+// Max-WE must choose SWRs = {2, 3}, RWRs = {5, 1}, additional spare = {6},
+// and pair region 1 with region 2 and region 5 with region 3 (weak-strong
+// matching), leaving regions {0, 1, 4, 5} as the user space.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/maxwe.h"
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> fig3_map() {
+  // Endurance ascending over region ids 2,3,5,1,6,0,4.
+  std::vector<Endurance> es(7);
+  es[2] = 10;
+  es[3] = 20;
+  es[5] = 30;
+  es[1] = 40;
+  es[6] = 50;
+  es[0] = 60;
+  es[4] = 70;
+  // Fig. 3 draws 3 lines per region.
+  return std::make_shared<EnduranceMap>(DeviceGeometry::scaled(21, 7), es);
+}
+
+MaxWe fig3_maxwe() {
+  MaxWeParams params;
+  params.spare_fraction = 3.0 / 7.0;  // 3 spare regions
+  params.swr_fraction = 2.0 / 3.0;    // 2 of them SWRs
+  return MaxWe(fig3_map(), params);
+}
+
+TEST(Fig3Test, WeakPriorityChoosesWeakestRegionsAsSWRs) {
+  const MaxWe m = fig3_maxwe();
+  ASSERT_EQ(m.swr_regions().size(), 2u);
+  EXPECT_EQ(m.swr_regions()[0], RegionId{2});
+  EXPECT_EQ(m.swr_regions()[1], RegionId{3});
+}
+
+TEST(Fig3Test, RemainingWeakestRegionsAreRWRs) {
+  const MaxWe m = fig3_maxwe();
+  ASSERT_EQ(m.rwr_regions().size(), 2u);
+  EXPECT_EQ(m.rwr_regions()[0], RegionId{5});
+  EXPECT_EQ(m.rwr_regions()[1], RegionId{1});
+}
+
+TEST(Fig3Test, AdditionalSpareIsNextWeakest) {
+  const MaxWe m = fig3_maxwe();
+  ASSERT_EQ(m.asr_regions().size(), 1u);
+  EXPECT_EQ(m.asr_regions()[0], RegionId{6});
+}
+
+TEST(Fig3Test, WeakStrongMatchingPairsAsInThePaper) {
+  const MaxWe m = fig3_maxwe();
+  // "the strongest region of RWRs (region 1) is paired with the weakest
+  // region of SWRs (region 2), and the weaker region (region 5) is paired
+  // with the stronger region (region 3)".
+  EXPECT_EQ(m.rmt().spare_of(RegionId{1}), RegionId{2});
+  EXPECT_EQ(m.rmt().spare_of(RegionId{5}), RegionId{3});
+}
+
+TEST(Fig3Test, UserSpaceIsEverythingButSpares) {
+  MaxWe m = fig3_maxwe();
+  EXPECT_EQ(m.working_lines(), 12u);  // regions {0,1,4,5} x 3 lines
+  std::set<std::uint64_t> regions;
+  for (std::uint64_t i = 0; i < m.working_lines(); ++i) {
+    regions.insert(m.working_line(i).value() / 3);
+  }
+  EXPECT_EQ(regions, (std::set<std::uint64_t>{0, 1, 4, 5}));
+}
+
+TEST(Fig3Test, RwrWearOutRedirectsToPairedSwrLineSameOffset) {
+  MaxWe m = fig3_maxwe();
+  // Find the working index of region 1, line offset 2 (physical line 5).
+  std::uint64_t idx = UINT64_MAX;
+  for (std::uint64_t i = 0; i < m.working_lines(); ++i) {
+    if (m.working_line(i).value() == 5) idx = i;
+  }
+  ASSERT_NE(idx, UINT64_MAX);
+  EXPECT_TRUE(m.on_wear_out(idx));
+  // Region 1 is rescued by region 2: line 5 = (region 1, offset 2) maps to
+  // (region 2, offset 2) = physical line 8.
+  EXPECT_EQ(m.resolve(idx).value(), 8u);
+  EXPECT_TRUE(m.rmt().wear_out_tag(RegionId{1}, LineInRegion{2}));
+  EXPECT_EQ(m.translate_read(PhysLineAddr{5}).value(), 8u);
+}
+
+TEST(Fig3Test, OutsideRwrWearOutUsesAdditionalSpare) {
+  MaxWe m = fig3_maxwe();
+  // Region 0 is plain user space ("region 6 [rescues] all the wear-out
+  // lines (region 0) outside the RWRs dynamically").
+  std::uint64_t idx = UINT64_MAX;
+  for (std::uint64_t i = 0; i < m.working_lines(); ++i) {
+    if (m.working_line(i).value() == 1) idx = i;  // region 0, offset 1
+  }
+  ASSERT_NE(idx, UINT64_MAX);
+  EXPECT_TRUE(m.on_wear_out(idx));
+  const PhysLineAddr spare = m.resolve(idx);
+  EXPECT_EQ(spare.value() / 3, 6u);  // a region-6 line
+  EXPECT_EQ(m.lmt().lookup(PhysLineAddr{1}), spare);
+  EXPECT_EQ(m.translate_read(PhysLineAddr{1}), spare);
+}
+
+TEST(Fig3Test, AsrPoolExhaustionFailsDevice) {
+  MaxWe m = fig3_maxwe();
+  // Region 6 has 3 spare lines; wear out 3 region-0/4 lines, then a 4th.
+  std::vector<std::uint64_t> outside;
+  for (std::uint64_t i = 0; i < m.working_lines(); ++i) {
+    const std::uint64_t r = m.working_line(i).value() / 3;
+    if (r == 0 || r == 4) outside.push_back(i);
+  }
+  ASSERT_GE(outside.size(), 4u);
+  EXPECT_TRUE(m.on_wear_out(outside[0]));
+  EXPECT_TRUE(m.on_wear_out(outside[1]));
+  EXPECT_TRUE(m.on_wear_out(outside[2]));
+  EXPECT_EQ(m.asr_pool_remaining(), 0u);
+  EXPECT_FALSE(m.on_wear_out(outside[3]));
+}
+
+TEST(Fig3Test, MappingOverheadCountsBothTables) {
+  const MaxWe m = fig3_maxwe();
+  // RMT: 2 pairs x (ceil(log2 7)=3 id bits + 3 tag bits) = 12 bits.
+  // LMT: 3 spare lines x ceil(log2 21)=5 bits = 15 bits.
+  EXPECT_EQ(m.rmt().storage_bits(), 12u);
+  EXPECT_EQ(m.lmt().storage_bits(), 15u);
+  EXPECT_EQ(m.mapping_overhead_bits(), 27u);
+}
+
+}  // namespace
+}  // namespace nvmsec

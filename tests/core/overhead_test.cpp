@@ -1,0 +1,98 @@
+#include "core/overhead.h"
+
+#include <gtest/gtest.h>
+
+namespace nvmsec {
+namespace {
+
+MappingOverheadInputs paper_inputs() {
+  // §5.3.2: 1 GB NVM (4,194,304 x 256 B lines), 2048 regions, 10% spares,
+  // 90% of the spares region-mapped.
+  return MappingOverheadInputs::from_geometry(DeviceGeometry::paper_1gb(), 0.1,
+                                              0.9);
+}
+
+TEST(OverheadInputsTest, FromGeometry) {
+  const auto in = paper_inputs();
+  EXPECT_EQ(in.num_lines, 4194304u);
+  EXPECT_EQ(in.num_regions, 2048u);
+  EXPECT_EQ(in.spare_lines, 419430u);
+  EXPECT_DOUBLE_EQ(in.swr_fraction, 0.9);
+}
+
+TEST(OverheadInputsTest, Validation) {
+  MappingOverheadInputs in;
+  EXPECT_THROW(in.validate(), std::invalid_argument);  // empty geometry
+  in = paper_inputs();
+  in.swr_fraction = 1.5;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = paper_inputs();
+  in.spare_lines = in.num_lines;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = paper_inputs();
+  in.num_regions = in.num_lines + 1;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  EXPECT_THROW(MappingOverheadInputs::from_geometry(
+                   DeviceGeometry::paper_1gb(), 1.0, 0.9),
+               std::invalid_argument);
+}
+
+TEST(OverheadTest, PaperHeadlineNumbers) {
+  // §5.3.2: "the mapping table overhead of Max-WE and line-level mapping
+  // are about 0.16MB and 1.1MB, respectively. The mapping table overhead of
+  // Max-WE is only 15.0% of the traditional spare-line replacement schemes"
+  // — i.e. the abstract's 85% reduction and 0.016% of total space.
+  const auto out = mapping_overhead(paper_inputs());
+  EXPECT_NEAR(out.maxwe_total_mb(), 0.16, 0.01);
+  EXPECT_NEAR(out.traditional_mb(), 1.1, 0.01);
+  EXPECT_NEAR(out.ratio, 0.15, 0.01);
+  // Mapping overhead as a fraction of total capacity: ~0.016% (abstract).
+  const double fraction = out.maxwe_total_bits / 8.0 / (1024.0 * 1024 * 1024);
+  EXPECT_NEAR(fraction, 0.00016, 0.00002);
+}
+
+TEST(OverheadTest, ComponentFormulas) {
+  MappingOverheadInputs in;
+  in.num_lines = 1 << 20;
+  in.num_regions = 1 << 10;
+  in.spare_lines = 1000;
+  in.swr_fraction = 0.8;
+  const auto out = mapping_overhead(in);
+  EXPECT_DOUBLE_EQ(out.lmt_bits, 0.2 * 1000 * 20);
+  EXPECT_DOUBLE_EQ(out.rmt_bits, 0.8 * 1000 * 1024 * 10 / (1 << 20));
+  EXPECT_DOUBLE_EQ(out.wear_out_tag_bits, 0.8 * 1000);
+  EXPECT_DOUBLE_EQ(out.traditional_bits, 1000 * 20);
+  EXPECT_DOUBLE_EQ(
+      out.maxwe_total_bits,
+      out.lmt_bits + out.rmt_bits + out.wear_out_tag_bits);
+}
+
+TEST(OverheadTest, AllLineLevelEqualsTraditional) {
+  auto in = paper_inputs();
+  in.swr_fraction = 0.0;  // no SWRs: pure line-level mapping
+  const auto out = mapping_overhead(in);
+  EXPECT_DOUBLE_EQ(out.maxwe_total_bits, out.traditional_bits);
+  EXPECT_DOUBLE_EQ(out.ratio, 1.0);
+}
+
+TEST(OverheadTest, MoreSwrsMeansLessOverhead) {
+  double prev = 2.0;
+  for (double q : {0.0, 0.2, 0.6, 0.8, 0.9, 1.0}) {
+    auto in = paper_inputs();
+    in.swr_fraction = q;
+    const double ratio = mapping_overhead(in).ratio;
+    EXPECT_LT(ratio, prev) << "q=" << q;
+    prev = ratio;
+  }
+}
+
+TEST(OverheadTest, ZeroSparesZeroOverhead) {
+  auto in = paper_inputs();
+  in.spare_lines = 0;
+  const auto out = mapping_overhead(in);
+  EXPECT_DOUBLE_EQ(out.maxwe_total_bits, 0.0);
+  EXPECT_DOUBLE_EQ(out.ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace nvmsec

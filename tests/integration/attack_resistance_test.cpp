@@ -1,0 +1,102 @@
+// Attack-vs-defense integration matrix (§3.3): which attacks defeat which
+// wear levelers, and how Max-WE changes the picture.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace nvmsec {
+namespace {
+
+double lifetime(const std::string& attack, const std::string& wl,
+                const std::string& spare, std::uint64_t seed = 1) {
+  ExperimentConfig c = scaled_stochastic_config(1024, 64, 2e4);
+  c.attack = attack;
+  c.wear_leveler = wl;
+  c.spare_scheme = spare;
+  c.seed = seed;
+  return run_experiment(c).normalized;
+}
+
+double fine_grained_lifetime(const std::string& attack, const std::string& wl,
+                             std::uint64_t seed = 1) {
+  // Tighter remap cadence so the per-dwell wear stays well below the
+  // weakest line's endurance even at this scaled size (the full-scale
+  // regime; see EXPERIMENTS.md "Scaling").
+  ExperimentConfig c = scaled_stochastic_config(1024, 64, 2e4);
+  c.attack = attack;
+  c.wear_leveler = wl;
+  c.spare_scheme = "none";
+  c.wl.swap_interval = 8;
+  c.wl.tlsr_subregion_lines = 8;
+  c.seed = seed;
+  return run_experiment(c).normalized;
+}
+
+TEST(AttackResistanceTest, HotspotDestroysUnleveledDevice) {
+  // A single hammered address on an identity mapping burns one line: the
+  // lifetime is a single line's endurance out of the whole device's
+  // (1/1024 of the lines, scaled by that line's relative endurance).
+  const double l = lifetime("hotspot", "none", "none");
+  EXPECT_LT(l, 0.005);
+}
+
+TEST(AttackResistanceTest, RandomizingWearLevelersDefeatHotspot) {
+  // TLSR and PCM-S turn a hammered address into (bursty) uniform traffic,
+  // so the hotspot lifetime approaches the uniform-attack lifetime — the
+  // best any oblivious scheme can do — instead of a single line's
+  // endurance.
+  const double uniform_bound = fine_grained_lifetime("uaa", "none");
+  for (const std::string wl : {"tlsr", "pcms"}) {
+    const double hotspot = fine_grained_lifetime("hotspot", wl);
+    EXPECT_GT(hotspot, 0.15 * uniform_bound) << wl;
+  }
+}
+
+TEST(AttackResistanceTest, UaaDefeatsEveryWearLeveler) {
+  // §3.3.1: under UAA "no lines can be identified as hot lines and the
+  // remapping scheme will never be [useful]" — every wear leveler's
+  // lifetime collapses to (at most marginally above) the unleveled one.
+  const double unleveled = lifetime("uaa", "none", "none");
+  for (const std::string wl : {"startgap", "tlsr", "pcms", "bwl", "wawl"}) {
+    const double leveled = lifetime("uaa", wl, "none");
+    EXPECT_LT(leveled, 3 * unleveled) << wl;
+  }
+}
+
+TEST(AttackResistanceTest, RemappingAggravatesWearUnderUaa) {
+  // Fig. 2's point: migration writes are pure overhead under UAA, so a
+  // remapping wear leveler can only shorten the lifetime (or match it).
+  const double unleveled = lifetime("uaa", "none", "none");
+  const double tlsr = lifetime("uaa", "tlsr", "none");
+  EXPECT_LE(tlsr, unleveled * 1.05);
+}
+
+TEST(AttackResistanceTest, MaxWeRaisesLifetimeUnderEveryAttack) {
+  for (const std::string attack : {"uaa", "bpa", "random"}) {
+    const double without = lifetime(attack, "tlsr", "none");
+    const double with_maxwe = lifetime(attack, "tlsr", "maxwe");
+    EXPECT_GT(with_maxwe, without) << attack;
+  }
+}
+
+TEST(AttackResistanceTest, BpaIsWeakerThanUaaAgainstProtectedDevice) {
+  // Against Max-WE + a randomizing wear leveler, hammering bursts spread
+  // like uniform writes; BPA should not beat UAA by much, if at all.
+  const double uaa = lifetime("uaa", "tlsr", "maxwe");
+  const double bpa = lifetime("bpa", "tlsr", "maxwe");
+  EXPECT_GT(bpa, 0.3 * uaa);
+}
+
+TEST(AttackResistanceTest, WearLevelerOverheadVisibleInResults) {
+  ExperimentConfig c = scaled_stochastic_config(1024, 64, 2e4);
+  c.attack = "uaa";
+  c.wear_leveler = "pcms";
+  c.spare_scheme = "none";
+  const LifetimeResult r = run_experiment(c);
+  EXPECT_GT(r.overhead_writes, 0u);
+  EXPECT_EQ(r.device_writes,
+            static_cast<WriteCount>(r.user_writes) + r.overhead_writes);
+}
+
+}  // namespace
+}  // namespace nvmsec

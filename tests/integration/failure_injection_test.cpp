@@ -1,0 +1,138 @@
+// Failure injection: latent defects the manufacture-time endurance map did
+// not know about. Device::weaken() caps a line's remaining writes; the
+// wear-out still surfaces through the normal write path, so every spare
+// scheme must cope without special handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/attack.h"
+#include "core/maxwe.h"
+#include "nvm/device.h"
+#include "spare/freep.h"
+#include "sim/engine.h"
+#include "wearlevel/none.h"
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> ramp_map() {
+  std::vector<Endurance> es;
+  for (int r = 0; r < 16; ++r) es.push_back(100.0 * (r + 1));
+  return std::make_shared<EnduranceMap>(DeviceGeometry::scaled(128, 16), es);
+}
+
+TEST(FailureInjectionTest, WeakenValidation) {
+  Device d(ramp_map());
+  EXPECT_THROW(d.weaken(PhysLineAddr{128}, 1), std::out_of_range);
+  EXPECT_THROW(d.weaken(PhysLineAddr{0}, 0), std::invalid_argument);
+  d.weaken(PhysLineAddr{0}, 1);
+  d.write(PhysLineAddr{0});  // dies on this write
+  EXPECT_THROW(d.weaken(PhysLineAddr{0}, 5), std::logic_error);
+}
+
+TEST(FailureInjectionTest, WeakenOnlyLowers) {
+  Device d(ramp_map());
+  d.weaken(PhysLineAddr{0}, 5);
+  EXPECT_EQ(d.remaining(PhysLineAddr{0}), 5u);
+  d.weaken(PhysLineAddr{0}, 1000);  // cannot raise
+  EXPECT_EQ(d.remaining(PhysLineAddr{0}), 5u);
+}
+
+TEST(FailureInjectionTest, WeakenedLineDiesThroughNormalWearOutEvent) {
+  Device d(ramp_map());
+  d.weaken(PhysLineAddr{3}, 2);
+  EXPECT_EQ(d.write(PhysLineAddr{3}), WriteOutcome::kOk);
+  EXPECT_EQ(d.write(PhysLineAddr{3}), WriteOutcome::kWornOut);
+  EXPECT_EQ(d.worn_out_count(), 1u);
+}
+
+TEST(FailureInjectionTest, MaxWeAbsorbsInjectedDefectsInStrongRegions) {
+  // Defects in strong (non-RWR) regions are exactly what the additional
+  // spare regions are for: the run must survive past the defects and the
+  // LMT must carry the remapping.
+  auto map = ramp_map();
+  Device device(map);
+  // Inject early deaths into the strongest regions (14, 15).
+  device.weaken(PhysLineAddr{14 * 8 + 2}, 3);
+  device.weaken(PhysLineAddr{15 * 8 + 5}, 3);
+
+  MaxWeParams params;
+  params.spare_fraction = 0.25;
+  params.swr_fraction = 0.5;
+  MaxWe maxwe(map, params);
+  auto attack = make_uaa();
+  NoWearLeveling wl(maxwe.working_lines());
+  Rng rng(1);
+  Engine engine(device, *attack, wl, maxwe, rng);
+  const LifetimeResult r = engine.run();
+  EXPECT_TRUE(r.failed);
+  // Both defective lines must have been rescued via line-level mapping
+  // before the device's natural end.
+  EXPECT_TRUE(device.is_worn_out(PhysLineAddr{14 * 8 + 2}));
+  EXPECT_TRUE(device.is_worn_out(PhysLineAddr{15 * 8 + 5}));
+  EXPECT_GE(maxwe.lmt().size(), 1u);
+  // The defects cost two spare lines but not the device's lifetime class:
+  // still far beyond the unprotected bound of N * EL.
+  EXPECT_GT(r.user_writes, 128.0 * 100.0);
+}
+
+TEST(FailureInjectionTest, UnprotectedDeviceDiesAtInjectedDefect) {
+  auto map = ramp_map();
+  Device device(map);
+  device.weaken(PhysLineAddr{100}, 7);
+  auto attack = make_uaa();
+  NoWearLeveling wl(128);
+  auto spare = make_no_spare(map);
+  Rng rng(1);
+  Engine engine(device, *attack, wl, *spare, rng);
+  const LifetimeResult r = engine.run();
+  EXPECT_TRUE(r.failed);
+  // Dies on the defective line's 7th write: 6 full sweeps + its slot.
+  EXPECT_DOUBLE_EQ(r.user_writes, 6.0 * 128.0 + 101.0);
+}
+
+TEST(FailureInjectionTest, MassInjectionStressesEverySpareScheme) {
+  // Kill-soon 10% of random lines; every scheme must either survive and
+  // remap them or fail cleanly — no crashes, no accounting drift.
+  for (const std::string scheme : {"pcd", "ps", "ps-worst", "freep",
+                                   "maxwe"}) {
+    auto map = ramp_map();
+    Device device(map);
+    Rng inject_rng(9);
+    for (int k = 0; k < 12; ++k) {
+      const PhysLineAddr line{inject_rng.uniform_u64(128)};
+      if (!device.is_worn_out(line) && device.remaining(line) > 2) {
+        device.weaken(line, 2);
+      }
+    }
+    Rng rng(10);
+    std::unique_ptr<SpareScheme> spare;
+    if (scheme == "pcd") {
+      spare = make_pcd(map, 32, rng);
+    } else if (scheme == "ps") {
+      spare = make_ps(map, 32, rng);
+    } else if (scheme == "ps-worst") {
+      spare = make_ps_worst(map, 32, rng);
+    } else if (scheme == "freep") {
+      spare = make_freep(map, 32);
+    } else {
+      MaxWeParams p;
+      p.spare_fraction = 0.25;
+      p.swr_fraction = 0.5;
+      spare = make_maxwe(map, p);
+    }
+    auto attack = make_uaa();
+    NoWearLeveling wl(spare->working_lines());
+    Engine engine(device, *attack, wl, *spare, rng);
+    const LifetimeResult r = engine.run();
+    EXPECT_TRUE(r.failed) << scheme;
+    EXPECT_GT(r.user_writes, 0.0) << scheme;
+    EXPECT_EQ(r.device_writes,
+              static_cast<WriteCount>(r.user_writes) + r.overhead_writes)
+        << scheme;
+  }
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,74 @@
+// Golden regression values: fixed-seed results recorded from a verified
+// build. Tolerances are loose enough to survive benign floating-point
+// differences but tight enough to catch any behavioural change in the
+// endurance model, the engines, or a scheme's allocation logic.
+//
+// If a test here fails after an intentional change, re-derive the value
+// (run the experiment, eyeball it against the paper's shape targets in
+// EXPERIMENTS.md) and update the constant in the same commit as the
+// change.
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/overhead.h"
+#include "sim/experiment.h"
+
+namespace nvmsec {
+namespace {
+
+ExperimentConfig golden_config(const std::string& scheme) {
+  ExperimentConfig c;  // paper 1 GB geometry, UAA, event engine, k=8 model
+  c.spare_scheme = scheme;
+  c.seed = 42;
+  return c;
+}
+
+TEST(GoldenTest, UnprotectedFullScaleSeed42) {
+  const double lifetime = run_experiment(golden_config("none")).normalized;
+  EXPECT_NEAR(lifetime, 0.0535, 0.0005);
+}
+
+TEST(GoldenTest, MaxWeFullScaleSeed42) {
+  const double lifetime = run_experiment(golden_config("maxwe")).normalized;
+  EXPECT_NEAR(lifetime, 0.2688, 0.0027);
+}
+
+TEST(GoldenTest, PcdFullScaleSeed42) {
+  const double lifetime = run_experiment(golden_config("pcd")).normalized;
+  EXPECT_NEAR(lifetime, 0.1986, 0.0020);
+}
+
+TEST(GoldenTest, PsWorstFullScaleSeed42) {
+  const double lifetime = run_experiment(golden_config("ps-worst")).normalized;
+  EXPECT_NEAR(lifetime, 0.1844, 0.0019);
+}
+
+TEST(GoldenTest, AnalyticSpotValuesAreExact) {
+  // Pure closed forms: no tolerance games needed.
+  const Fig5Point pt = fig5_point(0.1, 50.0);
+  EXPECT_NEAR(pt.maxwe, 0.3811, 0.0001);
+  EXPECT_NEAR(pt.pcd_ps, 0.2217, 0.0001);
+  EXPECT_NEAR(pt.ps_worst, 0.2082, 0.0001);
+}
+
+TEST(GoldenTest, MappingOverheadIsExact) {
+  const auto out = mapping_overhead(MappingOverheadInputs::from_geometry(
+      DeviceGeometry::paper_1gb(), 0.1, 0.9));
+  EXPECT_NEAR(out.maxwe_total_mb(), 0.15524, 0.00001);
+  EXPECT_NEAR(out.traditional_mb(), 1.09999, 0.0001);
+  EXPECT_NEAR(out.ratio, 0.14113, 0.00002);
+}
+
+TEST(GoldenTest, BpaStochasticScaledSeed7) {
+  ExperimentConfig c = scaled_stochastic_config(2048, 128, 5e4);
+  c.attack = "bpa";
+  c.wear_leveler = "tlsr";
+  c.spare_scheme = "maxwe";
+  c.seed = 7;
+  const double lifetime = run_experiment(c).normalized;
+  // Stochastic path: bigger tolerance, still catches structural drift.
+  EXPECT_NEAR(lifetime, 0.23, 0.05);
+}
+
+}  // namespace
+}  // namespace nvmsec

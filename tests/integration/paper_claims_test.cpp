@@ -1,0 +1,145 @@
+// End-to-end regression of the paper's quantitative claims at reduced scale
+// (the bench harness regenerates the full-scale numbers; these tests pin
+// the *shape* so refactors cannot silently break a reproduced result).
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/overhead.h"
+#include "sim/experiment.h"
+#include "util/stats.h"
+
+namespace nvmsec {
+namespace {
+
+double event_lifetime(const std::string& scheme, double spare_fraction,
+                      double swr_fraction = 0.9, double jitter = 0.0) {
+  double acc = 0;
+  const int seeds = 3;
+  for (int s = 0; s < seeds; ++s) {
+    ExperimentConfig c;
+    c.geometry = DeviceGeometry::scaled(1 << 15, 512);  // 32K lines
+    c.endurance.endurance_at_mean = 1e6;
+    c.spare_fraction = spare_fraction;
+    // A budget that rounds to zero regions means "no protection".
+    c.spare_scheme = c.spare_lines() == 0 ? "none" : scheme;
+    c.swr_fraction = swr_fraction;
+    c.line_jitter_sigma = jitter;
+    c.seed = 100 + static_cast<std::uint64_t>(s);
+    acc += run_experiment(c).normalized;
+  }
+  return acc / seeds;
+}
+
+TEST(PaperClaimsTest, UaaCollapsesUnprotectedLifetime) {
+  // Abstract: "the lifetime of NVMs under UAA is reduced to 4.1% of the
+  // ideal lifetime". Our calibrated model lands in the same few-percent
+  // band (see EXPERIMENTS.md for the full-scale measurement).
+  const double unprotected = event_lifetime("none", 0.0);
+  EXPECT_LT(unprotected, 0.10);
+  EXPECT_GT(unprotected, 0.01);
+}
+
+TEST(PaperClaimsTest, MaxWeLifetimeImprovementIsLarge) {
+  // Abstract: "Max-WE can improve the lifetime by 9.5X with the spare-line
+  // overhead ... 10%". We require a multi-x improvement.
+  const double unprotected = event_lifetime("none", 0.0);
+  const double maxwe = event_lifetime("maxwe", 0.10);
+  EXPECT_GT(maxwe / unprotected, 3.0);
+}
+
+TEST(PaperClaimsTest, Section531SchemeOrdering) {
+  // §5.3.1: Max-WE 43.1% > PCD/PS 30.6% > PS-worst 28.5% under UAA at 10%
+  // spares.
+  const double maxwe = event_lifetime("maxwe", 0.10);
+  const double pcd = event_lifetime("pcd", 0.10);
+  const double ps = event_lifetime("ps", 0.10);
+  const double ps_worst = event_lifetime("ps-worst", 0.10);
+  EXPECT_GT(maxwe, pcd);
+  EXPECT_GT(maxwe, ps);
+  EXPECT_GT(ps, ps_worst);
+  // §4.3: PCD approximates the average case of PS ("less than 3.0%").
+  EXPECT_NEAR(pcd, ps, 0.05 * pcd + 0.02);
+}
+
+TEST(PaperClaimsTest, Figure6LifetimeRisesWithSpareFraction) {
+  // Fig. 6: {0, 1, 10, 20, 30}% spares -> monotone increasing lifetime.
+  double prev = 0.0;
+  for (double p : {0.0, 0.01, 0.10, 0.20, 0.30}) {
+    const double lifetime = event_lifetime("maxwe", p);
+    EXPECT_GT(lifetime, prev) << "p=" << p;
+    prev = lifetime;
+  }
+}
+
+TEST(PaperClaimsTest, Figure6SaturatesAtHighSpareFractions) {
+  // Fig. 6: 86.9% at 40% spares vs 87.4% at 50% — the marginal gain of the
+  // last 10% of spares is small compared to the first 10%.
+  const double at_0 = event_lifetime("maxwe", 0.0);
+  const double at_10 = event_lifetime("maxwe", 0.10);
+  const double at_40 = event_lifetime("maxwe", 0.40);
+  const double at_49 = event_lifetime("maxwe", 0.49);
+  EXPECT_GT(at_10 - at_0, at_49 - at_40);
+}
+
+TEST(PaperClaimsTest, AnalyticFigure5SpotValues) {
+  // §4.3's spot check, straight from Eqs. (6)-(8).
+  const Fig5Point pt = fig5_point(0.1, 50.0);
+  EXPECT_NEAR(pt.maxwe, 0.381, 0.002);
+  EXPECT_NEAR(pt.pcd_ps, 0.222, 0.002);
+  EXPECT_NEAR(pt.ps_worst, 0.208, 0.002);
+}
+
+TEST(PaperClaimsTest, MappingOverheadReduction85Percent) {
+  const auto out = mapping_overhead(MappingOverheadInputs::from_geometry(
+      DeviceGeometry::paper_1gb(), 0.1, 0.9));
+  EXPECT_NEAR(out.ratio, 0.15, 0.01);
+}
+
+TEST(PaperClaimsTest, BpaSchemeOrderingAtScaledSize) {
+  // Fig. 8's qualitative content: under BPA, Max-WE >= PCD/PS >= PS-worst
+  // for the oblivious wear levelers, and the endurance-aware wear levelers
+  // (BWL, WAWL) lift everyone. (The full sweep lives in the fig8 bench.)
+  auto bpa_lifetime = [&](const std::string& wl, const std::string& scheme) {
+    double acc = 0;
+    const int seeds = 2;
+    for (int s = 0; s < seeds; ++s) {
+      ExperimentConfig c = scaled_stochastic_config(2048, 128, 5e4);
+      c.attack = "bpa";
+      c.wear_leveler = wl;
+      c.spare_scheme = scheme;
+      c.seed = 50 + static_cast<std::uint64_t>(s);
+      acc += run_experiment(c).normalized;
+    }
+    return acc / seeds;
+  };
+  const double tlsr_maxwe = bpa_lifetime("tlsr", "maxwe");
+  const double tlsr_worst = bpa_lifetime("tlsr", "ps-worst");
+  EXPECT_GT(tlsr_maxwe, tlsr_worst);
+  const double wawl_maxwe = bpa_lifetime("wawl", "maxwe");
+  EXPECT_GT(wawl_maxwe, tlsr_maxwe);  // endurance-aware WL helps
+}
+
+TEST(PaperClaimsTest, Figure7AllAsrBeatsAllSwr) {
+  // Fig. 7: lifetime decreases as the SWR share grows; 0% SWR (all
+  // line-level) is the best configuration, 100% SWR the worst.
+  auto bpa_maxwe = [&](double swr_fraction) {
+    double acc = 0;
+    const int seeds = 2;
+    for (int s = 0; s < seeds; ++s) {
+      ExperimentConfig c = scaled_stochastic_config(2048, 128, 5e4);
+      c.attack = "bpa";
+      c.wear_leveler = "tlsr";
+      c.spare_scheme = "maxwe";
+      c.swr_fraction = swr_fraction;
+      c.seed = 60 + static_cast<std::uint64_t>(s);
+      acc += run_experiment(c).normalized;
+    }
+    return acc / seeds;
+  };
+  const double all_asr = bpa_maxwe(0.0);
+  const double all_swr = bpa_maxwe(1.0);
+  EXPECT_GT(all_asr, all_swr);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,151 @@
+// Property-based sweeps: invariants that must hold for EVERY combination of
+// attack, wear leveler and spare scheme, not just the paper's operating
+// points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/experiment.h"
+
+namespace nvmsec {
+namespace {
+
+using Combo = std::tuple<std::string, std::string, std::string>;
+
+class PipelinePropertyTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PipelinePropertyTest, LifetimeInvariants) {
+  const auto& [attack, wl, spare] = GetParam();
+  ExperimentConfig c = scaled_stochastic_config(1024, 64, 3000);
+  c.attack = attack;
+  c.wear_leveler = wl;
+  c.spare_scheme = spare;
+  c.seed = 11;
+  const LifetimeResult r = run_experiment(c);
+
+  // The run must end in device failure (no cap was set)...
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.failure_reason.empty());
+  // ...after at least one wear-out...
+  EXPECT_GE(r.line_deaths, 1u);
+  // ...with a normalized lifetime in (0, 1].
+  EXPECT_GT(r.normalized, 0.0);
+  EXPECT_LE(r.normalized, 1.0);
+  // Physical writes are conserved: device = (user - absorbed) + overhead.
+  EXPECT_EQ(r.device_writes,
+            static_cast<WriteCount>(r.user_writes) - r.absorbed_writes +
+                r.overhead_writes);
+  // The device cannot absorb more than the sum of its budgets.
+  EXPECT_LE(static_cast<double>(r.device_writes), r.ideal_lifetime);
+}
+
+TEST_P(PipelinePropertyTest, SameSeedSameResult) {
+  const auto& [attack, wl, spare] = GetParam();
+  ExperimentConfig c = scaled_stochastic_config(512, 32, 2000);
+  c.attack = attack;
+  c.wear_leveler = wl;
+  c.spare_scheme = spare;
+  c.seed = 23;
+  const LifetimeResult a = run_experiment(c);
+  const LifetimeResult b = run_experiment(c);
+  EXPECT_DOUBLE_EQ(a.user_writes, b.user_writes);
+  EXPECT_EQ(a.device_writes, b.device_writes);
+  EXPECT_EQ(a.line_deaths, b.line_deaths);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AttackByLevelerBySpare, PipelinePropertyTest,
+    ::testing::Combine(
+        ::testing::Values("uaa", "bpa", "random"),
+        ::testing::Values("none", "tlsr", "wawl", "twl"),
+        ::testing::Values("none", "pcd", "ps", "ps-worst", "maxwe")),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      auto sanitize = [](std::string s) {
+        for (char& ch : s) {
+          if (ch == '-') ch = '_';
+        }
+        return s;
+      };
+      return sanitize(std::get<0>(info.param)) + "_" +
+             sanitize(std::get<1>(info.param)) + "_" +
+             sanitize(std::get<2>(info.param));
+    });
+
+class SpareFractionMonotoneTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpareFractionMonotoneTest, MoreSparesNeverHurtUnderUaa) {
+  // Event-engine sweep: averaged over seeds, lifetime is monotone
+  // non-decreasing in the spare budget for every scheme.
+  const std::string scheme = GetParam();
+  double prev = 0.0;
+  for (double p : {0.05, 0.10, 0.20, 0.30}) {
+    double acc = 0;
+    for (std::uint64_t seed : {3, 4, 5}) {
+      ExperimentConfig c;
+      c.geometry = DeviceGeometry::scaled(1 << 14, 256);
+      c.endurance.endurance_at_mean = 1e6;
+      c.spare_scheme = scheme;
+      c.spare_fraction = p;
+      c.seed = seed;
+      acc += run_experiment(c).normalized;
+    }
+    const double lifetime = acc / 3;
+    EXPECT_GE(lifetime, prev * 0.98) << scheme << " at p=" << p;
+    prev = lifetime;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SpareFractionMonotoneTest,
+                         ::testing::Values("maxwe", "pcd", "ps"));
+
+class SwrFractionSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SwrFractionSweepTest, EverySplitYieldsAValidDevice) {
+  ExperimentConfig c;
+  c.geometry = DeviceGeometry::scaled(1 << 13, 128);
+  c.endurance.endurance_at_mean = 1e5;
+  c.spare_scheme = "maxwe";
+  c.swr_fraction = GetParam();
+  const LifetimeResult r = run_experiment(c);
+  EXPECT_TRUE(r.failed);
+  EXPECT_GT(r.normalized, 0.0);
+  EXPECT_LE(r.normalized, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SwrFractionSweepTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.9, 1.0));
+
+TEST(PropertyTest, EnduranceScaleInvarianceOfNormalizedLifetime) {
+  // Normalized lifetime under UAA (event engine) is invariant to the
+  // endurance scale: only the distribution shape matters.
+  auto lifetime_at_scale = [](double scale) {
+    ExperimentConfig c;
+    c.geometry = DeviceGeometry::scaled(1 << 13, 128);
+    c.endurance.endurance_at_mean = scale;
+    c.spare_scheme = "maxwe";
+    c.seed = 77;
+    return run_experiment(c).normalized;
+  };
+  const double small = lifetime_at_scale(1e4);
+  const double large = lifetime_at_scale(1e8);
+  EXPECT_NEAR(small, large, 0.002);  // only integer-rounding differences
+}
+
+TEST(PropertyTest, RegionCountShapesButDeviceSizeDoesNot) {
+  // With the region count fixed, doubling the line count leaves the
+  // normalized lifetime roughly unchanged (same distribution, same roles).
+  auto lifetime_with_lines = [](std::uint64_t lines) {
+    ExperimentConfig c;
+    c.geometry = DeviceGeometry::scaled(lines, 128);
+    c.endurance.endurance_at_mean = 1e6;
+    c.spare_scheme = "maxwe";
+    c.seed = 78;
+    return run_experiment(c).normalized;
+  };
+  EXPECT_NEAR(lifetime_with_lines(1 << 13), lifetime_with_lines(1 << 15),
+              0.01);
+}
+
+}  // namespace
+}  // namespace nvmsec

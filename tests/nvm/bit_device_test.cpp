@@ -1,0 +1,107 @@
+#include "nvm/bit_device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "reduction/payload.h"
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> tiny_map(Endurance e = 100.0) {
+  return std::make_shared<EnduranceMap>(
+      DeviceGeometry::scaled(8, 2), std::vector<Endurance>{e, e});
+}
+
+TEST(BitDeviceTest, ConstructionValidation) {
+  Rng rng(1);
+  EXPECT_THROW(BitDevice(nullptr, {}, rng), std::invalid_argument);
+  BitDeviceParams bad;
+  bad.cell_sigma = -0.1;
+  EXPECT_THROW(BitDevice(tiny_map(), bad, rng), std::invalid_argument);
+}
+
+TEST(BitDeviceTest, FullScaleDeviceRejected) {
+  Rng rng(1);
+  auto big = std::make_shared<EnduranceMap>(
+      DeviceGeometry::paper_1gb(), std::vector<Endurance>(2048, 1e8));
+  EXPECT_THROW(BitDevice(big, {}, rng), std::invalid_argument);
+}
+
+TEST(BitDeviceTest, ReferenceLifetimeMatchesLineBudgets) {
+  Rng rng(2);
+  BitDevice d(tiny_map(250.0), {}, rng);
+  EXPECT_DOUBLE_EQ(d.reference_lifetime(), 8 * 250.0);
+}
+
+TEST(BitDeviceTest, FullWriteStressKillsNearLineEndurance) {
+  Rng rng(3);
+  BitDeviceParams params;
+  params.cell_sigma = 0.05;
+  BitDevice d(tiny_map(200.0), params, rng);
+  auto codec = make_full_write_codec();
+  auto payload = make_random_payload();
+  const PhysLineAddr line{0};
+  WriteCount writes = 0;
+  while (d.write(line, payload->next(rng, LogicalLineAddr{0}), *codec) == BitWriteOutcome::kOk) {
+    ++writes;
+  }
+  // Weakest of 520 cells at sigma 0.05 fails at ~0.85x the mean.
+  EXPECT_GT(writes, 120u);
+  EXPECT_LT(writes, 210u);
+  EXPECT_TRUE(d.is_worn_out(line));
+  EXPECT_EQ(d.worn_out_count(), 1u);
+  EXPECT_THROW(d.write(line, payload->next(rng, LogicalLineAddr{0}), *codec), std::logic_error);
+}
+
+TEST(BitDeviceTest, ConstantDataNeverWearsDifferentialWrite) {
+  Rng rng(4);
+  BitDevice d(tiny_map(50.0), {}, rng);
+  auto codec = make_differential_write_codec();
+  const LineData data = LineData::filled(0xABCD);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(d.write(PhysLineAddr{1}, data, *codec), BitWriteOutcome::kOk);
+  }
+  EXPECT_EQ(d.writes_to(PhysLineAddr{1}), 500u);
+  // After the first write nothing flips, so only 16 set bits x 8 words were
+  // ever programmed.
+  EXPECT_LT(d.total_cells_programmed(), 520u);
+}
+
+TEST(BitDeviceTest, EcpEntriesExtendLineLifetime) {
+  auto run_with_ecp = [](std::uint32_t entries) {
+    Rng rng(5);
+    BitDeviceParams params;
+    params.cell_sigma = 0.2;
+    params.ecp_entries = entries;
+    BitDevice d(tiny_map(300.0), params, rng);
+    auto codec = make_full_write_codec();
+    auto payload = make_random_payload();
+    WriteCount writes = 0;
+    while (d.write(PhysLineAddr{0}, payload->next(rng, LogicalLineAddr{0}), *codec) ==
+           BitWriteOutcome::kOk) {
+      ++writes;
+    }
+    return std::pair{writes, d.ecp_used(PhysLineAddr{0})};
+  };
+  const auto [w0, used0] = run_with_ecp(0);
+  const auto [w6, used6] = run_with_ecp(6);
+  EXPECT_GT(w6, w0);
+  EXPECT_EQ(used0, 0u);
+  EXPECT_EQ(used6, 6u);
+}
+
+TEST(BitDeviceTest, OutOfRangeAccessesThrow) {
+  Rng rng(6);
+  BitDevice d(tiny_map(), {}, rng);
+  auto codec = make_full_write_codec();
+  EXPECT_THROW(d.write(PhysLineAddr{8}, LineData{}, *codec),
+               std::out_of_range);
+  EXPECT_THROW(d.is_worn_out(PhysLineAddr{8}), std::out_of_range);
+  EXPECT_THROW(d.writes_to(PhysLineAddr{8}), std::out_of_range);
+  EXPECT_THROW(d.ecp_used(PhysLineAddr{8}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nvmsec

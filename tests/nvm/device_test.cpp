@@ -1,0 +1,96 @@
+#include "nvm/device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> tiny_map() {
+  // 4 regions x 4 lines, endurances 2/3/4/5 per region.
+  return std::make_shared<EnduranceMap>(DeviceGeometry::scaled(16, 4),
+                                        std::vector<Endurance>{2, 3, 4, 5});
+}
+
+TEST(DeviceTest, NullMapThrows) {
+  EXPECT_THROW(Device(nullptr), std::invalid_argument);
+}
+
+TEST(DeviceTest, BudgetsMatchEndurance) {
+  Device d(tiny_map());
+  EXPECT_EQ(d.write_budget(PhysLineAddr{0}), 2u);
+  EXPECT_EQ(d.write_budget(PhysLineAddr{4}), 3u);
+  EXPECT_EQ(d.write_budget(PhysLineAddr{15}), 5u);
+  EXPECT_DOUBLE_EQ(d.total_budget(), 4 * (2 + 3 + 4 + 5));
+}
+
+TEST(DeviceTest, FractionalEnduranceRoundsAndClampsToOne) {
+  auto map = std::make_shared<EnduranceMap>(
+      DeviceGeometry::scaled(8, 2), std::vector<Endurance>{0.2, 2.6});
+  Device d(map);
+  EXPECT_EQ(d.write_budget(PhysLineAddr{0}), 1u);  // clamped up to 1
+  EXPECT_EQ(d.write_budget(PhysLineAddr{4}), 3u);  // rounded
+}
+
+TEST(DeviceTest, WearOutOnExactlyLastWrite) {
+  Device d(tiny_map());
+  const PhysLineAddr line{0};  // budget 2
+  EXPECT_EQ(d.write(line), WriteOutcome::kOk);
+  EXPECT_EQ(d.remaining(line), 1u);
+  EXPECT_FALSE(d.is_worn_out(line));
+  EXPECT_EQ(d.write(line), WriteOutcome::kWornOut);
+  EXPECT_TRUE(d.is_worn_out(line));
+  EXPECT_EQ(d.remaining(line), 0u);
+  EXPECT_EQ(d.worn_out_count(), 1u);
+}
+
+TEST(DeviceTest, WritingDeadLineIsLogicError) {
+  Device d(tiny_map());
+  const PhysLineAddr line{0};
+  d.write(line);
+  d.write(line);
+  EXPECT_THROW(d.write(line), std::logic_error);
+}
+
+TEST(DeviceTest, OutOfRangeThrows) {
+  Device d(tiny_map());
+  EXPECT_THROW(d.write(PhysLineAddr{16}), std::out_of_range);
+  EXPECT_THROW(d.remaining(PhysLineAddr{16}), std::out_of_range);
+  EXPECT_THROW(d.write_budget(PhysLineAddr{16}), std::out_of_range);
+  EXPECT_THROW(d.writes_to(PhysLineAddr{99}), std::out_of_range);
+}
+
+TEST(DeviceTest, CountersTrackWrites) {
+  Device d(tiny_map());
+  d.write(PhysLineAddr{8});
+  d.write(PhysLineAddr{8});
+  d.write(PhysLineAddr{12});
+  EXPECT_EQ(d.total_writes(), 3u);
+  EXPECT_EQ(d.writes_to(PhysLineAddr{8}), 2u);
+  EXPECT_EQ(d.writes_to(PhysLineAddr{12}), 1u);
+  EXPECT_EQ(d.writes_to(PhysLineAddr{0}), 0u);
+}
+
+TEST(DeviceTest, ResetRestoresFactoryState) {
+  Device d(tiny_map());
+  d.write(PhysLineAddr{0});
+  d.write(PhysLineAddr{0});
+  d.reset();
+  EXPECT_EQ(d.total_writes(), 0u);
+  EXPECT_EQ(d.worn_out_count(), 0u);
+  EXPECT_FALSE(d.is_worn_out(PhysLineAddr{0}));
+  EXPECT_EQ(d.remaining(PhysLineAddr{0}), 2u);
+  // And the line works again.
+  EXPECT_EQ(d.write(PhysLineAddr{0}), WriteOutcome::kOk);
+}
+
+TEST(DeviceTest, GeometryAndMapAccessors) {
+  auto map = tiny_map();
+  Device d(map);
+  EXPECT_EQ(d.geometry().num_lines(), 16u);
+  EXPECT_EQ(&d.endurance_map(), map.get());
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,111 @@
+#include "nvm/endurance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nvmsec {
+namespace {
+
+EnduranceMap sample_map() {
+  return EnduranceMap(DeviceGeometry::scaled(64, 8),
+                      std::vector<Endurance>{1.5, 2.25, 3e8, 4.125, 5, 6, 7,
+                                             8.000000001});
+}
+
+TEST(EnduranceIoTest, RoundTripPreservesEverything) {
+  const EnduranceMap original = sample_map();
+  std::stringstream buffer;
+  write_endurance_csv(original, buffer);
+  const EnduranceMap loaded = read_endurance_csv(buffer);
+  EXPECT_EQ(loaded.geometry(), original.geometry());
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.region_endurance(RegionId{r}),
+                     original.region_endurance(RegionId{r}))
+        << "region " << r;
+  }
+  EXPECT_DOUBLE_EQ(loaded.ideal_lifetime(), original.ideal_lifetime());
+}
+
+TEST(EnduranceIoTest, RoundTripOfModelDrawnMap) {
+  Rng rng(9);
+  const EnduranceModel model;
+  const EnduranceMap original =
+      EnduranceMap::from_model(DeviceGeometry::scaled(2048, 128), model, rng);
+  std::stringstream buffer;
+  write_endurance_csv(original, buffer);
+  const EnduranceMap loaded = read_endurance_csv(buffer);
+  EXPECT_DOUBLE_EQ(loaded.min_line_endurance(), original.min_line_endurance());
+  EXPECT_DOUBLE_EQ(loaded.max_line_endurance(), original.max_line_endurance());
+}
+
+TEST(EnduranceIoTest, RejectsBadMagic) {
+  std::stringstream in("not a map\n");
+  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+}
+
+TEST(EnduranceIoTest, RejectsTruncatedInput) {
+  const EnduranceMap original = sample_map();
+  std::stringstream buffer;
+  write_endurance_csv(original, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream in(text);
+  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+}
+
+TEST(EnduranceIoTest, RejectsMalformedRows) {
+  std::stringstream in(
+      "# maxwe-endurance-map v1\n"
+      "total_bytes,line_bytes,num_regions\n"
+      "16384,256,8\n"
+      "region,endurance\n"
+      "0;1.0\n");  // semicolon, not comma
+  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+}
+
+TEST(EnduranceIoTest, RejectsDuplicateRegions) {
+  std::stringstream in(
+      "# maxwe-endurance-map v1\n"
+      "total_bytes,line_bytes,num_regions\n"
+      "1024,256,2\n"
+      "region,endurance\n"
+      "0,1.0\n"
+      "0,2.0\n");
+  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+}
+
+TEST(EnduranceIoTest, RejectsOutOfRangeRegion) {
+  std::stringstream in(
+      "# maxwe-endurance-map v1\n"
+      "total_bytes,line_bytes,num_regions\n"
+      "1024,256,2\n"
+      "region,endurance\n"
+      "0,1.0\n"
+      "7,2.0\n");
+  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+}
+
+TEST(EnduranceIoTest, InvalidValuesSurfaceFromConstructors) {
+  std::stringstream in(
+      "# maxwe-endurance-map v1\n"
+      "total_bytes,line_bytes,num_regions\n"
+      "1024,256,2\n"
+      "region,endurance\n"
+      "0,1.0\n"
+      "1,-2.0\n");  // negative endurance
+  EXPECT_THROW(read_endurance_csv(in), std::invalid_argument);
+}
+
+TEST(EnduranceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/endurance_io_test.csv";
+  const EnduranceMap original = sample_map();
+  save_endurance_csv(original, path);
+  const EnduranceMap loaded = load_endurance_csv(path);
+  EXPECT_EQ(loaded.geometry(), original.geometry());
+  EXPECT_THROW(load_endurance_csv(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,170 @@
+#include "nvm/endurance_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nvmsec {
+namespace {
+
+DeviceGeometry small_geom() { return DeviceGeometry::scaled(64, 8); }
+
+TEST(EnduranceMapTest, ExplicitConstruction) {
+  std::vector<Endurance> es{1, 2, 3, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(map.region_endurance(RegionId{r}), es[r]);
+  }
+}
+
+TEST(EnduranceMapTest, SizeMismatchThrows) {
+  EXPECT_THROW(EnduranceMap(small_geom(), std::vector<Endurance>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(EnduranceMapTest, NonPositiveEnduranceThrows) {
+  std::vector<Endurance> es(8, 5.0);
+  es[3] = 0.0;
+  EXPECT_THROW(EnduranceMap(small_geom(), es), std::invalid_argument);
+  es[3] = -1.0;
+  EXPECT_THROW(EnduranceMap(small_geom(), es), std::invalid_argument);
+}
+
+TEST(EnduranceMapTest, LineEnduranceEqualsRegionEndurance) {
+  std::vector<Endurance> es{1, 2, 3, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  // 8 lines per region.
+  EXPECT_DOUBLE_EQ(map.line_endurance(PhysLineAddr{0}), 1.0);
+  EXPECT_DOUBLE_EQ(map.line_endurance(PhysLineAddr{7}), 1.0);
+  EXPECT_DOUBLE_EQ(map.line_endurance(PhysLineAddr{8}), 2.0);
+  EXPECT_DOUBLE_EQ(map.line_endurance(PhysLineAddr{63}), 8.0);
+  EXPECT_THROW(map.line_endurance(PhysLineAddr{64}), std::out_of_range);
+}
+
+TEST(EnduranceMapTest, IdealLifetimeIsSumOverLines) {
+  std::vector<Endurance> es{1, 2, 3, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  EXPECT_DOUBLE_EQ(map.ideal_lifetime(), 8.0 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+}
+
+TEST(EnduranceMapTest, MinMax) {
+  std::vector<Endurance> es{5, 2, 9, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  EXPECT_DOUBLE_EQ(map.min_line_endurance(), 2.0);
+  EXPECT_DOUBLE_EQ(map.max_line_endurance(), 9.0);
+}
+
+TEST(EnduranceMapTest, RegionsWeakestFirstSorted) {
+  std::vector<Endurance> es{5, 2, 9, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  const auto order = map.regions_weakest_first();
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0].value(), 1u);  // endurance 2
+  EXPECT_EQ(order[1].value(), 3u);  // endurance 4
+  // Ties (5, 5 at regions 0 and 4) broken by region id.
+  EXPECT_EQ(order[2].value(), 0u);
+  EXPECT_EQ(order[3].value(), 4u);
+  EXPECT_EQ(order.back().value(), 2u);  // endurance 9
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(map.region_endurance(order[i - 1]),
+              map.region_endurance(order[i]));
+  }
+}
+
+TEST(EnduranceMapTest, LinesWeakestFirstSorted) {
+  std::vector<Endurance> es{5, 2, 9, 4, 5, 6, 7, 8};
+  const EnduranceMap map(small_geom(), es);
+  const auto order = map.lines_weakest_first();
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(map.line_endurance(order[i - 1]), map.line_endurance(order[i]));
+  }
+  // The 8 weakest lines are exactly region 1's lines, in address order.
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(order[k].value(), 8 + k);
+  }
+}
+
+TEST(EnduranceMapTest, LinearRampUnshuffled) {
+  Rng rng(1);
+  const auto map = EnduranceMap::linear(small_geom(), 10.0, 80.0,
+                                        /*shuffled=*/false, rng);
+  EXPECT_DOUBLE_EQ(map.region_endurance(RegionId{0}), 10.0);
+  EXPECT_DOUBLE_EQ(map.region_endurance(RegionId{7}), 80.0);
+  EXPECT_DOUBLE_EQ(map.region_endurance(RegionId{1}), 20.0);
+}
+
+TEST(EnduranceMapTest, LinearRampShuffledPreservesMultiset) {
+  Rng rng(1);
+  const auto plain = EnduranceMap::linear(small_geom(), 10.0, 80.0, false, rng);
+  const auto shuffled =
+      EnduranceMap::linear(small_geom(), 10.0, 80.0, true, rng);
+  std::vector<double> a, b;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    a.push_back(plain.region_endurance(RegionId{r}));
+    b.push_back(shuffled.region_endurance(RegionId{r}));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EnduranceMapTest, LinearValidation) {
+  Rng rng(1);
+  EXPECT_THROW(EnduranceMap::linear(small_geom(), 0.0, 10.0, false, rng),
+               std::invalid_argument);
+  EXPECT_THROW(EnduranceMap::linear(small_geom(), 10.0, 5.0, false, rng),
+               std::invalid_argument);
+}
+
+TEST(EnduranceMapTest, UniformMap) {
+  const auto map = EnduranceMap::uniform(small_geom(), 42.0);
+  EXPECT_DOUBLE_EQ(map.min_line_endurance(), 42.0);
+  EXPECT_DOUBLE_EQ(map.max_line_endurance(), 42.0);
+  EXPECT_DOUBLE_EQ(map.ideal_lifetime(), 64 * 42.0);
+  EXPECT_THROW(EnduranceMap::uniform(small_geom(), 0.0), std::invalid_argument);
+}
+
+TEST(EnduranceMapTest, FromModelHasRightShape) {
+  Rng rng(7);
+  const EnduranceModel model;
+  const auto map = EnduranceMap::from_model(small_geom(), model, rng);
+  EXPECT_GT(map.min_line_endurance(), 0.0);
+  EXPECT_GT(map.max_line_endurance(), map.min_line_endurance());
+}
+
+TEST(EnduranceMapTest, LineJitterSpreadsWithinRegion) {
+  Rng rng(9);
+  auto map = EnduranceMap::uniform(small_geom(), 100.0);
+  EXPECT_FALSE(map.has_line_jitter());
+  map.apply_line_jitter(0.3, rng);
+  EXPECT_TRUE(map.has_line_jitter());
+  // Lines of one region now differ from each other.
+  bool differs = false;
+  for (std::uint64_t l = 1; l < 8; ++l) {
+    if (map.line_endurance(PhysLineAddr{l}) !=
+        map.line_endurance(PhysLineAddr{0})) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+  // Ideal lifetime was recomputed from per-line values.
+  double sum = 0;
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    sum += map.line_endurance(PhysLineAddr{l});
+  }
+  EXPECT_NEAR(map.ideal_lifetime(), sum, 1e-9);
+}
+
+TEST(EnduranceMapTest, ZeroJitterKeepsValues) {
+  Rng rng(9);
+  auto map = EnduranceMap::uniform(small_geom(), 100.0);
+  map.apply_line_jitter(0.0, rng);
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    EXPECT_DOUBLE_EQ(map.line_endurance(PhysLineAddr{l}), 100.0);
+  }
+  EXPECT_THROW(map.apply_line_jitter(-0.1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmsec

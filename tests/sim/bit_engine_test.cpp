@@ -1,0 +1,126 @@
+#include "sim/bit_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/maxwe.h"
+#include "wearlevel/none.h"
+
+namespace nvmsec {
+namespace {
+
+struct Stack {
+  std::shared_ptr<const EnduranceMap> map;
+  std::unique_ptr<BitDevice> device;
+  std::unique_ptr<Attack> attack;
+  std::unique_ptr<PayloadModel> payload;
+  std::unique_ptr<WriteCodec> codec;
+  std::unique_ptr<WearLeveler> wl;
+  std::unique_ptr<SpareScheme> spare;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<BitEngine> engine;
+};
+
+Stack make_stack(const std::string& attack, const std::string& payload,
+                 const std::string& codec, const std::string& spare,
+                 std::uint32_t ecp_entries = 0, std::uint64_t seed = 1) {
+  Stack s;
+  Rng setup(seed);
+  EnduranceModelParams params;
+  params.endurance_at_mean = 500.0;
+  const EnduranceModel model(params);
+  s.map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::scaled(256, 16), model, setup));
+  BitDeviceParams dp;
+  dp.ecp_entries = ecp_entries;
+  s.rng = std::make_unique<Rng>(seed + 1);
+  s.device = std::make_unique<BitDevice>(s.map, dp, *s.rng);
+  s.attack = make_attack(attack);
+  s.payload = make_payload(payload);
+  s.codec = make_codec(codec);
+  if (spare == "maxwe") {
+    MaxWeParams mp;
+    mp.spare_fraction = 0.25;
+    mp.swr_fraction = 0.5;
+    s.spare = make_maxwe(s.map, mp);
+  } else {
+    s.spare = make_no_spare(s.map);
+  }
+  s.wl = std::make_unique<NoWearLeveling>(s.spare->working_lines());
+  s.engine = std::make_unique<BitEngine>(*s.device, *s.attack, *s.payload,
+                                         *s.codec, *s.wl, *s.spare, *s.rng);
+  return s;
+}
+
+TEST(BitEngineTest, RunsToFailureWithFullWriteStress) {
+  Stack s = make_stack("uaa", "random", "full", "none");
+  const LifetimeResult r = s.engine->run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_GT(r.normalized, 0.0);
+  EXPECT_LT(r.normalized, 1.0);
+  EXPECT_GE(r.line_deaths, 1u);
+}
+
+TEST(BitEngineTest, DifferentialCodecOutlivesFullWrite) {
+  const double full =
+      make_stack("uaa", "random", "full", "none").engine->run().normalized;
+  const double diff =
+      make_stack("uaa", "random", "differential", "none")
+          .engine->run()
+          .normalized;
+  EXPECT_GT(diff, 1.5 * full);
+}
+
+TEST(BitEngineTest, AdversarialPayloadNeutralizesFnw) {
+  const double fnw_benign =
+      make_stack("uaa", "random", "fnw", "none").engine->run().normalized;
+  const double fnw_adv = make_stack("uaa", "fnw-adversarial", "fnw", "none")
+                             .engine->run()
+                             .normalized;
+  const double diff_adv =
+      make_stack("uaa", "fnw-adversarial", "differential", "none")
+          .engine->run()
+          .normalized;
+  // The adversarial pattern pins FNW to differential-write behaviour...
+  EXPECT_NEAR(fnw_adv / diff_adv, 1.0, 0.15);
+  // ...and costs it its benign-data edge (random flips only ~half the
+  // cells; the alternation flips exactly half every write).
+  EXPECT_LT(fnw_adv, fnw_benign);
+}
+
+TEST(BitEngineTest, MaxWeComposesWithCodecs) {
+  // Spare-line replacement stacks multiplicatively on top of the codec.
+  const double codec_only =
+      make_stack("uaa", "random", "fnw", "none").engine->run().normalized;
+  const double with_maxwe =
+      make_stack("uaa", "random", "fnw", "maxwe").engine->run().normalized;
+  EXPECT_GT(with_maxwe, 1.5 * codec_only);
+}
+
+TEST(BitEngineTest, EcpAddsABoundedSlice) {
+  const double base =
+      make_stack("uaa", "random", "full", "none").engine->run().normalized;
+  const double with_ecp =
+      make_stack("uaa", "random", "full", "none", 6).engine->run().normalized;
+  EXPECT_GT(with_ecp, base);
+  EXPECT_LT(with_ecp, 1.5 * base);
+}
+
+TEST(BitEngineTest, WriteCapStopsRun) {
+  Stack s = make_stack("uaa", "random", "full", "none");
+  const LifetimeResult r = s.engine->run(100);
+  EXPECT_FALSE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 100.0);
+}
+
+TEST(BitEngineTest, MismatchedComponentsRejected) {
+  Stack s = make_stack("uaa", "random", "full", "none");
+  NoWearLeveling wrong(16);
+  EXPECT_THROW(BitEngine(*s.device, *s.attack, *s.payload, *s.codec, wrong,
+                         *s.spare, *s.rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmsec

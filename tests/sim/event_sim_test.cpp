@@ -1,0 +1,149 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/maxwe.h"
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> ramp_map(std::uint64_t regions,
+                                             std::uint64_t lines_per_region,
+                                             double step = 10.0) {
+  std::vector<Endurance> es;
+  for (std::uint64_t r = 0; r < regions; ++r) {
+    es.push_back(step * static_cast<double>(r + 1));
+  }
+  return std::make_shared<EnduranceMap>(
+      DeviceGeometry::scaled(regions * lines_per_region, regions), es);
+}
+
+TEST(EventSimTest, NullMapRejected) {
+  auto map = ramp_map(4, 4);
+  auto spare = make_no_spare(map);
+  EXPECT_THROW(UniformEventSimulator(nullptr, *spare), std::invalid_argument);
+}
+
+TEST(EventSimTest, UnprotectedLifetimeIsWeakestLineTimesLines) {
+  // LUAA = N * EL (Eq. 4): the device dies when the weakest line has taken
+  // EL writes, i.e. after EL rounds of N writes each.
+  auto map = ramp_map(8, 8);  // EL = 10, N = 64
+  auto spare = make_no_spare(map);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 64.0 * 10.0);
+  EXPECT_EQ(r.line_deaths, 1u);
+}
+
+TEST(EventSimTest, UnprotectedNormalizedMatchesEquation5) {
+  // For a (region-granular) linear ramp the normalized lifetime approaches
+  // 2*EL/(EH+EL).
+  auto map = ramp_map(64, 4, 5.0);  // EL=5, EH=320
+  auto spare = make_no_spare(map);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_NEAR(r.normalized, 2.0 * 5.0 / (320.0 + 5.0), 0.002);
+}
+
+TEST(EventSimTest, PsWorstMatchesEquation8) {
+  // PS-worst on a line-granular linear ramp: lifetime = (N-S) * e_(S+1).
+  auto map = ramp_map(64, 1, 10.0);  // 64 lines, e_i = 10*i
+  Rng rng(1);
+  const std::uint64_t spare_lines = 8;
+  auto spare = make_ps_worst(map, spare_lines, rng);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  // Spares are the 8 strongest lines; the weakest 8 working lines die and
+  // are replaced by strong spares. The 9th weakest line (endurance 90)
+  // kills the device at round 90; user space is 56 lines.
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 56.0 * 90.0);
+}
+
+TEST(EventSimTest, PcdDegradesThenFails) {
+  auto map = ramp_map(16, 4, 10.0);
+  Rng rng(2);
+  auto spare = make_pcd(map, /*budget=*/8, rng);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  // 8 deaths tolerated; the 9th kills. Deaths are endurance-ordered, and
+  // region 0 (4 lines at e=10) dies first, then region 1, then region 2's
+  // first line. Lifetime must exceed the unprotected N*EL.
+  EXPECT_GT(r.user_writes, 64.0 * 10.0);
+  EXPECT_GE(r.line_deaths, 9u);
+}
+
+TEST(EventSimTest, MaxWeMatchesChainArithmetic) {
+  // 8 regions x 2 lines, endurance 10..80 by region. spare_fraction=0.25
+  // gives 2 spare regions, swr_fraction=0.5 splits them: SWR={region 0},
+  // RWR={region 1}, ASR={region 2}. Working space = regions {1,3..7} = 12
+  // lines. Hand-computed timeline (rounds = user writes / 12):
+  //   * region 1 lines (e=20) die at round 20, redirect to their region-0
+  //     partners (e=10): chains die at round 30, taking both ASR lines
+  //     (region 2, e=30), which extend them to round 60;
+  //   * region 3 lines (e=40) die at round 40 with the ASR pool empty ->
+  //     device failure at round 40 exactly.
+  auto map = ramp_map(8, 2, 10.0);
+  MaxWeParams params;
+  params.spare_fraction = 0.25;
+  params.swr_fraction = 0.5;
+  auto spare = make_maxwe(map, params);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 12.0 * 40.0);
+  // Ideal = 2 * (10+...+80) = 720 -> normalized = 480/720.
+  EXPECT_NEAR(r.normalized, 480.0 / 720.0, 1e-12);
+}
+
+TEST(EventSimTest, PcdSharedLoadDynamicsAreExact) {
+  // Two lines with endurance 10 and 30, PCD budget 1. At round 10 line 0
+  // dies (death #1, within budget) and its address re-homes onto line 1 —
+  // the only survivor — which then takes 2 writes per round. Line 1 has
+  // 20 writes left at round 10, so it dies at round 10 + 20/2 = 20, and
+  // that second death breaks the budget: failure at exactly round 20 with
+  // 2 addresses * 20 rounds = 40 user writes.
+  auto map = std::make_shared<EnduranceMap>(
+      DeviceGeometry::scaled(2, 2), std::vector<Endurance>{10, 30});
+  Rng rng(5);
+  auto spare = make_pcd(map, /*budget=*/1, rng);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 40.0);
+  EXPECT_EQ(r.line_deaths, 2u);
+}
+
+TEST(EventSimTest, UniformEnduranceHarvestsEverything) {
+  // No variation: even unprotected, the device delivers N*E writes = the
+  // ideal lifetime exactly (every line dies simultaneously).
+  auto map = std::make_shared<EnduranceMap>(
+      DeviceGeometry::scaled(64, 8), std::vector<Endurance>(8, 25.0));
+  auto spare = make_no_spare(map);
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_DOUBLE_EQ(r.normalized, 1.0);
+}
+
+TEST(EventSimTest, FullPaperScaleRunsFast) {
+  // The point of the event engine: the 1 GB / 4.2M-line configuration.
+  Rng rng(3);
+  const EnduranceModel model;
+  auto map = std::make_shared<EnduranceMap>(
+      EnduranceMap::from_model(DeviceGeometry::paper_1gb(), model, rng));
+  auto spare = make_maxwe(map, MaxWeParams{});
+  UniformEventSimulator sim(map, *spare);
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_GT(r.normalized, 0.10);
+  EXPECT_LT(r.normalized, 0.60);
+  EXPECT_GT(r.line_deaths, 100000u);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,174 @@
+// Tests for the baseline spare-line replacement schemes: NoSpare, PCD, and
+// Physical Sparing (average and worst-case pools).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "spare/none.h"
+#include "spare/pcd.h"
+#include "spare/ps.h"
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+namespace {
+
+// 8 regions x 8 lines; region r has endurance 10*(r+1).
+std::shared_ptr<const EnduranceMap> ramp_map() {
+  std::vector<Endurance> es;
+  for (int r = 0; r < 8; ++r) es.push_back(10.0 * (r + 1));
+  return std::make_shared<EnduranceMap>(DeviceGeometry::scaled(64, 8), es);
+}
+
+TEST(NoSpareTest, IdentityAndImmediateFailure) {
+  NoSpare scheme(ramp_map());
+  EXPECT_EQ(scheme.working_lines(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(scheme.working_line(i).value(), i);
+    EXPECT_EQ(scheme.resolve(i).value(), i);
+  }
+  EXPECT_FALSE(scheme.on_wear_out(0));
+  EXPECT_EQ(scheme.stats().line_deaths, 1u);
+  EXPECT_THROW(scheme.resolve(64), std::out_of_range);
+  EXPECT_THROW(scheme.on_wear_out(64), std::out_of_range);
+}
+
+TEST(PcdTest, ConstructionValidation) {
+  Rng rng(1);
+  EXPECT_THROW(Pcd(ramp_map(), 64, rng), std::invalid_argument);
+  EXPECT_NO_THROW(Pcd(ramp_map(), 0, rng));
+}
+
+TEST(PcdTest, RedirectsToSurvivorUntilBudgetExhausted) {
+  Rng rng(2);
+  Pcd scheme(ramp_map(), /*degradation_budget=*/3, rng);
+  EXPECT_EQ(scheme.working_lines(), 64u);
+  EXPECT_EQ(scheme.alive_lines(), 64u);
+
+  std::set<std::uint64_t> retired;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const std::uint64_t victim = scheme.resolve(i).value();
+    EXPECT_TRUE(scheme.on_wear_out(i));
+    retired.insert(victim);
+    EXPECT_EQ(scheme.alive_lines(), 64u - retired.size());
+    // Redirect target is a different, live line.
+    EXPECT_NE(scheme.resolve(i).value(), victim);
+  }
+  // Fourth death breaks the capacity guarantee.
+  EXPECT_FALSE(scheme.on_wear_out(10));
+  EXPECT_EQ(scheme.stats().line_deaths, 4u);
+}
+
+TEST(PcdTest, LazyRepairForSharedBackings) {
+  Rng rng(3);
+  Pcd scheme(ramp_map(), 20, rng);
+  // Point two addresses at the same backing by wearing out 0's line until
+  // it happens to land somewhere; then kill the shared line via address 0
+  // and observe address resolution stays live for both.
+  ASSERT_TRUE(scheme.on_wear_out(0));
+  const std::uint64_t shared = scheme.resolve(0).value();
+  // Simulate address `shared` dying through address 0's write path: its own
+  // slot is `shared`'s original line.
+  ASSERT_TRUE(scheme.on_wear_out(0));  // kills `shared`
+  // The line `shared` also backed its own working index; resolving it must
+  // lazily re-home rather than return a dead line.
+  const std::uint64_t rehomed = scheme.resolve(shared).value();
+  EXPECT_NE(rehomed, shared);
+}
+
+TEST(PcdTest, StatsReportSparesRemaining) {
+  Rng rng(4);
+  Pcd scheme(ramp_map(), 5, rng);
+  EXPECT_EQ(scheme.stats().spares_remaining, 5u);
+  scheme.on_wear_out(0);
+  EXPECT_EQ(scheme.stats().spares_remaining, 4u);
+  EXPECT_EQ(scheme.stats().replacements, 1u);
+}
+
+TEST(PcdTest, ResetRestoresIdentity) {
+  Rng rng(5);
+  Pcd scheme(ramp_map(), 5, rng);
+  scheme.on_wear_out(0);
+  scheme.reset();
+  EXPECT_EQ(scheme.alive_lines(), 64u);
+  EXPECT_EQ(scheme.resolve(0).value(), 0u);
+  EXPECT_EQ(scheme.stats().line_deaths, 0u);
+}
+
+TEST(PsTest, ConstructionValidation) {
+  Rng rng(6);
+  EXPECT_THROW(PhysicalSparing(ramp_map(), 0, PsPoolPolicy::kRandom, rng),
+               std::invalid_argument);
+  EXPECT_THROW(PhysicalSparing(ramp_map(), 64, PsPoolPolicy::kRandom, rng),
+               std::invalid_argument);
+}
+
+TEST(PsTest, WorkingSetExcludesPool) {
+  Rng rng(7);
+  PhysicalSparing scheme(ramp_map(), 16, PsPoolPolicy::kRandom, rng);
+  EXPECT_EQ(scheme.working_lines(), 48u);
+  EXPECT_EQ(scheme.pool_remaining(), 16u);
+  std::set<std::uint64_t> working;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    working.insert(scheme.working_line(i).value());
+  }
+  EXPECT_EQ(working.size(), 48u);
+}
+
+TEST(PsTest, WorstPolicyPoolIsStrongestLines) {
+  Rng rng(8);
+  PhysicalSparing scheme(ramp_map(), 16, PsPoolPolicy::kStrongest, rng);
+  // Strongest 16 lines are regions 6 and 7 (endurance 70 and 80) — so the
+  // working set must exclude exactly lines 48..63.
+  EXPECT_EQ(scheme.name(), "ps-worst");
+  for (std::uint64_t i = 0; i < scheme.working_lines(); ++i) {
+    EXPECT_LT(scheme.working_line(i).value(), 48u);
+  }
+}
+
+TEST(PsTest, ReplacementConsumesPoolThenFails) {
+  Rng rng(9);
+  PhysicalSparing scheme(ramp_map(), 4, PsPoolPolicy::kRandom, rng);
+  std::set<std::uint64_t> allocated;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(scheme.on_wear_out(0));
+    const std::uint64_t spare = scheme.resolve(0).value();
+    EXPECT_TRUE(allocated.insert(spare).second) << "spare reused";
+    // The spare is outside the working set.
+    for (std::uint64_t i = 0; i < scheme.working_lines(); ++i) {
+      EXPECT_NE(scheme.working_line(i).value(), spare);
+    }
+  }
+  EXPECT_EQ(scheme.pool_remaining(), 0u);
+  EXPECT_FALSE(scheme.on_wear_out(1));
+  EXPECT_EQ(scheme.stats().line_deaths, 5u);
+  EXPECT_EQ(scheme.stats().replacements, 4u);
+}
+
+TEST(PsTest, WorstPolicyAllocatesStrongestFirst) {
+  Rng rng(10);
+  PhysicalSparing scheme(ramp_map(), 16, PsPoolPolicy::kStrongest, rng);
+  ASSERT_TRUE(scheme.on_wear_out(0));
+  // First allocation comes from region 7 (endurance 80).
+  EXPECT_GE(scheme.resolve(0).value(), 56u);
+}
+
+TEST(PsTest, ResetRestoresPoolAndMapping) {
+  Rng rng(11);
+  PhysicalSparing scheme(ramp_map(), 4, PsPoolPolicy::kRandom, rng);
+  scheme.on_wear_out(0);
+  scheme.reset();
+  EXPECT_EQ(scheme.pool_remaining(), 4u);
+  EXPECT_EQ(scheme.resolve(0), scheme.working_line(0));
+}
+
+TEST(FactoryTest, NamedConstructors) {
+  Rng rng(12);
+  EXPECT_EQ(make_no_spare(ramp_map())->name(), "none");
+  EXPECT_EQ(make_pcd(ramp_map(), 8, rng)->name(), "pcd");
+  EXPECT_EQ(make_ps(ramp_map(), 8, rng)->name(), "ps");
+  EXPECT_EQ(make_ps_worst(ramp_map(), 8, rng)->name(), "ps-worst");
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,99 @@
+#include "spare/freep.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/event_sim.h"
+
+namespace nvmsec {
+namespace {
+
+std::shared_ptr<const EnduranceMap> ramp_map() {
+  std::vector<Endurance> es;
+  for (int r = 0; r < 8; ++r) es.push_back(10.0 * (r + 1));
+  return std::make_shared<EnduranceMap>(DeviceGeometry::scaled(64, 8), es);
+}
+
+TEST(FreePTest, ConstructionValidation) {
+  EXPECT_THROW(FreeP(ramp_map(), 0), std::invalid_argument);
+  EXPECT_THROW(FreeP(ramp_map(), 64), std::invalid_argument);
+}
+
+TEST(FreePTest, PoolOccupiesAddressTail) {
+  FreeP scheme(ramp_map(), 16);
+  EXPECT_EQ(scheme.working_lines(), 48u);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(scheme.working_line(i).value(), i);
+  }
+}
+
+TEST(FreePTest, ReplacementsAllocateInAddressOrder) {
+  FreeP scheme(ramp_map(), 16);
+  ASSERT_TRUE(scheme.on_wear_out(0));
+  EXPECT_EQ(scheme.resolve(0).value(), 48u);
+  ASSERT_TRUE(scheme.on_wear_out(5));
+  EXPECT_EQ(scheme.resolve(5).value(), 49u);
+}
+
+TEST(FreePTest, PointerHopsAccumulateWithChainDepth) {
+  FreeP scheme(ramp_map(), 16);
+  EXPECT_EQ(scheme.chain_depth(0), 0u);
+  scheme.resolve(0);
+  EXPECT_EQ(scheme.total_pointer_hops(), 0u);  // unremapped: direct access
+  scheme.on_wear_out(0);
+  EXPECT_EQ(scheme.chain_depth(0), 1u);
+  scheme.resolve(0);
+  EXPECT_EQ(scheme.total_pointer_hops(), 1u);
+  scheme.on_wear_out(0);  // the replacement dies too
+  EXPECT_EQ(scheme.chain_depth(0), 2u);
+  EXPECT_EQ(scheme.max_chain_depth(), 2u);
+  scheme.resolve(0);
+  EXPECT_EQ(scheme.total_pointer_hops(), 3u);
+  EXPECT_GT(scheme.mean_pointer_hops(), 0.5);
+}
+
+TEST(FreePTest, PoolExhaustionFailsDevice) {
+  FreeP scheme(ramp_map(), 2);
+  EXPECT_TRUE(scheme.on_wear_out(0));
+  EXPECT_TRUE(scheme.on_wear_out(1));
+  EXPECT_FALSE(scheme.on_wear_out(2));
+  EXPECT_EQ(scheme.stats().spares_remaining, 0u);
+}
+
+TEST(FreePTest, ResetRestoresBootState) {
+  FreeP scheme(ramp_map(), 4);
+  scheme.on_wear_out(0);
+  scheme.resolve(0);
+  scheme.reset();
+  EXPECT_EQ(scheme.resolve(0).value(), 0u);
+  EXPECT_EQ(scheme.chain_depth(0), 0u);
+  EXPECT_EQ(scheme.total_pointer_hops(), 0u);
+  EXPECT_EQ(scheme.stats().line_deaths, 0u);
+}
+
+TEST(FreePTest, LifetimeTracksPsAverageUnderUaa) {
+  // §2.2.2: FREE-p ignores the endurance distribution, so its UAA lifetime
+  // should resemble endurance-oblivious PS, not Max-WE.
+  Rng rng(3);
+  EnduranceModelParams params;
+  params.endurance_at_mean = 1e5;
+  const EnduranceModel model(params);
+  auto map = std::make_shared<EnduranceMap>(EnduranceMap::from_model(
+      DeviceGeometry::scaled(1 << 13, 128), model, rng));
+  const std::uint64_t spare = map->geometry().num_lines() / 10;
+
+  auto freep = make_freep(map, spare);
+  UniformEventSimulator sim_freep(map, *freep);
+  const double l_freep = sim_freep.run().normalized;
+
+  Rng pool_rng(4);
+  auto ps = make_ps(map, spare, pool_rng);
+  UniformEventSimulator sim_ps(map, *ps);
+  const double l_ps = sim_ps.run().normalized;
+
+  EXPECT_NEAR(l_freep / l_ps, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,85 @@
+#include "util/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nvmsec {
+namespace {
+
+TEST(AliasTableTest, InvalidInputs) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable t(std::vector<double>{5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(t.probability(0), 1.0);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable t(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  AliasTable t(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+class AliasTableDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasTableDistributionTest, EmpiricalMatchesWeights) {
+  const std::vector<double> weights = GetParam();
+  AliasTable t(weights);
+  Rng rng(42);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kDraws * weights[i] / total_weight;
+    const double tolerance = 5 * std::sqrt(std::max(expected, 1.0)) + 1;
+    EXPECT_NEAR(counts[i], expected, tolerance) << "outcome " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AliasTableDistributionTest,
+    ::testing::Values(std::vector<double>{1, 1, 1, 1},
+                      std::vector<double>{1, 2, 3, 4},
+                      std::vector<double>{100, 1},
+                      std::vector<double>{0.001, 0.999},
+                      std::vector<double>{5, 0, 5, 0, 10},
+                      std::vector<double>(64, 1.0)));
+
+TEST(AliasTableTest, LargeSkewedTable) {
+  // Endurance-like weights: power-law spread over many groups.
+  std::vector<double> weights(512);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = std::pow(1.01, static_cast<double>(i));
+  }
+  AliasTable t(weights);
+  Rng rng(7);
+  // Strongest group should be sampled much more often than the weakest.
+  int weak = 0, strong = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t s = t.sample(rng);
+    if (s == 0) ++weak;
+    if (s == 511) ++strong;
+  }
+  EXPECT_GT(strong, weak * 20);
+}
+
+}  // namespace
+}  // namespace nvmsec

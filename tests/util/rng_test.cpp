@@ -1,0 +1,193 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nvmsec {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256Test, JumpProducesDisjointStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a.next());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (from_a.contains(b.next())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro256Test, ForkAdvancesParent) {
+  Xoshiro256 parent(7);
+  Xoshiro256 reference(7);
+  Xoshiro256 child = parent.fork();
+  // Parent must not replay the child's stream.
+  EXPECT_NE(parent.next(), child.next());
+  (void)reference;
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_u64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64ZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformU64IsUnbiasedAcrossSmallBound) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 7;
+  constexpr int kDraws = 70000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(kBound)];
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected))
+        << "value " << v;
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng(5);
+  constexpr int kDraws = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(5);
+  constexpr int kDraws = 100000;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<std::size_t>(i)] != i) ++displaced;
+  }
+  EXPECT_GT(displaced, 50);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  for (std::uint64_t k : {0ULL, 1ULL, 10ULL, 100ULL, 999ULL, 1000ULL}) {
+    const auto sample = rng.sample_without_replacement(1000, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::uint64_t x : sample) EXPECT_LT(x, 1000u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementKGreaterThanNThrows) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversBothCodePaths) {
+  Rng rng(17);
+  // Dense path (k*3 >= n) and sparse path both uniform-ish: every element
+  // should appear sometimes across repetitions.
+  std::set<std::uint64_t> seen_dense, seen_sparse;
+  for (int rep = 0; rep < 200; ++rep) {
+    for (std::uint64_t x : rng.sample_without_replacement(10, 5)) {
+      seen_dense.insert(x);
+    }
+    for (std::uint64_t x : rng.sample_without_replacement(100, 3)) {
+      seen_sparse.insert(x);
+    }
+  }
+  EXPECT_EQ(seen_dense.size(), 10u);
+  EXPECT_GT(seen_sparse.size(), 90u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  std::set<std::uint64_t> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.insert(parent.uniform_u64(1ULL << 62));
+    b.insert(child.uniform_u64(1ULL << 62));
+  }
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,139 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nvmsec {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(FreeFunctionsTest, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(FreeFunctionsTest, GeometricMean) {
+  const std::vector<double> xs{1, 4, 16};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(geometric_mean(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(FreeFunctionsTest, GeometricMeanMatchesPaperUsage) {
+  // Fig. 8's Gmean column style: lifetimes as percentages.
+  const std::vector<double> xs{42.7, 42.8, 53.5, 72.5};
+  const double g = geometric_mean(xs);
+  EXPECT_GT(g, 42.7);
+  EXPECT_LT(g, 72.5);
+  EXPECT_NEAR(g, std::pow(42.7 * 42.8 * 53.5 * 72.5, 0.25), 1e-9);
+}
+
+TEST(FreeFunctionsTest, Percentile) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(FreeFunctionsTest, MinMax) {
+  const std::vector<double> xs{3, 1, 2};
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 3.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.99);   // bucket 4
+  h.add(-5.0);   // clamped to bucket 0
+  h.add(15.0);   // clamped to bucket 4
+  h.add(5.0);    // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(2), 6.0);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2, 1, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, AsciiRendersOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all(std::vector<double>{0.5, 1.5, 1.6, 2.5});
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvmsec

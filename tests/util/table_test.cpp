@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nvmsec {
+namespace {
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RowArityIsEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{std::int64_t{1}}}), std::invalid_argument);
+  t.add_row({Cell{std::int64_t{1}}, Cell{std::string{"x"}}});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(TableTest, AsciiContainsHeadersAndValues) {
+  Table t({"scheme", "lifetime"});
+  t.set_title("Fig. X");
+  t.add_row({Cell{std::string{"maxwe"}}, Cell{43.1}});
+  const std::string art = t.ascii();
+  EXPECT_NE(art.find("Fig. X"), std::string::npos);
+  EXPECT_NE(art.find("scheme"), std::string::npos);
+  EXPECT_NE(art.find("maxwe"), std::string::npos);
+  EXPECT_NE(art.find("43.10"), std::string::npos);
+}
+
+TEST(TableTest, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.set_precision(4);
+  t.add_row({Cell{1.5}});
+  EXPECT_NE(t.ascii().find("1.5000"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlign) {
+  Table t({"x", "yyyyyy"});
+  t.add_row({Cell{std::string{"aaaaaaaa"}}, Cell{std::int64_t{1}}});
+  const std::string art = t.ascii();
+  // Every body line (starting with | or +) has the same width.
+  std::istringstream in(art);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || (line[0] != '|' && line[0] != '+')) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TableTest, CsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({Cell{std::int64_t{1}}, Cell{std::string{"plain"}}});
+  EXPECT_EQ(t.csv(), "a,b\n1,plain\n");
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.add_row({Cell{std::string{"has,comma"}}});
+  t.add_row({Cell{std::string{"has\"quote"}}});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, RowAccessor) {
+  Table t({"a"});
+  t.add_row({Cell{2.0}});
+  EXPECT_DOUBLE_EQ(std::get<double>(t.row(0)[0]), 2.0);
+  EXPECT_THROW(t.row(1), std::out_of_range);
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({Cell{std::int64_t{7}}});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,119 @@
+#include "wearlevel/age_based.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nvmsec {
+namespace {
+
+TEST(AgeBasedTest, ConstructionValidation) {
+  EXPECT_THROW(AgeBased(64, 0, 10, 5), std::invalid_argument);
+  EXPECT_THROW(AgeBased(64, 8, 0, 5), std::invalid_argument);
+  EXPECT_THROW(AgeBased(64, 8, 10, 0), std::invalid_argument);
+}
+
+TEST(AgeBasedTest, AgesTrackWrites) {
+  AgeBased wl(64, 8, 1000000, 10);  // swaps effectively disabled
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 25; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{5}, rng, batch);
+  }
+  EXPECT_EQ(wl.age(5), 25u);
+  EXPECT_EQ(wl.age(6), 0u);
+  EXPECT_EQ(wl.bucket_of(5), 2u);  // 25 / 10
+  EXPECT_EQ(wl.bucket_of(6), 0u);
+}
+
+TEST(AgeBasedTest, BucketIndexSaturates) {
+  AgeBased wl(8, 4, 1000000, 2);
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  EXPECT_EQ(wl.bucket_of(0), 3u);  // clamped to the last bucket
+}
+
+TEST(AgeBasedTest, HotLineMigratesToYoungSlots) {
+  AgeBased wl(64, 8, 4, 4);
+  Rng rng(2);
+  std::vector<WlPhysWrite> batch;
+  std::set<std::uint64_t> hosts;
+  for (int i = 0; i < 2000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+    hosts.insert(wl.translate(LogicalLineAddr{0}));
+  }
+  // The hammered address keeps being swapped onto young victims, so it
+  // visits a large share of the slots.
+  EXPECT_GT(hosts.size(), 30u);
+}
+
+TEST(AgeBasedTest, EqualizesObservedWearUnderSkew) {
+  AgeBased wl(64, 8, 4, 4);
+  Rng rng(3);
+  std::vector<WlPhysWrite> batch;
+  // 80% of traffic to 4 addresses, the rest sweeping.
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t la = (i % 5 != 4)
+                                 ? static_cast<std::uint64_t>(i % 4)
+                                 : static_cast<std::uint64_t>(i) % 64;
+    batch.clear();
+    wl.on_write(LogicalLineAddr{la}, rng, batch);
+  }
+  std::uint64_t max_age = 0, min_age = UINT64_MAX;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    max_age = std::max(max_age, wl.age(s));
+    min_age = std::min(min_age, wl.age(s));
+  }
+  // Without leveling the hot slots would take ~4000 writes and cold ones
+  // ~60; with leveling the spread must collapse to a small factor.
+  EXPECT_LT(max_age, 8 * std::max<std::uint64_t>(1, min_age));
+}
+
+TEST(AgeBasedTest, MappingStaysBijective) {
+  AgeBased wl(64, 8, 2, 4);
+  Rng rng(4);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 3000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 64}, rng,
+                batch);
+  }
+  std::set<std::uint64_t> targets;
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    targets.insert(wl.translate(LogicalLineAddr{l}));
+  }
+  EXPECT_EQ(targets.size(), 64u);
+}
+
+TEST(AgeBasedTest, ResetRestoresYouth) {
+  AgeBased wl(16, 4, 2, 2);
+  Rng rng(5);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{1}, rng, batch);
+  }
+  wl.reset();
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(wl.age(s), 0u);
+    EXPECT_EQ(wl.bucket_of(s), 0u);
+  }
+}
+
+TEST(AgeBasedTest, FactoryConstructs) {
+  Rng rng(6);
+  WearLevelerParams params;
+  params.swap_interval = 8;
+  EnduranceView view(64, 100.0);
+  auto wl = make_wear_leveler("agebased", 64, view, params, rng);
+  EXPECT_EQ(wl->name(), "agebased");
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,146 @@
+// Tests for the endurance-variation-aware wear levelers: BWL and WAWL.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wearlevel/bwl.h"
+#include "wearlevel/wawl.h"
+
+namespace nvmsec {
+namespace {
+
+// 256 working lines in 16 groups of 16; group g has endurance 100*(g+1).
+EnduranceView ramp_view() {
+  EnduranceView v(256);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 100.0 * (static_cast<double>(i / 16) + 1.0);
+  }
+  return v;
+}
+
+TEST(BwlTest, ConstructionValidation) {
+  const EnduranceView v = ramp_view();
+  EXPECT_THROW(Bwl(128, v, 16, 4, 10, 0.5), std::invalid_argument);  // size
+  EXPECT_THROW(Bwl(256, v, 0, 4, 10, 0.5), std::invalid_argument);
+  EXPECT_THROW(Bwl(256, v, 17, 4, 10, 0.5), std::invalid_argument);  // no tile
+  EXPECT_THROW(Bwl(256, v, 16, 0, 10, 0.5), std::invalid_argument);
+  EXPECT_THROW(Bwl(256, v, 16, 4, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(Bwl(256, v, 16, 4, 10, 0.0), std::invalid_argument);
+}
+
+TEST(BwlTest, QuantizesGroupsIntoEqualPopulationClasses) {
+  Bwl wl(256, ramp_view(), 16, 4, 10, 0.5);
+  ASSERT_EQ(wl.num_groups(), 16u);
+  // Groups are already endurance-sorted, so classes are contiguous runs.
+  for (std::uint64_t g = 0; g < 16; ++g) {
+    EXPECT_EQ(wl.class_of_group(g), g / 4) << "group " << g;
+  }
+}
+
+TEST(BwlTest, ClassCountClampedToGroups) {
+  Bwl wl(256, ramp_view(), 16, 100, 10, 0.5);
+  // 16 groups cannot fill 100 classes; every group gets its own class.
+  std::vector<bool> seen(16, false);
+  for (std::uint64_t g = 0; g < 16; ++g) {
+    seen[wl.class_of_group(g)] = true;
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 16);
+}
+
+TEST(BwlTest, PlacementFavoursStrongClasses) {
+  Bwl wl(256, ramp_view(), 16, 4, 1, 0.5);  // swap on every write
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  std::vector<int> dwell(16, 0);
+  for (int i = 0; i < 30000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{3}, rng, batch);
+    ++dwell[wl.translate(LogicalLineAddr{3}) / 16];
+  }
+  int weak_class = 0, strong_class = 0;
+  for (int g = 0; g < 4; ++g) weak_class += dwell[g];
+  for (int g = 12; g < 16; ++g) strong_class += dwell[g];
+  // weight ratio = (mean_e ratio)^0.5 = (1400/250)^0.5 ~ 2.4.
+  EXPECT_GT(strong_class, weak_class * 3 / 2);
+}
+
+TEST(WawlTest, ConstructionValidation) {
+  const EnduranceView v = ramp_view();
+  EXPECT_THROW(Wawl(128, v, 16, 10, 0.35), std::invalid_argument);
+  EXPECT_THROW(Wawl(256, v, 0, 10, 0.35), std::invalid_argument);
+  EXPECT_THROW(Wawl(256, v, 16, 0, 0.35), std::invalid_argument);
+  EXPECT_THROW(Wawl(256, v, 16, 10, 0.0), std::invalid_argument);
+}
+
+TEST(WawlTest, DwellBudgetScalesWithGroupEndurance) {
+  Wawl wl(256, ramp_view(), 16, 100, 0.35);
+  // Strongest group (16x the weakest's endurance) gets a longer dwell.
+  const std::uint64_t weak = wl.dwell_budget(0);
+  const std::uint64_t strong = wl.dwell_budget(255);
+  EXPECT_GT(strong, weak);
+  // ratio = 16^0.35 ~ 2.64
+  EXPECT_NEAR(static_cast<double>(strong) / static_cast<double>(weak), 2.64,
+              0.4);
+}
+
+TEST(WawlTest, TimeShareTracksEnduranceSuperlinearly) {
+  // Both couplings together: time share per group should scale roughly like
+  // endurance^(2*alpha).
+  Wawl wl(256, ramp_view(), 16, 4, 0.35);
+  Rng rng(2);
+  std::vector<WlPhysWrite> batch;
+  std::vector<double> dwell(16, 0);
+  for (int i = 0; i < 200000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{9}, rng, batch);
+    dwell[wl.translate(LogicalLineAddr{9}) / 16] += 1;
+  }
+  // Expected ratio strongest/weakest ~ 16^0.7 ~ 7; allow generous slack.
+  EXPECT_GT(dwell[15] / std::max(1.0, dwell[0]), 3.0);
+  EXPECT_LT(dwell[15] / std::max(1.0, dwell[0]), 20.0);
+}
+
+TEST(WawlTest, MappingStaysBijective) {
+  Wawl wl(256, ramp_view(), 16, 2, 0.5);
+  Rng rng(3);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 5000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 256}, rng,
+                batch);
+  }
+  std::set<std::uint64_t> targets;
+  for (std::uint64_t l = 0; l < 256; ++l) {
+    targets.insert(wl.translate(LogicalLineAddr{l}));
+  }
+  EXPECT_EQ(targets.size(), 256u);
+}
+
+TEST(WawlTest, ResetClearsDwellState) {
+  Wawl wl(256, ramp_view(), 16, 5, 0.35);
+  Rng rng(4);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  wl.reset();
+  for (std::uint64_t l = 0; l < 256; ++l) {
+    EXPECT_EQ(wl.translate(LogicalLineAddr{l}), l);
+  }
+  EXPECT_EQ(wl.overhead_writes(), 0u);
+}
+
+TEST(WawlTest, OverheadWritesAccumulate) {
+  Wawl wl(256, ramp_view(), 16, 1, 0.35);  // dwell ~1 everywhere
+  Rng rng(5);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  EXPECT_GT(wl.overhead_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,185 @@
+// Tests for the identity and Start-Gap wear levelers plus the permutation
+// invariants every leveler must uphold.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "wearlevel/none.h"
+#include "wearlevel/start_gap.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace nvmsec {
+namespace {
+
+// Drive `wl` with `writes` sequential user writes and verify the mapping
+// stays a bijection throughout. Returns per-working-index write counts.
+std::vector<int> drive_and_check(WearLeveler& wl, int writes, Rng& rng) {
+  std::vector<int> counts(wl.working_lines(), 0);
+  std::vector<WlPhysWrite> batch;
+  std::uint64_t la = 0;
+  for (int i = 0; i < writes; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{la}, rng, batch);
+    la = (la + 1) % wl.logical_lines();
+    EXPECT_FALSE(batch.empty());
+    EXPECT_FALSE(batch.back().is_overhead);  // user write comes last
+    for (const auto& w : batch) {
+      EXPECT_LT(w.working_index, wl.working_lines());
+      ++counts[w.working_index];
+    }
+    // Bijection check (on a sample of iterations to keep the test fast).
+    if (i % 97 == 0) {
+      std::set<std::uint64_t> targets;
+      for (std::uint64_t l = 0; l < wl.logical_lines(); ++l) {
+        targets.insert(wl.translate(LogicalLineAddr{l}));
+      }
+      EXPECT_EQ(targets.size(), wl.logical_lines());
+    }
+  }
+  return counts;
+}
+
+TEST(NoWearLevelingTest, IdentityMapping) {
+  NoWearLeveling wl(32);
+  Rng rng(1);
+  EXPECT_EQ(wl.logical_lines(), 32u);
+  EXPECT_EQ(wl.working_lines(), 32u);
+  for (std::uint64_t l = 0; l < 32; ++l) {
+    EXPECT_EQ(wl.translate(LogicalLineAddr{l}), l);
+  }
+  std::vector<WlPhysWrite> batch;
+  wl.on_write(LogicalLineAddr{5}, rng, batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].working_index, 5u);
+  EXPECT_FALSE(batch[0].is_overhead);
+  EXPECT_EQ(wl.overhead_writes(), 0u);
+}
+
+TEST(NoWearLevelingTest, TranslateOutOfRangeThrows) {
+  NoWearLeveling wl(8);
+  EXPECT_THROW(wl.translate(LogicalLineAddr{8}), std::out_of_range);
+}
+
+TEST(NoWearLevelingTest, EmptyOrHugeWorkingSetRejected) {
+  EXPECT_THROW(NoWearLeveling(0), std::invalid_argument);
+}
+
+TEST(StartGapTest, Construction) {
+  EXPECT_THROW(StartGap(1, 10), std::invalid_argument);
+  EXPECT_THROW(StartGap(16, 0), std::invalid_argument);
+  StartGap wl(16, 4);
+  EXPECT_EQ(wl.logical_lines(), 15u);  // one slot is the gap
+  EXPECT_EQ(wl.working_lines(), 16u);
+  EXPECT_EQ(wl.gap_slot(), 15u);
+}
+
+TEST(StartGapTest, GapMovesEveryPsiWrites) {
+  StartGap wl(16, 4);
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+    EXPECT_EQ(batch.size(), 1u);  // no movement yet
+  }
+  batch.clear();
+  wl.on_write(LogicalLineAddr{0}, rng, batch);  // 4th write: gap moves
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].is_overhead);
+  EXPECT_EQ(batch[0].working_index, 15u);  // migration into the old gap
+  EXPECT_EQ(wl.gap_slot(), 14u);
+  EXPECT_EQ(wl.overhead_writes(), 1u);
+}
+
+TEST(StartGapTest, GapNeverServesUserWrites) {
+  StartGap wl(16, 2);
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 15}, rng,
+                batch);
+    EXPECT_NE(batch.back().working_index, wl.gap_slot());
+  }
+}
+
+TEST(StartGapTest, FullRotationShiftsEveryLine) {
+  // After working_lines gap moves the gap returns to its start slot and the
+  // data layout has rotated by one.
+  StartGap wl(8, 1);  // move every write
+  Rng rng(1);
+  const std::vector<std::uint64_t> before = [&] {
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t l = 0; l < 7; ++l) {
+      v.push_back(wl.translate(LogicalLineAddr{l}));
+    }
+    return v;
+  }();
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  EXPECT_EQ(wl.gap_slot(), 7u);  // full cycle
+  int moved = 0;
+  for (std::uint64_t l = 0; l < 7; ++l) {
+    if (wl.translate(LogicalLineAddr{l}) != before[l]) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(StartGapTest, StaysBijectiveUnderLoad) {
+  StartGap wl(64, 3);
+  Rng rng(2);
+  drive_and_check(wl, 2000, rng);
+}
+
+TEST(StartGapTest, ResetRestoresIdentityAndGap) {
+  StartGap wl(16, 1);
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  wl.reset();
+  EXPECT_EQ(wl.gap_slot(), 15u);
+  EXPECT_EQ(wl.overhead_writes(), 0u);
+  for (std::uint64_t l = 0; l < 15; ++l) {
+    EXPECT_EQ(wl.translate(LogicalLineAddr{l}), l);
+  }
+}
+
+TEST(FactoryTest, AllSchemesConstructAndRun) {
+  Rng rng(3);
+  WearLevelerParams params;
+  params.swap_interval = 5;
+  params.tlsr_subregion_lines = 16;
+  EnduranceView view(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    view[i] = 100.0 + static_cast<double>(i);
+  }
+  for (const std::string name :
+       {"none", "startgap", "tlsr", "pcms", "bwl", "wawl"}) {
+    auto wl = make_wear_leveler(name, 64, view, params, rng);
+    ASSERT_NE(wl, nullptr) << name;
+    EXPECT_EQ(wl->name(), name);
+    drive_and_check(*wl, 500, rng);
+  }
+  EXPECT_THROW(make_wear_leveler("bogus", 64, view, params, rng),
+               std::invalid_argument);
+}
+
+TEST(FactoryTest, PaperSchemesListMatchesEvaluation) {
+  const auto& schemes = paper_wear_levelers();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0], "tlsr");
+  EXPECT_EQ(schemes[1], "pcms");
+  EXPECT_EQ(schemes[2], "bwl");
+  EXPECT_EQ(schemes[3], "wawl");
+}
+
+}  // namespace
+}  // namespace nvmsec

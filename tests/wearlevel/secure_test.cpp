@@ -1,0 +1,184 @@
+// Tests for the security-oriented (endurance-oblivious) wear levelers:
+// TLSR (Security Refresh) and PCM-S.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "wearlevel/pcm_s.h"
+#include "wearlevel/security_refresh.h"
+
+namespace nvmsec {
+namespace {
+
+std::set<std::uint64_t> mapping_snapshot(const WearLeveler& wl) {
+  std::set<std::uint64_t> s;
+  for (std::uint64_t l = 0; l < wl.logical_lines(); ++l) {
+    s.insert(wl.translate(LogicalLineAddr{l}));
+  }
+  return s;
+}
+
+TEST(SecurityRefreshTest, ConstructionValidation) {
+  Rng rng(1);
+  EXPECT_THROW(SecurityRefresh(64, 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(SecurityRefresh(64, 10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(SecurityRefresh(64, 10, 7, rng), std::invalid_argument);   // no tile
+  EXPECT_THROW(SecurityRefresh(64, 10, 64, rng), std::invalid_argument);  // size 1
+}
+
+TEST(SecurityRefreshTest, RemapsHammeredAddressWithinBoundedWrites) {
+  // A hammered line must move within subregion_lines * interval writes of
+  // its sub-region — the scheme's central security property.
+  Rng rng(2);
+  SecurityRefresh wl(256, /*interval=*/4, /*subregions=*/16, rng);  // 16-line subregions
+  std::vector<WlPhysWrite> batch;
+  const LogicalLineAddr hot{5};
+  const std::uint64_t before = wl.translate(hot);
+  bool moved = false;
+  for (int i = 0; i < 16 * 4 + 4 && !moved; ++i) {
+    batch.clear();
+    wl.on_write(hot, rng, batch);
+    moved = wl.translate(hot) != before;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SecurityRefreshTest, MappingStaysBijective) {
+  Rng rng(3);
+  SecurityRefresh wl(128, 2, 8, rng);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 3000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 128}, rng,
+                batch);
+  }
+  EXPECT_EQ(mapping_snapshot(wl).size(), 128u);
+}
+
+TEST(SecurityRefreshTest, RemapChargesTwoMigrationWrites) {
+  Rng rng(4);
+  SecurityRefresh wl(64, 1, 4, rng);  // refresh step on every write
+  std::vector<WlPhysWrite> batch;
+  wl.on_write(LogicalLineAddr{0}, rng, batch);
+  // Either a 2-write swap happened or the pointer's partner was itself.
+  EXPECT_GE(batch.size(), 1u);
+  EXPECT_LE(batch.size(), 3u);
+  if (batch.size() == 3) {
+    EXPECT_TRUE(batch[0].is_overhead);
+    EXPECT_TRUE(batch[1].is_overhead);
+    EXPECT_FALSE(batch[2].is_overhead);
+    EXPECT_EQ(wl.overhead_writes(), 2u);
+  }
+}
+
+TEST(SecurityRefreshTest, LongRunPlacementIsUniform) {
+  // Drive a single hammered address for a long time; the distribution of
+  // time spent per working slot should cover most of the space.
+  Rng rng(5);
+  SecurityRefresh wl(64, 1, 4, rng);
+  std::vector<WlPhysWrite> batch;
+  std::set<std::uint64_t> hosted;
+  for (int i = 0; i < 20000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{7}, rng, batch);
+    hosted.insert(wl.translate(LogicalLineAddr{7}));
+  }
+  EXPECT_GT(hosted.size(), 32u);
+}
+
+TEST(SecurityRefreshTest, OuterLevelMigratesAcrossSubregions) {
+  // A hammered line must not stay confined to its inner sub-region: once a
+  // sub-region has absorbed a sweep's worth of writes, its whole contents
+  // migrate to another sub-region (the scheme's second level).
+  Rng rng(10);
+  SecurityRefresh wl(128, /*interval=*/2, /*subregions=*/8, rng);  // 16-line
+  std::vector<WlPhysWrite> batch;
+  std::set<std::uint64_t> subregions_visited;
+  for (int i = 0; i < 6000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{3}, rng, batch);
+    subregions_visited.insert(wl.translate(LogicalLineAddr{3}) / 16);
+  }
+  EXPECT_GT(subregions_visited.size(), 4u);
+}
+
+TEST(SecurityRefreshTest, OuterSwapChargesMigrationWrites) {
+  Rng rng(11);
+  SecurityRefresh wl(32, /*interval=*/1, /*subregions=*/4, rng);  // 8-line
+  std::vector<WlPhysWrite> batch;
+  // After interval * lines_per_subregion = 8 writes into one sub-region,
+  // an outer swap of 8 line pairs fires: a 16-migration-write batch.
+  bool saw_outer = false;
+  for (int i = 0; i < 64 && !saw_outer; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+    std::size_t overhead = 0;
+    for (const auto& w : batch) overhead += w.is_overhead ? 1 : 0;
+    saw_outer = overhead >= 16;
+  }
+  EXPECT_TRUE(saw_outer);
+}
+
+TEST(PcmSTest, ConstructionValidation) {
+  EXPECT_THROW(PcmS(64, 0), std::invalid_argument);
+}
+
+TEST(PcmSTest, SwapsEveryInterval) {
+  PcmS wl(64, 3);
+  Rng rng(6);
+  std::vector<WlPhysWrite> batch;
+  int overhead_batches = 0;
+  for (int i = 0; i < 30; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{1}, rng, batch);
+    if (batch.size() > 1) ++overhead_batches;
+  }
+  // Every 3rd write triggers a swap (unless the random partner is itself).
+  EXPECT_GE(overhead_batches, 8);
+  EXPECT_LE(overhead_batches, 10);
+}
+
+TEST(PcmSTest, HammeredLineKeepsMoving) {
+  PcmS wl(256, 2);
+  Rng rng(7);
+  std::vector<WlPhysWrite> batch;
+  std::set<std::uint64_t> hosts;
+  for (int i = 0; i < 4000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+    hosts.insert(wl.translate(LogicalLineAddr{0}));
+  }
+  // The swap endpoint is biased to the written line, so it roams widely.
+  EXPECT_GT(hosts.size(), 100u);
+}
+
+TEST(PcmSTest, MappingStaysBijective) {
+  PcmS wl(128, 1);
+  Rng rng(8);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 2000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 128}, rng,
+                batch);
+  }
+  EXPECT_EQ(mapping_snapshot(wl).size(), 128u);
+}
+
+TEST(PcmSTest, ResetRestoresIdentity) {
+  PcmS wl(32, 1);
+  Rng rng(9);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{0}, rng, batch);
+  }
+  wl.reset();
+  for (std::uint64_t l = 0; l < 32; ++l) {
+    EXPECT_EQ(wl.translate(LogicalLineAddr{l}), l);
+  }
+  EXPECT_EQ(wl.overhead_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,105 @@
+#include "wearlevel/twl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nvmsec {
+namespace {
+
+// 128 lines in 8 groups of 16; group g has endurance 100*(g+1).
+EnduranceView ramp_view() {
+  EnduranceView v(128);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 100.0 * (static_cast<double>(i / 16) + 1.0);
+  }
+  return v;
+}
+
+TEST(TwlTest, ConstructionValidation) {
+  const EnduranceView v = ramp_view();
+  EXPECT_THROW(Twl(64, v, 16, 10), std::invalid_argument);   // size mismatch
+  EXPECT_THROW(Twl(128, v, 0, 10), std::invalid_argument);   // zero group
+  EXPECT_THROW(Twl(128, v, 17, 10), std::invalid_argument);  // no tile
+  EXPECT_THROW(Twl(128, v, 16, 0), std::invalid_argument);   // zero interval
+  // Odd group count cannot be bonded pairwise.
+  EnduranceView odd(48, 1.0);
+  EXPECT_THROW(Twl(48, odd, 16, 10), std::invalid_argument);
+}
+
+TEST(TwlTest, BondsAreAntitoneInvolutions) {
+  Twl wl(128, ramp_view(), 16, 10);
+  // Weakest group 0 bonds with strongest group 7, 1 with 6, etc.
+  for (std::uint64_t g = 0; g < 8; ++g) {
+    EXPECT_EQ(wl.bonded_group(g), 7 - g);
+    EXPECT_EQ(wl.bonded_group(wl.bonded_group(g)), g);
+  }
+}
+
+TEST(TwlTest, StayProbabilityTracksEnduranceShare) {
+  Twl wl(128, ramp_view(), 16, 10);
+  // Pair (0, 7): endurances 100 and 800 -> stay probabilities 1/9 and 8/9.
+  EXPECT_NEAR(wl.stay_probability(0), 100.0 / 900.0, 1e-12);
+  EXPECT_NEAR(wl.stay_probability(7), 800.0 / 900.0, 1e-12);
+  EXPECT_NEAR(wl.stay_probability(0) + wl.stay_probability(7), 1.0, 1e-12);
+}
+
+TEST(TwlTest, TossesStayWithinTheBondedPair) {
+  Twl wl(128, ramp_view(), 16, 1);  // toss on every write
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  // Logical line 3 starts in group 0, whose bond partner is group 7.
+  for (int i = 0; i < 500; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{3}, rng, batch);
+    const std::uint64_t group = wl.translate(LogicalLineAddr{3}) / 16;
+    EXPECT_TRUE(group == 0 || group == 7) << group;
+    // Offset within the group is preserved by the toss.
+    EXPECT_EQ(wl.translate(LogicalLineAddr{3}) % 16, 3u);
+  }
+}
+
+TEST(TwlTest, DwellShareMatchesStayProbability) {
+  Twl wl(128, ramp_view(), 16, 1);
+  Rng rng(2);
+  std::vector<WlPhysWrite> batch;
+  int on_strong = 0;
+  constexpr int kWrites = 20000;
+  for (int i = 0; i < kWrites; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{3}, rng, batch);
+    if (wl.translate(LogicalLineAddr{3}) / 16 == 7) ++on_strong;
+  }
+  // Stationary share on the strong side ~ 8/9.
+  EXPECT_NEAR(static_cast<double>(on_strong) / kWrites, 8.0 / 9.0, 0.03);
+}
+
+TEST(TwlTest, MappingStaysBijective) {
+  Twl wl(128, ramp_view(), 16, 2);
+  Rng rng(3);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 3000; ++i) {
+    batch.clear();
+    wl.on_write(LogicalLineAddr{static_cast<std::uint64_t>(i) % 128}, rng,
+                batch);
+  }
+  std::set<std::uint64_t> targets;
+  for (std::uint64_t l = 0; l < 128; ++l) {
+    targets.insert(wl.translate(LogicalLineAddr{l}));
+  }
+  EXPECT_EQ(targets.size(), 128u);
+}
+
+TEST(TwlTest, FactoryConstructsTwl) {
+  Rng rng(4);
+  WearLevelerParams params;
+  params.swap_interval = 5;
+  params.group_lines = 16;
+  const EnduranceView v = ramp_view();
+  auto wl = make_wear_leveler("twl", 128, v, params, rng);
+  EXPECT_EQ(wl->name(), "twl");
+}
+
+}  // namespace
+}  // namespace nvmsec

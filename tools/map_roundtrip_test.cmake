@@ -1,0 +1,17 @@
+# Save an endurance map, then run an experiment from the saved file.
+execute_process(
+  COMMAND ${TOOL} --save-map ${WORK_DIR}/roundtrip_map.csv
+          --lines 1024 --regions 64 --endurance-mean 1000
+  RESULT_VARIABLE save_result)
+if(NOT save_result EQUAL 0)
+  message(FATAL_ERROR "save-map failed: ${save_result}")
+endif()
+execute_process(
+  COMMAND ${TOOL} --load-map ${WORK_DIR}/roundtrip_map.csv --spare maxwe
+  RESULT_VARIABLE load_result OUTPUT_VARIABLE out)
+if(NOT load_result EQUAL 0)
+  message(FATAL_ERROR "load-map run failed: ${load_result}")
+endif()
+if(NOT out MATCHES "normalized lifetime")
+  message(FATAL_ERROR "unexpected output: ${out}")
+endif()
