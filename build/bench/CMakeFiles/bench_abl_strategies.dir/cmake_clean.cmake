@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_strategies.dir/bench_abl_strategies.cpp.o"
+  "CMakeFiles/bench_abl_strategies.dir/bench_abl_strategies.cpp.o.d"
+  "bench_abl_strategies"
+  "bench_abl_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

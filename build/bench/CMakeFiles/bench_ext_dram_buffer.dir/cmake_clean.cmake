@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dram_buffer.dir/bench_ext_dram_buffer.cpp.o"
+  "CMakeFiles/bench_ext_dram_buffer.dir/bench_ext_dram_buffer.cpp.o.d"
+  "bench_ext_dram_buffer"
+  "bench_ext_dram_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dram_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

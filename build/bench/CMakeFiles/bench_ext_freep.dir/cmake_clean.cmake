@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_freep.dir/bench_ext_freep.cpp.o"
+  "CMakeFiles/bench_ext_freep.dir/bench_ext_freep.cpp.o.d"
+  "bench_ext_freep"
+  "bench_ext_freep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_freep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

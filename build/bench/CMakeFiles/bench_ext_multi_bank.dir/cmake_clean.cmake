@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_bank.dir/bench_ext_multi_bank.cpp.o"
+  "CMakeFiles/bench_ext_multi_bank.dir/bench_ext_multi_bank.cpp.o.d"
+  "bench_ext_multi_bank"
+  "bench_ext_multi_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

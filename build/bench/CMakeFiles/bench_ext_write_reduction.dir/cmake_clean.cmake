@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_write_reduction.dir/bench_ext_write_reduction.cpp.o"
+  "CMakeFiles/bench_ext_write_reduction.dir/bench_ext_write_reduction.cpp.o.d"
+  "bench_ext_write_reduction"
+  "bench_ext_write_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_write_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

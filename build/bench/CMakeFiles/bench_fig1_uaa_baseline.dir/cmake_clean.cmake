@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_uaa_baseline.dir/bench_fig1_uaa_baseline.cpp.o"
+  "CMakeFiles/bench_fig1_uaa_baseline.dir/bench_fig1_uaa_baseline.cpp.o.d"
+  "bench_fig1_uaa_baseline"
+  "bench_fig1_uaa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_uaa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_translate.dir/bench_micro_translate.cpp.o"
+  "CMakeFiles/bench_micro_translate.dir/bench_micro_translate.cpp.o.d"
+  "bench_micro_translate"
+  "bench_micro_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_uaa_lifetime.dir/bench_tbl_uaa_lifetime.cpp.o"
+  "CMakeFiles/bench_tbl_uaa_lifetime.dir/bench_tbl_uaa_lifetime.cpp.o.d"
+  "bench_tbl_uaa_lifetime"
+  "bench_tbl_uaa_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_uaa_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_diagnostics.dir/wear_diagnostics.cpp.o"
+  "CMakeFiles/wear_diagnostics.dir/wear_diagnostics.cpp.o.d"
+  "wear_diagnostics"
+  "wear_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

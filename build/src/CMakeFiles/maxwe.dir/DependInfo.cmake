@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/bpa.cpp" "src/CMakeFiles/maxwe.dir/attack/bpa.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/bpa.cpp.o.d"
+  "/root/repo/src/attack/hotspot.cpp" "src/CMakeFiles/maxwe.dir/attack/hotspot.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/hotspot.cpp.o.d"
+  "/root/repo/src/attack/random_uniform.cpp" "src/CMakeFiles/maxwe.dir/attack/random_uniform.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/random_uniform.cpp.o.d"
+  "/root/repo/src/attack/trace.cpp" "src/CMakeFiles/maxwe.dir/attack/trace.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/trace.cpp.o.d"
+  "/root/repo/src/attack/uaa.cpp" "src/CMakeFiles/maxwe.dir/attack/uaa.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/uaa.cpp.o.d"
+  "/root/repo/src/attack/zipf.cpp" "src/CMakeFiles/maxwe.dir/attack/zipf.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/attack/zipf.cpp.o.d"
+  "/root/repo/src/cache/dram_buffer.cpp" "src/CMakeFiles/maxwe.dir/cache/dram_buffer.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/cache/dram_buffer.cpp.o.d"
+  "/root/repo/src/core/analytic.cpp" "src/CMakeFiles/maxwe.dir/core/analytic.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/core/analytic.cpp.o.d"
+  "/root/repo/src/core/latency_model.cpp" "src/CMakeFiles/maxwe.dir/core/latency_model.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/core/latency_model.cpp.o.d"
+  "/root/repo/src/core/mapping_tables.cpp" "src/CMakeFiles/maxwe.dir/core/mapping_tables.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/core/mapping_tables.cpp.o.d"
+  "/root/repo/src/core/maxwe.cpp" "src/CMakeFiles/maxwe.dir/core/maxwe.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/core/maxwe.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/CMakeFiles/maxwe.dir/core/overhead.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/core/overhead.cpp.o.d"
+  "/root/repo/src/nvm/bit_device.cpp" "src/CMakeFiles/maxwe.dir/nvm/bit_device.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/bit_device.cpp.o.d"
+  "/root/repo/src/nvm/device.cpp" "src/CMakeFiles/maxwe.dir/nvm/device.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/device.cpp.o.d"
+  "/root/repo/src/nvm/endurance_io.cpp" "src/CMakeFiles/maxwe.dir/nvm/endurance_io.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/endurance_io.cpp.o.d"
+  "/root/repo/src/nvm/endurance_map.cpp" "src/CMakeFiles/maxwe.dir/nvm/endurance_map.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/endurance_map.cpp.o.d"
+  "/root/repo/src/nvm/endurance_model.cpp" "src/CMakeFiles/maxwe.dir/nvm/endurance_model.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/endurance_model.cpp.o.d"
+  "/root/repo/src/nvm/geometry.cpp" "src/CMakeFiles/maxwe.dir/nvm/geometry.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/nvm/geometry.cpp.o.d"
+  "/root/repo/src/reduction/codec.cpp" "src/CMakeFiles/maxwe.dir/reduction/codec.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/reduction/codec.cpp.o.d"
+  "/root/repo/src/reduction/payload.cpp" "src/CMakeFiles/maxwe.dir/reduction/payload.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/reduction/payload.cpp.o.d"
+  "/root/repo/src/salvage/line_sim.cpp" "src/CMakeFiles/maxwe.dir/salvage/line_sim.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/salvage/line_sim.cpp.o.d"
+  "/root/repo/src/sim/bit_engine.cpp" "src/CMakeFiles/maxwe.dir/sim/bit_engine.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/bit_engine.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/maxwe.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/maxwe.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/maxwe.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/multi_bank.cpp" "src/CMakeFiles/maxwe.dir/sim/multi_bank.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/multi_bank.cpp.o.d"
+  "/root/repo/src/sim/wear_report.cpp" "src/CMakeFiles/maxwe.dir/sim/wear_report.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/sim/wear_report.cpp.o.d"
+  "/root/repo/src/spare/factory.cpp" "src/CMakeFiles/maxwe.dir/spare/factory.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/spare/factory.cpp.o.d"
+  "/root/repo/src/spare/freep.cpp" "src/CMakeFiles/maxwe.dir/spare/freep.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/spare/freep.cpp.o.d"
+  "/root/repo/src/spare/none.cpp" "src/CMakeFiles/maxwe.dir/spare/none.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/spare/none.cpp.o.d"
+  "/root/repo/src/spare/pcd.cpp" "src/CMakeFiles/maxwe.dir/spare/pcd.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/spare/pcd.cpp.o.d"
+  "/root/repo/src/spare/ps.cpp" "src/CMakeFiles/maxwe.dir/spare/ps.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/spare/ps.cpp.o.d"
+  "/root/repo/src/util/alias_table.cpp" "src/CMakeFiles/maxwe.dir/util/alias_table.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/alias_table.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/maxwe.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/maxwe.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/maxwe.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/maxwe.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/maxwe.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/util/table.cpp.o.d"
+  "/root/repo/src/wearlevel/age_based.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/age_based.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/age_based.cpp.o.d"
+  "/root/repo/src/wearlevel/bwl.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/bwl.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/bwl.cpp.o.d"
+  "/root/repo/src/wearlevel/factory.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/factory.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/factory.cpp.o.d"
+  "/root/repo/src/wearlevel/none.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/none.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/none.cpp.o.d"
+  "/root/repo/src/wearlevel/pcm_s.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/pcm_s.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/pcm_s.cpp.o.d"
+  "/root/repo/src/wearlevel/permutation_base.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/permutation_base.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/permutation_base.cpp.o.d"
+  "/root/repo/src/wearlevel/security_refresh.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/security_refresh.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/security_refresh.cpp.o.d"
+  "/root/repo/src/wearlevel/start_gap.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/start_gap.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/start_gap.cpp.o.d"
+  "/root/repo/src/wearlevel/twl.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/twl.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/twl.cpp.o.d"
+  "/root/repo/src/wearlevel/wawl.cpp" "src/CMakeFiles/maxwe.dir/wearlevel/wawl.cpp.o" "gcc" "src/CMakeFiles/maxwe.dir/wearlevel/wawl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

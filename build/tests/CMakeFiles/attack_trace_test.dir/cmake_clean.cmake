@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_trace_test.dir/attack/trace_test.cpp.o"
+  "CMakeFiles/attack_trace_test.dir/attack/trace_test.cpp.o.d"
+  "attack_trace_test"
+  "attack_trace_test.pdb"
+  "attack_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_zipf_test.dir/attack/zipf_test.cpp.o"
+  "CMakeFiles/attack_zipf_test.dir/attack/zipf_test.cpp.o.d"
+  "attack_zipf_test"
+  "attack_zipf_test.pdb"
+  "attack_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_dram_buffer_test.dir/cache/dram_buffer_test.cpp.o"
+  "CMakeFiles/cache_dram_buffer_test.dir/cache/dram_buffer_test.cpp.o.d"
+  "cache_dram_buffer_test"
+  "cache_dram_buffer_test.pdb"
+  "cache_dram_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_dram_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mapping_tables_test.dir/core/mapping_tables_test.cpp.o"
+  "CMakeFiles/core_mapping_tables_test.dir/core/mapping_tables_test.cpp.o.d"
+  "core_mapping_tables_test"
+  "core_mapping_tables_test.pdb"
+  "core_mapping_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mapping_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_maxwe_grid_test.dir/core/maxwe_grid_test.cpp.o"
+  "CMakeFiles/core_maxwe_grid_test.dir/core/maxwe_grid_test.cpp.o.d"
+  "core_maxwe_grid_test"
+  "core_maxwe_grid_test.pdb"
+  "core_maxwe_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_maxwe_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_overhead_test.dir/core/overhead_test.cpp.o"
+  "CMakeFiles/core_overhead_test.dir/core/overhead_test.cpp.o.d"
+  "core_overhead_test"
+  "core_overhead_test.pdb"
+  "core_overhead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_overhead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

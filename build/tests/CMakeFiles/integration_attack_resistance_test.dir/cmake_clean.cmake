@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_attack_resistance_test.dir/integration/attack_resistance_test.cpp.o"
+  "CMakeFiles/integration_attack_resistance_test.dir/integration/attack_resistance_test.cpp.o.d"
+  "integration_attack_resistance_test"
+  "integration_attack_resistance_test.pdb"
+  "integration_attack_resistance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_attack_resistance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

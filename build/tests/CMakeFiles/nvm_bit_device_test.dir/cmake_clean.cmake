@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_bit_device_test.dir/nvm/bit_device_test.cpp.o"
+  "CMakeFiles/nvm_bit_device_test.dir/nvm/bit_device_test.cpp.o.d"
+  "nvm_bit_device_test"
+  "nvm_bit_device_test.pdb"
+  "nvm_bit_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_bit_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

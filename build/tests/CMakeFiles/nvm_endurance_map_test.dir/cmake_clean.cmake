@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_endurance_map_test.dir/nvm/endurance_map_test.cpp.o"
+  "CMakeFiles/nvm_endurance_map_test.dir/nvm/endurance_map_test.cpp.o.d"
+  "nvm_endurance_map_test"
+  "nvm_endurance_map_test.pdb"
+  "nvm_endurance_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_endurance_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

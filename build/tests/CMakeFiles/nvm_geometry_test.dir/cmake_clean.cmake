@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_geometry_test.dir/nvm/geometry_test.cpp.o"
+  "CMakeFiles/nvm_geometry_test.dir/nvm/geometry_test.cpp.o.d"
+  "nvm_geometry_test"
+  "nvm_geometry_test.pdb"
+  "nvm_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_codec_test.dir/reduction/codec_test.cpp.o"
+  "CMakeFiles/reduction_codec_test.dir/reduction/codec_test.cpp.o.d"
+  "reduction_codec_test"
+  "reduction_codec_test.pdb"
+  "reduction_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salvage_line_sim_test.dir/salvage/line_sim_test.cpp.o"
+  "CMakeFiles/salvage_line_sim_test.dir/salvage/line_sim_test.cpp.o.d"
+  "salvage_line_sim_test"
+  "salvage_line_sim_test.pdb"
+  "salvage_line_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salvage_line_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

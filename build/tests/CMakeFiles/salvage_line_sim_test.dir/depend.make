@@ -1,0 +1,2 @@
+# Empty dependencies file for salvage_line_sim_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cross_engine_test.dir/sim/cross_engine_test.cpp.o"
+  "CMakeFiles/sim_cross_engine_test.dir/sim/cross_engine_test.cpp.o.d"
+  "sim_cross_engine_test"
+  "sim_cross_engine_test.pdb"
+  "sim_cross_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cross_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_multi_bank_test.dir/sim/multi_bank_test.cpp.o"
+  "CMakeFiles/sim_multi_bank_test.dir/sim/multi_bank_test.cpp.o.d"
+  "sim_multi_bank_test"
+  "sim_multi_bank_test.pdb"
+  "sim_multi_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_multi_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

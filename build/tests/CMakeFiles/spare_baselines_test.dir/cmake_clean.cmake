@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_baselines_test.dir/spare/baselines_test.cpp.o"
+  "CMakeFiles/spare_baselines_test.dir/spare/baselines_test.cpp.o.d"
+  "spare_baselines_test"
+  "spare_baselines_test.pdb"
+  "spare_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

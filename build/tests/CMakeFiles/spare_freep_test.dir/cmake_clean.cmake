@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_freep_test.dir/spare/freep_test.cpp.o"
+  "CMakeFiles/spare_freep_test.dir/spare/freep_test.cpp.o.d"
+  "spare_freep_test"
+  "spare_freep_test.pdb"
+  "spare_freep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_freep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlevel_age_based_test.dir/wearlevel/age_based_test.cpp.o"
+  "CMakeFiles/wearlevel_age_based_test.dir/wearlevel/age_based_test.cpp.o.d"
+  "wearlevel_age_based_test"
+  "wearlevel_age_based_test.pdb"
+  "wearlevel_age_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlevel_age_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlevel_aware_test.dir/wearlevel/aware_test.cpp.o"
+  "CMakeFiles/wearlevel_aware_test.dir/wearlevel/aware_test.cpp.o.d"
+  "wearlevel_aware_test"
+  "wearlevel_aware_test.pdb"
+  "wearlevel_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlevel_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

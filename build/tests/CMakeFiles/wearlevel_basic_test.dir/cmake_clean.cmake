@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlevel_basic_test.dir/wearlevel/basic_test.cpp.o"
+  "CMakeFiles/wearlevel_basic_test.dir/wearlevel/basic_test.cpp.o.d"
+  "wearlevel_basic_test"
+  "wearlevel_basic_test.pdb"
+  "wearlevel_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlevel_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

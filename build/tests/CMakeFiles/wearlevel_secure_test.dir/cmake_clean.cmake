@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlevel_secure_test.dir/wearlevel/secure_test.cpp.o"
+  "CMakeFiles/wearlevel_secure_test.dir/wearlevel/secure_test.cpp.o.d"
+  "wearlevel_secure_test"
+  "wearlevel_secure_test.pdb"
+  "wearlevel_secure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlevel_secure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlevel_twl_test.dir/wearlevel/twl_test.cpp.o"
+  "CMakeFiles/wearlevel_twl_test.dir/wearlevel/twl_test.cpp.o.d"
+  "wearlevel_twl_test"
+  "wearlevel_twl_test.pdb"
+  "wearlevel_twl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlevel_twl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

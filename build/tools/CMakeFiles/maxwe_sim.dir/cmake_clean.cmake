@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwe_sim.dir/maxwe_sim.cpp.o"
+  "CMakeFiles/maxwe_sim.dir/maxwe_sim.cpp.o.d"
+  "maxwe_sim"
+  "maxwe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_maxwe_sim_help "/root/repo/build/tools/maxwe_sim" "--help")
+set_tests_properties(tool_maxwe_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_maxwe_sim_event_run "/root/repo/build/tools/maxwe_sim" "--lines" "2048" "--regions" "128" "--endurance-mean" "1000" "--spare" "maxwe")
+set_tests_properties(tool_maxwe_sim_event_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_maxwe_sim_stochastic_run "/root/repo/build/tools/maxwe_sim" "--mode" "stochastic" "--lines" "512" "--regions" "32" "--endurance-mean" "1000" "--attack" "bpa" "--wl" "tlsr" "--spare" "ps")
+set_tests_properties(tool_maxwe_sim_stochastic_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_maxwe_sim_bit_run "/root/repo/build/tools/maxwe_sim" "--mode" "bit" "--lines" "256" "--regions" "16" "--endurance-mean" "300" "--codec" "fnw" "--ecp" "2" "--spare" "maxwe" "--spare-fraction" "0.25" "--swr-fraction" "0.5")
+set_tests_properties(tool_maxwe_sim_bit_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_maxwe_sim_bad_flag "/root/repo/build/tools/maxwe_sim" "--bogus")
+set_tests_properties(tool_maxwe_sim_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_maxwe_sim_map_roundtrip "/usr/bin/cmake" "-DTOOL=/root/repo/build/tools/maxwe_sim" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/map_roundtrip_test.cmake")
+set_tests_properties(tool_maxwe_sim_map_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
