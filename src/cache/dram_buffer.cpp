@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace nvmsec {
 
 DramBuffer::DramBuffer(std::uint64_t capacity_lines)
@@ -44,6 +46,14 @@ std::vector<LogicalLineAddr> DramBuffer::flush() {
 
 bool DramBuffer::contains(LogicalLineAddr la) const {
   return map_.contains(la.value());
+}
+
+void DramBuffer::publish_metrics(MetricsRegistry& metrics) const {
+  metrics.counter("buffer.hits").set(stats_.hits);
+  metrics.counter("buffer.misses").set(stats_.misses);
+  metrics.counter("buffer.evictions").set(stats_.evictions);
+  metrics.gauge("buffer.hit_rate").set(stats_.hit_rate());
+  metrics.gauge("buffer.occupancy").set(static_cast<double>(size()));
 }
 
 void DramBuffer::reset() {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/observer.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -51,6 +52,10 @@ class DramBuffer {
   [[nodiscard]] std::uint64_t size() const { return map_.size(); }
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
   [[nodiscard]] const DramBufferStats& stats() const { return stats_; }
+
+  /// Publish hits/misses/evictions/hit-rate/occupancy to `metrics` under
+  /// the "buffer." prefix (the engines call this at run end).
+  void publish_metrics(MetricsRegistry& metrics) const;
 
   void reset();
 

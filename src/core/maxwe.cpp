@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nvmsec {
 
 void MaxWeParams::validate() const {
@@ -157,6 +160,16 @@ bool MaxWe::allocate_from_asr(std::uint64_t idx, PhysLineAddr pla) {
   lmt_.insert_or_replace(pla, sla);
   backing_[idx] = static_cast<std::uint32_t>(sla.value());
   ++stats_.replacements;
+  if (asr_allocs_ != nullptr) asr_allocs_->inc();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(
+        "maxwe.asr_alloc",
+        {{"working_index", static_cast<double>(idx)},
+         {"original_line", static_cast<double>(pla.value())},
+         {"spare_line", static_cast<double>(sla.value())},
+         {"pool_remaining", static_cast<double>(asr_pool_remaining())}});
+  }
+  if (obs_.metrics != nullptr) publish_table_gauges();
   return true;
 }
 
@@ -180,6 +193,15 @@ bool MaxWe::on_wear_out(std::uint64_t idx) {
       const PhysLineAddr spare = geom.line_at(*rmt_.spare_of(region), offset);
       backing_[idx] = static_cast<std::uint32_t>(spare.value());
       ++stats_.replacements;
+      if (rmt_redirects_ != nullptr) rmt_redirects_->inc();
+      if (obs_.trace != nullptr) {
+        obs_.trace->instant(
+            "maxwe.rmt_redirect",
+            {{"region", static_cast<double>(region.value())},
+             {"offset", static_cast<double>(offset.value())},
+             {"spare_region",
+              static_cast<double>(rmt_.spare_of(region)->value())}});
+      }
       return true;
     }
     return allocate_from_asr(idx, pla);
@@ -225,6 +247,41 @@ void MaxWe::reset() {
   for (std::uint64_t i = 0; i < user_lines_; ++i) {
     backing_[i] = static_cast<std::uint32_t>(working_line(i).value());
   }
+}
+
+void MaxWe::set_observer(const Observer& obs) {
+  obs_ = obs;
+  rmt_redirects_ = nullptr;
+  asr_allocs_ = nullptr;
+  if (obs.metrics != nullptr) {
+    rmt_redirects_ = &obs.metrics->counter("maxwe.rmt_redirects");
+    asr_allocs_ = &obs.metrics->counter("maxwe.asr_allocs");
+    obs.metrics->gauge("maxwe.user_lines")
+        .set(static_cast<double>(user_lines_));
+    obs.metrics->gauge("maxwe.asr_pool_size")
+        .set(static_cast<double>(asr_pool_.size()));
+    publish_table_gauges();
+  }
+  if (obs.trace != nullptr) {
+    // Replay the boot-time weak-strong matching so the trace is
+    // self-contained: one pairing event per permanent (RWR -> SWR) pair.
+    for (RegionId rwr : rwrs_) {
+      obs.trace->instant(
+          "maxwe.pair",
+          {{"rwr_region", static_cast<double>(rwr.value())},
+           {"swr_region", static_cast<double>(rmt_.spare_of(rwr)->value())},
+           {"rwr_endurance", endurance_->region_endurance(rwr)},
+           {"swr_endurance",
+            endurance_->region_endurance(*rmt_.spare_of(rwr))}});
+    }
+  }
+}
+
+void MaxWe::publish_table_gauges() const {
+  obs_.metrics->gauge("maxwe.lmt_entries").set(static_cast<double>(lmt_.size()));
+  obs_.metrics->gauge("maxwe.rmt_entries").set(static_cast<double>(rmt_.size()));
+  obs_.metrics->gauge("maxwe.asr_pool_remaining")
+      .set(static_cast<double>(asr_pool_remaining()));
 }
 
 std::unique_ptr<SpareScheme> make_maxwe(

@@ -70,6 +70,10 @@ class MaxWe final : public SpareScheme {
   [[nodiscard]] std::string name() const override { return "maxwe"; }
   [[nodiscard]] SpareSchemeStats stats() const override;
   void reset() override;
+  /// Emits the SWR/RWR pairing as trace events on attach, then traces RMT
+  /// redirects and additional-spare allocations as they happen and keeps
+  /// `maxwe.*` counters/gauges current.
+  void set_observer(const Observer& obs) override;
 
   // --- Paper-facing introspection --------------------------------------
   [[nodiscard]] const MaxWeParams& params() const { return params_; }
@@ -120,6 +124,11 @@ class MaxWe final : public SpareScheme {
   /// O(1) resolve cache; tables above stay authoritative.
   std::vector<std::uint32_t> backing_;
   SpareSchemeStats stats_;
+
+  Observer obs_{};
+  Counter* rmt_redirects_{nullptr};
+  Counter* asr_allocs_{nullptr};
+  void publish_table_gauges() const;
 };
 
 std::unique_ptr<SpareScheme> make_maxwe(

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nvmsec {
 
 Device::Device(std::shared_ptr<const EnduranceMap> endurance)
@@ -33,9 +36,24 @@ WriteOutcome Device::write(PhysLineAddr line) {
   --rem;
   if (rem == 0) {
     ++worn_out_count_;
+    if (wear_outs_ != nullptr) wear_outs_->inc();
+    if (obs_.trace != nullptr) {
+      obs_.trace->instant(
+          "wear_out",
+          {{"line", static_cast<double>(line.value())},
+           {"region", static_cast<double>(geometry().region_of(line).value())},
+           {"worn_out_lines", static_cast<double>(worn_out_count_)}});
+    }
     return WriteOutcome::kWornOut;
   }
   return WriteOutcome::kOk;
+}
+
+void Device::set_observer(const Observer& obs) {
+  obs_ = obs;
+  wear_outs_ =
+      obs.metrics != nullptr ? &obs.metrics->counter("device.wear_outs")
+                             : nullptr;
 }
 
 WriteCount Device::write_budget(PhysLineAddr line) const {

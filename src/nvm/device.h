@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nvm/endurance_map.h"
+#include "obs/observer.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -65,7 +66,15 @@ class Device {
   /// Restore the factory-fresh wear state.
   void reset();
 
+  /// Attach observability sinks. Wear-out events then emit a trace instant
+  /// with the line/region coordinates and bump the `device.wear_outs`
+  /// counter. Only the wear-out branch is instrumented — the per-write hot
+  /// path stays untouched.
+  void set_observer(const Observer& obs);
+
  private:
+  Observer obs_{};
+  Counter* wear_outs_{nullptr};
   std::shared_ptr<const EnduranceMap> endurance_;
   std::vector<WriteCount> remaining_;
   std::vector<WriteCount> budget_;

@@ -1,0 +1,67 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace nvmsec {
+
+void json_append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void json_write_number(std::ostream& out, double x) {
+  if (!std::isfinite(x)) {
+    out << "null";
+    return;
+  }
+  // Integers up to 2^53 print exactly and without an exponent, which keeps
+  // counters readable; everything else gets round-trip precision.
+  if (x == std::floor(x) && std::abs(x) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", x);
+    out << buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  out << buf;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  json_append_string(out, s);
+  return out;
+}
+
+}  // namespace nvmsec

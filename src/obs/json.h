@@ -1,0 +1,28 @@
+// Minimal JSON emission helpers shared by the observability sinks.
+//
+// The obs layer writes three machine-readable formats (metrics JSON, Chrome
+// trace events, wear-snapshot JSONL) and all of them need exactly two
+// things done right: string escaping and number formatting that round-trips
+// through any JSON parser (no NaN/Inf, enough digits). This header is that,
+// and nothing more — parsing stays out of the library (tests carry their
+// own checker).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace nvmsec {
+
+/// Append `s` to `out` as a quoted JSON string, escaping control
+/// characters, quotes and backslashes.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Write `x` as a JSON number: finite values with round-trip precision,
+/// non-finite values as null (JSON has no NaN/Inf).
+void json_write_number(std::ostream& out, double x);
+
+/// Convenience: escaped-and-quoted copy of `s`.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+}  // namespace nvmsec

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace nvmsec {
+
+namespace {
+
+// Heterogeneous find-or-emplace: std::map::operator[] would need a
+// std::string temporary per call; try_emplace with a transparent comparator
+// avoids it on the find path.
+template <typename Map, typename... Args>
+auto& find_or_create(Map& map, std::string_view name, Args&&... args) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.try_emplace(std::string(name), std::forward<Args>(args)...).first;
+  }
+  return it->second;
+}
+
+template <typename Map>
+auto* find_only(const Map& map, std::string_view name) {
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name);
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name), lo, hi, buckets).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_only(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_only(gauges_, name);
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_only(histograms_, name);
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": "
+        << c.value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": ";
+    json_write_number(out, g.value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": {";
+    const RunningStats& s = h.summary();
+    out << "\"count\": " << s.count() << ", \"mean\": ";
+    json_write_number(out, s.mean());
+    out << ", \"stddev\": ";
+    json_write_number(out, s.stddev());
+    out << ", \"min\": ";
+    json_write_number(out, s.min());
+    out << ", \"max\": ";
+    json_write_number(out, s.max());
+    if (const Histogram* b = h.buckets()) {
+      out << ", \"buckets\": [";
+      for (std::size_t i = 0; i < b->bucket_count(); ++i) {
+        if (i > 0) out << ", ";
+        out << "{\"lo\": ";
+        json_write_number(out, b->bucket_lo(i));
+        out << ", \"hi\": ";
+        json_write_number(out, b->bucket_hi(i));
+        out << ", \"count\": " << b->bucket(i) << "}";
+      }
+      out << "]";
+    }
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+namespace {
+
+void csv_summary_columns(std::ostream& out, const RunningStats& s) {
+  out << s.count() << ",";
+  json_write_number(out, s.mean());
+  out << ",";
+  json_write_number(out, s.stddev());
+  out << ",";
+  json_write_number(out, s.min());
+  out << ",";
+  json_write_number(out, s.max());
+}
+
+}  // namespace
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "kind,name,value,count,mean,stddev,min,max\n";
+  for (const auto& [name, c] : counters_) {
+    out << "counter," << name << "," << c.value() << ",,,,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge," << name << ",";
+    json_write_number(out, g.value());
+    out << ",,,,,\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram," << name << ",,";
+    csv_summary_columns(out, h.summary());
+    out << "\n";
+  }
+}
+
+}  // namespace nvmsec

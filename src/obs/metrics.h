@@ -1,0 +1,111 @@
+// MetricsRegistry: named counters, gauges and histograms for run-time
+// telemetry.
+//
+// Design constraints, in order:
+//  1. Hot-path cost. Components look a metric up by name ONCE (at
+//     construction or observer attach) and keep the returned reference;
+//     incrementing is then a single add on a plain integer. Nothing in the
+//     registry is touched per write.
+//  2. Determinism. Export order is the metric name's lexicographic order,
+//     so two runs with the same seed produce byte-identical files.
+//  3. Reuse. Histograms wrap util/stats.h's RunningStats (always) and
+//     Histogram (when bucket bounds are given) rather than reimplementing
+//     either.
+//
+// The registry is single-threaded, like the simulators it observes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+
+namespace nvmsec {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  /// Counters are monotonic; set() exists for publishing an externally
+  /// accumulated total (e.g. an engine-local counter flushed at run end).
+  void set(std::uint64_t value) { value_ = value; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Point-in-time value (table occupancy, pool level, fraction).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0};
+};
+
+/// Distribution metric: streaming summary plus optional fixed buckets.
+class HistogramMetric {
+ public:
+  HistogramMetric() = default;
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : buckets_(std::in_place, lo, hi, buckets) {}
+
+  void observe(double x) {
+    summary_.add(x);
+    if (buckets_) buckets_->add(x);
+  }
+
+  [[nodiscard]] const RunningStats& summary() const { return summary_; }
+  [[nodiscard]] const Histogram* buckets() const {
+    return buckets_ ? &*buckets_ : nullptr;
+  }
+
+ private:
+  RunningStats summary_;
+  std::optional<Histogram> buckets_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (std::map nodes are stable), so call once and keep the reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Summary-only histogram (no buckets).
+  HistogramMetric& histogram(std::string_view name);
+  /// Bucketed histogram over [lo, hi); bounds are fixed by the first call
+  /// for a given name and ignored on later calls.
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Lookup without creating; nullptr when absent. For tests and exporters.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(
+      std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, names sorted.
+  void write_json(std::ostream& out) const;
+
+  /// Flat CSV: kind,name,value,count,mean,stddev,min,max (one row per
+  /// metric; counter/gauge rows leave the summary columns empty).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, HistogramMetric, std::less<>> histograms_;
+};
+
+}  // namespace nvmsec

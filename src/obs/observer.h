@@ -1,0 +1,29 @@
+// Observer: the nullable bundle of observability sinks that instrumented
+// components carry.
+//
+// Header is deliberately tiny (forward declarations only) so hot components
+// — Device, Engine, the spare schemes — can include it without pulling the
+// sink implementations into every translation unit. A default-constructed
+// Observer is the no-op mode: every member is null, every instrumentation
+// site is one predictable branch, and behaviour is bit-identical to an
+// uninstrumented run.
+#pragma once
+
+namespace nvmsec {
+
+class MetricsRegistry;
+class Counter;
+class TraceWriter;
+class SnapshotEmitter;
+
+struct Observer {
+  MetricsRegistry* metrics{nullptr};
+  TraceWriter* trace{nullptr};
+  SnapshotEmitter* snapshots{nullptr};
+
+  [[nodiscard]] bool active() const {
+    return metrics != nullptr || trace != nullptr || snapshots != nullptr;
+  }
+};
+
+}  // namespace nvmsec

@@ -1,0 +1,84 @@
+#include "obs/session.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace nvmsec {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path, const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string("ObsSession: cannot open ") + what +
+                             " file '" + path + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
+  if (config_.metrics_format != "json" && config_.metrics_format != "csv") {
+    throw std::invalid_argument("ObsSession: metrics format must be 'json' or "
+                                "'csv', got '" + config_.metrics_format + "'");
+  }
+  if (config_.snapshot_interval > 0 && config_.snapshot_path.empty()) {
+    throw std::invalid_argument(
+        "ObsSession: snapshot interval set but no snapshot path");
+  }
+  if (config_.snapshot_interval == 0 && !config_.snapshot_path.empty()) {
+    throw std::invalid_argument(
+        "ObsSession: snapshot path set but snapshot interval is 0 "
+        "(pass --snapshot-interval)");
+  }
+  if (!config_.metrics_path.empty()) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+  }
+  if (!config_.trace_path.empty()) {
+    trace_file_ = open_or_throw(config_.trace_path, "trace");
+    trace_ = std::make_unique<TraceWriter>(trace_file_);
+  }
+  if (config_.snapshot_interval > 0) {
+    snapshot_file_ = open_or_throw(config_.snapshot_path, "snapshot");
+    snapshots_ =
+        std::make_unique<SnapshotEmitter>(snapshot_file_,
+                                          config_.snapshot_interval);
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    log_error() << "ObsSession: finalize failed: " << e.what();
+  }
+}
+
+Observer ObsSession::observer() {
+  return Observer{metrics_.get(), trace_.get(), snapshots_.get()};
+}
+
+void ObsSession::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (metrics_) {
+    std::ofstream out = open_or_throw(config_.metrics_path, "metrics");
+    if (config_.metrics_format == "csv") {
+      metrics_->write_csv(out);
+    } else {
+      metrics_->write_json(out);
+    }
+  }
+  if (trace_) {
+    trace_->finish();
+    trace_file_.close();
+  }
+  if (snapshots_) {
+    snapshot_file_.flush();
+    snapshot_file_.close();
+  }
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,77 @@
+// ObsSession: owns the observability sinks and their output files for one
+// run.
+//
+// The sinks themselves (MetricsRegistry, TraceWriter, SnapshotEmitter) are
+// stream-agnostic so tests drive them with string streams; ObsSession is
+// the file-backed composition the CLI and examples use: give it paths, it
+// opens the files, hands out a non-owning Observer view, and finalize()
+// (or destruction) writes the metrics file and closes the trace array.
+// Paths left empty leave the corresponding sink unconfigured (null in the
+// Observer), preserving the zero-overhead no-op mode end to end.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace nvmsec {
+
+struct ObsConfig {
+  /// Metrics file path; empty = no metrics sink. Written at finalize().
+  std::string metrics_path;
+  /// "json" or "csv".
+  std::string metrics_format{"json"};
+  /// Chrome-trace file path; empty = no trace sink. Streams during the run.
+  std::string trace_path;
+  /// Wear-snapshot JSONL path; empty = no snapshot sink (unless
+  /// snapshot_interval > 0, which requires a path).
+  std::string snapshot_path;
+  /// Snapshot cadence in user writes; 0 disables snapshots.
+  WriteCount snapshot_interval{0};
+
+  [[nodiscard]] bool any() const {
+    return !metrics_path.empty() || !trace_path.empty() ||
+           !snapshot_path.empty() || snapshot_interval > 0;
+  }
+};
+
+class ObsSession {
+ public:
+  /// Opens every configured sink; throws std::runtime_error when a file
+  /// cannot be opened and std::invalid_argument for inconsistent configs
+  /// (snapshot interval without a path, unknown metrics format).
+  explicit ObsSession(ObsConfig config);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Non-owning view to hand to engines/components; valid until finalize().
+  [[nodiscard]] Observer observer();
+
+  /// Direct sink access for callers that publish run-level results
+  /// (nullptr when unconfigured).
+  [[nodiscard]] MetricsRegistry* metrics() { return metrics_.get(); }
+  [[nodiscard]] TraceWriter* trace() { return trace_.get(); }
+  [[nodiscard]] SnapshotEmitter* snapshots() { return snapshots_.get(); }
+
+  /// Write the metrics file, close the trace array, flush everything.
+  /// Idempotent; called by the destructor.
+  void finalize();
+
+ private:
+  ObsConfig config_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::ofstream trace_file_;
+  std::unique_ptr<TraceWriter> trace_;
+  std::ofstream snapshot_file_;
+  std::unique_ptr<SnapshotEmitter> snapshots_;
+  bool finalized_{false};
+};
+
+}  // namespace nvmsec

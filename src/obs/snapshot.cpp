@@ -1,0 +1,166 @@
+#include "obs/snapshot.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "cache/dram_buffer.h"
+#include "nvm/device.h"
+#include "obs/json.h"
+#include "sim/wear_report.h"
+#include "spare/spare_scheme.h"
+#include "util/log.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace nvmsec {
+
+namespace {
+
+/// Full per-region utilization is only worth its bytes on small devices;
+/// past this region count snapshots keep the summary statistics only.
+constexpr std::uint64_t kMaxInlineRegions = 512;
+
+void append_number(std::string& line, double v) {
+  if (!std::isfinite(v)) {
+    line += "null";
+  } else if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    line += std::to_string(static_cast<std::int64_t>(v));
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    line += buf;
+  }
+}
+
+void append_field(std::string& line, std::string_view key, double v) {
+  json_append_string(line, key);
+  line += ": ";
+  append_number(line, v);
+}
+
+}  // namespace
+
+SnapshotEmitter::SnapshotEmitter(std::ostream& out, WriteCount interval,
+                                 std::uint64_t max_snapshots)
+    : out_(out),
+      interval_(interval),
+      max_snapshots_(max_snapshots),
+      next_at_(static_cast<double>(interval)) {
+  if (interval == 0) {
+    throw std::invalid_argument("SnapshotEmitter: interval must be > 0");
+  }
+}
+
+void SnapshotEmitter::snapshot(const SnapshotContext& ctx) {
+  write_line(ctx);
+  // Advance to the first multiple of the interval strictly beyond the
+  // current position, collapsing any thresholds this sample jumped over.
+  const double step = static_cast<double>(interval_);
+  next_at_ = (std::floor(ctx.user_writes / step) + 1.0) * step;
+}
+
+void SnapshotEmitter::snapshot_now(const SnapshotContext& ctx) {
+  write_line(ctx);
+}
+
+void SnapshotEmitter::write_line(const SnapshotContext& ctx) {
+  if (count_ >= max_snapshots_) {
+    if (!warned_) {
+      warned_ = true;
+      log_warn() << "SnapshotEmitter: snapshot cap (" << max_snapshots_
+                 << ") reached; later snapshots are dropped";
+    }
+    return;
+  }
+  ++count_;
+
+  std::string line;
+  line.reserve(256);
+  line += "{";
+  append_field(line, "user_writes", ctx.user_writes);
+  line += ", ";
+  append_field(line, "overhead_writes",
+               static_cast<double>(ctx.overhead_writes));
+  if (ctx.absorbed_writes > 0) {
+    line += ", ";
+    append_field(line, "absorbed_writes",
+                 static_cast<double>(ctx.absorbed_writes));
+  }
+  if (ctx.sim_rounds > 0) {
+    line += ", ";
+    append_field(line, "sim_rounds", ctx.sim_rounds);
+  }
+
+  if (ctx.device != nullptr) {
+    const WearReport wear = analyze_wear(*ctx.device);
+    line += ", \"wear\": {";
+    append_field(line, "device_writes",
+                 static_cast<double>(ctx.device->total_writes()));
+    line += ", ";
+    append_field(line, "harvest_fraction", wear.harvest_fraction);
+    line += ", ";
+    append_field(line, "utilization_gini", wear.utilization_gini);
+    line += ", ";
+    append_field(line, "worn_out_lines",
+                 static_cast<double>(wear.worn_out_lines));
+    line += ", ";
+    append_field(line, "max_line_utilization", wear.max_line_utilization);
+    line += ", ";
+    append_field(line, "min_line_utilization", wear.min_line_utilization);
+    if (wear.region_utilization.size() <= kMaxInlineRegions) {
+      line += ", \"region_utilization\": [";
+      for (std::size_t i = 0; i < wear.region_utilization.size(); ++i) {
+        if (i > 0) line += ", ";
+        append_number(line, wear.region_utilization[i]);
+      }
+      line += "]";
+    }
+    line += "}";
+  }
+
+  if (ctx.spare != nullptr) {
+    const SpareSchemeStats s = ctx.spare->stats();
+    line += ", \"spare\": {\"scheme\": ";
+    json_append_string(line, ctx.spare->name());
+    line += ", ";
+    append_field(line, "line_deaths", static_cast<double>(s.line_deaths));
+    line += ", ";
+    append_field(line, "replacements", static_cast<double>(s.replacements));
+    line += ", ";
+    append_field(line, "spares_remaining",
+                 static_cast<double>(s.spares_remaining));
+    line += ", ";
+    append_field(line, "lmt_entries", static_cast<double>(s.lmt_entries));
+    line += ", ";
+    append_field(line, "rmt_entries", static_cast<double>(s.rmt_entries));
+    line += "}";
+  }
+
+  if (ctx.wear_leveler != nullptr) {
+    line += ", \"wear_leveler\": {\"name\": ";
+    json_append_string(line, ctx.wear_leveler->name());
+    line += ", ";
+    append_field(
+        line, "overhead_writes",
+        static_cast<double>(ctx.wear_leveler->overhead_writes()));
+    line += "}";
+  }
+
+  if (ctx.buffer != nullptr) {
+    const DramBufferStats& b = ctx.buffer->stats();
+    line += ", \"buffer\": {";
+    append_field(line, "hits", static_cast<double>(b.hits));
+    line += ", ";
+    append_field(line, "misses", static_cast<double>(b.misses));
+    line += ", ";
+    append_field(line, "evictions", static_cast<double>(b.evictions));
+    line += ", ";
+    append_field(line, "occupancy", static_cast<double>(ctx.buffer->size()));
+    line += "}";
+  }
+
+  line += "}\n";
+  out_ << line;
+}
+
+}  // namespace nvmsec

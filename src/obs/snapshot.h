@@ -1,0 +1,81 @@
+// SnapshotEmitter: periodic wear snapshots as a JSONL time series.
+//
+// The end-of-run WearReport tells you *that* a device died; the snapshot
+// series tells you *how* — spare-pool drain rate, LMT/RMT growth, harvest
+// and Gini trajectories, buffer effectiveness — sampled every N user
+// writes. One JSON object per line, so the file streams and tails cleanly
+// and any per-line JSON tool (jq, pandas read_json(lines=True)) loads it.
+//
+// The emitter never samples on its own: an engine calls due() (one integer
+// compare) on its write loop and snapshot() when it returns true. Fields
+// whose source component is absent (the event engine has no Device, most
+// runs have no DRAM buffer) are simply omitted from the line.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/types.h"
+
+namespace nvmsec {
+
+class Device;
+class SpareScheme;
+class WearLeveler;
+class DramBuffer;
+
+/// Everything a snapshot can describe; null members are omitted.
+struct SnapshotContext {
+  const Device* device{nullptr};
+  const SpareScheme* spare{nullptr};
+  const WearLeveler* wear_leveler{nullptr};
+  const DramBuffer* buffer{nullptr};
+  /// Engine-tracked totals at the snapshot instant.
+  double user_writes{0};
+  std::uint64_t overhead_writes{0};
+  std::uint64_t absorbed_writes{0};
+  /// Event engine only: continuous time in sweeps.
+  double sim_rounds{0};
+};
+
+class SnapshotEmitter {
+ public:
+  static constexpr std::uint64_t kDefaultMaxSnapshots = 65'536;
+
+  /// Snapshot cadence is every `interval` user writes; `interval` must be
+  /// > 0. `out` must outlive the emitter. After `max_snapshots` lines the
+  /// emitter stops (and warns once) so degenerate configurations cannot
+  /// fill the disk.
+  SnapshotEmitter(std::ostream& out, WriteCount interval,
+                  std::uint64_t max_snapshots = kDefaultMaxSnapshots);
+
+  /// True when `user_writes` has crossed the next cadence threshold. One
+  /// compare — cheap enough for a per-write loop.
+  [[nodiscard]] bool due(double user_writes) const {
+    return user_writes >= next_at_;
+  }
+
+  /// Emit one snapshot line and advance the threshold past
+  /// `ctx.user_writes` (skipped intervals — an event engine can jump many
+  /// thresholds in one event — collapse into one line).
+  void snapshot(const SnapshotContext& ctx);
+
+  /// Emit unconditionally (end-of-run final sample); does not advance the
+  /// cadence.
+  void snapshot_now(const SnapshotContext& ctx);
+
+  [[nodiscard]] WriteCount interval() const { return interval_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  void write_line(const SnapshotContext& ctx);
+
+  std::ostream& out_;
+  WriteCount interval_;
+  std::uint64_t max_snapshots_;
+  double next_at_;
+  std::uint64_t count_{0};
+  bool warned_{false};
+};
+
+}  // namespace nvmsec

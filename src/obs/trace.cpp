@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace nvmsec {
+
+TraceWriter::TraceWriter(std::ostream& out, std::size_t max_events)
+    : out_(out),
+      epoch_(std::chrono::steady_clock::now()),
+      max_events_(max_events) {
+  out_ << "[";
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+std::uint64_t TraceWriter::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+bool TraceWriter::begin_event() {
+  if (finished_) return false;
+  if (written_ >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  ++written_;
+  return true;
+}
+
+void TraceWriter::write_event(std::string_view name, char phase,
+                              std::uint64_t ts_us, const std::uint64_t* dur_us,
+                              std::initializer_list<TraceArg> args) {
+  // One string append per event keeps this cheap enough for rare-event
+  // instrumentation (wear-outs, remaps) on otherwise hot paths.
+  std::string line;
+  line.reserve(96);
+  line += first_ ? "\n{\"name\": " : ",\n{\"name\": ";
+  first_ = false;
+  json_append_string(line, name);
+  line += ", \"ph\": \"";
+  line += phase;
+  line += "\", \"ts\": ";
+  line += std::to_string(ts_us);
+  if (dur_us != nullptr) {
+    line += ", \"dur\": ";
+    line += std::to_string(*dur_us);
+  }
+  line += ", \"pid\": 0, \"tid\": 0";
+  if (phase == 'i') line += ", \"s\": \"g\"";  // global-scope instant
+  if (args.size() > 0) {
+    line += ", \"args\": {";
+    bool first_arg = true;
+    for (const TraceArg& a : args) {
+      if (!first_arg) line += ", ";
+      first_arg = false;
+      json_append_string(line, a.key);
+      line += ": ";
+      const double v = a.value;
+      // Counters and coordinates are integers in practice; print them as
+      // such (see json_write_number for the same rule on streams).
+      if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+        line += std::to_string(static_cast<std::int64_t>(v));
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        line += buf;
+      }
+    }
+    line += "}";
+  }
+  line += "}";
+  out_ << line;
+}
+
+void TraceWriter::instant(std::string_view name,
+                          std::initializer_list<TraceArg> args) {
+  if (!begin_event()) return;
+  write_event(name, 'i', now_us(), nullptr, args);
+}
+
+void TraceWriter::counter(std::string_view name,
+                          std::initializer_list<TraceArg> args) {
+  if (!begin_event()) return;
+  write_event(name, 'C', now_us(), nullptr, args);
+}
+
+void TraceWriter::complete(std::string_view name, std::uint64_t ts_us,
+                           std::uint64_t dur_us,
+                           std::initializer_list<TraceArg> args) {
+  if (!begin_event()) return;
+  write_event(name, 'X', ts_us, &dur_us, args);
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  if (dropped_ > 0) {
+    // Self-describing truncation: one metadata instant, outside the cap.
+    write_event("trace_events_dropped", 'i', now_us(), nullptr,
+                {{"dropped", static_cast<double>(dropped_)}});
+  }
+  out_ << "\n]\n";
+  out_.flush();
+  finished_ = true;
+}
+
+}  // namespace nvmsec

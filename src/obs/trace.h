@@ -1,0 +1,104 @@
+// TraceWriter: Chrome-trace-format event stream.
+//
+// Emits a JSON array of trace events directly loadable in Perfetto /
+// chrome://tracing: complete spans ("ph":"X", produced by ScopedTimer),
+// instant events ("ph":"i", wear-outs / remaps / spare allocations) and
+// counter tracks ("ph":"C", e.g. LMT occupancy over time).
+//
+// The timeline is wall-clock microseconds since the writer was created;
+// simulation coordinates (user writes, rounds, line/region ids) travel in
+// each event's "args" so both views stay available. Args are numeric-only —
+// every coordinate in this simulator is a number, and it keeps the per-event
+// cost one small string append.
+//
+// A full-scale attack run can wear out hundreds of thousands of lines, so
+// the writer caps the event count (default 100k) and then drops, counting
+// what it dropped; finish() appends one final metadata event with the drop
+// count so a truncated trace is self-describing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string_view>
+
+namespace nvmsec {
+
+/// One numeric key/value for a trace event's "args" object.
+struct TraceArg {
+  std::string_view key;
+  double value;
+};
+
+class TraceWriter {
+ public:
+  static constexpr std::size_t kDefaultMaxEvents = 100'000;
+
+  /// `out` must outlive the writer. Events stream to it immediately; call
+  /// finish() (or let the destructor) to close the JSON array.
+  explicit TraceWriter(std::ostream& out,
+                       std::size_t max_events = kDefaultMaxEvents);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Instant event at the current time.
+  void instant(std::string_view name, std::initializer_list<TraceArg> args = {});
+
+  /// Counter sample: each arg becomes a series on the `name` counter track.
+  void counter(std::string_view name, std::initializer_list<TraceArg> args);
+
+  /// Complete span [ts_us, ts_us + dur_us]. ScopedTimer calls this.
+  void complete(std::string_view name, std::uint64_t ts_us,
+                std::uint64_t dur_us,
+                std::initializer_list<TraceArg> args = {});
+
+  /// Microseconds since writer construction (the trace timeline).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Close the JSON array (idempotent). Emits the drop-count metadata event
+  /// first if any events were dropped.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const { return written_; }
+  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
+
+ private:
+  bool begin_event();  // returns false when over the cap
+  void write_event(std::string_view name, char phase, std::uint64_t ts_us,
+                   const std::uint64_t* dur_us,
+                   std::initializer_list<TraceArg> args);
+
+  std::ostream& out_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t max_events_;
+  std::uint64_t written_{0};
+  std::uint64_t dropped_{0};
+  bool first_{true};
+  bool finished_{false};
+};
+
+/// RAII span: emits a complete event covering its lifetime. Null-safe —
+/// constructed with a null writer it is a no-op, so instrumented code needs
+/// no branches.
+class ScopedTimer {
+ public:
+  ScopedTimer(TraceWriter* trace, std::string_view name)
+      : trace_(trace), name_(name), start_us_(trace ? trace->now_us() : 0) {}
+  ~ScopedTimer() {
+    if (trace_) {
+      trace_->complete(name_, start_us_, trace_->now_us() - start_us_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TraceWriter* trace_;
+  std::string_view name_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace nvmsec

@@ -3,6 +3,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
 namespace nvmsec {
 
 Engine::Engine(Device& device, Attack& attack, WearLeveler& wear_leveler,
@@ -18,9 +22,16 @@ Engine::Engine(Device& device, Attack& attack, WearLeveler& wear_leveler,
   }
 }
 
+void Engine::set_observer(const Observer& obs) {
+  obs_ = obs;
+  device_.set_observer(obs);
+  spare_.set_observer(obs);
+}
+
 LifetimeResult Engine::run(WriteCount max_user_writes) {
   LifetimeResult result;
   result.ideal_lifetime = device_.total_budget();
+  const ScopedTimer run_span(obs_.trace, "engine.run");
 
   if (buffer_ && max_user_writes == 0) {
     throw std::invalid_argument(
@@ -36,6 +47,28 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
 
   while (!result.failed &&
          (max_user_writes == 0 || user_writes < max_user_writes)) {
+    // Snapshot cadence: one pointer check per user write in the no-op mode,
+    // one extra integer compare when a snapshot sink is attached.
+    if (obs_.snapshots != nullptr &&
+        obs_.snapshots->due(static_cast<double>(user_writes))) {
+      SnapshotContext ctx;
+      ctx.device = &device_;
+      ctx.spare = &spare_;
+      ctx.wear_leveler = &wl_;
+      ctx.buffer = buffer_;
+      ctx.user_writes = static_cast<double>(user_writes);
+      ctx.overhead_writes = overhead_writes;
+      ctx.absorbed_writes = absorbed_writes;
+      obs_.snapshots->snapshot(ctx);
+      if (obs_.trace != nullptr) {
+        const SpareSchemeStats s = spare_.stats();
+        obs_.trace->counter(
+            "wear",
+            {{"line_deaths", static_cast<double>(line_deaths)},
+             {"spares_remaining", static_cast<double>(s.spares_remaining)},
+             {"lmt_entries", static_cast<double>(s.lmt_entries)}});
+      }
+    }
     LogicalLineAddr la = attack_.next(rng_, wl_.logical_lines());
     if (buffer_) {
       const std::optional<LogicalLineAddr> evicted = buffer_->write(la);
@@ -67,10 +100,46 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
               "unreplaceable wear-out at working index " +
               std::to_string(w.working_index) + " (line " +
               std::to_string(line.value()) + ")";
+          if (obs_.trace != nullptr) {
+            obs_.trace->instant(
+                "engine.device_failure",
+                {{"working_index", static_cast<double>(w.working_index)},
+                 {"line", static_cast<double>(line.value())},
+                 {"user_writes", static_cast<double>(user_writes)}});
+          }
           break;
         }
       }
     }
+  }
+
+  if (obs_.metrics != nullptr) {
+    MetricsRegistry& m = *obs_.metrics;
+    m.counter("engine.user_writes").set(user_writes);
+    m.counter("engine.overhead_writes").set(overhead_writes);
+    m.counter("engine.absorbed_writes").set(absorbed_writes);
+    m.counter("engine.line_deaths").set(line_deaths);
+    m.counter("engine.device_writes").set(device_.total_writes());
+    if (buffer_ != nullptr) buffer_->publish_metrics(m);
+    const SpareSchemeStats s = spare_.stats();
+    m.gauge("spare.spares_remaining")
+        .set(static_cast<double>(s.spares_remaining));
+    m.gauge("spare.lmt_entries").set(static_cast<double>(s.lmt_entries));
+    m.gauge("spare.rmt_entries").set(static_cast<double>(s.rmt_entries));
+    m.counter("spare.replacements").set(s.replacements);
+    m.counter("wl.migration_writes").set(wl_.overhead_writes());
+  }
+  if (obs_.snapshots != nullptr) {
+    // Final sample so the series always ends at the run's last state.
+    SnapshotContext ctx;
+    ctx.device = &device_;
+    ctx.spare = &spare_;
+    ctx.wear_leveler = &wl_;
+    ctx.buffer = buffer_;
+    ctx.user_writes = static_cast<double>(user_writes);
+    ctx.overhead_writes = overhead_writes;
+    ctx.absorbed_writes = absorbed_writes;
+    obs_.snapshots->snapshot_now(ctx);
   }
 
   result.user_writes = static_cast<double>(user_writes);

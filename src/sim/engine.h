@@ -12,6 +12,7 @@
 #include "attack/attack.h"
 #include "cache/dram_buffer.h"
 #include "nvm/device.h"
+#include "obs/observer.h"
 #include "sim/lifetime.h"
 #include "spare/spare_scheme.h"
 #include "util/rng.h"
@@ -36,7 +37,14 @@ class Engine {
   /// rerun.
   LifetimeResult run(WriteCount max_user_writes = 0);
 
+  /// Attach observability sinks: run-level counters and the run span go to
+  /// metrics/trace, and the snapshot emitter is polled every user write.
+  /// Also forwards to the device and spare scheme so their events flow to
+  /// the same sinks. A default Observer restores the no-op mode.
+  void set_observer(const Observer& obs);
+
  private:
+  Observer obs_{};
   Device& device_;
   Attack& attack_;
   WearLeveler& wl_;

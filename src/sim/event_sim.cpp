@@ -8,6 +8,10 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
 namespace nvmsec {
 
 namespace {
@@ -32,10 +36,16 @@ UniformEventSimulator::UniformEventSimulator(
   }
 }
 
+void UniformEventSimulator::set_observer(const Observer& obs) {
+  obs_ = obs;
+  scheme_.set_observer(obs);
+}
+
 LifetimeResult UniformEventSimulator::run() {
   const DeviceGeometry& geom = endurance_->geometry();
   const std::uint64_t n = geom.num_lines();
   const std::uint64_t u = scheme_.working_lines();
+  const ScopedTimer run_span(obs_.trace, "event_sim.run");
 
   // Integer budgets identical to Device's rounding, kept as doubles for the
   // continuous-time arithmetic.
@@ -91,6 +101,32 @@ LifetimeResult UniformEventSimulator::run() {
     ++version[line];
     ++deaths;
 
+    if (obs_.trace != nullptr) {
+      obs_.trace->instant(
+          "wear_out",
+          {{"line", static_cast<double>(line)},
+           {"region",
+            static_cast<double>(geom.region_of(PhysLineAddr{line}).value())},
+           {"sim_rounds", t},
+           {"worn_out_lines", static_cast<double>(deaths)}});
+    }
+    if (obs_.snapshots != nullptr &&
+        obs_.snapshots->due(t * static_cast<double>(u))) {
+      SnapshotContext ctx;
+      ctx.spare = &scheme_;
+      ctx.user_writes = t * static_cast<double>(u);
+      ctx.sim_rounds = t;
+      obs_.snapshots->snapshot(ctx);
+      if (obs_.trace != nullptr) {
+        const SpareSchemeStats s = scheme_.stats();
+        obs_.trace->counter(
+            "wear",
+            {{"line_deaths", static_cast<double>(deaths)},
+             {"spares_remaining", static_cast<double>(s.spares_remaining)},
+             {"lmt_entries", static_cast<double>(s.lmt_entries)}});
+      }
+    }
+
     // Re-home every working index the dead line was serving.
     std::uint32_t idx = list_head[line];
     list_head[line] = kNone;
@@ -142,6 +178,30 @@ LifetimeResult UniformEventSimulator::run() {
   result.normalized = result.ideal_lifetime > 0
                           ? result.user_writes / result.ideal_lifetime
                           : 0.0;
+
+  if (obs_.metrics != nullptr) {
+    // Mirror the stochastic engine's metric names so downstream tooling
+    // reads either engine's output unchanged.
+    MetricsRegistry& m = *obs_.metrics;
+    m.counter("engine.user_writes")
+        .set(static_cast<std::uint64_t>(result.user_writes));
+    m.counter("engine.line_deaths").set(deaths);
+    m.counter("device.wear_outs").set(deaths);
+    const SpareSchemeStats s = scheme_.stats();
+    m.counter("spare.replacements").set(s.replacements);
+    m.gauge("spare.spares_remaining")
+        .set(static_cast<double>(s.spares_remaining));
+    m.gauge("spare.lmt_entries").set(static_cast<double>(s.lmt_entries));
+    m.gauge("spare.rmt_entries").set(static_cast<double>(s.rmt_entries));
+    m.gauge("event_sim.rounds").set(t);
+  }
+  if (obs_.snapshots != nullptr) {
+    SnapshotContext ctx;
+    ctx.spare = &scheme_;
+    ctx.user_writes = result.user_writes;
+    ctx.sim_rounds = t;
+    obs_.snapshots->snapshot_now(ctx);
+  }
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "nvm/endurance_map.h"
+#include "obs/observer.h"
 #include "sim/lifetime.h"
 #include "spare/spare_scheme.h"
 
@@ -35,7 +36,16 @@ class UniformEventSimulator {
   /// line, and the scheme must eventually report failure.
   LifetimeResult run();
 
+  /// Attach observability sinks. Wear-out events become trace instants
+  /// (there is no Device here to emit them), counters mirror the stochastic
+  /// engine's names, and snapshots fire on the same user-write cadence —
+  /// sampled at event granularity, since nothing changes between events.
+  /// Snapshots carry spare/mapping-table occupancy but no WearReport (the
+  /// event engine tracks wear analytically, not per line).
+  void set_observer(const Observer& obs);
+
  private:
+  Observer obs_{};
   std::shared_ptr<const EnduranceMap> endurance_;
   SpareScheme& scheme_;
 };

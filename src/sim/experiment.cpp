@@ -79,6 +79,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config) {
           "stochastic mode to include wear-leveler overhead");
     }
     UniformEventSimulator sim(map, *spare);
+    sim.set_observer(config.observer);
     return sim.run();
   }
 
@@ -124,6 +125,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config) {
 
   Device device(map);
   Engine engine(device, *attack, *wl, *spare, rng);
+  engine.set_observer(config.observer);
   std::unique_ptr<DramBuffer> buffer;
   if (config.dram_buffer_lines > 0) {
     buffer = std::make_unique<DramBuffer>(config.dram_buffer_lines);

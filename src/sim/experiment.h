@@ -12,6 +12,7 @@
 
 #include "nvm/endurance_model.h"
 #include "nvm/geometry.h"
+#include "obs/observer.h"
 #include "sim/lifetime.h"
 #include "wearlevel/wear_leveler.h"
 
@@ -71,6 +72,12 @@ struct ExperimentConfig {
   std::string codec{"differential"};
   std::uint32_t ecp_entries{0};
   double cell_sigma{0.1};
+
+  /// Observability sinks (borrowed; see obs/session.h for an owning
+  /// composition). Default — all null — is the zero-overhead no-op mode.
+  /// Event and stochastic engines are fully instrumented; the bit-level
+  /// engine currently ignores the observer.
+  Observer observer{};
 
   /// Region-aligned spare budget in lines: round(spare_fraction * R) * L/R.
   [[nodiscard]] std::uint64_t spare_lines() const;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nvm/endurance_map.h"
+#include "obs/observer.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -58,6 +59,11 @@ class SpareScheme {
 
   /// Restore boot state (mappings, pools, death counters).
   virtual void reset() = 0;
+
+  /// Attach observability sinks. The default is a no-op; schemes with
+  /// interesting internal events (Max-WE's RMT redirects and spare-pool
+  /// allocations) override it to emit trace events and counters.
+  virtual void set_observer(const Observer& obs) { (void)obs; }
 };
 
 /// Parameters shared by the bundled spare schemes. `spare_lines` is an

@@ -1,0 +1,165 @@
+// Observer plumbing through the real simulators: attaching sinks must not
+// change any simulation result, and the files written must be valid and
+// carry the run's actual totals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_test_util.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "sim/experiment.h"
+
+namespace nvmsec {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parse_json;
+using testjson::parse_jsonl;
+
+ExperimentConfig small_event_config() {
+  ExperimentConfig c;
+  c.geometry = DeviceGeometry::scaled(2048, 128);
+  c.endurance.endurance_at_mean = 1000.0;
+  c.mode = SimulationMode::kUniformEvent;
+  c.spare_scheme = "maxwe";
+  return c;
+}
+
+/// Bundles the three sinks over in-memory streams.
+struct TestSinks {
+  std::ostringstream metrics_out;  // unused; registry exports on demand
+  std::ostringstream trace_out;
+  std::ostringstream snapshot_out;
+  MetricsRegistry metrics;
+  TraceWriter trace{trace_out};
+  SnapshotEmitter snapshots;
+
+  explicit TestSinks(WriteCount interval) : snapshots(snapshot_out, interval) {}
+
+  Observer observer() {
+    Observer obs;
+    obs.metrics = &metrics;
+    obs.trace = &trace;
+    obs.snapshots = &snapshots;
+    return obs;
+  }
+};
+
+TEST(ObsEndToEndTest, ObserverDoesNotChangeEventSimResults) {
+  ExperimentConfig plain = small_event_config();
+  const LifetimeResult baseline = run_experiment(plain);
+
+  ExperimentConfig observed = small_event_config();
+  TestSinks sinks(10000);
+  observed.observer = sinks.observer();
+  const LifetimeResult instrumented = run_experiment(observed);
+
+  EXPECT_DOUBLE_EQ(instrumented.normalized, baseline.normalized);
+  EXPECT_DOUBLE_EQ(instrumented.user_writes, baseline.user_writes);
+  EXPECT_EQ(instrumented.line_deaths, baseline.line_deaths);
+}
+
+TEST(ObsEndToEndTest, ObserverDoesNotChangeStochasticResults) {
+  ExperimentConfig plain = scaled_stochastic_config(512, 32, 300.0);
+  plain.spare_scheme = "ps";
+  plain.wear_leveler = "startgap";
+  const LifetimeResult baseline = run_experiment(plain);
+
+  ExperimentConfig observed = plain;
+  TestSinks sinks(5000);
+  observed.observer = sinks.observer();
+  const LifetimeResult instrumented = run_experiment(observed);
+
+  EXPECT_DOUBLE_EQ(instrumented.normalized, baseline.normalized);
+  EXPECT_EQ(instrumented.line_deaths, baseline.line_deaths);
+}
+
+TEST(ObsEndToEndTest, EventSimPublishesMetricsTraceAndSnapshots) {
+  ExperimentConfig c = small_event_config();
+  TestSinks sinks(10000);
+  c.observer = sinks.observer();
+  const LifetimeResult r = run_experiment(c);
+
+  // Metrics mirror the LifetimeResult totals.
+  ASSERT_NE(sinks.metrics.find_counter("engine.user_writes"), nullptr);
+  EXPECT_EQ(sinks.metrics.find_counter("engine.line_deaths")->value(),
+            r.line_deaths);
+  EXPECT_NE(sinks.metrics.find_counter("device.wear_outs"), nullptr);
+  EXPECT_NE(sinks.metrics.find_gauge("maxwe.lmt_entries"), nullptr);
+  EXPECT_NE(sinks.metrics.find_gauge("spare.rmt_entries"), nullptr);
+  EXPECT_NE(sinks.metrics.find_counter("maxwe.asr_allocs"), nullptr);
+
+  // The metrics file parses and carries the same counter.
+  std::ostringstream json;
+  sinks.metrics.write_json(json);
+  const JsonValue root = parse_json(json.str());
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                root.at("counters").num("engine.line_deaths")),
+            r.line_deaths);
+
+  // The trace is a valid Chrome-trace array containing the run span and
+  // wear-out instants.
+  sinks.trace.finish();
+  const JsonValue trace = parse_json(sinks.trace_out.str());
+  ASSERT_TRUE(trace.is_array());
+  bool saw_run_span = false;
+  bool saw_wear_out = false;
+  for (const JsonValue& e : trace.array) {
+    if (e.at("name").string == "event_sim.run") saw_run_span = true;
+    if (e.at("name").string == "wear_out") saw_wear_out = true;
+  }
+  EXPECT_TRUE(saw_run_span);
+  EXPECT_TRUE(saw_wear_out);
+
+  // The snapshot series has at least the periodic samples plus the final
+  // one, each a valid JSON line with the spare section.
+  const auto lines = parse_jsonl(sinks.snapshot_out.str());
+  ASSERT_GE(lines.size(), 2u);
+  for (const JsonValue& line : lines) {
+    EXPECT_NE(line.find("spare"), nullptr);
+  }
+  // user_writes is non-decreasing along the series.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_GE(lines[i].num("user_writes"), lines[i - 1].num("user_writes"));
+  }
+}
+
+TEST(ObsEndToEndTest, StochasticEngineSnapshotsCarryDeviceWear) {
+  ExperimentConfig c = scaled_stochastic_config(512, 32, 300.0);
+  c.spare_scheme = "ps";
+  TestSinks sinks(20000);
+  c.observer = sinks.observer();
+  run_experiment(c);
+
+  const auto lines = parse_jsonl(sinks.snapshot_out.str());
+  ASSERT_GE(lines.size(), 2u);
+  // The bit-true engine has a Device, so snapshots include the wear section
+  // with monotone device_writes.
+  for (const JsonValue& line : lines) {
+    ASSERT_NE(line.find("wear"), nullptr);
+  }
+  const JsonValue& last = lines.back().at("wear");
+  EXPECT_GT(last.num("device_writes"), 0.0);
+  EXPECT_GT(last.num("worn_out_lines"), 0.0);
+
+  // Engine-side counters exist too.
+  EXPECT_NE(sinks.metrics.find_counter("engine.device_writes"), nullptr);
+  EXPECT_NE(sinks.metrics.find_counter("wl.migration_writes"), nullptr);
+}
+
+TEST(ObsEndToEndTest, MetricsOnlyObserverWorksWithoutOtherSinks) {
+  ExperimentConfig c = small_event_config();
+  MetricsRegistry metrics;
+  Observer obs;
+  obs.metrics = &metrics;
+  c.observer = obs;
+  const LifetimeResult r = run_experiment(c);
+  EXPECT_EQ(metrics.find_counter("engine.line_deaths")->value(),
+            r.line_deaths);
+}
+
+}  // namespace
+}  // namespace nvmsec

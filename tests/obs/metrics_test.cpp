@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "json_test_util.h"
+
+namespace nvmsec {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parse_json;
+
+TEST(CounterTest, IncrementsAndSets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry m;
+  Counter& a = m.counter("writes");
+  a.inc(3);
+  // Force rebalancing by creating many more metrics; the reference must
+  // survive (components cache it across the whole run).
+  for (int i = 0; i < 100; ++i) {
+    m.counter("c" + std::to_string(i)).inc();
+  }
+  Counter& b = m.counter("writes");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindsAreSeparateNamespaces) {
+  MetricsRegistry m;
+  m.counter("x").inc(5);
+  m.gauge("x").set(2.5);
+  m.histogram("x").observe(1.0);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find_counter("x")->value(), 5u);
+  EXPECT_DOUBLE_EQ(m.find_gauge("x")->value(), 2.5);
+  EXPECT_EQ(m.find_histogram("x")->summary().count(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullWhenAbsent) {
+  MetricsRegistry m;
+  m.counter("present");
+  EXPECT_EQ(m.find_counter("absent"), nullptr);
+  EXPECT_EQ(m.find_gauge("present"), nullptr);  // wrong kind
+  EXPECT_EQ(m.find_histogram("present"), nullptr);
+  EXPECT_NE(m.find_counter("present"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundsFixedByFirstCall) {
+  MetricsRegistry m;
+  HistogramMetric& h = m.histogram("lat", 0.0, 10.0, 5);
+  // Later calls with different bounds return the same metric unchanged.
+  HistogramMetric& again = m.histogram("lat", 0.0, 100.0, 50);
+  EXPECT_EQ(&h, &again);
+  ASSERT_NE(h.buckets(), nullptr);
+  EXPECT_EQ(h.buckets()->bucket_count(), 5u);
+  // And a summary-only request for the same name keeps the buckets too.
+  EXPECT_NE(m.histogram("lat").buckets(), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramObservesIntoSummaryAndBuckets) {
+  MetricsRegistry m;
+  HistogramMetric& h = m.histogram("v", 0.0, 4.0, 4);
+  for (const double x : {0.5, 1.5, 1.6, 3.5}) h.observe(x);
+  EXPECT_EQ(h.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(h.summary().mean(), (0.5 + 1.5 + 1.6 + 3.5) / 4.0);
+  EXPECT_EQ(h.buckets()->bucket(1), 2u);  // [1, 2) holds 1.5 and 1.6
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTrips) {
+  MetricsRegistry m;
+  m.counter("engine.user_writes").set(123456789);
+  m.gauge("spare.lmt_entries").set(40960.0);
+  m.gauge("result.normalized_lifetime").set(0.270185);
+  HistogramMetric& h = m.histogram("wear", 0.0, 2.0, 2);
+  h.observe(0.5);
+  h.observe(1.5);
+
+  std::ostringstream out;
+  m.write_json(out);
+  const JsonValue root = parse_json(out.str());
+
+  EXPECT_DOUBLE_EQ(root.at("counters").num("engine.user_writes"), 123456789.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").num("spare.lmt_entries"), 40960.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").num("result.normalized_lifetime"),
+                   0.270185);
+  const JsonValue& hist = root.at("histograms").at("wear");
+  EXPECT_DOUBLE_EQ(hist.num("count"), 2.0);
+  EXPECT_DOUBLE_EQ(hist.num("mean"), 1.0);
+  const JsonValue& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_EQ(buckets.array.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets.array[0].num("count"), 1.0);
+  EXPECT_DOUBLE_EQ(buckets.array[1].num("lo"), 1.0);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsDeterministic) {
+  auto dump = [](std::initializer_list<const char*> order) {
+    MetricsRegistry m;
+    for (const char* name : order) m.counter(name).inc();
+    std::ostringstream out;
+    m.write_json(out);
+    return out.str();
+  };
+  // Same metrics registered in different orders export byte-identically.
+  EXPECT_EQ(dump({"b", "a", "c"}), dump({"c", "b", "a"}));
+}
+
+TEST(MetricsRegistryTest, NonFiniteGaugeExportsAsNull) {
+  MetricsRegistry m;
+  m.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  m.gauge("worse").set(std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  m.write_json(out);
+  const JsonValue root = parse_json(out.str());
+  EXPECT_TRUE(root.at("gauges").at("bad").is_null());
+  EXPECT_TRUE(root.at("gauges").at("worse").is_null());
+}
+
+TEST(MetricsRegistryTest, NamesWithQuotesAreEscaped) {
+  MetricsRegistry m;
+  m.counter("odd\"name\\with\ncontrol").inc(9);
+  std::ostringstream out;
+  m.write_json(out);
+  const JsonValue root = parse_json(out.str());
+  EXPECT_DOUBLE_EQ(root.at("counters").num("odd\"name\\with\ncontrol"), 9.0);
+}
+
+TEST(MetricsRegistryTest, CsvExportHasHeaderAndOneRowPerMetric) {
+  MetricsRegistry m;
+  m.counter("writes").set(10);
+  m.gauge("pool").set(0.5);
+  m.histogram("lat").observe(2.0);
+
+  std::ostringstream out;
+  m.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "kind,name,value,count,mean,stddev,min,max");
+  std::size_t rows = 0;
+  bool saw_counter = false;
+  while (std::getline(in, line)) {
+    ++rows;
+    if (line.rfind("counter,writes,10", 0) == 0) saw_counter = true;
+  }
+  EXPECT_EQ(rows, m.size());
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(MetricsRegistryTest, LargeCounterSurvivesJsonExactly) {
+  // Counters are printed as integers up to 2^53; the acceptance run's write
+  // counts are far below that but well above 2^32.
+  MetricsRegistry m;
+  const std::uint64_t big = (1ull << 52) + 12345;
+  m.counter("big").set(big);
+  std::ostringstream out;
+  m.write_json(out);
+  const JsonValue root = parse_json(out.str());
+  EXPECT_EQ(static_cast<std::uint64_t>(root.at("counters").num("big")), big);
+}
+
+}  // namespace
+}  // namespace nvmsec

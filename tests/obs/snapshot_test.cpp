@@ -1,0 +1,139 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "nvm/device.h"
+#include "nvm/endurance_map.h"
+#include "json_test_util.h"
+#include "spare/spare_scheme.h"
+
+namespace nvmsec {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parse_jsonl;
+
+std::shared_ptr<const EnduranceMap> small_map() {
+  return std::make_shared<const EnduranceMap>(
+      DeviceGeometry::scaled(256, 16), std::vector<Endurance>(16, 100.0));
+}
+
+TEST(SnapshotEmitterTest, ZeroIntervalIsRejected) {
+  std::ostringstream out;
+  EXPECT_THROW(SnapshotEmitter(out, 0), std::invalid_argument);
+}
+
+TEST(SnapshotEmitterTest, DueFollowsTheCadence) {
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 100);
+  EXPECT_FALSE(emitter.due(0));
+  EXPECT_FALSE(emitter.due(99));
+  EXPECT_TRUE(emitter.due(100));
+  EXPECT_TRUE(emitter.due(5000));  // far past: still just one snapshot due
+}
+
+TEST(SnapshotEmitterTest, SkippedThresholdsCollapseIntoOneLine) {
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 100);
+  SnapshotContext ctx;
+  ctx.user_writes = 250;  // jumped the 100 and 200 thresholds at once
+  ASSERT_TRUE(emitter.due(ctx.user_writes));
+  emitter.snapshot(ctx);
+  EXPECT_EQ(emitter.count(), 1u);
+  // Cadence resumes at the next multiple of the interval, not at 300+250.
+  EXPECT_FALSE(emitter.due(299));
+  EXPECT_TRUE(emitter.due(300));
+}
+
+TEST(SnapshotEmitterTest, SnapshotNowDoesNotAdvanceTheCadence) {
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 100);
+  SnapshotContext ctx;
+  ctx.user_writes = 150;
+  emitter.snapshot_now(ctx);
+  EXPECT_EQ(emitter.count(), 1u);
+  EXPECT_TRUE(emitter.due(150));  // first threshold still pending
+}
+
+TEST(SnapshotEmitterTest, BareContextOmitsComponentSections) {
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 10);
+  SnapshotContext ctx;
+  ctx.user_writes = 10;
+  ctx.overhead_writes = 3;
+  emitter.snapshot(ctx);
+
+  const auto lines = parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue& line = lines[0];
+  EXPECT_DOUBLE_EQ(line.num("user_writes"), 10.0);
+  EXPECT_DOUBLE_EQ(line.num("overhead_writes"), 3.0);
+  EXPECT_EQ(line.find("wear"), nullptr);
+  EXPECT_EQ(line.find("spare"), nullptr);
+  EXPECT_EQ(line.find("buffer"), nullptr);
+  EXPECT_EQ(line.find("absorbed_writes"), nullptr);  // zero => omitted
+}
+
+TEST(SnapshotEmitterTest, DeviceAndSpareSectionsCarryWearState) {
+  const auto map = small_map();
+  Device device(map);
+  const auto spare = make_no_spare(map);
+  // Wear one line so the snapshot has something to report.
+  const PhysLineAddr line = spare->working_line(0);
+  device.write(line);
+  device.write(line);
+
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 1);
+  SnapshotContext ctx;
+  ctx.device = &device;
+  ctx.spare = spare.get();
+  ctx.user_writes = 2;
+  emitter.snapshot_now(ctx);
+
+  const auto lines = parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue& wear = lines[0].at("wear");
+  EXPECT_DOUBLE_EQ(wear.num("device_writes"), 2.0);
+  EXPECT_GT(wear.num("max_line_utilization"), 0.0);
+  // 16 regions <= the inline cap, so the per-region array is present.
+  ASSERT_TRUE(wear.at("region_utilization").is_array());
+  EXPECT_EQ(wear.at("region_utilization").array.size(), 16u);
+  const JsonValue& spare_obj = lines[0].at("spare");
+  EXPECT_EQ(spare_obj.at("scheme").string, spare->name());
+  EXPECT_DOUBLE_EQ(spare_obj.num("line_deaths"), 0.0);
+}
+
+TEST(SnapshotEmitterTest, CapStopsEmissionButKeepsCounting) {
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 10, /*max_snapshots=*/2);
+  SnapshotContext ctx;
+  for (int i = 1; i <= 5; ++i) {
+    ctx.user_writes = 10.0 * i;
+    emitter.snapshot(ctx);
+  }
+  EXPECT_EQ(emitter.count(), 2u);
+  EXPECT_EQ(parse_jsonl(out.str()).size(), 2u);
+}
+
+TEST(SnapshotEmitterTest, EverySnapshotLineIsSelfContainedJson) {
+  const auto map = small_map();
+  Device device(map);
+  std::ostringstream out;
+  SnapshotEmitter emitter(out, 10);
+  for (int i = 1; i <= 3; ++i) {
+    SnapshotContext ctx;
+    ctx.device = &device;
+    ctx.user_writes = 10.0 * i;
+    emitter.snapshot(ctx);
+  }
+  // parse_jsonl throws on any malformed line.
+  EXPECT_EQ(parse_jsonl(out.str()).size(), 3u);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_test_util.h"
+
+namespace nvmsec {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parse_json;
+
+JsonValue events_of(const std::string& text) {
+  JsonValue root = parse_json(text);
+  EXPECT_TRUE(root.is_array());
+  return root;
+}
+
+TEST(TraceWriterTest, EmptyTraceIsAValidJsonArray) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+  }
+  const JsonValue root = events_of(out.str());
+  EXPECT_TRUE(root.array.empty());
+}
+
+TEST(TraceWriterTest, InstantEventCarriesChromeTraceFields) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+    trace.instant("wear_out", {{"line", 7.0}, {"region", 2.0}});
+  }
+  const JsonValue root = events_of(out.str());
+  ASSERT_EQ(root.array.size(), 1u);
+  const JsonValue& e = root.array[0];
+  EXPECT_EQ(e.at("name").string, "wear_out");
+  EXPECT_EQ(e.at("ph").string, "i");
+  EXPECT_EQ(e.at("s").string, "g");  // global-scope instant for Perfetto
+  EXPECT_TRUE(e.at("ts").is_number());
+  EXPECT_TRUE(e.find("pid") != nullptr && e.find("tid") != nullptr);
+  EXPECT_DOUBLE_EQ(e.at("args").num("line"), 7.0);
+  EXPECT_DOUBLE_EQ(e.at("args").num("region"), 2.0);
+}
+
+TEST(TraceWriterTest, CounterAndCompletePhases) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+    trace.counter("wear", {{"line_deaths", 3.0}});
+    trace.complete("engine.run", 10, 250);
+  }
+  const JsonValue root = events_of(out.str());
+  ASSERT_EQ(root.array.size(), 2u);
+  EXPECT_EQ(root.array[0].at("ph").string, "C");
+  const JsonValue& span = root.array[1];
+  EXPECT_EQ(span.at("ph").string, "X");
+  EXPECT_DOUBLE_EQ(span.num("ts"), 10.0);
+  EXPECT_DOUBLE_EQ(span.num("dur"), 250.0);
+}
+
+TEST(TraceWriterTest, IntegerArgsArePrintedWithoutDecimalPoint) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+    trace.instant("e", {{"whole", 42.0}, {"frac", 0.5}});
+  }
+  EXPECT_NE(out.str().find("\"whole\": 42,"), std::string::npos);
+  EXPECT_NE(out.str().find("\"frac\": 0.5"), std::string::npos);
+}
+
+TEST(TraceWriterTest, ScopedTimerEmitsASpanCoveringItsLifetime) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+    {
+      const ScopedTimer span(&trace, "work");
+    }
+    EXPECT_EQ(trace.events_written(), 1u);
+  }
+  const JsonValue root = events_of(out.str());
+  ASSERT_EQ(root.array.size(), 1u);
+  EXPECT_EQ(root.array[0].at("name").string, "work");
+  EXPECT_EQ(root.array[0].at("ph").string, "X");
+  EXPECT_GE(root.array[0].num("dur"), 0.0);
+}
+
+TEST(TraceWriterTest, ScopedTimerIsNullSafe) {
+  const ScopedTimer span(nullptr, "nothing");  // must not crash
+}
+
+TEST(TraceWriterTest, EventCapDropsAndRecordsTruncation) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out, /*max_events=*/3);
+    for (int i = 0; i < 5; ++i) {
+      trace.instant("e", {{"i", static_cast<double>(i)}});
+    }
+    EXPECT_EQ(trace.events_written(), 3u);
+    EXPECT_EQ(trace.events_dropped(), 2u);
+  }
+  const JsonValue root = events_of(out.str());
+  // Three real events plus the self-describing truncation marker.
+  ASSERT_EQ(root.array.size(), 4u);
+  const JsonValue& marker = root.array[3];
+  EXPECT_EQ(marker.at("name").string, "trace_events_dropped");
+  EXPECT_DOUBLE_EQ(marker.at("args").num("dropped"), 2.0);
+}
+
+TEST(TraceWriterTest, FinishIsIdempotentAndBlocksLaterEvents) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.instant("before");
+  trace.finish();
+  trace.finish();
+  trace.instant("after");  // silently ignored, keeps the file valid
+  const JsonValue root = events_of(out.str());
+  ASSERT_EQ(root.array.size(), 1u);
+  EXPECT_EQ(root.array[0].at("name").string, "before");
+}
+
+TEST(TraceWriterTest, TimestampsAreMonotonic) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  const std::uint64_t a = trace.now_us();
+  const std::uint64_t b = trace.now_us();
+  EXPECT_LE(a, b);
+  trace.finish();
+}
+
+}  // namespace
+}  // namespace nvmsec

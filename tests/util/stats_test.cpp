@@ -63,6 +63,47 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, AllNegativeValuesTrackMinMax) {
+  // Guards against zero-initialised min/max leaking into the summary when
+  // every sample is below zero.
+  RunningStats s;
+  for (double x : {-3.0, -1.0, -7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -11.0 / 3.0);
+}
+
+TEST(RunningStatsTest, ThreeWayMergeIsOrderIndependent) {
+  std::vector<RunningStats> parts(3);
+  RunningStats all;
+  for (int i = 0; i < 30; ++i) {
+    const double x = std::cos(i) * 5 + i;
+    parts[static_cast<std::size_t>(i % 3)].add(x);
+    all.add(x);
+  }
+  RunningStats ab = parts[0];
+  ab.merge(parts[1]);
+  ab.merge(parts[2]);
+  RunningStats cb = parts[2];
+  cb.merge(parts[1]);
+  cb.merge(parts[0]);
+  EXPECT_EQ(ab.count(), all.count());
+  EXPECT_NEAR(ab.mean(), cb.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), cb.variance(), 1e-10);
+  EXPECT_NEAR(ab.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStatsTest, MergeOfTwoSingletonsMatchesPair) {
+  // Smallest non-trivial merge: both sides have zero variance of their own.
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 2.0);  // ((1-2)^2 + (3-2)^2) / (2-1)
+}
+
 TEST(FreeFunctionsTest, MeanAndStddev) {
   const std::vector<double> xs{1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(mean(xs), 3.0);
@@ -119,6 +160,36 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_EQ(h.bucket(4), 2u);
   EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
   EXPECT_DOUBLE_EQ(h.bucket_hi(2), 6.0);
+}
+
+TEST(FreeFunctionsTest, PercentileSingleElementAndQuartiles) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 100), 7.0);
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 90), 46.0);  // interpolated
+}
+
+TEST(HistogramTest, ExactBoundsLandInEdgeBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // inclusive lower bound -> bucket 0
+  h.add(10.0);   // hi is exclusive; clamps into the last bucket
+  h.add(2.0);    // internal edge belongs to the upper bucket: [2, 4)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, SingleBucketAbsorbsEverything) {
+  Histogram h(0.0, 1.0, 1);
+  h.add_all(std::vector<double>{-100.0, 0.0, 0.5, 0.999, 100.0});
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_EQ(h.bucket(0), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 1.0);
 }
 
 TEST(HistogramTest, InvalidConstruction) {

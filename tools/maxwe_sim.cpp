@@ -19,11 +19,38 @@
 
 #include "core/maxwe.h"
 #include "nvm/endurance_io.h"
+#include "obs/session.h"
 #include "sim/event_sim.h"
 #include "sim/experiment.h"
 #include "spare/spare_scheme.h"
 #include "util/cli.h"
 #include "util/log.h"
+
+namespace {
+
+// --snapshot-interval without --snapshot-out derives the path from the
+// metrics file ("m.json" -> "m.snapshots.jsonl") so one flag is enough.
+std::string derive_snapshot_path(const std::string& metrics_path) {
+  if (metrics_path.empty()) return "wear.snapshots.jsonl";
+  const std::size_t dot = metrics_path.rfind('.');
+  const std::size_t slash = metrics_path.rfind('/');
+  const std::string stem =
+      (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+          ? metrics_path
+          : metrics_path.substr(0, dot);
+  return stem + ".snapshots.jsonl";
+}
+
+// Run-level results published after either engine finishes.
+void publish_result(nvmsec::MetricsRegistry* metrics,
+                    const nvmsec::LifetimeResult& r) {
+  if (metrics == nullptr) return;
+  metrics->gauge("result.normalized_lifetime").set(r.normalized);
+  metrics->gauge("result.ideal_lifetime").set(r.ideal_lifetime);
+  metrics->gauge("result.failed").set(r.failed ? 1.0 : 0.0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace nvmsec;
@@ -57,6 +84,15 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "RNG seed", "42");
   cli.add_flag("save-map", "write the endurance map CSV here and exit", "");
   cli.add_flag("load-map", "read the endurance map from this CSV", "");
+  cli.add_flag("metrics-out", "write run metrics (counters/gauges) here", "");
+  cli.add_flag("metrics-format", "metrics file format: json | csv", "json");
+  cli.add_flag("trace-out",
+               "write a Chrome-trace event file here (open in Perfetto)", "");
+  cli.add_flag("snapshot-out",
+               "wear-snapshot JSONL path (default: derived from "
+               "--metrics-out)", "");
+  cli.add_flag("snapshot-interval",
+               "emit a wear snapshot every N user writes (0 = off)", "0");
   cli.add_switch("verbose", "info-level logging");
 
   try {
@@ -108,6 +144,22 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    ObsConfig obs_config;
+    obs_config.metrics_path = cli.get_string("metrics-out");
+    obs_config.metrics_format = cli.get_string("metrics-format");
+    obs_config.trace_path = cli.get_string("trace-out");
+    obs_config.snapshot_interval =
+        static_cast<WriteCount>(cli.get_int("snapshot-interval"));
+    obs_config.snapshot_path = cli.get_string("snapshot-out");
+    if (obs_config.snapshot_interval > 0 && obs_config.snapshot_path.empty()) {
+      obs_config.snapshot_path = derive_snapshot_path(obs_config.metrics_path);
+    }
+    std::unique_ptr<ObsSession> obs;
+    if (obs_config.any()) {
+      obs = std::make_unique<ObsSession>(obs_config);
+      config.observer = obs->observer();
+    }
+
     if (const std::string path = cli.get_string("save-map"); !path.empty()) {
       Rng rng(config.seed);
       const EnduranceModel model(config.endurance);
@@ -146,7 +198,12 @@ int main(int argc, char** argv) {
         spare = make_no_spare(map);
       }
       UniformEventSimulator sim(map, *spare);
+      sim.set_observer(config.observer);
       const LifetimeResult r = sim.run();
+      if (obs) {
+        publish_result(obs->metrics(), r);
+        obs->finalize();
+      }
       std::cout << "normalized lifetime: " << 100.0 * r.normalized
                 << "%  (user writes " << r.user_writes << ", line deaths "
                 << r.line_deaths << ")\n";
@@ -154,6 +211,19 @@ int main(int argc, char** argv) {
     }
 
     const LifetimeResult r = run_experiment(config);
+    if (obs) {
+      publish_result(obs->metrics(), r);
+      obs->finalize();
+      if (!obs_config.metrics_path.empty()) {
+        std::cout << "metrics:   " << obs_config.metrics_path << "\n";
+      }
+      if (!obs_config.trace_path.empty()) {
+        std::cout << "trace:     " << obs_config.trace_path << "\n";
+      }
+      if (obs_config.snapshot_interval > 0) {
+        std::cout << "snapshots: " << obs_config.snapshot_path << "\n";
+      }
+    }
     std::cout << "attack=" << config.attack << " wl=" << config.wear_leveler
               << " spare=" << config.spare_scheme << " seed=" << config.seed
               << "\n"

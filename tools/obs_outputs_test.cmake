@@ -1,0 +1,61 @@
+# Observability acceptance check: one full-size UAA/Max-WE run must yield
+# (a) a metrics file with write/remap/wear-out counters and LMT/RMT gauges,
+# (b) a Chrome-trace JSON array, and (c) at least two wear snapshots.
+execute_process(
+  COMMAND ${TOOL} --attack uaa --spare maxwe
+          --metrics-out ${WORK_DIR}/obs_metrics.json
+          --trace-out ${WORK_DIR}/obs_trace.json
+          --snapshot-out ${WORK_DIR}/obs_wear.snapshots.jsonl
+          --snapshot-interval 100000
+  RESULT_VARIABLE run_result OUTPUT_VARIABLE run_out)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "instrumented run failed: ${run_result}")
+endif()
+
+# --- metrics ---------------------------------------------------------------
+file(READ ${WORK_DIR}/obs_metrics.json metrics)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  foreach(key "engine.user_writes" "device.wear_outs" "spare.replacements")
+    string(JSON v ERROR_VARIABLE err GET "${metrics}" counters "${key}")
+    if(NOT err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "metrics missing counter ${key}: ${err}")
+    endif()
+  endforeach()
+  foreach(key "spare.lmt_entries" "spare.rmt_entries")
+    string(JSON v ERROR_VARIABLE err GET "${metrics}" gauges "${key}")
+    if(NOT err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "metrics missing gauge ${key}: ${err}")
+    endif()
+  endforeach()
+else()
+  foreach(key "engine.user_writes" "device.wear_outs" "spare.lmt_entries")
+    if(NOT metrics MATCHES "\"${key}\"")
+      message(FATAL_ERROR "metrics missing ${key}")
+    endif()
+  endforeach()
+endif()
+
+# --- trace -----------------------------------------------------------------
+# Full JSON validation lives in the unit tests and the CI python step; here
+# just assert the array structure and that wear-out events are present.
+file(READ ${WORK_DIR}/obs_trace.json trace LIMIT 4096)
+if(NOT trace MATCHES "^\\[")
+  message(FATAL_ERROR "trace does not start a JSON array")
+endif()
+if(NOT trace MATCHES "\"ph\": \"")
+  message(FATAL_ERROR "trace has no events")
+endif()
+
+# --- snapshots -------------------------------------------------------------
+file(STRINGS ${WORK_DIR}/obs_wear.snapshots.jsonl snapshot_lines)
+list(LENGTH snapshot_lines n_snapshots)
+if(n_snapshots LESS 2)
+  message(FATAL_ERROR "expected >= 2 wear snapshots, got ${n_snapshots}")
+endif()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  list(GET snapshot_lines 0 first_line)
+  string(JSON v ERROR_VARIABLE err GET "${first_line}" spare lmt_entries)
+  if(NOT err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "snapshot line is not the expected JSON: ${err}")
+  endif()
+endif()
