@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   using namespace nvmsec;
   CliParser cli("Calibration: endurance power-law exponent sweep under UAA");
   cli.add_flag("seeds", "endurance-map draws to average", "2");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const ParallelOptions jobs = bench::jobs_from_cli(cli);
 
   Table table({"exponent k (E ~ I^-k)", "unprotected (%)", "Max-WE (%)",
                "PCD (%)", "PS-worst (%)"});
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
     auto lifetime = [&](const std::string& scheme) {
       ExperimentConfig c = base;
       c.spare_scheme = scheme;
-      return bench::pct(bench::mean_normalized_lifetime(c, seeds));
+      return bench::pct(bench::mean_normalized_lifetime(c, seeds, 42, jobs));
     };
     table.add_row({Cell{k}, Cell{lifetime("none")}, Cell{lifetime("maxwe")},
                    Cell{lifetime("pcd")}, Cell{lifetime("ps-worst")}});

@@ -1,24 +1,70 @@
 // Shared helpers for the figure/table reproduction benches.
+//
+// Every sweep helper here routes through sim/parallel.h: runs fan out
+// across `--jobs` workers, results come back in input order, and the
+// reduction happens on the calling thread — so a bench's numbers are
+// bit-identical at any job count (see docs/architecture.md, "Threading
+// model & determinism").
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
-#include "sim/experiment.h"
+#include "sim/parallel.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
 namespace nvmsec::bench {
 
+/// Register the shared --jobs flag (0 = all hardware threads; 1 = the
+/// serial code path). Call before cli.parse().
+inline void add_jobs_flag(CliParser& cli) {
+  cli.add_flag("jobs", "worker threads (0 = all cores, 1 = serial)", "0");
+}
+
+/// Read --jobs back into ParallelOptions.
+inline ParallelOptions jobs_from_cli(const CliParser& cli) {
+  ParallelOptions options;
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  return options;
+}
+
+/// Mean / spread of normalized lifetime across a seed sweep. The reduction
+/// is a deterministic input-order (seed-order) pass over the results.
+struct SeedSweepStats {
+  double mean{0};
+  double stddev{0};
+  double min{0};
+  double max{0};
+  int seeds{0};
+};
+
+/// Run `seeds` experiments (base_seed, base_seed+1, ...) and reduce to
+/// mean/stddev/min/max in seed order.
+inline SeedSweepStats lifetime_over_seeds(
+    ExperimentConfig config, int seeds, std::uint64_t base_seed = 42,
+    const ParallelOptions& options = {}) {
+  std::vector<ExperimentConfig> configs(static_cast<std::size_t>(seeds),
+                                        config);
+  for (int s = 0; s < seeds; ++s) {
+    configs[static_cast<std::size_t>(s)].seed =
+        base_seed + static_cast<std::uint64_t>(s);
+  }
+  const std::vector<LifetimeResult> results =
+      run_experiments(configs, options);
+  RunningStats stats;
+  for (const LifetimeResult& r : results) stats.add(r.normalized);
+  return SeedSweepStats{stats.mean(), stats.stddev(), stats.min(),
+                        stats.max(), seeds};
+}
+
 /// Average a lifetime experiment over `seeds` seeds starting at base_seed.
 inline double mean_normalized_lifetime(ExperimentConfig config, int seeds,
-                                       std::uint64_t base_seed = 42) {
-  RunningStats stats;
-  for (int s = 0; s < seeds; ++s) {
-    config.seed = base_seed + static_cast<std::uint64_t>(s);
-    stats.add(run_experiment(config).normalized);
-  }
-  return stats.mean();
+                                       std::uint64_t base_seed = 42,
+                                       const ParallelOptions& options = {}) {
+  return lifetime_over_seeds(config, seeds, base_seed, options).mean;
 }
 
 /// Percentage formatting convention used in every table (paper reports

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "sim/multi_bank.h"
+#include "sim/parallel.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
   CliParser cli("Extension: module lifetime vs bank count under UAA");
   cli.add_flag("lines", "lines per bank", "65536");
   cli.add_flag("regions", "regions per bank", "512");
+  cli.add_flag("jobs", "worker threads (0 = all cores, 1 = serial)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  ParallelOptions jobs;
+  jobs.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
 
   Table table({"banks", "unprotected system (%)", "Max-WE system (%)",
                "Max-WE mean bank (%)", "Max-WE advantage"});
@@ -35,9 +38,9 @@ int main(int argc, char** argv) {
     c.seed = 42;
 
     c.spare_scheme = "none";
-    const MultiBankResult unprotected = run_multi_bank(c, banks);
+    const MultiBankResult unprotected = run_multi_bank(c, banks, jobs);
     c.spare_scheme = "maxwe";
-    const MultiBankResult maxwe = run_multi_bank(c, banks);
+    const MultiBankResult maxwe = run_multi_bank(c, banks, jobs);
 
     table.add_row({Cell{static_cast<std::int64_t>(banks)},
                    Cell{100 * unprotected.system_normalized},

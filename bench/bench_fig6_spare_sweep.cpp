@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   CliParser cli("Figure 6: Max-WE lifetime vs spare-line percentage (UAA)");
   cli.add_flag("seeds", "endurance-map draws to average", "3");
   cli.add_switch("csv", "emit CSV instead of the ASCII table");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const ParallelOptions jobs = bench::jobs_from_cli(cli);
 
   const double paper[] = {4.1, 14.0, 43.1, 57.9, 74.1, 86.9, 87.4};
   const double fractions[] = {0.0, 0.01, 0.10, 0.20, 0.30, 0.40, 0.50};
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
     // 0% spares has no scheme to run; use the unprotected baseline.
     config.spare_scheme = fractions[i] == 0.0 ? "none" : "maxwe";
     const double lifetime =
-        bench::mean_normalized_lifetime(config, seeds);
+        bench::mean_normalized_lifetime(config, seeds, 42, jobs);
 
     LinearLifetimeModel lin;
     lin.num_lines = static_cast<double>(config.geometry.num_lines());

@@ -24,8 +24,10 @@ int main(int argc, char** argv) {
   cli.add_flag("lines", "scaled device size in lines", "2048");
   cli.add_flag("regions", "scaled region count", "128");
   cli.add_flag("endurance", "mean endurance (scaled)", "50000");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const ParallelOptions jobs = bench::jobs_from_cli(cli);
 
   const double swr_shares[] = {0.0, 0.2, 0.6, 0.8, 0.9, 1.0};
 
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
       config.spare_scheme = "maxwe";
       config.swr_fraction = q;
       row.push_back(Cell{bench::pct(
-          bench::mean_normalized_lifetime(config, seeds, 7))});
+          bench::mean_normalized_lifetime(config, seeds, 7, jobs))});
     }
     table.add_row(std::move(row));
   }

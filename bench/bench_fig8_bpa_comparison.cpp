@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
   cli.add_flag("lines", "scaled device size in lines", "2048");
   cli.add_flag("regions", "scaled region count", "128");
   cli.add_flag("endurance", "mean endurance (scaled)", "50000");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const ParallelOptions jobs = bench::jobs_from_cli(cli);
 
   const std::vector<std::pair<std::string, std::string>> schemes = {
       {"ps-worst", "PS-worst"}, {"pcd", "PCD/PS"}, {"maxwe", "Max-WE"}};
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
       config.wear_leveler = wl;
       config.spare_scheme = scheme;
       const double lifetime =
-          bench::mean_normalized_lifetime(config, seeds, 7);
+          bench::mean_normalized_lifetime(config, seeds, 7, jobs);
       lifetimes[scheme].push_back(lifetime);
       row.push_back(Cell{bench::pct(lifetime)});
     }

@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "endurance-map draws to average", "3");
   cli.add_switch("csv", "emit CSV instead of the ASCII table");
   cli.add_flag("spare", "spare fraction of total capacity", "0.10");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int seeds = static_cast<int>(cli.get_int("seeds"));
   const double spare = cli.get_double("spare");
+  const ParallelOptions jobs = bench::jobs_from_cli(cli);
 
   ExperimentConfig base;  // paper geometry, UAA, event engine
   base.spare_fraction = spare;
@@ -24,13 +26,13 @@ int main(int argc, char** argv) {
   auto lifetime = [&](const std::string& scheme) {
     ExperimentConfig c = base;
     c.spare_scheme = scheme;
-    return bench::mean_normalized_lifetime(c, seeds);
+    return bench::lifetime_over_seeds(c, seeds, 42, jobs);
   };
 
-  const double none = lifetime("none");
+  const bench::SeedSweepStats none = lifetime("none");
   struct Row {
     const char* name;
-    double measured;
+    bench::SeedSweepStats measured;
     double paper_pct;
     double paper_factor;
   };
@@ -42,14 +44,19 @@ int main(int argc, char** argv) {
       {"PS-worst", lifetime("ps-worst"), 28.5, 6.9},
   };
 
-  Table table({"scheme", "lifetime (%)", "improvement vs unprotected",
-               "paper lifetime (%)", "paper improvement"});
+  Table table({"scheme", "lifetime (%)", "stddev (pp)", "min (%)", "max (%)",
+               "improvement vs unprotected", "paper lifetime (%)",
+               "paper improvement"});
   table.set_title("§5.3.1 - lifetime under UAA, spare capacity = " +
-                  std::to_string(100 * spare) + "% of total");
+                  std::to_string(100 * spare) + "% of total, " +
+                  std::to_string(seeds) + " seeds");
   table.set_precision(1);
   for (const Row& r : rows) {
-    table.add_row({Cell{std::string{r.name}}, Cell{bench::pct(r.measured)},
-                   Cell{r.measured / none}, Cell{r.paper_pct},
+    table.add_row({Cell{std::string{r.name}}, Cell{bench::pct(r.measured.mean)},
+                   Cell{bench::pct(r.measured.stddev)},
+                   Cell{bench::pct(r.measured.min)},
+                   Cell{bench::pct(r.measured.max)},
+                   Cell{r.measured.mean / none.mean}, Cell{r.paper_pct},
                    Cell{r.paper_factor}});
   }
   if (cli.get_bool("csv")) {
@@ -59,9 +66,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Max-WE vs PCD/PS: +"
-            << 100.0 * (rows[1].measured / rows[2].measured - 1.0)
+            << 100.0 * (rows[1].measured.mean / rows[2].measured.mean - 1.0)
             << "% (paper: +40.7%); vs PS-worst: +"
-            << 100.0 * (rows[1].measured / rows[4].measured - 1.0)
+            << 100.0 * (rows[1].measured.mean / rows[4].measured.mean - 1.0)
             << "% (paper: +51.1%)\n";
   return 0;
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Reproducible perf baseline for the parallel experiment runner.
+#
+# Runs the Fig. 6 spare-fraction sweep serially (--jobs 1) and with all
+# cores (--jobs N), checks the two tables are byte-identical (the runner's
+# determinism guarantee — this check is GATING), and records wall-clock
+# times + speedup in BENCH_parallel_sweep.json (speedup is informational,
+# NOT gating: it depends on the machine's core count).
+#
+# Usage: scripts/bench_sweep_timing.sh [build-dir] [output-json] [seeds]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_parallel_sweep.json}"
+SEEDS="${3:-3}"
+
+BENCH="$BUILD_DIR/bench/bench_fig6_spare_sweep"
+if [[ ! -x "$BENCH" ]]; then
+  echo "build first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+# Even on a single-core machine, drive the pool with 2 workers so the
+# parallel code path (not the jobs=1 serial short-circuit) is what gets
+# compared against the reference.
+PARALLEL_JOBS="$CORES"
+if [[ "$PARALLEL_JOBS" -lt 2 ]]; then PARALLEL_JOBS=2; fi
+
+now_ns() { date +%s%N; }
+
+run_timed() {  # run_timed <jobs> <output-file>; echoes elapsed seconds
+  local jobs="$1" out="$2" t0 t1
+  t0="$(now_ns)"
+  "$BENCH" --seeds "$SEEDS" --jobs "$jobs" --csv > "$out"
+  t1="$(now_ns)"
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== Fig. 6 sweep, --seeds $SEEDS, --jobs 1 (serial reference)"
+T_SERIAL="$(run_timed 1 "$workdir/serial.csv")"
+echo "   ${T_SERIAL}s"
+
+echo "== Fig. 6 sweep, --seeds $SEEDS, --jobs $PARALLEL_JOBS"
+T_PARALLEL="$(run_timed "$PARALLEL_JOBS" "$workdir/parallel.csv")"
+echo "   ${T_PARALLEL}s"
+
+# GATING: parallel output must be byte-identical to serial output.
+if ! cmp -s "$workdir/serial.csv" "$workdir/parallel.csv"; then
+  echo "FAIL: --jobs $PARALLEL_JOBS output differs from --jobs 1" >&2
+  diff "$workdir/serial.csv" "$workdir/parallel.csv" >&2 || true
+  exit 1
+fi
+echo "== outputs byte-identical at jobs=1 and jobs=$PARALLEL_JOBS"
+
+SPEEDUP="$(awk -v s="$T_SERIAL" -v p="$T_PARALLEL" \
+  'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')"
+
+cat > "$OUT_JSON" <<EOF
+{
+  "benchmark": "bench_fig6_spare_sweep",
+  "seeds": $SEEDS,
+  "cores": $CORES,
+  "serial_jobs": 1,
+  "parallel_jobs": $PARALLEL_JOBS,
+  "serial_seconds": $T_SERIAL,
+  "parallel_seconds": $T_PARALLEL,
+  "speedup": $SPEEDUP,
+  "outputs_identical": true
+}
+EOF
+
+echo "== wrote $OUT_JSON (speedup ${SPEEDUP}x with $PARALLEL_JOBS jobs on $CORES cores)"

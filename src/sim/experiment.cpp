@@ -10,6 +10,7 @@
 #include "spare/freep.h"
 #include "nvm/device.h"
 #include "sim/bit_engine.h"
+#include "sim/endurance_cache.h"
 #include "sim/engine.h"
 #include "sim/event_sim.h"
 #include "spare/spare_scheme.h"
@@ -53,15 +54,31 @@ std::unique_ptr<SpareScheme> build_spare_scheme(
 }  // namespace
 
 LifetimeResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, nullptr);
+}
+
+LifetimeResult run_experiment(const ExperimentConfig& config,
+                              EnduranceMapCache* cache) {
   Rng rng(config.seed);
 
-  const EnduranceModel model(config.endurance);
-  auto map = std::make_shared<EnduranceMap>(
-      EnduranceMap::from_model(config.geometry, model, rng));
-  if (config.line_jitter_sigma > 0) {
-    auto jittered = std::make_shared<EnduranceMap>(*map);
-    jittered->apply_line_jitter(config.line_jitter_sigma, rng);
-    map = jittered;
+  std::shared_ptr<const EnduranceMap> map;
+  if (cache != nullptr) {
+    EnduranceMapCache::BuiltMap built =
+        cache->get_or_build(config.geometry, config.endurance, config.seed,
+                            config.line_jitter_sigma);
+    map = std::move(built.map);
+    // Continue the seed's stream from where map construction left it; this
+    // is what keeps cached and cold runs bit-identical (the spare schemes
+    // draw from the same rng next).
+    rng = built.rng_after_build;
+  } else {
+    const EnduranceModel model(config.endurance);
+    auto fresh = std::make_shared<EnduranceMap>(
+        EnduranceMap::from_model(config.geometry, model, rng));
+    if (config.line_jitter_sigma > 0) {
+      fresh->apply_line_jitter(config.line_jitter_sigma, rng);
+    }
+    map = std::move(fresh);
   }
 
   auto spare = build_spare_scheme(config, map, rng);

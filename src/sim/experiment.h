@@ -87,6 +87,16 @@ struct ExperimentConfig {
 /// inconsistent configs (e.g. event mode with a non-uniform attack).
 LifetimeResult run_experiment(const ExperimentConfig& config);
 
+class EnduranceMapCache;
+
+/// Same run, but source the endurance map from `cache` (see
+/// sim/endurance_cache.h). Bit-identical to the plain overload at any hit
+/// rate: the cache replays the post-map RNG state, so every subsequent draw
+/// (spare-scheme placement, attack, engine) is unchanged. nullptr falls
+/// back to the plain overload.
+LifetimeResult run_experiment(const ExperimentConfig& config,
+                              EnduranceMapCache* cache);
+
 /// Paper §5.1's scaled-down stochastic configuration used by the BPA
 /// benches and integration tests: `num_lines` lines, `num_regions` regions,
 /// endurance scaled so runs finish in seconds while preserving the

@@ -1,31 +1,45 @@
 #include "sim/multi_bank.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace nvmsec {
+
+MultiBankResult aggregate_multi_bank(std::vector<double> per_bank) {
+  if (per_bank.empty()) {
+    throw std::invalid_argument("aggregate_multi_bank: no banks");
+  }
+  MultiBankResult result;
+  result.per_bank = std::move(per_bank);
+  double sum = 0;
+  for (std::size_t b = 0; b < result.per_bank.size(); ++b) {
+    const double lifetime = result.per_bank[b];
+    sum += lifetime;
+    // Strict < keeps the FIRST bank at the minimum (the documented tie
+    // rule); >= would silently drift to the last.
+    if (b == 0 || lifetime < result.system_normalized) {
+      result.system_normalized = lifetime;
+      result.weakest_bank = static_cast<std::uint32_t>(b);
+    }
+    result.max_bank = std::max(result.max_bank, lifetime);
+  }
+  result.mean_bank = sum / static_cast<double>(result.per_bank.size());
+  return result;
+}
 
 MultiBankResult run_multi_bank(const ExperimentConfig& config,
                                std::uint32_t banks) {
   if (banks == 0) {
     throw std::invalid_argument("run_multi_bank: banks must be > 0");
   }
-  MultiBankResult result;
-  result.per_bank.reserve(banks);
-  double sum = 0;
+  std::vector<double> per_bank;
+  per_bank.reserve(banks);
   for (std::uint32_t b = 0; b < banks; ++b) {
     ExperimentConfig bank_config = config;
     bank_config.seed = config.seed + b;
-    const double lifetime = run_experiment(bank_config).normalized;
-    result.per_bank.push_back(lifetime);
-    sum += lifetime;
-    if (b == 0 || lifetime < result.system_normalized) {
-      result.system_normalized = lifetime;
-      result.weakest_bank = b;
-    }
-    result.max_bank = std::max(result.max_bank, lifetime);
+    per_bank.push_back(run_experiment(bank_config).normalized);
   }
-  result.mean_bank = sum / banks;
-  return result;
+  return aggregate_multi_bank(std::move(per_bank));
 }
 
 }  // namespace nvmsec

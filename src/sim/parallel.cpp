@@ -1,0 +1,94 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "obs/observer.h"
+#include "sim/endurance_cache.h"
+#include "util/thread_pool.h"
+
+namespace nvmsec {
+
+std::size_t ParallelOptions::effective_jobs() const {
+  return jobs == 0 ? ThreadPool::hardware_workers() : jobs;
+}
+
+namespace {
+
+// jobs > 1 with the same sink object reachable from two runs would let two
+// threads write one MetricsRegistry/TraceWriter/SnapshotEmitter
+// concurrently; none of them are synchronized (by design — the serial hot
+// path pays no locks). Detect sharing up front and fail with advice.
+void reject_shared_sinks(std::span<const ExperimentConfig> configs) {
+  std::unordered_set<const void*> seen;
+  const auto check = [&seen](const void* sink, const char* kind) {
+    if (sink == nullptr) return;
+    if (!seen.insert(sink).second) {
+      throw std::invalid_argument(
+          std::string("run_experiments: the same ") + kind +
+          " sink is attached to more than one run; shared observer sinks "
+          "are serial-only — run with jobs = 1, or give each run its own "
+          "sinks");
+    }
+  };
+  for (const ExperimentConfig& config : configs) {
+    check(config.observer.metrics, "metrics");
+    check(config.observer.trace, "trace");
+    check(config.observer.snapshots, "snapshot");
+  }
+}
+
+}  // namespace
+
+std::vector<LifetimeResult> run_experiments(
+    std::span<const ExperimentConfig> configs,
+    const ParallelOptions& options) {
+  std::vector<LifetimeResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  const std::size_t jobs =
+      std::min(options.effective_jobs(), configs.size());
+  if (jobs <= 1) {
+    // Today's exact serial path: one thread, maps rebuilt per run.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_experiment(configs[i]);
+    }
+    return results;
+  }
+
+  reject_shared_sinks(configs);
+  EnduranceMapCache* cache =
+      options.use_cache
+          ? (options.cache != nullptr ? options.cache
+                                      : &EnduranceMapCache::global())
+          : nullptr;
+
+  // The calling thread drives alongside the pool inside parallel_for_each,
+  // so `jobs` total threads do experiment work.
+  ThreadPool pool(jobs - 1);
+  pool.parallel_for_each(configs.size(), [&](std::size_t i) {
+    results[i] = run_experiment(configs[i], cache);
+  });
+  return results;
+}
+
+MultiBankResult run_multi_bank(const ExperimentConfig& config,
+                               std::uint32_t banks,
+                               const ParallelOptions& options) {
+  if (banks == 0) {
+    throw std::invalid_argument("run_multi_bank: banks must be > 0");
+  }
+  std::vector<ExperimentConfig> bank_configs(banks, config);
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    bank_configs[b].seed = config.seed + b;
+  }
+  const std::vector<LifetimeResult> results =
+      run_experiments(bank_configs, options);
+  std::vector<double> per_bank;
+  per_bank.reserve(banks);
+  for (const LifetimeResult& r : results) per_bank.push_back(r.normalized);
+  return aggregate_multi_bank(std::move(per_bank));
+}
+
+}  // namespace nvmsec

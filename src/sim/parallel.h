@@ -1,0 +1,62 @@
+// Parallel experiment execution: fan independent runs out across a worker
+// pool, return results in input order, guarantee bit-identity with the
+// serial path.
+//
+// Why this is safe: `run_experiment` is self-contained — every run derives
+// all randomness from its own `Rng(config.seed)`, owns its device, attack,
+// wear leveler and spare scheme, and shares only the immutable endurance
+// map (via EnduranceMapCache). There is no global state to race on, so the
+// only ordering that matters is the reduction order of whoever consumes
+// the results — which is why this API returns a vector in input order and
+// leaves reductions (RunningStats etc.) to the caller's thread.
+//
+// Observers: a config carrying its *own* sinks is fine at any job count
+// (the run is the only writer). The same sink pointer appearing in more
+// than one config is a data race waiting to happen; that is rejected with
+// a specific error when jobs > 1 instead of corrupting metrics silently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/multi_bank.h"
+
+namespace nvmsec {
+
+class EnduranceMapCache;
+
+struct ParallelOptions {
+  /// Worker threads doing experiment work. 0 = all hardware threads
+  /// (ThreadPool::hardware_workers()). 1 = strictly serial on the calling
+  /// thread, today's exact single-threaded code path (no pool, no cache).
+  std::size_t jobs{0};
+  /// Share endurance maps across runs with identical (geometry, endurance,
+  /// seed, jitter) — see sim/endurance_cache.h for the determinism
+  /// contract. Ignored (off) when jobs == 1.
+  bool use_cache{true};
+  /// Cache to use; nullptr = the process-global EnduranceMapCache.
+  EnduranceMapCache* cache{nullptr};
+
+  [[nodiscard]] std::size_t effective_jobs() const;
+};
+
+/// Run every config and return their LifetimeResults in input order.
+/// Exceptions from individual runs propagate (smallest failing index
+/// wins deterministically). Throws std::invalid_argument when jobs > 1
+/// and two configs share an observer sink.
+std::vector<LifetimeResult> run_experiments(
+    std::span<const ExperimentConfig> configs,
+    const ParallelOptions& options = {});
+
+/// Parallel multi-bank lifetime: same per-bank seeding and the same
+/// first-bank-at-minimum aggregation as the serial run_multi_bank, with
+/// bank runs fanned out across the pool. Identical results at any job
+/// count.
+MultiBankResult run_multi_bank(const ExperimentConfig& config,
+                               std::uint32_t banks,
+                               const ParallelOptions& options);
+
+}  // namespace nvmsec

@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace nvmsec {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("ThreadPool: worker count must be > 0");
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged tasks capture their own exceptions
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Shared by the driver tasks: a dynamic index dispenser and one exception
+  // slot per index (written at most once, by the claimer of that index).
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors;
+    explicit State(std::size_t count) : errors(count) {}
+  };
+  auto state = std::make_shared<State>(n);
+
+  const auto drive = [state, &fn, n] {
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        state->errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  // One driver per worker (capped at n); the caller drives too, so a pool
+  // whose workers are all busy with unrelated tasks still makes progress.
+  const std::size_t drivers = std::min(worker_count(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(drivers);
+  for (std::size_t i = 0; i < drivers; ++i) futures.push_back(submit(drive));
+  drive();
+  for (std::future<void>& f : futures) f.get();
+
+  for (const std::exception_ptr& error : state->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace nvmsec

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "sim/parallel.h"
+
 namespace nvmsec {
 namespace {
 
@@ -47,6 +49,57 @@ TEST(MultiBankTest, BanksUseIndependentEnduranceDraws) {
   // All four banks drawing identical lifetimes would mean the seeds were
   // not varied.
   EXPECT_NE(r.per_bank[0], r.per_bank[1]);
+}
+
+TEST(MultiBankTest, AggregateTiesResolveToFirstBankAtMinimum) {
+  const MultiBankResult r =
+      aggregate_multi_bank({0.5, 0.3, 0.4, 0.3, 0.3});
+  EXPECT_DOUBLE_EQ(r.system_normalized, 0.3);
+  EXPECT_EQ(r.weakest_bank, 1u);  // first of the three tied banks
+  EXPECT_DOUBLE_EQ(r.max_bank, 0.5);
+  EXPECT_THROW(aggregate_multi_bank({}), std::invalid_argument);
+}
+
+TEST(MultiBankTest, IdenticalBanksTieToBankZero) {
+  // A variation-free endurance model gives every bank the same lifetime
+  // regardless of its seed: all banks tie, and the documented rule says the
+  // FIRST one is reported.
+  ExperimentConfig c = bank_config();
+  c.endurance.current_stddev_ma = 0.0;
+  const MultiBankResult r = run_multi_bank(c, 4);
+  for (double bank : r.per_bank) {
+    EXPECT_DOUBLE_EQ(bank, r.per_bank[0]);
+  }
+  EXPECT_EQ(r.weakest_bank, 0u);
+}
+
+TEST(MultiBankTest, ParallelPathMatchesSerialExactly) {
+  const ExperimentConfig c = bank_config();
+  const MultiBankResult serial = run_multi_bank(c, 6);
+  for (std::size_t jobs : {1u, 3u, 8u}) {
+    ParallelOptions options;
+    options.jobs = jobs;
+    const MultiBankResult parallel = run_multi_bank(c, 6, options);
+    ASSERT_EQ(parallel.per_bank.size(), serial.per_bank.size());
+    for (std::size_t b = 0; b < serial.per_bank.size(); ++b) {
+      EXPECT_DOUBLE_EQ(parallel.per_bank[b], serial.per_bank[b])
+          << "jobs " << jobs << " bank " << b;
+    }
+    EXPECT_DOUBLE_EQ(parallel.system_normalized, serial.system_normalized);
+    EXPECT_EQ(parallel.weakest_bank, serial.weakest_bank);
+    EXPECT_DOUBLE_EQ(parallel.mean_bank, serial.mean_bank);
+    EXPECT_DOUBLE_EQ(parallel.max_bank, serial.max_bank);
+  }
+}
+
+TEST(MultiBankTest, ParallelTieAlsoResolvesToBankZero) {
+  ExperimentConfig c = bank_config();
+  c.endurance.current_stddev_ma = 0.0;
+  ParallelOptions options;
+  options.jobs = 4;
+  // Even though banks complete in arbitrary order, aggregation is a
+  // bank-order pass, so the tie still lands on bank 0.
+  EXPECT_EQ(run_multi_bank(c, 4, options).weakest_bank, 0u);
 }
 
 TEST(MultiBankTest, MoreBanksNeverRaiseSystemLifetime) {

@@ -1,0 +1,140 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nvmsec {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPoolTest, HardwareWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksRun) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.submit([] {});
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForEachVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for_each(kN, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEachResultsIndependentOfScheduling) {
+  // Results written by index are identical however the indices were
+  // interleaved — the determinism contract the experiment runner builds on.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;
+  std::vector<std::uint64_t> out(kN, 0);
+  pool.parallel_for_each(kN, [&out](std::size_t i) {
+    // Uneven per-index work so dynamic claiming actually interleaves.
+    std::uint64_t acc = i;
+    for (std::size_t k = 0; k < (i % 7) * 1000; ++k) acc = acc * 6364136223846793005ULL + 1;
+    out[i] = acc;
+  });
+  std::vector<std::uint64_t> serial(kN, 0);
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::uint64_t acc = i;
+    for (std::size_t k = 0; k < (i % 7) * 1000; ++k) acc = acc * 6364136223846793005ULL + 1;
+    serial[i] = acc;
+  }
+  EXPECT_EQ(out, serial);
+}
+
+TEST(ThreadPoolTest, ParallelForEachHandlesZeroAndFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(0, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+  pool.parallel_for_each(3, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForEachRethrowsSmallestFailingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> attempted{0};
+  try {
+    pool.parallel_for_each(100, [&attempted](std::size_t i) {
+      ++attempted;
+      if (i == 17 || i == 63) {
+        throw std::runtime_error("failed at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "failed at 17");
+  }
+  // Every index was still attempted (no early abandonment of siblings).
+  EXPECT_EQ(attempted.load(), 100);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_each(
+                   4, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(10, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrentlyWhenWorkersAllow) {
+  // Two tasks that each wait for the other can only finish if two threads
+  // run them simultaneously.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  const auto rendezvous = [&arrived] {
+    ++arrived;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error("rendezvous timed out");
+      }
+      std::this_thread::yield();
+    }
+  };
+  auto a = pool.submit(rendezvous);
+  auto b = pool.submit(rendezvous);
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(b.get());
+}
+
+}  // namespace
+}  // namespace nvmsec

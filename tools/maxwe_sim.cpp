@@ -22,9 +22,11 @@
 #include "obs/session.h"
 #include "sim/event_sim.h"
 #include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "spare/spare_scheme.h"
 #include "util/cli.h"
 #include "util/log.h"
+#include "util/stats.h"
 
 namespace {
 
@@ -82,6 +84,12 @@ int main(int argc, char** argv) {
   cli.add_flag("buffer-lines", "DRAM front-buffer lines (0 = none)", "0");
   cli.add_flag("max-writes", "user-write cap (0 = run to failure)", "0");
   cli.add_flag("seed", "RNG seed", "42");
+  cli.add_flag("seeds", "average over N seeds (seed, seed+1, ...)", "1");
+  cli.add_flag("banks", "multi-bank module: independent banks (1 = single)",
+               "1");
+  cli.add_flag("jobs",
+               "worker threads for --seeds/--banks sweeps (0 = all cores, "
+               "1 = serial code path)", "0");
   cli.add_flag("save-map", "write the endurance map CSV here and exit", "");
   cli.add_flag("load-map", "read the endurance map from this CSV", "");
   cli.add_flag("metrics-out", "write run metrics (counters/gauges) here", "");
@@ -207,6 +215,50 @@ int main(int argc, char** argv) {
       std::cout << "normalized lifetime: " << 100.0 * r.normalized
                 << "%  (user writes " << r.user_writes << ", line deaths "
                 << r.line_deaths << ")\n";
+      return 0;
+    }
+
+    ParallelOptions parallel;
+    parallel.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+    const auto banks = static_cast<std::uint32_t>(cli.get_int("banks"));
+    if (banks > 1 && seeds > 1) {
+      std::cerr << "error: --banks and --seeds cannot be combined\n";
+      return 1;
+    }
+
+    // Multi-bank module lifetime: banks fan out across --jobs workers.
+    if (banks > 1) {
+      const MultiBankResult r = run_multi_bank(config, banks, parallel);
+      if (obs) obs->finalize();
+      std::cout << "attack=" << config.attack << " wl=" << config.wear_leveler
+                << " spare=" << config.spare_scheme << " banks=" << banks
+                << " base seed=" << config.seed << "\n"
+                << "system lifetime:     " << 100.0 * r.system_normalized
+                << "%  (weakest bank " << r.weakest_bank << ")\n"
+                << "mean bank lifetime:  " << 100.0 * r.mean_bank << "%\n"
+                << "max bank lifetime:   " << 100.0 * r.max_bank << "%\n";
+      return 0;
+    }
+
+    // Seed sweep: N independent runs, deterministic seed-order reduction.
+    if (seeds > 1) {
+      std::vector<ExperimentConfig> sweep(seeds, config);
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        sweep[s].seed = config.seed + s;
+      }
+      const std::vector<LifetimeResult> results =
+          run_experiments(sweep, parallel);
+      RunningStats stats;
+      for (const LifetimeResult& r : results) stats.add(r.normalized);
+      if (obs) obs->finalize();
+      std::cout << "attack=" << config.attack << " wl=" << config.wear_leveler
+                << " spare=" << config.spare_scheme << " seeds=" << config.seed
+                << ".." << config.seed + seeds - 1 << "\n"
+                << "normalized lifetime: " << 100.0 * stats.mean()
+                << "%  (stddev " << 100.0 * stats.stddev() << " pp, min "
+                << 100.0 * stats.min() << "%, max " << 100.0 * stats.max()
+                << "%)\n";
       return 0;
     }
 
