@@ -12,6 +12,8 @@
 #include <string>
 
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -27,6 +29,15 @@ class Attack {
 
   /// Restore the attack's initial state (e.g. UAA's sweep cursor).
   virtual void reset() = 0;
+
+  /// Checkpointing: stateful attacks (sweep cursors, burst positions)
+  /// serialize their position; stateless ones write nothing — all their
+  /// randomness lives in the simulation Rng, which is saved separately.
+  virtual void save_state(StateWriter& w) const { (void)w; }
+  [[nodiscard]] virtual Status load_state(StateReader& r) {
+    (void)r;
+    return Status{};
+  }
 };
 
 /// Named constructors for the attacks the paper evaluates, plus extras used

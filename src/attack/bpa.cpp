@@ -29,4 +29,21 @@ void BirthdayParadoxAttack::reset() {
   target_ = LogicalLineAddr::invalid();
 }
 
+void BirthdayParadoxAttack::save_state(StateWriter& w) const {
+  w.u64(remaining_in_burst_);
+  w.u64(target_.value());
+}
+
+Status BirthdayParadoxAttack::load_state(StateReader& r) {
+  std::uint64_t remaining = 0, target = 0;
+  if (Status st = r.u64(remaining); !st.ok()) return st;
+  if (Status st = r.u64(target); !st.ok()) return st;
+  if (remaining > burst_length_) {
+    return Status::corruption("bpa state: burst remainder exceeds length");
+  }
+  remaining_in_burst_ = remaining;
+  target_ = LogicalLineAddr{target};
+  return Status{};
+}
+
 }  // namespace nvmsec

@@ -24,6 +24,9 @@ class BirthdayParadoxAttack final : public Attack {
 
   [[nodiscard]] std::uint64_t burst_length() const { return burst_length_; }
 
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
  private:
   std::uint64_t burst_length_;
   std::uint64_t remaining_in_burst_{0};

@@ -18,6 +18,11 @@ class HotspotAttack final : public Attack {
 
   [[nodiscard]] std::uint64_t working_set() const { return working_set_; }
 
+  void save_state(StateWriter& w) const override { w.u64(cursor_); }
+  [[nodiscard]] Status load_state(StateReader& r) override {
+    return r.u64(cursor_);
+  }
+
  private:
   std::uint64_t working_set_;
   std::uint64_t cursor_{0};

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
+
 namespace nvmsec {
 
 namespace {
@@ -27,16 +29,12 @@ void TraceRecorder::reset() {
   addresses_.clear();
 }
 
-void TraceRecorder::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("TraceRecorder::save: cannot open " + path);
-  }
-  out << kMagic << "\n";
-  for (std::uint64_t a : addresses_) out << a << "\n";
-  if (!out) {
-    throw std::runtime_error("TraceRecorder::save: write failed for " + path);
-  }
+Status TraceRecorder::save(const std::string& path) const {
+  AtomicFileWriter writer(path);
+  if (!writer.is_open()) return writer.open_status();
+  writer.stream() << kMagic << "\n";
+  for (std::uint64_t a : addresses_) writer.stream() << a << "\n";
+  return writer.commit();
 }
 
 TraceReplay::TraceReplay(std::vector<std::uint64_t> addresses)
@@ -46,18 +44,20 @@ TraceReplay::TraceReplay(std::vector<std::uint64_t> addresses)
   }
 }
 
-TraceReplay TraceReplay::from_file(const std::string& path) {
+Result<TraceReplay> TraceReplay::from_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("TraceReplay: cannot open " + path);
+    return Status::not_found("trace '" + path +
+                             "' cannot be opened (does it exist?)");
   }
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("TraceReplay: empty file " + path);
+    return Status::data_loss("trace '" + path + "' is empty");
   }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   if (line != kMagic) {
-    throw std::runtime_error("TraceReplay: bad header in " + path);
+    return Status::corruption("'" + path + "' is not a trace file " +
+                              "(expected header '" + kMagic + "')");
   }
   std::vector<std::uint64_t> addresses;
   std::size_t line_number = 1;
@@ -73,10 +73,14 @@ TraceReplay TraceReplay::from_file(const std::string& path) {
       pos = 0;
     }
     if (pos != line.size()) {
-      throw std::runtime_error("TraceReplay: malformed address at line " +
-                               std::to_string(line_number) + " of " + path);
+      return Status::corruption("trace '" + path + "', line " +
+                                std::to_string(line_number) +
+                                ": malformed address '" + line + "'");
     }
     addresses.push_back(value);
+  }
+  if (addresses.empty()) {
+    return Status::corruption("trace '" + path + "' holds no addresses");
   }
   return TraceReplay(std::move(addresses));
 }

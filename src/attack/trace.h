@@ -35,7 +35,9 @@ class TraceRecorder final : public Attack {
   [[nodiscard]] const std::vector<std::uint64_t>& recorded() const {
     return addresses_;
   }
-  void save(const std::string& path) const;
+  /// Atomically persist the recording (temp file + rename); io_error on
+  /// open/write failure.
+  [[nodiscard]] Status save(const std::string& path) const;
 
  private:
   std::unique_ptr<Attack> inner_;
@@ -48,13 +50,29 @@ class TraceReplay final : public Attack {
  public:
   explicit TraceReplay(std::vector<std::uint64_t> addresses);
 
-  static TraceReplay from_file(const std::string& path);
+  /// Load a trace file. Errors: not_found (missing file), data_loss
+  /// (empty file), corruption (bad header, malformed or missing
+  /// addresses) — each naming the offending path and line.
+  static Result<TraceReplay> from_file(const std::string& path);
 
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
   [[nodiscard]] std::string name() const override { return "trace"; }
   void reset() override { cursor_ = 0; }
 
   [[nodiscard]] std::size_t length() const { return addresses_.size(); }
+
+  void save_state(StateWriter& w) const override {
+    w.u64(static_cast<std::uint64_t>(cursor_));
+  }
+  [[nodiscard]] Status load_state(StateReader& r) override {
+    std::uint64_t cursor = 0;
+    if (Status st = r.u64(cursor); !st.ok()) return st;
+    if (!addresses_.empty() && cursor >= addresses_.size()) {
+      return Status::corruption("trace replay cursor out of range");
+    }
+    cursor_ = static_cast<std::size_t>(cursor);
+    return Status{};
+  }
 
  private:
   std::vector<std::uint64_t> addresses_;

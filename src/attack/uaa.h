@@ -16,6 +16,11 @@ class UniformAddressAttack final : public Attack {
   [[nodiscard]] std::string name() const override { return "uaa"; }
   void reset() override { cursor_ = 0; }
 
+  void save_state(StateWriter& w) const override { w.u64(cursor_); }
+  [[nodiscard]] Status load_state(StateReader& r) override {
+    return r.u64(cursor_);
+  }
+
  private:
   std::uint64_t cursor_{0};
 };

@@ -62,4 +62,35 @@ void DramBuffer::reset() {
   stats_ = {};
 }
 
+void DramBuffer::save_state(StateWriter& w) const {
+  w.u64(stats_.hits);
+  w.u64(stats_.misses);
+  w.u64(stats_.evictions);
+  std::vector<std::uint64_t> lines(lru_.begin(), lru_.end());  // MRU first
+  w.vec_u64(lines);
+}
+
+Status DramBuffer::load_state(StateReader& r) {
+  DramBufferStats stats;
+  if (Status st = r.u64(stats.hits); !st.ok()) return st;
+  if (Status st = r.u64(stats.misses); !st.ok()) return st;
+  if (Status st = r.u64(stats.evictions); !st.ok()) return st;
+  std::vector<std::uint64_t> lines;
+  if (Status st = r.vec_u64(lines); !st.ok()) return st;
+  if (lines.size() > capacity_) {
+    return Status::corruption("buffer state: resident lines exceed capacity");
+  }
+  reset();
+  stats_ = stats;
+  for (std::uint64_t la : lines) {
+    if (map_.contains(la)) {
+      reset();
+      return Status::corruption("buffer state: duplicate resident line");
+    }
+    lru_.push_back(la);
+    map_.emplace(la, std::prev(lru_.end()));
+  }
+  return Status{};
+}
+
 }  // namespace nvmsec

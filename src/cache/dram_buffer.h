@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "obs/observer.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -58,6 +60,11 @@ class DramBuffer {
   void publish_metrics(MetricsRegistry& metrics) const;
 
   void reset();
+
+  /// Checkpointing: resident lines in recency order plus hit/miss/eviction
+  /// counters — the full LRU state, so a resumed run evicts identically.
+  void save_state(StateWriter& w) const;
+  [[nodiscard]] Status load_state(StateReader& r);
 
  private:
   std::uint64_t capacity_;

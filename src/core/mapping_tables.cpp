@@ -1,8 +1,31 @@
 #include "core/mapping_tables.h"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "util/crc32.h"
+
 namespace nvmsec {
+
+namespace {
+/// CRC-32 over two 64-bit words (little-endian byte order, fixed so the
+/// code is stable across platforms and checkpoint files).
+std::uint32_t crc_of_pair(std::uint64_t a, std::uint64_t b) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(a >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  return crc32(buf, sizeof(buf));
+}
+
+bool parity_of(const std::vector<bool>& bits) {
+  bool p = false;
+  for (bool b : bits) p ^= b;
+  return p;
+}
+}  // namespace
 
 std::uint64_t ceil_log2(std::uint64_t x) {
   if (x == 0) throw std::invalid_argument("ceil_log2: x must be >= 1");
@@ -40,9 +63,14 @@ void RegionMappingTable::add_pair(RegionId pra, RegionId sra) {
     throw std::invalid_argument("RMT::add_pair: sra already used");
   }
   index_[pra.value()] = static_cast<std::int32_t>(entries_.size());
-  entries_.push_back(Entry{sra, std::vector<bool>(lines_per_region_, false)});
+  entries_.push_back(Entry{sra, std::vector<bool>(lines_per_region_, false),
+                           entry_crc(pra, sra), false});
   pairs_.emplace_back(pra, sra);
   sra_used_[sra.value()] = true;
+}
+
+std::uint32_t RegionMappingTable::entry_crc(RegionId pra, RegionId sra) {
+  return crc_of_pair(pra.value(), sra.value());
 }
 
 std::optional<RegionId> RegionMappingTable::spare_of(RegionId pra) const {
@@ -80,8 +108,45 @@ void RegionMappingTable::set_wear_out_tag(RegionId pra, LineInRegion offset) {
   auto& entry = entries_[static_cast<std::size_t>(index_[pra.value()])];
   if (!entry.wot[offset.value()]) {
     entry.wot[offset.value()] = true;
+    entry.wot_parity = !entry.wot_parity;
     ++tags_set_;
   }
+}
+
+std::vector<RegionId> RegionMappingTable::verify() const {
+  std::vector<RegionId> bad;
+  for (const auto& [pra, sra] : pairs_) {
+    const auto& entry = entries_[static_cast<std::size_t>(index_[pra.value()])];
+    if (entry.crc != entry_crc(pra, entry.sra) ||
+        entry.wot_parity != parity_of(entry.wot)) {
+      bad.push_back(pra);
+    }
+  }
+  std::sort(bad.begin(), bad.end(),
+            [](RegionId a, RegionId b) { return a.value() < b.value(); });
+  return bad;
+}
+
+void RegionMappingTable::debug_corrupt_sra(RegionId pra, unsigned bit) {
+  if (!has_region(pra)) {
+    throw std::invalid_argument("RMT::debug_corrupt_sra: pra not in table");
+  }
+  if (bit >= 32) {
+    throw std::out_of_range("RMT::debug_corrupt_sra: bit >= 32");
+  }
+  auto& entry = entries_[static_cast<std::size_t>(index_[pra.value()])];
+  entry.sra = RegionId{entry.sra.value() ^ (std::uint64_t{1} << bit)};
+}
+
+void RegionMappingTable::debug_flip_tag(RegionId pra, LineInRegion offset) {
+  if (!has_region(pra)) {
+    throw std::invalid_argument("RMT::debug_flip_tag: pra not in table");
+  }
+  if (offset.value() >= lines_per_region_) {
+    throw std::out_of_range("RMT::debug_flip_tag: offset out of range");
+  }
+  auto& entry = entries_[static_cast<std::size_t>(index_[pra.value()])];
+  entry.wot[offset.value()] = !entry.wot[offset.value()];
 }
 
 std::uint64_t RegionMappingTable::storage_bits() const {
@@ -95,6 +160,7 @@ std::uint64_t RegionMappingTable::storage_bits() const {
 void RegionMappingTable::reset_tags() {
   for (auto& e : entries_) {
     e.wot.assign(lines_per_region_, false);
+    e.wot_parity = false;
   }
   tags_set_ = 0;
 }
@@ -108,7 +174,11 @@ LineMappingTable::LineMappingTable(std::uint64_t capacity,
 std::optional<PhysLineAddr> LineMappingTable::lookup(PhysLineAddr pla) const {
   const auto it = map_.find(pla.value());
   if (it == map_.end()) return std::nullopt;
-  return PhysLineAddr{it->second};
+  return PhysLineAddr{it->second.sla};
+}
+
+std::uint32_t LineMappingTable::slot_crc(std::uint64_t pla, std::uint64_t sla) {
+  return crc_of_pair(pla, sla);
 }
 
 void LineMappingTable::insert_or_replace(PhysLineAddr pla, PhysLineAddr sla) {
@@ -117,13 +187,44 @@ void LineMappingTable::insert_or_replace(PhysLineAddr pla, PhysLineAddr sla) {
   }
   const auto it = map_.find(pla.value());
   if (it != map_.end()) {
-    it->second = sla.value();
+    it->second = Slot{sla.value(), slot_crc(pla.value(), sla.value())};
     return;
   }
   if (map_.size() >= capacity_) {
     throw std::length_error("LMT::insert_or_replace: table full");
   }
-  map_.emplace(pla.value(), sla.value());
+  map_.emplace(pla.value(),
+               Slot{sla.value(), slot_crc(pla.value(), sla.value())});
+}
+
+std::vector<PhysLineAddr> LineMappingTable::sorted_keys() const {
+  std::vector<PhysLineAddr> keys;
+  keys.reserve(map_.size());
+  for (const auto& [pla, slot] : map_) keys.push_back(PhysLineAddr{pla});
+  std::sort(keys.begin(), keys.end(),
+            [](PhysLineAddr a, PhysLineAddr b) { return a.value() < b.value(); });
+  return keys;
+}
+
+std::vector<PhysLineAddr> LineMappingTable::verify() const {
+  std::vector<PhysLineAddr> bad;
+  for (const auto& [pla, slot] : map_) {
+    if (slot.crc != slot_crc(pla, slot.sla)) bad.push_back(PhysLineAddr{pla});
+  }
+  std::sort(bad.begin(), bad.end(),
+            [](PhysLineAddr a, PhysLineAddr b) { return a.value() < b.value(); });
+  return bad;
+}
+
+void LineMappingTable::debug_corrupt_entry(PhysLineAddr pla, unsigned bit) {
+  const auto it = map_.find(pla.value());
+  if (it == map_.end()) {
+    throw std::invalid_argument("LMT::debug_corrupt_entry: pla not in table");
+  }
+  if (bit >= 64) {
+    throw std::out_of_range("LMT::debug_corrupt_entry: bit >= 64");
+  }
+  it->second.sla ^= std::uint64_t{1} << bit;
 }
 
 void LineMappingTable::erase(PhysLineAddr pla) { map_.erase(pla.value()); }

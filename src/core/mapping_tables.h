@@ -12,6 +12,13 @@
 //    wear-outs that occur outside the RWRs, backed by the additional spare
 //    regions. Entries are replaced when a spare line itself wears out
 //    (§4.2: "we remove the old entry from LMT before adding a new one").
+//
+// Both tables are SRAM-resident, so they can take soft-error bit-flips at
+// run time. Every mutable field is covered by a per-entry integrity code
+// (CRC-32 over the logical content for ids, parity for the wot tag vector)
+// maintained on the mutation paths; verify() reports entries whose stored
+// content no longer matches its code, and debug_* hooks flip raw bits
+// *without* updating the code — the fault-injection entry points.
 #pragma once
 
 #include <cstdint>
@@ -62,11 +69,34 @@ class RegionMappingTable {
 
   void reset_tags();
 
+  // --- Integrity ---------------------------------------------------------
+
+  /// Region ids (pra) whose entry fails its integrity check: the sra CRC
+  /// does not match the stored sra, or the wot vector's parity bit is
+  /// stale. Sorted ascending; empty means the table is clean.
+  [[nodiscard]] std::vector<RegionId> verify() const;
+
+  /// Fault injection: flip bit `bit` of pra's stored sra id *without*
+  /// updating the entry CRC (a soft error in the SRAM cell). Throws if pra
+  /// has no entry or bit >= 32.
+  void debug_corrupt_sra(RegionId pra, unsigned bit);
+
+  /// Fault injection: toggle one wot tag *without* updating the parity bit
+  /// or the tags_set counter. Throws if pra has no entry or offset is out
+  /// of range.
+  void debug_flip_tag(RegionId pra, LineInRegion offset);
+
  private:
   struct Entry {
     RegionId sra;
     std::vector<bool> wot;
+    /// CRC-32 over (pra, sra); stale after debug_corrupt_sra.
+    std::uint32_t crc{0};
+    /// Even parity over wot; stale after debug_flip_tag.
+    bool wot_parity{false};
   };
+
+  static std::uint32_t entry_crc(RegionId pra, RegionId sra);
 
   std::uint64_t num_regions_;
   std::uint64_t lines_per_region_;
@@ -103,10 +133,31 @@ class LineMappingTable {
 
   void clear() { map_.clear(); }
 
+  /// All mapped pla keys, ascending — a deterministic iteration order for
+  /// fault injection and serialization (the hash map's own order is not).
+  [[nodiscard]] std::vector<PhysLineAddr> sorted_keys() const;
+
+  // --- Integrity ---------------------------------------------------------
+
+  /// Keys whose stored sla fails its per-entry CRC. Sorted ascending.
+  [[nodiscard]] std::vector<PhysLineAddr> verify() const;
+
+  /// Fault injection: flip bit `bit` of pla's stored sla *without*
+  /// updating the entry CRC. Throws if pla has no entry or bit >= 64.
+  void debug_corrupt_entry(PhysLineAddr pla, unsigned bit);
+
  private:
+  struct Slot {
+    std::uint64_t sla;
+    /// CRC-32 over (pla, sla); stale after debug_corrupt_entry.
+    std::uint32_t crc;
+  };
+
+  static std::uint32_t slot_crc(std::uint64_t pla, std::uint64_t sla);
+
   std::uint64_t capacity_;
   std::uint64_t num_lines_;
-  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+  std::unordered_map<std::uint64_t, Slot> map_;
 };
 
 /// ceil(log2(x)) for x >= 1; 0 for x == 1.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nvm/device.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -225,6 +226,183 @@ PhysLineAddr MaxWe::translate_read(PhysLineAddr pla) const {
     }
   }
   return pla;
+}
+
+ScrubReport MaxWe::scrub(const Device& device) {
+  ScrubReport report;
+  report.rmt_corrupt_detected = rmt_.verify().size();
+  report.lmt_corrupt_detected = lmt_.verify().size();
+
+  const DeviceGeometry& geom = endurance_->geometry();
+  const std::uint64_t lpr = geom.lines_per_region();
+  const std::uint64_t n_swr = swrs_.size();
+
+  // Rebuild the RMT from ground truth. The permanent pairing is a pure
+  // function of the boot-time region roles (themselves derived from the
+  // manufacture-time endurance map), and a wear-out tag is set exactly when
+  // the corresponding RWR line is worn out on the device.
+  RegionMappingTable fresh_rmt(geom.num_regions(), lpr);
+  for (std::uint64_t i = 0; i < n_swr; ++i) {
+    const RegionId sra = params_.matching == MatchingPolicy::kWeakStrong
+                             ? swrs_[n_swr - 1 - i]
+                             : swrs_[i];
+    fresh_rmt.add_pair(rwrs_[i], sra);
+  }
+  for (RegionId pra : rwrs_) {
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      if (device.is_worn_out(geom.line_at(pra, LineInRegion{k}))) {
+        fresh_rmt.set_wear_out_tag(pra, LineInRegion{k});
+      }
+    }
+  }
+  for (RegionId pra : rwrs_) {
+    if (rmt_.spare_of(pra) != fresh_rmt.spare_of(pra)) {
+      ++report.entries_repaired;
+    }
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      if (rmt_.wear_out_tag(pra, LineInRegion{k}) !=
+          fresh_rmt.wear_out_tag(pra, LineInRegion{k})) {
+        ++report.entries_repaired;
+      }
+    }
+  }
+
+  // Rebuild the LMT from the current backing lines (modelled as FREE-p
+  // style back-pointers stored with the data on the device): a user line
+  // has an LMT entry exactly when its backing is neither the original line
+  // nor the RMT-paired spare slot.
+  LineMappingTable fresh_lmt(asr_pool_.size(), geom.num_lines());
+  for (std::uint64_t idx = 0; idx < user_lines_; ++idx) {
+    const PhysLineAddr pla = working_line(idx);
+    const PhysLineAddr current{backing_[idx]};
+    if (current == pla) continue;
+    const RegionId region = geom.region_of(pla);
+    if (fresh_rmt.has_region(region)) {
+      const LineInRegion offset = geom.offset_in_region(pla);
+      if (fresh_rmt.wear_out_tag(region, offset) &&
+          current == geom.line_at(*fresh_rmt.spare_of(region), offset)) {
+        continue;  // RMT redirect; no line-level entry
+      }
+    }
+    fresh_lmt.insert_or_replace(pla, current);
+  }
+  for (PhysLineAddr pla : fresh_lmt.sorted_keys()) {
+    if (lmt_.lookup(pla) != fresh_lmt.lookup(pla)) ++report.entries_repaired;
+  }
+  for (PhysLineAddr pla : lmt_.sorted_keys()) {
+    if (!fresh_lmt.lookup(pla).has_value()) ++report.entries_repaired;
+  }
+
+  rmt_ = std::move(fresh_rmt);
+  lmt_ = std::move(fresh_lmt);
+
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(
+        "maxwe.scrub",
+        {{"rmt_corrupt", static_cast<double>(report.rmt_corrupt_detected)},
+         {"lmt_corrupt", static_cast<double>(report.lmt_corrupt_detected)},
+         {"repaired", static_cast<double>(report.entries_repaired)}});
+  }
+  if (obs_.metrics != nullptr) publish_table_gauges();
+  return report;
+}
+
+void MaxWe::save_state(StateWriter& w) const {
+  w.u64(next_asr_);
+  w.u64(stats_.line_deaths);
+  w.u64(stats_.replacements);
+  w.vec_u32(backing_);
+  // Wear-out tags, one bit-vector per permanent pair in pairing order.
+  const std::uint64_t lpr = endurance_->geometry().lines_per_region();
+  w.u64(rmt_.pairs().size());
+  for (const auto& [pra, sra] : rmt_.pairs()) {
+    std::vector<bool> wot(lpr);
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      wot[k] = rmt_.wear_out_tag(pra, LineInRegion{k});
+    }
+    w.vec_bool(wot);
+  }
+  // LMT entries in deterministic key order.
+  const auto keys = lmt_.sorted_keys();
+  w.u64(keys.size());
+  for (PhysLineAddr pla : keys) {
+    w.u64(pla.value());
+    w.u64(lmt_.lookup(pla)->value());
+  }
+}
+
+Status MaxWe::load_state(StateReader& r) {
+  std::uint64_t next_asr = 0, line_deaths = 0, replacements = 0;
+  if (Status st = r.u64(next_asr); !st.ok()) return st;
+  if (Status st = r.u64(line_deaths); !st.ok()) return st;
+  if (Status st = r.u64(replacements); !st.ok()) return st;
+  std::vector<std::uint32_t> backing;
+  if (Status st = r.vec_u32(backing); !st.ok()) return st;
+  if (backing.size() != user_lines_) {
+    return Status::corruption("maxwe state: backing size " +
+                              std::to_string(backing.size()) +
+                              " != user lines " + std::to_string(user_lines_));
+  }
+  if (next_asr > asr_pool_.size()) {
+    return Status::corruption("maxwe state: next_asr " +
+                              std::to_string(next_asr) + " > pool size " +
+                              std::to_string(asr_pool_.size()));
+  }
+  const std::uint64_t num_lines = endurance_->geometry().num_lines();
+  for (std::uint32_t b : backing) {
+    if (b >= num_lines) {
+      return Status::corruption("maxwe state: backing line out of range");
+    }
+  }
+
+  std::uint64_t num_pairs = 0;
+  if (Status st = r.u64(num_pairs); !st.ok()) return st;
+  if (num_pairs != rmt_.pairs().size()) {
+    return Status::corruption(
+        "maxwe state: RMT pair count " + std::to_string(num_pairs) +
+        " != configured " + std::to_string(rmt_.pairs().size()));
+  }
+  const std::uint64_t lpr = endurance_->geometry().lines_per_region();
+  std::vector<std::vector<bool>> tags(num_pairs);
+  for (auto& wot : tags) {
+    if (Status st = r.vec_bool(wot); !st.ok()) return st;
+    if (wot.size() != lpr) {
+      return Status::corruption("maxwe state: wot vector size mismatch");
+    }
+  }
+
+  std::uint64_t num_lmt = 0;
+  if (Status st = r.u64(num_lmt); !st.ok()) return st;
+  if (num_lmt > lmt_.capacity()) {
+    return Status::corruption("maxwe state: LMT entry count " +
+                              std::to_string(num_lmt) + " > capacity " +
+                              std::to_string(lmt_.capacity()));
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(num_lmt);
+  for (auto& [pla, sla] : entries) {
+    if (Status st = r.u64(pla); !st.ok()) return st;
+    if (Status st = r.u64(sla); !st.ok()) return st;
+    if (pla >= num_lines || sla >= num_lines) {
+      return Status::corruption("maxwe state: LMT address out of range");
+    }
+  }
+
+  // All input validated; apply.
+  reset();
+  next_asr_ = next_asr;
+  stats_.line_deaths = line_deaths;
+  stats_.replacements = replacements;
+  for (std::uint64_t i = 0; i < user_lines_; ++i) backing_[i] = backing[i];
+  for (std::uint64_t p = 0; p < num_pairs; ++p) {
+    const RegionId pra = rmt_.pairs()[p].first;
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      if (tags[p][k]) rmt_.set_wear_out_tag(pra, LineInRegion{k});
+    }
+  }
+  for (const auto& [pla, sla] : entries) {
+    lmt_.insert_or_replace(PhysLineAddr{pla}, PhysLineAddr{sla});
+  }
+  return Status{};
 }
 
 SpareSchemeStats MaxWe::stats() const {

@@ -27,6 +27,24 @@
 
 namespace nvmsec {
 
+class Device;
+
+/// What a metadata scrub pass found and did (see MaxWe::scrub).
+struct ScrubReport {
+  /// RMT entries whose CRC/parity check failed before the rebuild.
+  std::uint64_t rmt_corrupt_detected{0};
+  /// LMT entries whose CRC check failed before the rebuild.
+  std::uint64_t lmt_corrupt_detected{0};
+  /// Entries whose logical content actually changed during the rebuild
+  /// (detected corruption that mattered, not just stale check bits).
+  std::uint64_t entries_repaired{0};
+
+  [[nodiscard]] bool clean() const {
+    return rmt_corrupt_detected == 0 && lmt_corrupt_detected == 0 &&
+           entries_repaired == 0;
+  }
+};
+
 /// Which regions become spare capacity. kWeakPriority is the paper's
 /// scheme; kRandomRegions reproduces the traditional schemes' random
 /// allocation (§2.2.3) and is used by the ablation bench to isolate the
@@ -89,6 +107,11 @@ class MaxWe final : public SpareScheme {
   [[nodiscard]] const RegionMappingTable& rmt() const { return rmt_; }
   [[nodiscard]] const LineMappingTable& lmt() const { return lmt_; }
 
+  /// Mutable table access for fault injection only (the debug_* corruption
+  /// hooks); simulation code must go through the SpareScheme interface.
+  [[nodiscard]] RegionMappingTable& debug_rmt() { return rmt_; }
+  [[nodiscard]] LineMappingTable& debug_lmt() { return lmt_; }
+
   /// §4.2's read-path translation, straight from the tables (LMT hit, else
   /// RMT + wear-out tag, else the address itself). resolve() returns the
   /// same answer from an O(1) cache; tests assert they agree.
@@ -101,6 +124,23 @@ class MaxWe final : public SpareScheme {
   [[nodiscard]] std::uint64_t asr_pool_remaining() const {
     return asr_pool_.size() - next_asr_;
   }
+
+  /// Metadata-fault recovery (detection + rebuild-from-device).
+  ///
+  /// Detects corruption via the tables' per-entry CRC/parity checks, then
+  /// rebuilds both tables from ground truth that survives SRAM bit-flips:
+  /// the permanent RMT pairing is re-derived from the manufacture-time
+  /// endurance map; wear-out tags from the device's per-line wear state
+  /// (tag set <=> the RWR line is worn out); LMT entries from the current
+  /// backing lines, which model FREE-p-style device-resident back-pointers.
+  /// After scrub the tables match the fault-free trajectory exactly, so an
+  /// injected flip followed by a scrub leaves the simulated lifetime
+  /// bit-identical to a run with no faults at all.
+  ScrubReport scrub(const Device& device);
+
+  // --- Checkpointing ----------------------------------------------------
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
 
  private:
   void build_allocation();

@@ -1,0 +1,75 @@
+#include "fault/device_faults.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace nvmsec {
+
+DeviceFaultReport apply_device_faults(EnduranceMap& map,
+                                      const DeviceFaultParams& params,
+                                      std::uint64_t seed) {
+  const DeviceGeometry& geometry = map.geometry();
+  const std::uint64_t faulty_lines =
+      params.stuck_at_lines + params.early_death_lines;
+  if (faulty_lines > geometry.num_lines()) {
+    throw std::invalid_argument(
+        "apply_device_faults: stuck-at + early-death lines (" +
+        std::to_string(faulty_lines) + ") exceed device lines (" +
+        std::to_string(geometry.num_lines()) + ")");
+  }
+  if (params.outlier_regions > geometry.num_regions()) {
+    throw std::invalid_argument(
+        "apply_device_faults: outlier regions (" +
+        std::to_string(params.outlier_regions) + ") exceed device regions (" +
+        std::to_string(geometry.num_regions()) + ")");
+  }
+  if (params.early_death_lines > 0 &&
+      !(params.early_death_fraction > 0.0 &&
+        params.early_death_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "apply_device_faults: early-death fraction must be in (0, 1), got " +
+        std::to_string(params.early_death_fraction));
+  }
+  if (params.outlier_regions > 0 &&
+      !(params.outlier_factor > 0.0) ) {
+    throw std::invalid_argument(
+        "apply_device_faults: outlier factor must be > 0, got " +
+        std::to_string(params.outlier_factor));
+  }
+
+  Rng rng(seed);
+  DeviceFaultReport report;
+
+  if (faulty_lines > 0) {
+    // One draw covers both classes so no line is picked twice.
+    const auto picks =
+        rng.sample_without_replacement(geometry.num_lines(), faulty_lines);
+    for (std::uint64_t i = 0; i < params.stuck_at_lines; ++i) {
+      // Endurance 1 -> write budget 1: the line dies on its first write.
+      map.set_line_endurance(PhysLineAddr{picks[i]}, 1.0);
+      ++report.stuck_at_lines;
+    }
+    for (std::uint64_t i = params.stuck_at_lines; i < faulty_lines; ++i) {
+      const PhysLineAddr line{picks[i]};
+      const double weakened =
+          map.line_endurance(line) * params.early_death_fraction;
+      map.set_line_endurance(line, weakened < 1.0 ? 1.0 : weakened);
+      ++report.early_death_lines;
+    }
+  }
+
+  if (params.outlier_regions > 0) {
+    const auto regions = rng.sample_without_replacement(
+        geometry.num_regions(), params.outlier_regions);
+    for (std::uint64_t r : regions) {
+      map.scale_region_endurance(RegionId{r}, params.outlier_factor);
+      ++report.outlier_regions;
+    }
+  }
+
+  return report;
+}
+
+}  // namespace nvmsec

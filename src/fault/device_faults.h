@@ -1,0 +1,41 @@
+// Device-fault injection: perturb a *copy* of the manufacture-time
+// endurance map before the Device is built from it.
+//
+// The spare scheme and wear leveler keep planning on the clean map (they
+// model the controller's boot-time knowledge); the device wears according
+// to the faulted copy. The gap between the two is exactly the class of
+// failures Max-WE's dynamic rescue must absorb at run time.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "nvm/endurance_map.h"
+
+namespace nvmsec {
+
+/// What apply_device_faults actually injected (for logs and tests).
+struct DeviceFaultReport {
+  std::uint64_t stuck_at_lines{0};
+  std::uint64_t early_death_lines{0};
+  std::uint64_t outlier_regions{0};
+};
+
+/// Inject the planned device faults into `map`, drawing every placement
+/// from a dedicated Rng(seed) stream (the simulation seed is untouched).
+///
+///  * stuck-at lines: endurance forced to 1 write — the line dies on first
+///    use, like a latent hard defect;
+///  * early-death lines: endurance scaled to `early_death_fraction` of the
+///    mapped value (floor of 1 write);
+///  * outlier regions: whole-region endurance scaled by `outlier_factor`.
+///
+/// Line faults are sampled without replacement so a line is stuck-at or
+/// early-death, never both. Throws std::invalid_argument when the plan
+/// does not fit the geometry (more faulty lines than lines, fraction or
+/// factor outside (0, inf)).
+DeviceFaultReport apply_device_faults(EnduranceMap& map,
+                                      const DeviceFaultParams& params,
+                                      std::uint64_t seed);
+
+}  // namespace nvmsec

@@ -1,0 +1,62 @@
+// Fault-injection configuration (the "what can go wrong" knobs).
+//
+// Max-WE's value claim is surviving worst-case wear, so the simulator must
+// be able to model its *own* worst cases: devices whose real endurance does
+// not match the manufacture-time map (WoLFRaM-style device faults), and
+// mapping-table metadata that takes bit-flips at run time (Phoenix-style
+// recoverable metadata). Every injector is seed-driven from its own RNG
+// stream — turning faults on never perturbs the base simulation's
+// randomness, and the same plan replays the same faults.
+#pragma once
+
+#include <cstdint>
+
+namespace nvmsec {
+
+/// Device-level faults: divergences between the manufacture-time endurance
+/// map (which the spare scheme and wear leveler plan on) and the device's
+/// real endurance (which decides when lines actually die). Injected into a
+/// *copy* of the EnduranceMap that only the device sees, so Max-WE's
+/// dynamic spare rescue is exercised under non-Gaussian failures it did not
+/// provision for.
+struct DeviceFaultParams {
+  /// Lines that die on their first write (hard stuck-at defects).
+  std::uint64_t stuck_at_lines{0};
+  /// Lines whose real endurance is a small fraction of the mapped value.
+  std::uint64_t early_death_lines{0};
+  /// Remaining endurance fraction for early-death lines (0 < f < 1).
+  double early_death_fraction{0.01};
+  /// Regions whose true endurance is scaled by outlier_factor — fat-tail
+  /// endurance outliers the Gaussian characterization missed.
+  std::uint64_t outlier_regions{0};
+  double outlier_factor{0.25};
+
+  [[nodiscard]] bool any() const {
+    return stuck_at_lines > 0 || early_death_lines > 0 || outlier_regions > 0;
+  }
+};
+
+/// Metadata faults: run-time bit-flips in Max-WE's RMT/LMT SRAM entries.
+/// Detection relies on the tables' per-entry CRCs and the device-state
+/// cross-check; recovery rebuilds the damaged entries (MaxWe::scrub).
+struct MetadataFaultParams {
+  /// Inject one random single-bit flip every `flip_interval` user writes
+  /// (0 disables metadata faults). Each flip is followed by a scrub, which
+  /// must detect and repair it for the run to stay on its fault-free
+  /// trajectory.
+  std::uint64_t flip_interval{0};
+
+  [[nodiscard]] bool any() const { return flip_interval > 0; }
+};
+
+struct FaultPlan {
+  DeviceFaultParams device{};
+  MetadataFaultParams metadata{};
+  /// Seed for all fault-injection draws (its own stream; never shared with
+  /// the simulation seed).
+  std::uint64_t seed{0x5EEDFA7ULL};
+
+  [[nodiscard]] bool any() const { return device.any() || metadata.any(); }
+};
+
+}  // namespace nvmsec

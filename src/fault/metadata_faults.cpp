@@ -1,0 +1,76 @@
+#include "fault/metadata_faults.h"
+
+#include "nvm/device.h"
+
+namespace nvmsec {
+
+MetadataFaultInjector::MetadataFaultInjector(const MetadataFaultParams& params,
+                                             std::uint64_t seed)
+    : interval_(params.flip_interval),
+      next_at_(params.flip_interval),
+      rng_(seed) {}
+
+ScrubReport MetadataFaultInjector::inject_and_scrub(MaxWe& scheme,
+                                                    const Device& device) {
+  next_at_ += interval_;
+
+  // Enumerate the corruptible SRAM fields: line-level spare pointers, the
+  // permanent spare-region ids, and the per-line wear-out tag bits.
+  const auto lmt_keys = scheme.lmt().sorted_keys();
+  const auto& pairs = scheme.rmt().pairs();
+  const std::uint64_t lpr =
+      scheme.rmt().size() > 0
+          ? device.geometry().lines_per_region()
+          : 0;
+  const std::uint64_t n_lmt = lmt_keys.size();
+  const std::uint64_t n_sra = pairs.size();
+  const std::uint64_t n_tag = n_sra * lpr;
+  const std::uint64_t total = n_lmt + n_sra + n_tag;
+  if (total == 0) return ScrubReport{};  // nothing to corrupt yet
+
+  const std::uint64_t slot = rng_.uniform_u64(total);
+  if (slot < n_lmt) {
+    const unsigned bit = static_cast<unsigned>(rng_.uniform_u64(64));
+    scheme.debug_lmt().debug_corrupt_entry(lmt_keys[slot], bit);
+  } else if (slot < n_lmt + n_sra) {
+    const unsigned bit = static_cast<unsigned>(rng_.uniform_u64(32));
+    scheme.debug_rmt().debug_corrupt_sra(pairs[slot - n_lmt].first, bit);
+  } else {
+    const std::uint64_t t = slot - n_lmt - n_sra;
+    scheme.debug_rmt().debug_flip_tag(pairs[t / lpr].first,
+                                      LineInRegion{t % lpr});
+  }
+  ++injected_;
+
+  const bool caught = !scheme.rmt().verify().empty() ||
+                      !scheme.lmt().verify().empty();
+  if (caught) ++detected_;
+
+  const ScrubReport report = scheme.scrub(device);
+  if (report.entries_repaired > 0) ++repaired_;
+  return report;
+}
+
+void MetadataFaultInjector::save_state(StateWriter& w) const {
+  w.u64(next_at_);
+  w.u64(injected_);
+  w.u64(detected_);
+  w.u64(repaired_);
+  rng_.save_state(w);
+}
+
+Status MetadataFaultInjector::load_state(StateReader& r) {
+  std::uint64_t next_at = 0, injected = 0, detected = 0, repaired = 0;
+  if (Status st = r.u64(next_at); !st.ok()) return st;
+  if (Status st = r.u64(injected); !st.ok()) return st;
+  if (Status st = r.u64(detected); !st.ok()) return st;
+  if (Status st = r.u64(repaired); !st.ok()) return st;
+  if (Status st = rng_.load_state(r); !st.ok()) return st;
+  next_at_ = next_at;
+  injected_ = injected;
+  detected_ = detected;
+  repaired_ = repaired;
+  return Status{};
+}
+
+}  // namespace nvmsec

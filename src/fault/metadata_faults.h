@@ -1,0 +1,58 @@
+// Run-time metadata fault injection for Max-WE's SRAM mapping tables.
+//
+// On a fixed user-write cadence the injector flips one random bit in a
+// random live table field (an LMT spare pointer, an RMT spare-region id,
+// or a wear-out tag), then immediately runs MaxWe::scrub — the detection +
+// rebuild-from-device recovery path. Counters record how many flips were
+// injected, how many the per-entry CRC/parity checks caught, and how many
+// the scrub actually repaired; a run with faults enabled must end on the
+// same trajectory as a fault-free run, which is what the fault tests
+// assert.
+#pragma once
+
+#include <cstdint>
+
+#include "core/maxwe.h"
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace nvmsec {
+
+class Device;
+
+class MetadataFaultInjector {
+ public:
+  MetadataFaultInjector(const MetadataFaultParams& params, std::uint64_t seed);
+
+  /// True when `user_writes` has crossed the next injection point. The
+  /// engine polls this once per user write; due() advancing is part of the
+  /// injector's state, so a resumed run injects at the same write numbers.
+  [[nodiscard]] bool due(std::uint64_t user_writes) const {
+    return interval_ > 0 && user_writes >= next_at_;
+  }
+
+  /// Flip one random bit in one random live table field of `scheme`, then
+  /// scrub. Returns the scrub report (all-zero when the tables held no
+  /// corruptible entry yet, e.g. before the first wear-out).
+  ScrubReport inject_and_scrub(MaxWe& scheme, const Device& device);
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t detected() const { return detected_; }
+  [[nodiscard]] std::uint64_t repaired() const { return repaired_; }
+
+  /// Checkpointing: RNG stream, cadence position, and counters.
+  void save_state(StateWriter& w) const;
+  [[nodiscard]] Status load_state(StateReader& r);
+
+ private:
+  std::uint64_t interval_;
+  std::uint64_t next_at_;
+  Rng rng_;
+  std::uint64_t injected_{0};
+  std::uint64_t detected_{0};
+  std::uint64_t repaired_{0};
+};
+
+}  // namespace nvmsec

@@ -103,4 +103,41 @@ void Device::reset() {
   worn_out_count_ = 0;
 }
 
+void Device::save_state(StateWriter& w) const {
+  w.u64(total_writes_);
+  w.u64(worn_out_count_);
+  w.vec_u64(remaining_);
+}
+
+Status Device::load_state(StateReader& r) {
+  std::uint64_t total_writes = 0, worn_out = 0;
+  if (Status st = r.u64(total_writes); !st.ok()) return st;
+  if (Status st = r.u64(worn_out); !st.ok()) return st;
+  std::vector<WriteCount> remaining;
+  if (Status st = r.vec_u64(remaining); !st.ok()) return st;
+  if (remaining.size() != budget_.size()) {
+    return Status::corruption("device state: line count " +
+                              std::to_string(remaining.size()) +
+                              " != configured " +
+                              std::to_string(budget_.size()));
+  }
+  std::uint64_t dead = 0;
+  for (std::uint64_t i = 0; i < remaining.size(); ++i) {
+    if (remaining[i] > budget_[i]) {
+      return Status::corruption(
+          "device state: line " + std::to_string(i) +
+          " has more remaining writes than its budget (endurance map "
+          "mismatch?)");
+    }
+    if (remaining[i] == 0) ++dead;
+  }
+  if (dead != worn_out) {
+    return Status::corruption("device state: worn-out count inconsistent");
+  }
+  remaining_ = std::move(remaining);
+  total_writes_ = total_writes;
+  worn_out_count_ = worn_out;
+  return Status{};
+}
+
 }  // namespace nvmsec

@@ -13,6 +13,8 @@
 
 #include "nvm/endurance_map.h"
 #include "obs/observer.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -65,6 +67,12 @@ class Device {
 
   /// Restore the factory-fresh wear state.
   void reset();
+
+  /// Checkpointing: per-line remaining budgets plus the aggregate wear
+  /// counters. Budgets themselves are rebuilt from the endurance map, and
+  /// load_state() cross-checks the saved remainders against them.
+  void save_state(StateWriter& w) const;
+  [[nodiscard]] Status load_state(StateReader& r);
 
   /// Attach observability sinks. Wear-out events then emit a trace instant
   /// with the line/region coordinates and bump the `device.wear_outs`

@@ -5,25 +5,29 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/atomic_file.h"
+
 namespace nvmsec {
 
 namespace {
 
 constexpr const char* kMagic = "# maxwe-endurance-map v1";
 
-[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw std::runtime_error("endurance CSV, line " +
-                           std::to_string(line_number) + ": " + what);
+Status malformed(std::size_t line_number, const std::string& what) {
+  return Status::corruption("endurance CSV, line " +
+                            std::to_string(line_number) + ": " + what);
 }
 
-std::string next_line(std::istream& in, std::size_t& line_number) {
-  std::string line;
-  if (!std::getline(in, line)) {
-    fail(line_number, "unexpected end of input");
-  }
+Status truncated(std::size_t line_number) {
+  return Status::data_loss("endurance CSV: unexpected end of input after " +
+                           std::to_string(line_number) + " line(s)");
+}
+
+bool next_line(std::istream& in, std::size_t& line_number, std::string& line) {
+  if (!std::getline(in, line)) return false;
   ++line_number;
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  return line;
+  return true;
 }
 
 }  // namespace
@@ -41,66 +45,74 @@ void write_endurance_csv(const EnduranceMap& map, std::ostream& out) {
   }
 }
 
-void save_endurance_csv(const EnduranceMap& map, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("save_endurance_csv: cannot open " + path);
-  }
-  write_endurance_csv(map, out);
-  if (!out) {
-    throw std::runtime_error("save_endurance_csv: write failed for " + path);
-  }
+Status save_endurance_csv(const EnduranceMap& map, const std::string& path) {
+  AtomicFileWriter writer(path);
+  if (!writer.is_open()) return writer.open_status();
+  write_endurance_csv(map, writer.stream());
+  return writer.commit();
 }
 
-EnduranceMap read_endurance_csv(std::istream& in) {
+Result<EnduranceMap> read_endurance_csv(std::istream& in) {
   std::size_t line_number = 0;
-  if (next_line(in, line_number) != kMagic) {
-    fail(line_number, std::string("expected header '") + kMagic + "'");
+  std::string line;
+  if (!next_line(in, line_number, line)) return truncated(line_number);
+  if (line != kMagic) {
+    return malformed(line_number,
+                     std::string("expected header '") + kMagic + "'");
   }
-  if (next_line(in, line_number) != "total_bytes,line_bytes,num_regions") {
-    fail(line_number, "expected geometry column header");
+  if (!next_line(in, line_number, line)) return truncated(line_number);
+  if (line != "total_bytes,line_bytes,num_regions") {
+    return malformed(line_number, "expected geometry column header");
   }
-  const std::string geom_line = next_line(in, line_number);
+  if (!next_line(in, line_number, line)) return truncated(line_number);
   std::uint64_t total_bytes = 0, num_regions = 0;
   std::uint32_t line_bytes = 0;
   {
-    std::istringstream fields(geom_line);
+    std::istringstream fields(line);
     char c1 = 0, c2 = 0;
     if (!(fields >> total_bytes >> c1 >> line_bytes >> c2 >> num_regions) ||
         c1 != ',' || c2 != ',') {
-      fail(line_number, "malformed geometry row: " + geom_line);
+      return malformed(line_number, "malformed geometry row: " + line);
     }
   }
-  if (next_line(in, line_number) != "region,endurance") {
-    fail(line_number, "expected data column header");
+  if (!next_line(in, line_number, line)) return truncated(line_number);
+  if (line != "region,endurance") {
+    return malformed(line_number, "expected data column header");
   }
 
   std::vector<Endurance> endurance(num_regions, 0.0);
   std::vector<bool> seen(num_regions, false);
   for (std::uint64_t i = 0; i < num_regions; ++i) {
-    const std::string row = next_line(in, line_number);
-    std::istringstream fields(row);
+    if (!next_line(in, line_number, line)) return truncated(line_number);
+    std::istringstream fields(line);
     std::uint64_t region = 0;
     double value = 0;
     char comma = 0;
     if (!(fields >> region >> comma >> value) || comma != ',') {
-      fail(line_number, "malformed data row: " + row);
+      return malformed(line_number, "malformed data row: " + line);
     }
-    if (region >= num_regions) fail(line_number, "region id out of range");
-    if (seen[region]) fail(line_number, "duplicate region id");
+    if (region >= num_regions) {
+      return malformed(line_number, "region id out of range");
+    }
+    if (seen[region]) return malformed(line_number, "duplicate region id");
     seen[region] = true;
     endurance[region] = value;
   }
-  // Geometry and endurance validation (positivity etc.) happens in the
-  // respective constructors and surfaces as std::invalid_argument.
-  return EnduranceMap(DeviceGeometry(total_bytes, line_bytes, num_regions),
-                      std::move(endurance));
+  // The geometry and endurance constructors validate positivity and
+  // divisibility; in a parsed file a rejected value is file corruption.
+  try {
+    return EnduranceMap(DeviceGeometry(total_bytes, line_bytes, num_regions),
+                        std::move(endurance));
+  } catch (const std::invalid_argument& e) {
+    return Status::corruption(std::string("endurance CSV: ") + e.what());
+  }
 }
 
-EnduranceMap load_endurance_csv(const std::string& path) {
+Result<EnduranceMap> load_endurance_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("load_endurance_csv: cannot open " + path);
+    return Status::not_found("endurance CSV '" + path +
+                             "' cannot be opened (does it exist?)");
   }
   return read_endurance_csv(in);
 }

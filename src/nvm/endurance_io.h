@@ -21,16 +21,25 @@
 #include <string>
 
 #include "nvm/endurance_map.h"
+#include "util/status.h"
 
 namespace nvmsec {
 
 /// Serialize `map` to the CSV format above.
 void write_endurance_csv(const EnduranceMap& map, std::ostream& out);
-void save_endurance_csv(const EnduranceMap& map, const std::string& path);
 
-/// Parse the CSV format; throws std::runtime_error with a line number on
-/// malformed input.
-EnduranceMap read_endurance_csv(std::istream& in);
-EnduranceMap load_endurance_csv(const std::string& path);
+/// Atomically persist `map` (temp file + rename, so a crash never leaves a
+/// truncated map under the final name). io_error on open/write failure.
+[[nodiscard]] Status save_endurance_csv(const EnduranceMap& map,
+                                        const std::string& path);
+
+/// Parse the CSV format. Every error carries the offending line number:
+/// data_loss for truncated input, corruption for a bad header, malformed
+/// row, out-of-range/duplicate region id, or values the geometry and
+/// endurance constructors reject.
+[[nodiscard]] Result<EnduranceMap> read_endurance_csv(std::istream& in);
+
+/// read_endurance_csv from a file; not_found when it cannot be opened.
+[[nodiscard]] Result<EnduranceMap> load_endurance_csv(const std::string& path);
 
 }  // namespace nvmsec

@@ -69,6 +69,43 @@ void EnduranceMap::apply_line_jitter(double sigma, Rng& rng) {
   recompute_ideal_lifetime();
 }
 
+void EnduranceMap::set_line_endurance(PhysLineAddr line, Endurance endurance) {
+  if (!geometry_.contains(line)) {
+    throw std::out_of_range("set_line_endurance: line out of range");
+  }
+  if (!(endurance > 0) || !std::isfinite(endurance)) {
+    throw std::invalid_argument(
+        "set_line_endurance: endurance must be finite and > 0");
+  }
+  if (line_endurance_.empty()) {
+    // Materialize per-line values from the region-constant model first.
+    line_endurance_.resize(geometry_.num_lines());
+    for (std::uint64_t i = 0; i < geometry_.num_lines(); ++i) {
+      line_endurance_[i] = region_endurance_[i / geometry_.lines_per_region()];
+    }
+  }
+  line_endurance_[line.value()] = endurance;
+  recompute_ideal_lifetime();
+}
+
+void EnduranceMap::scale_region_endurance(RegionId region, double factor) {
+  if (region.value() >= region_endurance_.size()) {
+    throw std::out_of_range("scale_region_endurance: region out of range");
+  }
+  if (!(factor > 0) || !std::isfinite(factor)) {
+    throw std::invalid_argument(
+        "scale_region_endurance: factor must be finite and > 0");
+  }
+  region_endurance_[region.value()] *= factor;
+  if (!line_endurance_.empty()) {
+    const std::uint64_t lpr = geometry_.lines_per_region();
+    for (std::uint64_t k = 0; k < lpr; ++k) {
+      line_endurance_[region.value() * lpr + k] *= factor;
+    }
+  }
+  recompute_ideal_lifetime();
+}
+
 Endurance EnduranceMap::region_endurance(RegionId region) const {
   if (region.value() >= region_endurance_.size()) {
     throw std::out_of_range("region_endurance: region out of range");

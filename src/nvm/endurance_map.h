@@ -45,6 +45,16 @@ class EnduranceMap {
   /// see. After this call line_endurance() != region_endurance().
   void apply_line_jitter(double sigma, Rng& rng);
 
+  /// Fault injection: overwrite one line's endurance (must be > 0). Used to
+  /// model latent defects — stuck-at and early-death lines — that the
+  /// manufacture-time characterization missed; the faulted copy of the map
+  /// drives the device while schemes keep planning on the clean one.
+  void set_line_endurance(PhysLineAddr line, Endurance endurance);
+
+  /// Fault injection: multiply one region's endurance (and its lines', when
+  /// per-line values exist) by `factor` > 0 — an endurance outlier.
+  void scale_region_endurance(RegionId region, double factor);
+
   [[nodiscard]] const DeviceGeometry& geometry() const { return geometry_; }
 
   [[nodiscard]] Endurance region_endurance(RegionId region) const;

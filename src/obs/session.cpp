@@ -8,13 +8,12 @@ namespace nvmsec {
 
 namespace {
 
-std::ofstream open_or_throw(const std::string& path, const char* what) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error(std::string("ObsSession: cannot open ") + what +
-                             " file '" + path + "'");
-  }
-  return out;
+// Streaming sinks write into a temp file that only finalize() renames into
+// place; an open failure surfaces immediately with the writer's Status.
+std::unique_ptr<AtomicFileWriter> open_or_throw(const std::string& path) {
+  auto writer = std::make_unique<AtomicFileWriter>(path);
+  writer->open_status().throw_if_error();
+  return writer;
 }
 
 }  // namespace
@@ -37,13 +36,13 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
     metrics_ = std::make_unique<MetricsRegistry>();
   }
   if (!config_.trace_path.empty()) {
-    trace_file_ = open_or_throw(config_.trace_path, "trace");
-    trace_ = std::make_unique<TraceWriter>(trace_file_);
+    trace_writer_ = open_or_throw(config_.trace_path);
+    trace_ = std::make_unique<TraceWriter>(trace_writer_->stream());
   }
   if (config_.snapshot_interval > 0) {
-    snapshot_file_ = open_or_throw(config_.snapshot_path, "snapshot");
+    snapshot_writer_ = open_or_throw(config_.snapshot_path);
     snapshots_ =
-        std::make_unique<SnapshotEmitter>(snapshot_file_,
+        std::make_unique<SnapshotEmitter>(snapshot_writer_->stream(),
                                           config_.snapshot_interval);
   }
 }
@@ -64,20 +63,21 @@ void ObsSession::finalize() {
   if (finalized_) return;
   finalized_ = true;
   if (metrics_) {
-    std::ofstream out = open_or_throw(config_.metrics_path, "metrics");
+    AtomicFileWriter writer(config_.metrics_path);
+    writer.open_status().throw_if_error();
     if (config_.metrics_format == "csv") {
-      metrics_->write_csv(out);
+      metrics_->write_csv(writer.stream());
     } else {
-      metrics_->write_json(out);
+      metrics_->write_json(writer.stream());
     }
+    writer.commit().throw_if_error();
   }
   if (trace_) {
     trace_->finish();
-    trace_file_.close();
+    trace_writer_->commit().throw_if_error();
   }
   if (snapshots_) {
-    snapshot_file_.flush();
-    snapshot_file_.close();
+    snapshot_writer_->commit().throw_if_error();
   }
 }
 

@@ -10,7 +10,6 @@
 // Observer), preserving the zero-overhead no-op mode end to end.
 #pragma once
 
-#include <fstream>
 #include <memory>
 #include <string>
 
@@ -18,6 +17,7 @@
 #include "obs/observer.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "util/atomic_file.h"
 
 namespace nvmsec {
 
@@ -60,16 +60,18 @@ class ObsSession {
   [[nodiscard]] TraceWriter* trace() { return trace_.get(); }
   [[nodiscard]] SnapshotEmitter* snapshots() { return snapshots_.get(); }
 
-  /// Write the metrics file, close the trace array, flush everything.
-  /// Idempotent; called by the destructor.
+  /// Write the metrics file, close the trace array, and atomically rename
+  /// every sink file into place. Until finalize() the data lives in
+  /// "<path>.tmp.<pid>" temp files, so a crashed run never leaves a torn
+  /// file under a final name. Idempotent; called by the destructor.
   void finalize();
 
  private:
   ObsConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
-  std::ofstream trace_file_;
+  std::unique_ptr<AtomicFileWriter> trace_writer_;
   std::unique_ptr<TraceWriter> trace_;
-  std::ofstream snapshot_file_;
+  std::unique_ptr<AtomicFileWriter> snapshot_writer_;
   std::unique_ptr<SnapshotEmitter> snapshots_;
   bool finalized_{false};
 };

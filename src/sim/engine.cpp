@@ -1,11 +1,14 @@
 #include "sim/engine.h"
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "core/maxwe.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 
 namespace nvmsec {
 
@@ -28,6 +31,88 @@ void Engine::set_observer(const Observer& obs) {
   spare_.set_observer(obs);
 }
 
+void Engine::set_checkpointing(std::string path, WriteCount interval,
+                               std::uint64_t fingerprint) {
+  if (path.empty() || interval == 0) {
+    throw std::invalid_argument(
+        "Engine::set_checkpointing: need a path and a non-zero interval");
+  }
+  checkpoint_path_ = std::move(path);
+  checkpoint_interval_ = interval;
+  fingerprint_ = fingerprint;
+}
+
+void Engine::set_fault_injection(MetadataFaultInjector* injector,
+                                 MaxWe* scheme) {
+  if ((injector == nullptr) != (scheme == nullptr)) {
+    throw std::invalid_argument(
+        "Engine::set_fault_injection: injector and scheme must be set "
+        "together");
+  }
+  injector_ = injector;
+  injector_scheme_ = scheme;
+}
+
+void Engine::capture_state(StateWriter& w) const {
+  w.u64(user_writes_);
+  w.u64(absorbed_writes_);
+  w.u64(overhead_writes_);
+  w.u64(line_deaths_);
+  rng_.save_state(w);
+  device_.save_state(w);
+  attack_.save_state(w);
+  wl_.save_state(w);
+  spare_.save_state(w);
+  w.boolean(buffer_ != nullptr);
+  if (buffer_ != nullptr) buffer_->save_state(w);
+  w.boolean(injector_ != nullptr);
+  if (injector_ != nullptr) injector_->save_state(w);
+}
+
+void Engine::save_checkpoint() {
+  StateWriter w;
+  w.u64(fingerprint_);
+  capture_state(w);
+  // A failed checkpoint write aborts the run loudly: silently continuing
+  // would let the user believe the run is resumable when it is not.
+  save_checkpoint_file(checkpoint_path_, w.take()).throw_if_error();
+}
+
+Status Engine::restore_state(StateReader& r) {
+  if (Status st = r.u64(user_writes_); !st.ok()) return st;
+  if (Status st = r.u64(absorbed_writes_); !st.ok()) return st;
+  if (Status st = r.u64(overhead_writes_); !st.ok()) return st;
+  if (Status st = r.u64(line_deaths_); !st.ok()) return st;
+  if (Status st = rng_.load_state(r); !st.ok()) return st;
+  if (Status st = device_.load_state(r); !st.ok()) return st;
+  if (Status st = attack_.load_state(r); !st.ok()) return st;
+  if (Status st = wl_.load_state(r); !st.ok()) return st;
+  if (Status st = spare_.load_state(r); !st.ok()) return st;
+  bool has_buffer = false;
+  if (Status st = r.boolean(has_buffer); !st.ok()) return st;
+  if (has_buffer != (buffer_ != nullptr)) {
+    return Status::failed_precondition(
+        "checkpoint and configuration disagree on the DRAM front buffer");
+  }
+  if (buffer_ != nullptr) {
+    if (Status st = buffer_->load_state(r); !st.ok()) return st;
+  }
+  bool has_injector = false;
+  if (Status st = r.boolean(has_injector); !st.ok()) return st;
+  if (has_injector != (injector_ != nullptr)) {
+    return Status::failed_precondition(
+        "checkpoint and configuration disagree on metadata fault injection");
+  }
+  if (injector_ != nullptr) {
+    if (Status st = injector_->load_state(r); !st.ok()) return st;
+  }
+  if (!r.exhausted()) {
+    return Status::corruption("checkpoint payload has trailing bytes");
+  }
+  resumed_ = true;
+  return Status{};
+}
+
 LifetimeResult Engine::run(WriteCount max_user_writes) {
   LifetimeResult result;
   result.ideal_lifetime = device_.total_budget();
@@ -40,31 +125,49 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   }
 
   std::vector<WlPhysWrite> batch;
-  WriteCount user_writes = 0;      // user writes completed (device or buffer)
-  WriteCount absorbed_writes = 0;  // subset absorbed by the front buffer
-  WriteCount overhead_writes = 0;  // migration writes the device absorbed
-  std::uint64_t line_deaths = 0;
+  if (!resumed_) {
+    user_writes_ = 0;      // user writes completed (device or buffer)
+    absorbed_writes_ = 0;  // subset absorbed by the front buffer
+    overhead_writes_ = 0;  // migration writes the device absorbed
+    line_deaths_ = 0;
+  }
+  if (checkpoint_interval_ > 0) {
+    // First boundary strictly ahead of the current position, so a resumed
+    // run re-checkpoints on the original cadence instead of immediately.
+    next_checkpoint_at_ =
+        (user_writes_ / checkpoint_interval_ + 1) * checkpoint_interval_;
+  }
 
   while (!result.failed &&
-         (max_user_writes == 0 || user_writes < max_user_writes)) {
+         (max_user_writes == 0 || user_writes_ < max_user_writes)) {
+    // User-write boundary work, in fixed order so checkpoints capture a
+    // deterministic point: fault injection first, then the checkpoint
+    // (which must include the injector's advance), then observability.
+    if (injector_ != nullptr && injector_->due(user_writes_)) {
+      injector_->inject_and_scrub(*injector_scheme_, device_);
+    }
+    if (checkpoint_interval_ > 0 && user_writes_ >= next_checkpoint_at_) {
+      save_checkpoint();
+      next_checkpoint_at_ += checkpoint_interval_;
+    }
     // Snapshot cadence: one pointer check per user write in the no-op mode,
     // one extra integer compare when a snapshot sink is attached.
     if (obs_.snapshots != nullptr &&
-        obs_.snapshots->due(static_cast<double>(user_writes))) {
+        obs_.snapshots->due(static_cast<double>(user_writes_))) {
       SnapshotContext ctx;
       ctx.device = &device_;
       ctx.spare = &spare_;
       ctx.wear_leveler = &wl_;
       ctx.buffer = buffer_;
-      ctx.user_writes = static_cast<double>(user_writes);
-      ctx.overhead_writes = overhead_writes;
-      ctx.absorbed_writes = absorbed_writes;
+      ctx.user_writes = static_cast<double>(user_writes_);
+      ctx.overhead_writes = overhead_writes_;
+      ctx.absorbed_writes = absorbed_writes_;
       obs_.snapshots->snapshot(ctx);
       if (obs_.trace != nullptr) {
         const SpareSchemeStats s = spare_.stats();
         obs_.trace->counter(
             "wear",
-            {{"line_deaths", static_cast<double>(line_deaths)},
+            {{"line_deaths", static_cast<double>(line_deaths_)},
              {"spares_remaining", static_cast<double>(s.spares_remaining)},
              {"lmt_entries", static_cast<double>(s.lmt_entries)}});
       }
@@ -73,8 +176,8 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     if (buffer_) {
       const std::optional<LogicalLineAddr> evicted = buffer_->write(la);
       if (!evicted) {
-        ++user_writes;
-        ++absorbed_writes;
+        ++user_writes_;
+        ++absorbed_writes_;
         continue;
       }
       la = *evicted;  // the write-back carries this line's data to the NVM
@@ -88,12 +191,12 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       // Count only writes the device absorbed: when failure aborts the
       // batch, the unissued remainder must not inflate the lifetime.
       if (w.is_overhead) {
-        ++overhead_writes;
+        ++overhead_writes_;
       } else {
-        ++user_writes;
+        ++user_writes_;
       }
       if (outcome == WriteOutcome::kWornOut) {
-        ++line_deaths;
+        ++line_deaths_;
         if (!spare_.on_wear_out(w.working_index)) {
           result.failed = true;
           result.failure_reason =
@@ -105,7 +208,7 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
                 "engine.device_failure",
                 {{"working_index", static_cast<double>(w.working_index)},
                  {"line", static_cast<double>(line.value())},
-                 {"user_writes", static_cast<double>(user_writes)}});
+                 {"user_writes", static_cast<double>(user_writes_)}});
           }
           break;
         }
@@ -115,10 +218,10 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
 
   if (obs_.metrics != nullptr) {
     MetricsRegistry& m = *obs_.metrics;
-    m.counter("engine.user_writes").set(user_writes);
-    m.counter("engine.overhead_writes").set(overhead_writes);
-    m.counter("engine.absorbed_writes").set(absorbed_writes);
-    m.counter("engine.line_deaths").set(line_deaths);
+    m.counter("engine.user_writes").set(user_writes_);
+    m.counter("engine.overhead_writes").set(overhead_writes_);
+    m.counter("engine.absorbed_writes").set(absorbed_writes_);
+    m.counter("engine.line_deaths").set(line_deaths_);
     m.counter("engine.device_writes").set(device_.total_writes());
     if (buffer_ != nullptr) buffer_->publish_metrics(m);
     const SpareSchemeStats s = spare_.stats();
@@ -136,17 +239,17 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     ctx.spare = &spare_;
     ctx.wear_leveler = &wl_;
     ctx.buffer = buffer_;
-    ctx.user_writes = static_cast<double>(user_writes);
-    ctx.overhead_writes = overhead_writes;
-    ctx.absorbed_writes = absorbed_writes;
+    ctx.user_writes = static_cast<double>(user_writes_);
+    ctx.overhead_writes = overhead_writes_;
+    ctx.absorbed_writes = absorbed_writes_;
     obs_.snapshots->snapshot_now(ctx);
   }
 
-  result.user_writes = static_cast<double>(user_writes);
-  result.absorbed_writes = absorbed_writes;
-  result.overhead_writes = overhead_writes;
+  result.user_writes = static_cast<double>(user_writes_);
+  result.absorbed_writes = absorbed_writes_;
+  result.overhead_writes = overhead_writes_;
   result.device_writes = device_.total_writes();
-  result.line_deaths = line_deaths;
+  result.line_deaths = line_deaths_;
   result.normalized =
       result.ideal_lifetime > 0 ? result.user_writes / result.ideal_lifetime
                                 : 0.0;

@@ -9,16 +9,23 @@
 // failure criterion) or at an optional write cap.
 #pragma once
 
+#include <string>
+
 #include "attack/attack.h"
 #include "cache/dram_buffer.h"
+#include "fault/metadata_faults.h"
 #include "nvm/device.h"
 #include "obs/observer.h"
 #include "sim/lifetime.h"
 #include "spare/spare_scheme.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "wearlevel/wear_leveler.h"
 
 namespace nvmsec {
+
+class MaxWe;
 
 class Engine {
  public:
@@ -32,9 +39,29 @@ class Engine {
   /// buffer must set a write cap.
   void set_front_buffer(DramBuffer* buffer) { buffer_ = buffer; }
 
+  /// Enable periodic checkpointing: every `interval` user writes the full
+  /// engine + component state is serialized and atomically written to
+  /// `path` (temp file + rename, so a crash never leaves a torn file).
+  /// `fingerprint` identifies the configuration and is embedded in the
+  /// payload; resume refuses a checkpoint from a different config.
+  void set_checkpointing(std::string path, WriteCount interval,
+                         std::uint64_t fingerprint);
+
+  /// Enable run-time metadata fault injection: `injector` is polled at
+  /// every user-write boundary and, when due, flips a bit in `scheme`'s
+  /// mapping tables and scrubs. Both are borrowed.
+  void set_fault_injection(MetadataFaultInjector* injector, MaxWe* scheme);
+
+  /// Restore mid-run state from a checkpoint payload (Engine::run resumes
+  /// from the restored write counts). The caller has already validated the
+  /// container CRC and the config fingerprint; this reads the progress
+  /// counters and every component's state in the fixed save order.
+  [[nodiscard]] Status restore_state(StateReader& r);
+
   /// Run until device failure, or until `max_user_writes` user writes if
   /// non-zero. Callable once per component setup; reset the components to
-  /// rerun.
+  /// rerun. After restore_state(), continues from the checkpointed write
+  /// counts — a resumed run is bit-identical to an uninterrupted one.
   LifetimeResult run(WriteCount max_user_writes = 0);
 
   /// Attach observability sinks: run-level counters and the run span go to
@@ -44,6 +71,9 @@ class Engine {
   void set_observer(const Observer& obs);
 
  private:
+  void save_checkpoint();
+  void capture_state(StateWriter& w) const;
+
   Observer obs_{};
   Device& device_;
   Attack& attack_;
@@ -51,6 +81,22 @@ class Engine {
   SpareScheme& spare_;
   Rng& rng_;
   DramBuffer* buffer_{nullptr};
+
+  MetadataFaultInjector* injector_{nullptr};
+  MaxWe* injector_scheme_{nullptr};
+
+  std::string checkpoint_path_;
+  WriteCount checkpoint_interval_{0};
+  std::uint64_t fingerprint_{0};
+  WriteCount next_checkpoint_at_{0};
+
+  // Run progress; restored by restore_state() so a resumed run continues
+  // the counters instead of starting from zero.
+  WriteCount user_writes_{0};
+  WriteCount absorbed_writes_{0};
+  WriteCount overhead_writes_{0};
+  std::uint64_t line_deaths_{0};
+  bool resumed_{false};
 };
 
 }  // namespace nvmsec

@@ -7,14 +7,18 @@
 #include "attack/zipf.h"
 #include "cache/dram_buffer.h"
 #include "core/maxwe.h"
+#include "fault/device_faults.h"
+#include "fault/metadata_faults.h"
 #include "spare/freep.h"
 #include "nvm/device.h"
 #include "sim/bit_engine.h"
+#include "sim/checkpoint.h"
 #include "sim/endurance_cache.h"
 #include "sim/engine.h"
 #include "sim/event_sim.h"
 #include "spare/spare_scheme.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace nvmsec {
 
@@ -51,7 +55,82 @@ std::unique_ptr<SpareScheme> build_spare_scheme(
                               "'");
 }
 
+/// Fault injection and checkpointing only make sense where there is a
+/// run-time trajectory to perturb or to save; reject the combinations that
+/// would silently do nothing instead.
+void validate_robustness_config(const ExperimentConfig& config) {
+  if (config.checkpoint_out.empty() != (config.checkpoint_interval == 0)) {
+    throw std::invalid_argument(
+        "run_experiment: checkpoint_out and checkpoint_interval must be set "
+        "together");
+  }
+  if ((!config.checkpoint_out.empty() || !config.resume_from.empty()) &&
+      config.mode != SimulationMode::kStochastic) {
+    throw std::invalid_argument(
+        "run_experiment: checkpoint/resume captures per-write engine state; "
+        "use stochastic mode");
+  }
+  if (config.fault.metadata.any()) {
+    if (config.spare_scheme != "maxwe") {
+      throw std::invalid_argument(
+          "run_experiment: metadata faults target Max-WE's mapping tables; "
+          "set spare_scheme=maxwe (got '" + config.spare_scheme + "')");
+    }
+    if (config.mode != SimulationMode::kStochastic) {
+      throw std::invalid_argument(
+          "run_experiment: metadata faults are injected at user-write "
+          "boundaries; use stochastic mode");
+    }
+  }
+}
+
 }  // namespace
+
+std::uint64_t config_fingerprint(const ExperimentConfig& config) {
+  StateWriter w;
+  w.u64(config.geometry.num_lines());
+  w.u64(config.geometry.num_regions());
+  w.f64(config.endurance.current_mean_ma);
+  w.f64(config.endurance.current_stddev_ma);
+  w.f64(config.endurance.truncate_sigma);
+  w.f64(config.endurance.endurance_exponent);
+  w.f64(config.endurance.endurance_at_mean);
+  w.f64(config.line_jitter_sigma);
+  w.u64(config.seed);
+  w.str(config.attack);
+  w.u64(config.bpa_burst);
+  w.f64(config.zipf_skew);
+  w.str(config.wear_leveler);
+  w.u64(config.wl.swap_interval);
+  w.u32(config.wl.bwl_classes);
+  w.f64(config.wl.bwl_beta);
+  w.f64(config.wl.wawl_alpha);
+  w.u64(config.wl.group_lines);
+  w.u64(config.wl.tlsr_subregion_lines);
+  w.str(config.spare_scheme);
+  w.f64(config.spare_fraction);
+  w.f64(config.swr_fraction);
+  w.u8(static_cast<std::uint8_t>(config.mode));
+  w.u64(config.dram_buffer_lines);
+  w.str(config.payload);
+  w.str(config.codec);
+  w.u32(config.ecp_entries);
+  w.f64(config.cell_sigma);
+  w.u64(config.fault.device.stuck_at_lines);
+  w.u64(config.fault.device.early_death_lines);
+  w.f64(config.fault.device.early_death_fraction);
+  w.u64(config.fault.device.outlier_regions);
+  w.f64(config.fault.device.outlier_factor);
+  w.u64(config.fault.metadata.flip_interval);
+  w.u64(config.fault.seed);
+  // FNV-1a over the canonical little-endian encoding above.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : w.buffer()) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 LifetimeResult run_experiment(const ExperimentConfig& config) {
   return run_experiment(config, nullptr);
@@ -59,6 +138,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config) {
 
 LifetimeResult run_experiment(const ExperimentConfig& config,
                               EnduranceMapCache* cache) {
+  validate_robustness_config(config);
   Rng rng(config.seed);
 
   std::shared_ptr<const EnduranceMap> map;
@@ -83,6 +163,17 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
 
   auto spare = build_spare_scheme(config, map, rng);
 
+  // Device faults live in a copy of the map: the spare scheme and wear
+  // leveler above planned on the clean manufacture-time characterization,
+  // while the device wears out on the faulted reality — which is exactly
+  // the divergence the fault model exists to exercise.
+  std::shared_ptr<const EnduranceMap> device_map = map;
+  if (config.fault.device.any()) {
+    auto faulted = std::make_shared<EnduranceMap>(*map);
+    apply_device_faults(*faulted, config.fault.device, config.fault.seed);
+    device_map = std::move(faulted);
+  }
+
   if (config.mode == SimulationMode::kUniformEvent) {
     if (config.attack != "uaa") {
       throw std::invalid_argument(
@@ -95,7 +186,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
           "(bijective remapping does not change uniform-rate wear); use "
           "stochastic mode to include wear-leveler overhead");
     }
-    UniformEventSimulator sim(map, *spare);
+    UniformEventSimulator sim(device_map, *spare);
     sim.set_observer(config.observer);
     return sim.run();
   }
@@ -133,20 +224,48 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     BitDeviceParams dp;
     dp.cell_sigma = config.cell_sigma;
     dp.ecp_entries = config.ecp_entries;
-    BitDevice device(map, dp, rng);
+    BitDevice device(device_map, dp, rng);
     auto payload = make_payload(config.payload);
     auto codec = make_codec(config.codec);
     BitEngine engine(device, *attack, *payload, *codec, *wl, *spare, rng);
     return engine.run(config.max_user_writes);
   }
 
-  Device device(map);
+  Device device(device_map);
   Engine engine(device, *attack, *wl, *spare, rng);
   engine.set_observer(config.observer);
   std::unique_ptr<DramBuffer> buffer;
   if (config.dram_buffer_lines > 0) {
     buffer = std::make_unique<DramBuffer>(config.dram_buffer_lines);
     engine.set_front_buffer(buffer.get());
+  }
+
+  std::unique_ptr<MetadataFaultInjector> injector;
+  if (config.fault.metadata.any()) {
+    // validate_robustness_config() already pinned the scheme to "maxwe".
+    auto* maxwe = dynamic_cast<MaxWe*>(spare.get());
+    injector = std::make_unique<MetadataFaultInjector>(config.fault.metadata,
+                                                       config.fault.seed);
+    engine.set_fault_injection(injector.get(), maxwe);
+  }
+  if (!config.checkpoint_out.empty()) {
+    engine.set_checkpointing(config.checkpoint_out, config.checkpoint_interval,
+                             config_fingerprint(config));
+  }
+  if (!config.resume_from.empty()) {
+    Result<std::vector<std::uint8_t>> payload =
+        load_checkpoint_file(config.resume_from);
+    payload.status().throw_if_error();
+    StateReader r(payload.value());
+    std::uint64_t fp = 0;
+    r.u64(fp).throw_if_error();
+    if (fp != config_fingerprint(config)) {
+      Status::failed_precondition(
+          "checkpoint '" + config.resume_from +
+          "' was written by a different configuration; refusing to resume")
+          .throw_if_error();
+    }
+    engine.restore_state(r).throw_if_error();
   }
   return engine.run(config.max_user_writes);
 }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault_plan.h"
 #include "nvm/endurance_model.h"
 #include "nvm/geometry.h"
 #include "obs/observer.h"
@@ -73,6 +74,20 @@ struct ExperimentConfig {
   std::uint32_t ecp_entries{0};
   double cell_sigma{0.1};
 
+  /// Fault injection (see fault/fault_plan.h). Device faults perturb a
+  /// copy of the endurance map that only the device sees (any mode);
+  /// metadata faults require spare_scheme == "maxwe" and stochastic mode.
+  FaultPlan fault{};
+
+  /// Stochastic mode only: write a checkpoint to `checkpoint_out` every
+  /// `checkpoint_interval` user writes (both must be set together).
+  std::string checkpoint_out;
+  WriteCount checkpoint_interval{0};
+  /// Stochastic mode only: resume from this checkpoint file before running
+  /// (empty = fresh start). The checkpoint's config fingerprint must match
+  /// this config; a resumed run is bit-identical to an uninterrupted one.
+  std::string resume_from;
+
   /// Observability sinks (borrowed; see obs/session.h for an owning
   /// composition). Default — all null — is the zero-overhead no-op mode.
   /// Event and stochastic engines are fully instrumented; the bit-level
@@ -84,8 +99,18 @@ struct ExperimentConfig {
 };
 
 /// Run one experiment end to end. Throws std::invalid_argument for
-/// inconsistent configs (e.g. event mode with a non-uniform attack).
+/// inconsistent configs (e.g. event mode with a non-uniform attack) and
+/// std::runtime_error (carrying a Status string) when a resume checkpoint
+/// is missing, corrupt, or from a different configuration.
 LifetimeResult run_experiment(const ExperimentConfig& config);
+
+/// Stable 64-bit fingerprint of every field that shapes the simulation
+/// trajectory (geometry, endurance model, seed, attack, leveler, scheme,
+/// fault plan, ...). Embedded in checkpoints so resume can refuse a file
+/// written by a different configuration. Deliberately excludes
+/// max_user_writes: a capped checkpointing run and the uncapped run it
+/// stands in for share a trajectory, so they must share a fingerprint.
+[[nodiscard]] std::uint64_t config_fingerprint(const ExperimentConfig& config);
 
 class EnduranceMapCache;
 

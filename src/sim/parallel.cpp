@@ -1,11 +1,14 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "obs/observer.h"
+#include "sim/checkpoint.h"
 #include "sim/endurance_cache.h"
+#include "util/serialize.h"
 #include "util/thread_pool.h"
 
 namespace nvmsec {
@@ -39,6 +42,96 @@ void reject_shared_sinks(std::span<const ExperimentConfig> configs) {
   }
 }
 
+void save_result(StateWriter& w, const LifetimeResult& r) {
+  w.f64(r.user_writes);
+  w.u64(r.overhead_writes);
+  w.u64(r.absorbed_writes);
+  w.u64(r.device_writes);
+  w.f64(r.ideal_lifetime);
+  w.f64(r.normalized);
+  w.u64(r.line_deaths);
+  w.boolean(r.failed);
+  w.str(r.failure_reason);
+}
+
+Status load_result(StateReader& r, LifetimeResult& out) {
+  if (Status st = r.f64(out.user_writes); !st.ok()) return st;
+  if (Status st = r.u64(out.overhead_writes); !st.ok()) return st;
+  if (Status st = r.u64(out.absorbed_writes); !st.ok()) return st;
+  if (Status st = r.u64(out.device_writes); !st.ok()) return st;
+  if (Status st = r.f64(out.ideal_lifetime); !st.ok()) return st;
+  if (Status st = r.f64(out.normalized); !st.ok()) return st;
+  if (Status st = r.u64(out.line_deaths); !st.ok()) return st;
+  if (Status st = r.boolean(out.failed); !st.ok()) return st;
+  return r.str(out.failure_reason);
+}
+
+/// Tracks which runs of a sweep have finished and mirrors them to a
+/// checkpoint file after every completion (atomic rewrite, so a SIGKILL at
+/// any moment leaves a loadable file covering every finished run).
+class SweepCheckpoint {
+ public:
+  SweepCheckpoint(std::string path, std::span<const ExperimentConfig> configs,
+                  std::vector<LifetimeResult>& results)
+      : path_(std::move(path)), results_(results), done_(configs.size(), 0) {
+    fingerprints_.reserve(configs.size());
+    for (const ExperimentConfig& c : configs) {
+      fingerprints_.push_back(config_fingerprint(c));
+    }
+  }
+
+  /// Load previously finished runs; missing file = fresh start. Records
+  /// whose fingerprint does not match the current config are re-run.
+  void resume() {
+    Result<std::vector<std::uint8_t>> payload = load_checkpoint_file(path_);
+    if (!payload.ok() && payload.status().code() == StatusCode::kNotFound) {
+      return;
+    }
+    payload.status().throw_if_error();
+    StateReader r(payload.value());
+    std::uint64_t count = 0;
+    r.u64(count).throw_if_error();
+    for (std::uint64_t k = 0; k < count; ++k) {
+      std::uint64_t index = 0;
+      std::uint64_t fingerprint = 0;
+      LifetimeResult result;
+      r.u64(index).throw_if_error();
+      r.u64(fingerprint).throw_if_error();
+      load_result(r, result).throw_if_error();
+      if (index < done_.size() && fingerprint == fingerprints_[index]) {
+        results_[index] = result;
+        done_[index] = 1;
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_done(std::size_t i) const { return done_[i] != 0; }
+
+  /// Mark run `i` finished and rewrite the checkpoint file. Thread-safe.
+  void record(std::size_t i) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    done_[i] = 1;
+    StateWriter w;
+    std::uint64_t count = 0;
+    for (char d : done_) count += d != 0 ? 1 : 0;
+    w.u64(count);
+    for (std::size_t k = 0; k < done_.size(); ++k) {
+      if (done_[k] == 0) continue;
+      w.u64(k);
+      w.u64(fingerprints_[k]);
+      save_result(w, results_[k]);
+    }
+    save_checkpoint_file(path_, w.take()).throw_if_error();
+  }
+
+ private:
+  std::string path_;
+  std::vector<LifetimeResult>& results_;
+  std::vector<char> done_;
+  std::vector<std::uint64_t> fingerprints_;
+  std::mutex mu_;
+};
+
 }  // namespace
 
 std::vector<LifetimeResult> run_experiments(
@@ -47,12 +140,30 @@ std::vector<LifetimeResult> run_experiments(
   std::vector<LifetimeResult> results(configs.size());
   if (configs.empty()) return results;
 
+  std::unique_ptr<SweepCheckpoint> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<SweepCheckpoint>(options.checkpoint_path,
+                                                   configs, results);
+    if (options.resume) checkpoint->resume();
+  } else if (options.resume) {
+    throw std::invalid_argument(
+        "run_experiments: resume needs a checkpoint_path to resume from");
+  }
+  const auto skip = [&checkpoint](std::size_t i) {
+    return checkpoint != nullptr && checkpoint->is_done(i);
+  };
+  const auto record = [&checkpoint](std::size_t i) {
+    if (checkpoint != nullptr) checkpoint->record(i);
+  };
+
   const std::size_t jobs =
       std::min(options.effective_jobs(), configs.size());
   if (jobs <= 1) {
     // Today's exact serial path: one thread, maps rebuilt per run.
     for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (skip(i)) continue;
       results[i] = run_experiment(configs[i]);
+      record(i);
     }
     return results;
   }
@@ -68,7 +179,9 @@ std::vector<LifetimeResult> run_experiments(
   // so `jobs` total threads do experiment work.
   ThreadPool pool(jobs - 1);
   pool.parallel_for_each(configs.size(), [&](std::size_t i) {
+    if (skip(i)) return;
     results[i] = run_experiment(configs[i], cache);
+    record(i);
   });
   return results;
 }

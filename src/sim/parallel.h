@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -39,6 +40,16 @@ struct ParallelOptions {
   bool use_cache{true};
   /// Cache to use; nullptr = the process-global EnduranceMapCache.
   EnduranceMapCache* cache{nullptr};
+
+  /// Sweep-level crash safety: after every completed run, atomically
+  /// rewrite this file with all finished (index, fingerprint, result)
+  /// records. Empty disables. Independent of — and composable with — the
+  /// per-run engine checkpoints in ExperimentConfig.
+  std::string checkpoint_path;
+  /// Prefill results from checkpoint_path (when the file exists) and skip
+  /// the runs already recorded there. A record whose config fingerprint no
+  /// longer matches the config at that index is discarded and re-run.
+  bool resume{false};
 
   [[nodiscard]] std::size_t effective_jobs() const;
 };

@@ -78,6 +78,53 @@ void FreeP::reset() {
   }
 }
 
+void FreeP::save_state(StateWriter& w) const {
+  w.u64(stats_.line_deaths);
+  w.u64(stats_.replacements);
+  w.u64(static_cast<std::uint64_t>(next_spare_));
+  w.u64(max_chain_);
+  w.u64(hops_);
+  w.u64(resolves_);
+  w.vec_u32(backing_);
+  w.vec_u32(chain_depth_);
+}
+
+Status FreeP::load_state(StateReader& r) {
+  std::uint64_t line_deaths = 0, replacements = 0, next_spare = 0;
+  std::uint64_t max_chain = 0, hops = 0, resolves = 0;
+  if (Status st = r.u64(line_deaths); !st.ok()) return st;
+  if (Status st = r.u64(replacements); !st.ok()) return st;
+  if (Status st = r.u64(next_spare); !st.ok()) return st;
+  if (Status st = r.u64(max_chain); !st.ok()) return st;
+  if (Status st = r.u64(hops); !st.ok()) return st;
+  if (Status st = r.u64(resolves); !st.ok()) return st;
+  std::vector<std::uint32_t> backing, chain_depth;
+  if (Status st = r.vec_u32(backing); !st.ok()) return st;
+  if (Status st = r.vec_u32(chain_depth); !st.ok()) return st;
+  if (backing.size() != working_lines_ ||
+      chain_depth.size() != working_lines_) {
+    return Status::corruption("freep state: table size mismatch");
+  }
+  if (next_spare > spare_lines_) {
+    return Status::corruption("freep state: spare cursor exceeds pool");
+  }
+  for (std::uint32_t b : backing) {
+    if (b >= num_lines_) {
+      return Status::corruption("freep state: backing line out of range");
+    }
+  }
+  stats_ = {};
+  stats_.line_deaths = line_deaths;
+  stats_.replacements = replacements;
+  next_spare_ = static_cast<std::size_t>(next_spare);
+  max_chain_ = max_chain;
+  hops_ = hops;
+  resolves_ = resolves;
+  backing_ = std::move(backing);
+  chain_depth_ = std::move(chain_depth);
+  return Status{};
+}
+
 std::unique_ptr<SpareScheme> make_freep(
     std::shared_ptr<const EnduranceMap> endurance, std::uint64_t spare_lines) {
   return std::make_unique<FreeP>(std::move(endurance), spare_lines);

@@ -49,6 +49,9 @@ class FreeP final : public SpareScheme {
                          : 0.0;
   }
 
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
  private:
   std::uint64_t working_lines_;
   std::uint64_t num_lines_;

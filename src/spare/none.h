@@ -21,6 +21,13 @@ class NoSpare final : public SpareScheme {
   [[nodiscard]] SpareSchemeStats stats() const override { return stats_; }
   void reset() override { stats_ = {}; }
 
+  void save_state(StateWriter& w) const override {
+    w.u64(stats_.line_deaths);
+  }
+  [[nodiscard]] Status load_state(StateReader& r) override {
+    return r.u64(stats_.line_deaths);
+  }
+
  private:
   std::uint64_t num_lines_;
   SpareSchemeStats stats_;

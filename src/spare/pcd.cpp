@@ -76,6 +76,55 @@ SpareSchemeStats Pcd::stats() const {
   return s;
 }
 
+void Pcd::save_state(StateWriter& w) const {
+  w.u64(stats_.line_deaths);
+  w.u64(stats_.replacements);
+  w.vec_u32(backing_);
+  // alive_list_ order matters: survivors are picked by position, so the
+  // exact swap-remove history must be reproduced.
+  w.vec_u32(alive_list_);
+  rng_.save_state(w);
+}
+
+Status Pcd::load_state(StateReader& r) {
+  std::uint64_t line_deaths = 0, replacements = 0;
+  if (Status st = r.u64(line_deaths); !st.ok()) return st;
+  if (Status st = r.u64(replacements); !st.ok()) return st;
+  std::vector<std::uint32_t> backing, alive;
+  if (Status st = r.vec_u32(backing); !st.ok()) return st;
+  if (Status st = r.vec_u32(alive); !st.ok()) return st;
+  if (backing.size() != num_lines_ || alive.size() > num_lines_) {
+    return Status::corruption("pcd state: table sizes do not fit geometry");
+  }
+  std::vector<bool> dead(num_lines_, true);
+  std::vector<std::uint32_t> alive_pos(num_lines_, 0);
+  for (std::uint32_t i = 0; i < alive.size(); ++i) {
+    const std::uint32_t l = alive[i];
+    if (l >= num_lines_ || !dead[l]) {
+      return Status::corruption("pcd state: alive list invalid");
+    }
+    dead[l] = false;
+    alive_pos[l] = i;
+  }
+  for (std::uint32_t b : backing) {
+    if (b >= num_lines_) {
+      return Status::corruption("pcd state: backing line out of range");
+    }
+  }
+  if (num_lines_ - alive.size() != line_deaths) {
+    return Status::corruption("pcd state: death count inconsistent");
+  }
+  if (Status st = rng_.load_state(r); !st.ok()) return st;
+  stats_ = {};
+  stats_.line_deaths = line_deaths;
+  stats_.replacements = replacements;
+  backing_ = std::move(backing);
+  alive_list_ = std::move(alive);
+  dead_ = std::move(dead);
+  alive_pos_ = std::move(alive_pos);
+  return Status{};
+}
+
 void Pcd::reset() {
   stats_ = {};
   backing_.resize(num_lines_);

@@ -34,6 +34,11 @@ class Pcd final : public SpareScheme {
 
   [[nodiscard]] std::uint64_t alive_lines() const { return alive_list_.size(); }
 
+  /// PCD owns a private Rng (survivor picks), so its stream position is
+  /// part of the checkpointed state.
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
  private:
   /// Mark the backing line dead and move `idx` to a random survivor.
   void rehome(std::uint64_t idx);

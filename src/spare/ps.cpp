@@ -83,4 +83,32 @@ void PhysicalSparing::reset() {
   backing_ = working_;
 }
 
+void PhysicalSparing::save_state(StateWriter& w) const {
+  w.u64(stats_.line_deaths);
+  w.u64(stats_.replacements);
+  w.u64(static_cast<std::uint64_t>(next_spare_));
+  w.vec_u32(backing_);
+}
+
+Status PhysicalSparing::load_state(StateReader& r) {
+  std::uint64_t line_deaths = 0, replacements = 0, next_spare = 0;
+  if (Status st = r.u64(line_deaths); !st.ok()) return st;
+  if (Status st = r.u64(replacements); !st.ok()) return st;
+  if (Status st = r.u64(next_spare); !st.ok()) return st;
+  std::vector<std::uint32_t> backing;
+  if (Status st = r.vec_u32(backing); !st.ok()) return st;
+  if (backing.size() != working_.size()) {
+    return Status::corruption("ps state: backing size mismatch");
+  }
+  if (next_spare > pool_.size()) {
+    return Status::corruption("ps state: spare cursor exceeds pool");
+  }
+  stats_ = {};
+  stats_.line_deaths = line_deaths;
+  stats_.replacements = replacements;
+  next_spare_ = static_cast<std::size_t>(next_spare);
+  backing_ = std::move(backing);
+  return Status{};
+}
+
 }  // namespace nvmsec

@@ -44,6 +44,9 @@ class PhysicalSparing final : public SpareScheme {
     return pool_.size() - next_spare_;
   }
 
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
  private:
   std::shared_ptr<const EnduranceMap> endurance_;
   PsPoolPolicy policy_;

@@ -20,6 +20,8 @@
 #include "nvm/endurance_map.h"
 #include "obs/observer.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -64,6 +66,20 @@ class SpareScheme {
   /// interesting internal events (Max-WE's RMT redirects and spare-pool
   /// allocations) override it to emit trace events and counters.
   virtual void set_observer(const Observer& obs) { (void)obs; }
+
+  /// Checkpointing: serialize every run-time-mutable field (mappings,
+  /// pools, stats, internal RNGs) into `w`. The boot-time allocation is
+  /// *not* saved — it is rebuilt deterministically from the config — so a
+  /// scheme only writes what diverges from its freshly-constructed state.
+  virtual void save_state(StateWriter& w) const { (void)w; }
+
+  /// Restore what save_state wrote. Called on a freshly-built instance of
+  /// the identical configuration; returns a structured error (and leaves
+  /// the scheme unusable) on malformed input.
+  [[nodiscard]] virtual Status load_state(StateReader& r) {
+    (void)r;
+    return Status{};
+  }
 };
 
 /// Parameters shared by the bundled spare schemes. `spare_lines` is an

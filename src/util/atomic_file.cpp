@@ -1,0 +1,74 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+
+#ifdef _WIN32
+#include <process.h>
+#define maxwe_getpid _getpid
+#else
+#include <unistd.h>
+#define maxwe_getpid getpid
+#endif
+
+namespace nvmsec {
+
+AtomicFileWriter::AtomicFileWriter(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    open_status_ = Status::invalid_argument("AtomicFileWriter: empty path");
+    return;
+  }
+  temp_path_ = path_ + ".tmp." + std::to_string(maxwe_getpid());
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    open_status_ = Status::io_error(
+        "cannot open '" + temp_path_ +
+        "' for writing (is the directory writable?)");
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() { discard(); }
+
+Status AtomicFileWriter::commit() {
+  if (done_) return Status{};
+  if (!out_.is_open()) {
+    return open_status_.ok()
+               ? Status::failed_precondition("AtomicFileWriter: already closed")
+               : open_status_;
+  }
+  out_.flush();
+  if (!out_) {
+    discard();
+    return Status::io_error("write failed for '" + temp_path_ +
+                            "' (disk full?)");
+  }
+  out_.close();
+  if (out_.fail()) {
+    discard();
+    return Status::io_error("close failed for '" + temp_path_ + "'");
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    done_ = true;
+    return Status::io_error("rename '" + temp_path_ + "' -> '" + path_ +
+                            "' failed");
+  }
+  done_ = true;
+  return Status{};
+}
+
+void AtomicFileWriter::discard() {
+  if (done_) return;
+  done_ = true;
+  if (out_.is_open()) out_.close();
+  if (!temp_path_.empty()) std::remove(temp_path_.c_str());
+}
+
+Status atomic_write_file(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  if (!writer.is_open()) return writer.open_status();
+  writer.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+  return writer.commit();
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,56 @@
+// Crash-safe file writing: temp file + atomic rename.
+//
+// Every output the simulator produces (metrics, traces, snapshots,
+// endurance maps, checkpoints) goes through this writer so a crashed or
+// SIGKILLed run can never leave a truncated file under the final name: the
+// data streams into "<path>.tmp.<pid>" and only commit() renames it into
+// place (POSIX rename(2) is atomic within a filesystem). A writer destroyed
+// without commit() removes its temp file.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace nvmsec {
+
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// False when the temp file could not be opened; open_status() says why.
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] Status open_status() const { return open_status_; }
+
+  /// The stream to write into (valid only while is_open()).
+  [[nodiscard]] std::ofstream& stream() { return out_; }
+
+  /// Temp path the data is currently streaming into (for diagnostics).
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Flush, close and rename into place. Returns a Status describing the
+  /// first failure (stream error, close failure, rename failure). After a
+  /// successful commit the writer is inert.
+  Status commit();
+
+  /// Drop the temp file without renaming (also done by the destructor).
+  void discard();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  Status open_status_;
+  bool done_{false};
+};
+
+/// Convenience: atomically write `contents` to `path`.
+Status atomic_write_file(const std::string& path, const std::string& contents);
+
+}  // namespace nvmsec

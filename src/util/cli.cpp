@@ -1,10 +1,33 @@
 #include "util/cli.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace nvmsec {
+
+namespace {
+
+// strtoll/strtoull/strtod with the full error surface mapped to one-line
+// messages: empty value, leading junk, trailing junk, and range overflow
+// each produce a distinct, actionable diagnostic instead of std::stoul's
+// exception text (or, worse, its silent acceptance of "10abc").
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const std::string& why) {
+  throw std::invalid_argument("flag --" + name + ": " + why + ": '" + value +
+                              "'");
+}
+
+void check_tail(const std::string& name, const std::string& value,
+                const char* end) {
+  if (end == value.c_str()) bad_value(name, value, "not a number");
+  if (*end != '\0') bad_value(name, value, "trailing characters after number");
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {
@@ -71,21 +94,42 @@ std::string CliParser::get_string(const std::string& name) const {
 
 std::int64_t CliParser::get_int(const std::string& name) const {
   const std::string v = get_string(name);
-  std::size_t pos = 0;
-  const std::int64_t out = std::stoll(v, &pos);
-  if (pos != v.size()) {
-    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  if (v.empty()) bad_value(name, v, "empty value, expected an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  check_tail(name, v, end);
+  if (errno == ERANGE) {
+    bad_value(name, v, "integer out of range (64-bit signed)");
+  }
+  return out;
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v.empty()) bad_value(name, v, "empty value, expected a non-negative integer");
+  // strtoull happily wraps "-1" to 2^64-1; reject any minus sign up front.
+  if (v.find('-') != std::string::npos) {
+    bad_value(name, v, "must be a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
+  check_tail(name, v, end);
+  if (errno == ERANGE) {
+    bad_value(name, v, "integer out of range (64-bit unsigned)");
   }
   return out;
 }
 
 double CliParser::get_double(const std::string& name) const {
   const std::string v = get_string(name);
-  std::size_t pos = 0;
-  const double out = std::stod(v, &pos);
-  if (pos != v.size()) {
-    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
-  }
+  if (v.empty()) bad_value(name, v, "empty value, expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  check_tail(name, v, end);
+  if (errno == ERANGE) bad_value(name, v, "number out of range");
   return out;
 }
 

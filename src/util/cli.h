@@ -26,8 +26,14 @@ class CliParser {
   /// Throws std::invalid_argument on unknown or malformed flags.
   bool parse(int argc, const char* const* argv);
 
+  /// Numeric getters parse the whole value or fail: trailing garbage
+  /// ("10x"), overflow, and empty values all raise std::invalid_argument
+  /// with a one-line "flag --name: ..." message. get_uint additionally
+  /// rejects negative values, so unsigned flags can never be silently
+  /// wrapped through a signed cast.
   [[nodiscard]] std::string get_string(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for file and table integrity.
+//
+// Used by the checkpoint format, the mapping tables' per-entry checksums
+// and the fault-injection tests. Table-driven, byte at a time: integrity
+// checks here run once per file or per table entry, never per simulated
+// write, so simplicity beats throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmsec {
+
+/// One-shot CRC over a buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc32_update(seed, ...)` chunks, starting from
+/// crc32_init() and finishing with crc32_final().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace nvmsec

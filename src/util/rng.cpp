@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/serialize.h"
+
 namespace nvmsec {
 
 namespace {
@@ -130,5 +132,26 @@ std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
 }
 
 Rng Rng::fork() { return Rng(gen_.fork()); }
+
+void Rng::save_state(StateWriter& w) const {
+  for (std::uint64_t word : gen_.state()) w.u64(word);
+  w.boolean(has_cached_normal_);
+  w.f64(cached_normal_);
+}
+
+Status Rng::load_state(StateReader& r) {
+  std::array<std::uint64_t, 4> s{};
+  for (auto& word : s) {
+    if (Status st = r.u64(word); !st.ok()) return st;
+  }
+  bool has_cached = false;
+  double cached = 0.0;
+  if (Status st = r.boolean(has_cached); !st.ok()) return st;
+  if (Status st = r.f64(cached); !st.ok()) return st;
+  gen_.set_state(s);
+  has_cached_normal_ = has_cached;
+  cached_normal_ = cached;
+  return Status{};
+}
 
 }  // namespace nvmsec

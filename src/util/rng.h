@@ -11,7 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace nvmsec {
+
+class StateWriter;
+class StateReader;
 
 /// splitmix64: used to expand a single 64-bit seed into xoshiro state.
 /// Reference: Sebastiano Vigna, public domain.
@@ -49,6 +54,13 @@ class Xoshiro256 {
 
   /// Fork an independent generator (jump-based, deterministic).
   Xoshiro256 fork();
+
+  /// Raw stream position, for checkpointing. Restoring the state resumes
+  /// the exact sequence: set_state(state()) is a no-op.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return s_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
 
  private:
   std::array<std::uint64_t, 4> s_;
@@ -92,6 +104,12 @@ class Rng {
 
   /// Derive an independent child stream (for parallel experiment arms).
   Rng fork();
+
+  /// Checkpointing: the full stream position is the xoshiro state plus the
+  /// Box–Muller carry (the cached second normal), all of which must be
+  /// restored for a resumed run to draw the identical sequence.
+  void save_state(StateWriter& w) const;
+  Status load_state(StateReader& r);
 
  private:
   explicit Rng(Xoshiro256 gen) : gen_(gen) {}

@@ -1,0 +1,38 @@
+#include "util/status.h"
+
+namespace nvmsec {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kDataLoss:
+      return "data loss";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kVersionMismatch:
+      return "version mismatch";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  return std::string(status_code_name(code_)) + ": " + message_;
+}
+
+void Status::throw_if_error() const {
+  if (!ok()) throw std::runtime_error(to_string());
+}
+
+}  // namespace nvmsec

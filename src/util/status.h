@@ -1,0 +1,124 @@
+// Structured error handling for failure-prone paths.
+//
+// The simulator's compute layers (engines, schemes, levelers) validate
+// their invariants with exceptions — a bad argument is a programming error
+// and the process should stop loudly. The *environment-facing* layers
+// (file I/O, parsing, checkpoints) fail for reasons outside the program's
+// control, so they report through Status / Result<T>: every error carries a
+// machine-checkable code plus an actionable message, callers are forced to
+// look before they touch the value, and nothing is thrown across a layer
+// that might be mid-stream. Convention: I/O primitives return
+// Status/Result; the high-level run_experiment surface converts unrecovered
+// Statuses into exceptions at its boundary (main catches once).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nvmsec {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,    ///< caller passed something unusable (bad flag value)
+  kNotFound,           ///< file or entry does not exist
+  kIoError,            ///< open/read/write/rename failed
+  kDataLoss,           ///< truncated input, short read
+  kCorruption,         ///< checksum/parity mismatch, malformed content
+  kVersionMismatch,    ///< recognized file, unsupported format version
+  kFailedPrecondition, ///< operation not valid in the current state/config
+  kOutOfRange,         ///< numeric value outside the representable range
+};
+
+/// Stable lowercase name ("ok", "corruption", ...) for messages and tests.
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "corruption: endurance CSV, line 7: ..." — one line, actionable.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Exception bridge for the throwing layers: no-op when ok, otherwise
+  /// throws std::runtime_error carrying to_string().
+  void throw_if_error() const;
+
+  static Status ok_status() { return {}; }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status io_error(std::string m) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status corruption(std::string m) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status version_mismatch(std::string m) {
+    return {StatusCode::kVersionMismatch, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}                // NOLINT
+  Result(Status status) : data_(std::move(status)) {          // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result: constructed from an ok Status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status{} : std::get<Status>(data_);
+  }
+
+  /// Value access; throws std::runtime_error with the error message when
+  /// called on a failed Result (the "I already checked ok()" contract).
+  [[nodiscard]] T& value() {
+    if (!ok()) throw std::runtime_error(std::get<Status>(data_).to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    if (!ok()) throw std::runtime_error(std::get<Status>(data_).to_string());
+    return std::get<T>(data_);
+  }
+
+  /// Move the value out (for non-copyable payloads).
+  [[nodiscard]] T take() {
+    if (!ok()) throw std::runtime_error(std::get<Status>(data_).to_string());
+    return std::move(std::get<T>(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace nvmsec

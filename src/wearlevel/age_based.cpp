@@ -75,6 +75,59 @@ void AgeBased::on_write(LogicalLineAddr la, Rng& rng,
   out.push_back({slot, false});
 }
 
+void AgeBased::save_policy(StateWriter& w) const {
+  w.u64(writes_since_swap_);
+  w.vec_u64(age_);
+  // Bucket member lists are saved in list order: sample_young_victim picks
+  // by position, so the exact order is part of the deterministic state.
+  w.u64(buckets_);
+  for (const auto& list : members_) w.vec_u32(list);
+}
+
+Status AgeBased::load_policy(StateReader& r) {
+  std::uint64_t since = 0;
+  if (Status st = r.u64(since); !st.ok()) return st;
+  std::vector<std::uint64_t> age;
+  if (Status st = r.vec_u64(age); !st.ok()) return st;
+  if (age.size() != working_lines_) {
+    return Status::corruption("agebased state: age table size mismatch");
+  }
+  std::uint64_t buckets = 0;
+  if (Status st = r.u64(buckets); !st.ok()) return st;
+  if (buckets != buckets_) {
+    return Status::corruption("agebased state: bucket count mismatch");
+  }
+  std::vector<std::vector<std::uint32_t>> members(buckets_);
+  std::uint64_t total = 0;
+  for (auto& list : members) {
+    if (Status st = r.vec_u32(list); !st.ok()) return st;
+    total += list.size();
+  }
+  if (total != working_lines_) {
+    return Status::corruption("agebased state: bucket membership incomplete");
+  }
+  std::vector<std::uint32_t> pos(working_lines_);
+  std::vector<std::uint32_t> bucket(working_lines_);
+  std::vector<bool> seen(working_lines_, false);
+  for (std::uint32_t b = 0; b < buckets_; ++b) {
+    for (std::uint32_t i = 0; i < members[b].size(); ++i) {
+      const std::uint32_t slot = members[b][i];
+      if (slot >= working_lines_ || seen[slot]) {
+        return Status::corruption("agebased state: bucket membership invalid");
+      }
+      seen[slot] = true;
+      pos[slot] = i;
+      bucket[slot] = b;
+    }
+  }
+  writes_since_swap_ = since;
+  age_ = std::move(age);
+  members_ = std::move(members);
+  member_pos_ = std::move(pos);
+  member_bucket_ = std::move(bucket);
+  return Status{};
+}
+
 void AgeBased::reset_policy() {
   writes_since_swap_ = 0;
   age_.assign(working_lines_, 0);

@@ -40,6 +40,8 @@ class AgeBased final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override;
+  void save_policy(StateWriter& w) const override;
+  [[nodiscard]] Status load_policy(StateReader& r) override;
   void record_write(std::uint64_t working_index);
   [[nodiscard]] std::uint64_t sample_young_victim(Rng& rng) const;
 

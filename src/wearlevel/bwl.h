@@ -42,6 +42,10 @@ class Bwl final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override { writes_since_swap_ = 0; }
+  void save_policy(StateWriter& w) const override { w.u64(writes_since_swap_); }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    return r.u64(writes_since_swap_);
+  }
   [[nodiscard]] std::uint64_t sample_victim(Rng& rng) const;
 
   std::uint64_t group_lines_;

@@ -24,6 +24,10 @@ class PcmS final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override { writes_since_swap_ = 0; }
+  void save_policy(StateWriter& w) const override { w.u64(writes_since_swap_); }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    return r.u64(writes_since_swap_);
+  }
 
   std::uint64_t interval_;
   std::uint64_t writes_since_swap_{0};

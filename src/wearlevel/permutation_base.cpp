@@ -64,6 +64,38 @@ void PermutationWearLeveler::charge_overhead(std::uint64_t wi,
   ++overhead_writes_;
 }
 
+void PermutationWearLeveler::save_state(StateWriter& w) const {
+  w.vec_u32(fwd_);
+  w.u64(overhead_writes_);
+  save_policy(w);
+}
+
+Status PermutationWearLeveler::load_state(StateReader& r) {
+  std::vector<std::uint32_t> fwd;
+  if (Status st = r.vec_u32(fwd); !st.ok()) return st;
+  if (fwd.size() != working_lines_) {
+    return Status::corruption(
+        "wear-leveler state: permutation size " + std::to_string(fwd.size()) +
+        " != working lines " + std::to_string(working_lines_));
+  }
+  std::vector<bool> seen(working_lines_, false);
+  for (std::uint32_t wi : fwd) {
+    if (wi >= working_lines_ || seen[wi]) {
+      return Status::corruption(
+          "wear-leveler state: mapping is not a permutation");
+    }
+    seen[wi] = true;
+  }
+  std::uint64_t overhead = 0;
+  if (Status st = r.u64(overhead); !st.ok()) return st;
+  fwd_ = std::move(fwd);
+  for (std::uint64_t la = 0; la < working_lines_; ++la) {
+    inv_[fwd_[la]] = static_cast<std::uint32_t>(la);
+  }
+  overhead_writes_ = overhead;
+  return load_policy(r);
+}
+
 void PermutationWearLeveler::reset() {
   for (std::uint64_t i = 0; i < working_lines_; ++i) {
     fwd_[i] = static_cast<std::uint32_t>(i);

@@ -34,7 +34,21 @@ class PermutationWearLeveler : public WearLeveler {
 
   void reset() override;
 
+  /// Saves the permutation + overhead counter, then the subclass's policy
+  /// state via save_policy(). load_state() validates that the stored
+  /// mapping is a bijection before applying anything.
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
  protected:
+  /// Policy-state hooks mirroring save_state/load_state; subclasses with
+  /// state beyond the permutation (cadence counters, sweep pointers, age
+  /// tables) override these.
+  virtual void save_policy(StateWriter& w) const { (void)w; }
+  [[nodiscard]] virtual Status load_policy(StateReader& r) {
+    (void)r;
+    return Status{};
+  }
   /// Swap the working indices backing logical lines a and b, charging one
   /// migration write to each destination (the data of each line is written
   /// into the other's slot).

@@ -37,6 +37,28 @@ class SecurityRefresh final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override;
+  void save_policy(StateWriter& w) const override {
+    w.vec_u64(writes_since_step_);
+    w.vec_u64(writes_since_outer_);
+    w.vec_u64(sweep_);
+    w.vec_u64(key_);
+  }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    std::vector<std::uint64_t> step, outer, sweep, key;
+    if (Status st = r.vec_u64(step); !st.ok()) return st;
+    if (Status st = r.vec_u64(outer); !st.ok()) return st;
+    if (Status st = r.vec_u64(sweep); !st.ok()) return st;
+    if (Status st = r.vec_u64(key); !st.ok()) return st;
+    if (step.size() != subregions_ || outer.size() != subregions_ ||
+        sweep.size() != subregions_ || key.size() != subregions_) {
+      return Status::corruption("tlsr state: subregion count mismatch");
+    }
+    writes_since_step_ = std::move(step);
+    writes_since_outer_ = std::move(outer);
+    sweep_ = std::move(sweep);
+    key_ = std::move(key);
+    return Status{};
+  }
   void refresh_step(std::uint64_t subregion, Rng& rng,
                     std::vector<WlPhysWrite>& out);
   void outer_swap(std::uint64_t subregion, Rng& rng,

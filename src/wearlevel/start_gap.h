@@ -31,6 +31,21 @@ class StartGap final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override;
+  void save_policy(StateWriter& w) const override {
+    w.u64(writes_since_move_);
+    w.u64(gap_slot_);
+  }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    std::uint64_t since = 0, gap = 0;
+    if (Status st = r.u64(since); !st.ok()) return st;
+    if (Status st = r.u64(gap); !st.ok()) return st;
+    if (gap >= working_lines_) {
+      return Status::corruption("startgap state: gap slot out of range");
+    }
+    writes_since_move_ = since;
+    gap_slot_ = gap;
+    return Status{};
+  }
 
   std::uint64_t psi_;
   std::uint64_t writes_since_move_{0};

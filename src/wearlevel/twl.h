@@ -41,6 +41,10 @@ class Twl final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override { writes_since_toss_ = 0; }
+  void save_policy(StateWriter& w) const override { w.u64(writes_since_toss_); }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    return r.u64(writes_since_toss_);
+  }
 
   std::uint64_t group_lines_;
   std::uint64_t interval_;

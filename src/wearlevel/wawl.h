@@ -38,6 +38,16 @@ class Wawl final : public PermutationWearLeveler {
 
  private:
   void reset_policy() override;
+  void save_policy(StateWriter& w) const override { w.vec_u32(countdown_); }
+  [[nodiscard]] Status load_policy(StateReader& r) override {
+    std::vector<std::uint32_t> countdown;
+    if (Status st = r.vec_u32(countdown); !st.ok()) return st;
+    if (countdown.size() != countdown_.size()) {
+      return Status::corruption("wawl state: countdown size mismatch");
+    }
+    countdown_ = std::move(countdown);
+    return Status{};
+  }
   [[nodiscard]] std::uint64_t sample_victim(Rng& rng) const;
 
   std::uint64_t group_lines_;

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
@@ -55,6 +57,15 @@ class WearLeveler {
   [[nodiscard]] virtual WriteCount overhead_writes() const = 0;
 
   virtual void reset() = 0;
+
+  /// Checkpointing: serialize every run-time-mutable field (the logical ->
+  /// working permutation, remap cadence counters, policy state). Boot-time
+  /// configuration is rebuilt from the experiment config, not saved.
+  virtual void save_state(StateWriter& w) const { (void)w; }
+  [[nodiscard]] virtual Status load_state(StateReader& r) {
+    (void)r;
+    return Status{};
+  }
 };
 
 /// Tunables shared by the bundled wear levelers.

@@ -61,9 +61,9 @@ TEST(TraceRoundTripTest, SaveThenReplayMatches) {
   for (int i = 0; i < 50; ++i) {
     generated.push_back(rec.next(rng, 1000).value());
   }
-  rec.save(path);
+  ASSERT_TRUE(rec.save(path).ok());
 
-  TraceReplay replay = TraceReplay::from_file(path);
+  TraceReplay replay = TraceReplay::from_file(path).take();
   ASSERT_EQ(replay.length(), 50u);
   Rng rng2(1);
   for (int i = 0; i < 50; ++i) {
@@ -74,20 +74,56 @@ TEST(TraceRoundTripTest, SaveThenReplayMatches) {
 
 TEST(TraceReplayTest, RejectsBadFiles) {
   const std::string dir = ::testing::TempDir();
-  EXPECT_THROW(TraceReplay::from_file(dir + "/missing.txt"),
-               std::runtime_error);
+  {
+    const Result<TraceReplay> r = TraceReplay::from_file(dir + "/missing.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  }
+  {
+    std::ofstream out(dir + "/empty.txt");
+  }
+  {
+    const Result<TraceReplay> r = TraceReplay::from_file(dir + "/empty.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
   {
     std::ofstream out(dir + "/bad_header.txt");
     out << "wrong\n1\n2\n";
   }
-  EXPECT_THROW(TraceReplay::from_file(dir + "/bad_header.txt"),
-               std::runtime_error);
+  {
+    const Result<TraceReplay> r =
+        TraceReplay::from_file(dir + "/bad_header.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
   {
     std::ofstream out(dir + "/bad_row.txt");
     out << "# maxwe-trace v1\n12\nnot-a-number\n";
   }
-  EXPECT_THROW(TraceReplay::from_file(dir + "/bad_row.txt"),
-               std::runtime_error);
+  {
+    const Result<TraceReplay> r = TraceReplay::from_file(dir + "/bad_row.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+    // The message names the file and line of the malformed address.
+    EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  }
+  {
+    std::ofstream out(dir + "/no_rows.txt");
+    out << "# maxwe-trace v1\n";
+  }
+  {
+    const Result<TraceReplay> r = TraceReplay::from_file(dir + "/no_rows.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(TraceRecorderTest, SaveToUnwritablePathReportsIoError) {
+  TraceRecorder rec(make_uaa());
+  const Status status = rec.save("/nonexistent-dir/trace.txt");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 TEST(TraceReplayTest, DriveableThroughTheEnginePipeline) {

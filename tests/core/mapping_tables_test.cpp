@@ -136,5 +136,73 @@ TEST(LmtTest, ClearEmptiesTable) {
   EXPECT_EQ(lmt.size(), 0u);
 }
 
+TEST(RmtTest, VerifyIsCleanAfterNormalMutation) {
+  RegionMappingTable rmt(16, 4);
+  rmt.add_pair(RegionId{3}, RegionId{10});
+  rmt.add_pair(RegionId{5}, RegionId{11});
+  rmt.set_wear_out_tag(RegionId{3}, LineInRegion{2});
+  EXPECT_TRUE(rmt.verify().empty());
+  rmt.reset_tags();
+  EXPECT_TRUE(rmt.verify().empty());
+}
+
+TEST(RmtTest, VerifyCatchesCorruptedSpareRegionId) {
+  RegionMappingTable rmt(16, 4);
+  rmt.add_pair(RegionId{3}, RegionId{10});
+  rmt.add_pair(RegionId{5}, RegionId{11});
+  rmt.debug_corrupt_sra(RegionId{5}, 1);
+  const std::vector<RegionId> bad = rmt.verify();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], RegionId{5});
+}
+
+TEST(RmtTest, VerifyCatchesFlippedWearOutTag) {
+  RegionMappingTable rmt(16, 4);
+  rmt.add_pair(RegionId{3}, RegionId{10});
+  rmt.debug_flip_tag(RegionId{3}, LineInRegion{1});
+  const std::vector<RegionId> bad = rmt.verify();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], RegionId{3});
+  // The tag itself did flip; only the stale parity gives it away.
+  EXPECT_TRUE(rmt.wear_out_tag(RegionId{3}, LineInRegion{1}));
+}
+
+TEST(RmtTest, DebugCorruptionValidatesItsTarget) {
+  RegionMappingTable rmt(16, 4);
+  rmt.add_pair(RegionId{3}, RegionId{10});
+  EXPECT_THROW(rmt.debug_corrupt_sra(RegionId{7}, 0), std::invalid_argument);
+  EXPECT_THROW(rmt.debug_corrupt_sra(RegionId{3}, 32), std::out_of_range);
+  EXPECT_THROW(rmt.debug_flip_tag(RegionId{3}, LineInRegion{4}),
+               std::out_of_range);
+}
+
+TEST(LmtTest, VerifyIsCleanAfterNormalMutation) {
+  LineMappingTable lmt(4, 100);
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{90});
+  lmt.insert_or_replace(PhysLineAddr{2}, PhysLineAddr{91});
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{92});
+  lmt.erase(PhysLineAddr{2});
+  EXPECT_TRUE(lmt.verify().empty());
+}
+
+TEST(LmtTest, VerifyCatchesCorruptedEntry) {
+  LineMappingTable lmt(4, 100);
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{90});
+  lmt.insert_or_replace(PhysLineAddr{2}, PhysLineAddr{91});
+  lmt.debug_corrupt_entry(PhysLineAddr{2}, 0);
+  const std::vector<PhysLineAddr> bad = lmt.verify();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], PhysLineAddr{2});
+}
+
+TEST(LmtTest, DebugCorruptionValidatesItsTarget) {
+  LineMappingTable lmt(4, 100);
+  lmt.insert_or_replace(PhysLineAddr{1}, PhysLineAddr{90});
+  EXPECT_THROW(lmt.debug_corrupt_entry(PhysLineAddr{9}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(lmt.debug_corrupt_entry(PhysLineAddr{1}, 64),
+               std::out_of_range);
+}
+
 }  // namespace
 }  // namespace nvmsec

@@ -1,0 +1,294 @@
+#include "fault/device_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/failing_stream.h"
+#include "fault/metadata_faults.h"
+#include "nvm/device.h"
+#include "nvm/endurance_io.h"
+#include "sim/experiment.h"
+#include "util/serialize.h"
+
+namespace nvmsec {
+namespace {
+
+EnduranceMap uniform_map(std::uint64_t lines, std::uint64_t regions,
+                         Endurance endurance) {
+  return EnduranceMap::uniform(DeviceGeometry::scaled(lines, regions),
+                               endurance);
+}
+
+std::uint64_t count_lines_at(const EnduranceMap& map, Endurance endurance) {
+  std::uint64_t n = 0;
+  for (std::uint64_t l = 0; l < map.geometry().num_lines(); ++l) {
+    if (map.line_endurance(PhysLineAddr{l}) == endurance) ++n;
+  }
+  return n;
+}
+
+TEST(DeviceFaultTest, StuckAtLinesDieOnFirstWrite) {
+  EnduranceMap map = uniform_map(256, 32, 1000.0);
+  DeviceFaultParams p;
+  p.stuck_at_lines = 5;
+  const DeviceFaultReport report = apply_device_faults(map, p, 1);
+  EXPECT_EQ(report.stuck_at_lines, 5u);
+  EXPECT_EQ(count_lines_at(map, 1.0), 5u);
+  EXPECT_EQ(count_lines_at(map, 1000.0), 251u);
+}
+
+TEST(DeviceFaultTest, EarlyDeathLinesAreScaled) {
+  EnduranceMap map = uniform_map(256, 32, 1000.0);
+  DeviceFaultParams p;
+  p.early_death_lines = 3;
+  p.early_death_fraction = 0.01;
+  const DeviceFaultReport report = apply_device_faults(map, p, 1);
+  EXPECT_EQ(report.early_death_lines, 3u);
+  EXPECT_EQ(count_lines_at(map, 10.0), 3u);
+}
+
+TEST(DeviceFaultTest, LineFaultsSampleWithoutReplacement) {
+  EnduranceMap map = uniform_map(256, 32, 1000.0);
+  DeviceFaultParams p;
+  p.stuck_at_lines = 4;
+  p.early_death_lines = 4;
+  p.early_death_fraction = 0.01;
+  apply_device_faults(map, p, 3);
+  // No line is both stuck-at and early-death: the counts stay disjoint.
+  EXPECT_EQ(count_lines_at(map, 1.0), 4u);
+  EXPECT_EQ(count_lines_at(map, 10.0), 4u);
+  EXPECT_EQ(count_lines_at(map, 1000.0), 248u);
+}
+
+TEST(DeviceFaultTest, OutlierRegionsAreScaled) {
+  EnduranceMap map = uniform_map(256, 32, 1000.0);
+  DeviceFaultParams p;
+  p.outlier_regions = 2;
+  p.outlier_factor = 0.25;
+  const DeviceFaultReport report = apply_device_faults(map, p, 1);
+  EXPECT_EQ(report.outlier_regions, 2u);
+  std::uint64_t outliers = 0;
+  for (std::uint64_t r = 0; r < 32; ++r) {
+    const Endurance e = map.region_endurance(RegionId{r});
+    if (e == 250.0) ++outliers;
+    else EXPECT_DOUBLE_EQ(e, 1000.0) << "region " << r;
+  }
+  EXPECT_EQ(outliers, 2u);
+}
+
+TEST(DeviceFaultTest, SameSeedSamePlacement) {
+  DeviceFaultParams p;
+  p.stuck_at_lines = 6;
+  p.outlier_regions = 3;
+  EnduranceMap a = uniform_map(1024, 32, 1000.0);
+  EnduranceMap b = uniform_map(1024, 32, 1000.0);
+  EnduranceMap c = uniform_map(1024, 32, 1000.0);
+  apply_device_faults(a, p, 42);
+  apply_device_faults(b, p, 42);
+  apply_device_faults(c, p, 43);
+  bool c_differs = false;
+  for (std::uint64_t l = 0; l < 1024; ++l) {
+    EXPECT_EQ(a.line_endurance(PhysLineAddr{l}),
+              b.line_endurance(PhysLineAddr{l}));
+    if (a.line_endurance(PhysLineAddr{l}) !=
+        c.line_endurance(PhysLineAddr{l})) {
+      c_differs = true;
+    }
+  }
+  EXPECT_TRUE(c_differs);
+}
+
+TEST(DeviceFaultTest, RejectsPlansThatDoNotFit) {
+  DeviceFaultParams p;
+  p.stuck_at_lines = 200;
+  p.early_death_lines = 100;  // 300 faulty lines > 256 lines
+  {
+    EnduranceMap map = uniform_map(256, 32, 1000.0);
+    EXPECT_THROW(apply_device_faults(map, p, 1), std::invalid_argument);
+  }
+  p = {};
+  p.early_death_lines = 1;
+  p.early_death_fraction = 0.0;
+  {
+    EnduranceMap map = uniform_map(256, 32, 1000.0);
+    EXPECT_THROW(apply_device_faults(map, p, 1), std::invalid_argument);
+  }
+  p = {};
+  p.outlier_regions = 33;  // > 32 regions
+  {
+    EnduranceMap map = uniform_map(256, 32, 1000.0);
+    EXPECT_THROW(apply_device_faults(map, p, 1), std::invalid_argument);
+  }
+  p = {};
+  p.outlier_regions = 1;
+  p.outlier_factor = -0.5;
+  {
+    EnduranceMap map = uniform_map(256, 32, 1000.0);
+    EXPECT_THROW(apply_device_faults(map, p, 1), std::invalid_argument);
+  }
+}
+
+TEST(FailingStreamTest, WritesFailAfterBudget) {
+  std::stringbuf inner;
+  FailingStreamBuf failing(&inner, 5);
+  std::ostream out(&failing);
+  out << "123456789";
+  EXPECT_TRUE(out.fail());  // short write puts badbit on the stream
+  EXPECT_EQ(inner.str(), "12345");
+  EXPECT_EQ(failing.bytes_passed(), 5u);
+}
+
+TEST(FailingStreamTest, ReadsHitEofAfterBudget) {
+  std::stringbuf inner("abcdefgh");
+  FailingStreamBuf failing(&inner, 3);
+  std::istream in(&failing);
+  std::string word;
+  in >> word;
+  EXPECT_EQ(word, "abc");
+  EXPECT_TRUE(in.eof());
+  char extra = 0;
+  EXPECT_FALSE(in.get(extra));
+}
+
+TEST(FailingStreamTest, TruncatedReadsSurfaceAsStructuredErrors) {
+  // A reader fed a stream that dies mid-file must return a structured
+  // error, never a partial silently-accepted map.
+  const EnduranceMap map = uniform_map(256, 32, 1000.0);
+  std::stringstream full;
+  write_endurance_csv(map, full);
+  const std::string text = full.str();
+
+  std::stringbuf inner(text);
+  FailingStreamBuf failing(&inner, text.size() / 2);
+  std::istream in(&failing);
+  const Result<EnduranceMap> r = read_endurance_csv(in);
+  ASSERT_FALSE(r.ok());
+  // Depending on where the stream dies the reader sees either an early end
+  // of input (data loss) or a torn row (corruption); both are structured.
+  EXPECT_TRUE(r.status().code() == StatusCode::kDataLoss ||
+              r.status().code() == StatusCode::kCorruption)
+      << r.status().to_string();
+}
+
+TEST(MetadataFaultTest, DueFollowsTheCadence) {
+  MetadataFaultParams p;
+  p.flip_interval = 100;
+  const MetadataFaultInjector injector(p, 7);
+  EXPECT_FALSE(injector.due(0));
+  EXPECT_FALSE(injector.due(99));
+  EXPECT_TRUE(injector.due(100));
+  EXPECT_TRUE(injector.due(101));
+  const MetadataFaultInjector disabled(MetadataFaultParams{}, 7);
+  EXPECT_FALSE(disabled.due(1u << 30));
+}
+
+TEST(MetadataFaultTest, SingleBitFlipsAreDetectedAndRepaired) {
+  // Region r has endurance 10*(r+1): ascending ramp, so roles are fixed.
+  std::vector<Endurance> es;
+  for (int r = 0; r < 32; ++r) es.push_back(10.0 * (r + 1));
+  auto map = std::make_shared<EnduranceMap>(DeviceGeometry::scaled(256, 32),
+                                            es);
+  MaxWeParams params;
+  params.spare_fraction = 0.25;
+  params.swr_fraction = 0.75;
+  MaxWe faulted(map, params);
+  const MaxWe pristine(map, params);
+  const Device device(map);
+
+  MetadataFaultParams p;
+  p.flip_interval = 1;
+  MetadataFaultInjector injector(p, 11);
+  for (int i = 0; i < 20; ++i) {
+    const ScrubReport report = injector.inject_and_scrub(faulted, device);
+    EXPECT_GE(report.rmt_corrupt_detected + report.lmt_corrupt_detected, 1u);
+    EXPECT_GE(report.entries_repaired, 1u);
+  }
+  EXPECT_EQ(injector.injected(), 20u);
+  // Every flip is a single-bit corruption, so the per-entry CRC/parity
+  // checks catch all of them and every scrub restores ground truth.
+  EXPECT_EQ(injector.detected(), 20u);
+  EXPECT_EQ(injector.repaired(), 20u);
+
+  EXPECT_TRUE(faulted.rmt().verify().empty());
+  EXPECT_TRUE(faulted.lmt().verify().empty());
+  for (RegionId pra : pristine.rwr_regions()) {
+    EXPECT_EQ(faulted.rmt().spare_of(pra), pristine.rmt().spare_of(pra));
+  }
+  EXPECT_EQ(faulted.rmt().tags_set(), pristine.rmt().tags_set());
+  EXPECT_EQ(faulted.lmt().size(), pristine.lmt().size());
+}
+
+TEST(MetadataFaultTest, StateRoundTripsThroughSerializer) {
+  std::vector<Endurance> es;
+  for (int r = 0; r < 32; ++r) es.push_back(10.0 * (r + 1));
+  auto map = std::make_shared<EnduranceMap>(DeviceGeometry::scaled(256, 32),
+                                            es);
+  MaxWeParams params;
+  params.spare_fraction = 0.25;
+  MaxWe scheme(map, params);
+  const Device device(map);
+
+  MetadataFaultParams p;
+  p.flip_interval = 10;
+  MetadataFaultInjector a(p, 3);
+  a.inject_and_scrub(scheme, device);
+  a.inject_and_scrub(scheme, device);
+
+  StateWriter w;
+  a.save_state(w);
+  const std::vector<std::uint8_t> buf = w.take();
+  MetadataFaultInjector b(p, 999);  // seed overwritten by load_state
+  StateReader r(buf);
+  ASSERT_TRUE(b.load_state(r).ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(b.injected(), a.injected());
+  EXPECT_EQ(b.detected(), a.detected());
+  EXPECT_EQ(b.repaired(), a.repaired());
+  EXPECT_EQ(b.due(19), a.due(19));
+  EXPECT_EQ(b.due(30), a.due(30));
+}
+
+TEST(FaultExperimentTest, MetadataFaultsLeaveLifetimeBitIdentical) {
+  // The headline robustness contract: injected flips followed by scrubs
+  // keep the simulated trajectory exactly on the fault-free path.
+  ExperimentConfig c = scaled_stochastic_config(512, 32, 300.0);
+  c.spare_scheme = "maxwe";
+  c.attack = "uaa";
+  const LifetimeResult clean = run_experiment(c);
+  c.fault.metadata.flip_interval = 500;
+  const LifetimeResult faulted = run_experiment(c);
+  EXPECT_DOUBLE_EQ(faulted.user_writes, clean.user_writes);
+  EXPECT_EQ(faulted.line_deaths, clean.line_deaths);
+  EXPECT_DOUBLE_EQ(faulted.normalized, clean.normalized);
+  EXPECT_EQ(faulted.failure_reason, clean.failure_reason);
+}
+
+TEST(FaultExperimentTest, DeviceFaultsShortenButDoNotBreakTheRun) {
+  ExperimentConfig c = scaled_stochastic_config(512, 32, 300.0);
+  c.spare_scheme = "maxwe";
+  const LifetimeResult clean = run_experiment(c);
+  c.fault.device.stuck_at_lines = 8;
+  c.fault.device.early_death_lines = 8;
+  c.fault.device.outlier_regions = 2;
+  const LifetimeResult faulted = run_experiment(c);
+  EXPECT_TRUE(faulted.failed);
+  EXPECT_GT(faulted.normalized, 0.0);
+  // The faulted device holds strictly less endurance than the clean one.
+  EXPECT_LT(faulted.user_writes, clean.user_writes);
+}
+
+TEST(FaultExperimentTest, MetadataFaultsRequireMaxWe) {
+  ExperimentConfig c = scaled_stochastic_config(512, 32, 300.0);
+  c.spare_scheme = "ps";
+  c.fault.metadata.flip_interval = 100;
+  EXPECT_THROW(run_experiment(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmsec

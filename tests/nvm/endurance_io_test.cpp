@@ -17,7 +17,7 @@ TEST(EnduranceIoTest, RoundTripPreservesEverything) {
   const EnduranceMap original = sample_map();
   std::stringstream buffer;
   write_endurance_csv(original, buffer);
-  const EnduranceMap loaded = read_endurance_csv(buffer);
+  const EnduranceMap loaded = read_endurance_csv(buffer).take();
   EXPECT_EQ(loaded.geometry(), original.geometry());
   for (std::uint64_t r = 0; r < 8; ++r) {
     EXPECT_DOUBLE_EQ(loaded.region_endurance(RegionId{r}),
@@ -34,14 +34,18 @@ TEST(EnduranceIoTest, RoundTripOfModelDrawnMap) {
       EnduranceMap::from_model(DeviceGeometry::scaled(2048, 128), model, rng);
   std::stringstream buffer;
   write_endurance_csv(original, buffer);
-  const EnduranceMap loaded = read_endurance_csv(buffer);
+  const EnduranceMap loaded = read_endurance_csv(buffer).take();
   EXPECT_DOUBLE_EQ(loaded.min_line_endurance(), original.min_line_endurance());
   EXPECT_DOUBLE_EQ(loaded.max_line_endurance(), original.max_line_endurance());
 }
 
 TEST(EnduranceIoTest, RejectsBadMagic) {
   std::stringstream in("not a map\n");
-  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("expected header"),
+            std::string::npos);
 }
 
 TEST(EnduranceIoTest, RejectsTruncatedInput) {
@@ -49,9 +53,25 @@ TEST(EnduranceIoTest, RejectsTruncatedInput) {
   std::stringstream buffer;
   write_endurance_csv(original, buffer);
   std::string text = buffer.str();
-  text.resize(text.size() / 2);
+  // Cut cleanly at a row boundary: the reader sees complete lines, then an
+  // early end of input where data rows should continue.
+  const std::size_t cut = text.find("\n3,");
+  ASSERT_NE(cut, std::string::npos);
+  text.resize(cut + 1);
   std::stringstream in(text);
-  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("unexpected end of input"),
+            std::string::npos);
+
+  // A cut that tears a row mid-line is corruption instead.
+  std::string torn = buffer.str();
+  torn.resize(cut + 3);
+  std::stringstream torn_in(torn);
+  const Result<EnduranceMap> torn_result = read_endurance_csv(torn_in);
+  ASSERT_FALSE(torn_result.ok());
+  EXPECT_EQ(torn_result.status().code(), StatusCode::kCorruption);
 }
 
 TEST(EnduranceIoTest, RejectsMalformedRows) {
@@ -61,7 +81,11 @@ TEST(EnduranceIoTest, RejectsMalformedRows) {
       "16384,256,8\n"
       "region,endurance\n"
       "0;1.0\n");  // semicolon, not comma
-  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  // The message names the offending line so the file can be fixed.
+  EXPECT_NE(result.status().message().find("line 5"), std::string::npos);
 }
 
 TEST(EnduranceIoTest, RejectsDuplicateRegions) {
@@ -72,7 +96,10 @@ TEST(EnduranceIoTest, RejectsDuplicateRegions) {
       "region,endurance\n"
       "0,1.0\n"
       "0,2.0\n");
-  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
 }
 
 TEST(EnduranceIoTest, RejectsOutOfRangeRegion) {
@@ -83,10 +110,12 @@ TEST(EnduranceIoTest, RejectsOutOfRangeRegion) {
       "region,endurance\n"
       "0,1.0\n"
       "7,2.0\n");
-  EXPECT_THROW(read_endurance_csv(in), std::runtime_error);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
-TEST(EnduranceIoTest, InvalidValuesSurfaceFromConstructors) {
+TEST(EnduranceIoTest, ConstructorRejectionsBecomeCorruption) {
   std::stringstream in(
       "# maxwe-endurance-map v1\n"
       "total_bytes,line_bytes,num_regions\n"
@@ -94,17 +123,30 @@ TEST(EnduranceIoTest, InvalidValuesSurfaceFromConstructors) {
       "region,endurance\n"
       "0,1.0\n"
       "1,-2.0\n");  // negative endurance
-  EXPECT_THROW(read_endurance_csv(in), std::invalid_argument);
+  const Result<EnduranceMap> result = read_endurance_csv(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
 TEST(EnduranceIoTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/endurance_io_test.csv";
   const EnduranceMap original = sample_map();
-  save_endurance_csv(original, path);
-  const EnduranceMap loaded = load_endurance_csv(path);
+  ASSERT_TRUE(save_endurance_csv(original, path).ok());
+  const EnduranceMap loaded = load_endurance_csv(path).take();
   EXPECT_EQ(loaded.geometry(), original.geometry());
-  EXPECT_THROW(load_endurance_csv(path + ".does-not-exist"),
-               std::runtime_error);
+  const Result<EnduranceMap> missing =
+      load_endurance_csv(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EnduranceIoTest, SaveToUnwritablePathReportsIoError) {
+  const Status status =
+      save_endurance_csv(sample_map(), "/nonexistent-dir/map.csv");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("/nonexistent-dir/map.csv"),
+            std::string::npos);
 }
 
 }  // namespace

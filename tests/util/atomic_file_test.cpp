@@ -1,0 +1,107 @@
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace nvmsec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(AtomicFileTest, CommitRenamesIntoPlace) {
+  const std::string path = ::testing::TempDir() + "/atomic_commit.txt";
+  fs::remove(path);
+  AtomicFileWriter writer(path);
+  ASSERT_TRUE(writer.is_open()) << writer.open_status().to_string();
+  // Data streams into the temp file; the final name stays absent until
+  // commit so a reader can never observe a half-written file.
+  writer.stream() << "payload";
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(writer.temp_path()));
+  ASSERT_TRUE(writer.commit().ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+  EXPECT_EQ(slurp(path), "payload");
+}
+
+TEST(AtomicFileTest, CommitReplacesExistingFileAtomically) {
+  const std::string path = ::testing::TempDir() + "/atomic_replace.txt";
+  ASSERT_TRUE(atomic_write_file(path, "old contents").ok());
+  AtomicFileWriter writer(path);
+  writer.stream() << "new contents";
+  EXPECT_EQ(slurp(path), "old contents");  // old file intact until commit
+  ASSERT_TRUE(writer.commit().ok());
+  EXPECT_EQ(slurp(path), "new contents");
+}
+
+TEST(AtomicFileTest, DiscardRemovesTempAndLeavesNoFinalFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_discard.txt";
+  fs::remove(path);
+  AtomicFileWriter writer(path);
+  writer.stream() << "doomed";
+  const std::string temp = writer.temp_path();
+  writer.discard();
+  EXPECT_FALSE(fs::exists(temp));
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(AtomicFileTest, DestructorCleansUpUncommittedTemp) {
+  const std::string path = ::testing::TempDir() + "/atomic_dtor.txt";
+  fs::remove(path);
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "abandoned";
+    temp = writer.temp_path();
+    EXPECT_TRUE(fs::exists(temp));
+  }
+  EXPECT_FALSE(fs::exists(temp));
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(AtomicFileTest, OpenFailureIsIoErrorNamingThePath) {
+  AtomicFileWriter writer("/nonexistent-dir/out.txt");
+  EXPECT_FALSE(writer.is_open());
+  const Status status = writer.open_status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("/nonexistent-dir/out.txt"),
+            std::string::npos);
+}
+
+TEST(AtomicFileTest, EmptyPathIsInvalidArgument) {
+  AtomicFileWriter writer("");
+  EXPECT_FALSE(writer.is_open());
+  EXPECT_EQ(writer.open_status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AtomicFileTest, CommitIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/atomic_twice.txt";
+  AtomicFileWriter writer(path);
+  writer.stream() << "once";
+  ASSERT_TRUE(writer.commit().ok());
+  EXPECT_TRUE(writer.commit().ok());  // second commit is a no-op
+  EXPECT_EQ(slurp(path), "once");
+}
+
+TEST(AtomicFileTest, AtomicWriteFileConvenience) {
+  const std::string path = ::testing::TempDir() + "/atomic_conv.txt";
+  ASSERT_TRUE(atomic_write_file(path, "hello\nworld\n").ok());
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  const Status bad = atomic_write_file("/nonexistent-dir/x.txt", "y");
+  EXPECT_EQ(bad.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,52 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace nvmsec {
+namespace {
+
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The canonical check value for CRC-32/IEEE (reflected, init/xorout
+  // 0xFFFFFFFF) over the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyBufferIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  const std::uint32_t oneshot = crc32(data.data(), data.size());
+  // Feed the same bytes in uneven chunks.
+  std::uint32_t state = crc32_init();
+  std::size_t offset = 0;
+  const std::size_t chunks[] = {1, 7, 13, 0, 20, data.size()};
+  for (std::size_t chunk : chunks) {
+    const std::size_t n = std::min(chunk, data.size() - offset);
+    state = crc32_update(state, data.data() + offset, n);
+    offset += n;
+  }
+  EXPECT_EQ(offset, data.size());
+  EXPECT_EQ(crc32_final(state), oneshot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  unsigned char buf[32];
+  for (unsigned i = 0; i < sizeof buf; ++i) buf[i] = static_cast<unsigned char>(i * 37);
+  const std::uint32_t clean = crc32(buf, sizeof buf);
+  for (unsigned byte = 0; byte < sizeof buf; ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(crc32(buf, sizeof buf), clean)
+          << "flip at byte " << byte << " bit " << bit << " went undetected";
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nvmsec

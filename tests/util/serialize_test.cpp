@@ -1,0 +1,126 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace nvmsec {
+namespace {
+
+TEST(SerializeTest, RoundTripsEveryType) {
+  StateWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+  w.vec_u32({1, 2, 3});
+  w.vec_u64({});
+  w.vec_bool({true, false, true});
+  w.bytes({0x00, 0xFF});
+
+  const std::vector<std::uint8_t> buf = w.take();
+  StateReader r(buf);
+  std::uint8_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  double d = 0, e = 1;
+  bool t = false, f = true;
+  std::string s1, s2;
+  std::vector<std::uint32_t> v32;
+  std::vector<std::uint64_t> v64{9};
+  std::vector<bool> vb;
+  std::vector<std::uint8_t> by;
+  EXPECT_TRUE(r.u8(a).ok());
+  EXPECT_TRUE(r.u32(b).ok());
+  EXPECT_TRUE(r.u64(c).ok());
+  EXPECT_TRUE(r.f64(d).ok());
+  EXPECT_TRUE(r.f64(e).ok());
+  EXPECT_TRUE(r.boolean(t).ok());
+  EXPECT_TRUE(r.boolean(f).ok());
+  EXPECT_TRUE(r.str(s1).ok());
+  EXPECT_TRUE(r.str(s2).ok());
+  EXPECT_TRUE(r.vec_u32(v32).ok());
+  EXPECT_TRUE(r.vec_u64(v64).ok());
+  EXPECT_TRUE(r.vec_bool(vb).ok());
+  EXPECT_TRUE(r.bytes(by).ok());
+
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xDEADBEEF);
+  EXPECT_EQ(c, 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(d, 3.141592653589793);
+  EXPECT_TRUE(std::signbit(e));
+  EXPECT_TRUE(t);
+  EXPECT_FALSE(f);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(v32, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(v64.empty());
+  EXPECT_EQ(vb, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(by, (std::vector<std::uint8_t>{0x00, 0xFF}));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, LittleEndianLayoutIsStable) {
+  StateWriter w;
+  w.u32(0x01020304);
+  const std::vector<std::uint8_t>& buf = w.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(SerializeTest, ShortReadIsDataLoss) {
+  StateWriter w;
+  w.u32(7);
+  const std::vector<std::uint8_t> buf = w.take();
+  StateReader r(buf);
+  std::uint64_t out = 0;
+  const Status status = r.u64(out);  // asks for 8, only 4 available
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, ErrorIsSticky) {
+  const std::vector<std::uint8_t> buf;  // empty
+  StateReader r(buf);
+  std::uint8_t out = 0;
+  EXPECT_FALSE(r.u8(out).ok());
+  // Every later read reports the same failure without touching `out`.
+  EXPECT_FALSE(r.u8(out).ok());
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(SerializeTest, OversizedContainerCountIsRejected) {
+  StateWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());  // absurd element count
+  const std::vector<std::uint8_t> buf = w.take();
+  StateReader r(buf);
+  std::vector<std::uint64_t> out;
+  const Status status = r.vec_u64(out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializeTest, ExhaustedDetectsTrailingBytes) {
+  StateWriter w;
+  w.u8(1);
+  w.u8(2);
+  const std::vector<std::uint8_t> buf = w.take();
+  StateReader r(buf);
+  std::uint8_t out = 0;
+  EXPECT_TRUE(r.u8(out).ok());
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace nvmsec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_NO_THROW(status.throw_if_error());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::corruption("bad checksum");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(status.message(), "bad checksum");
+}
+
+TEST(StatusTest, ToStringLeadsWithCodeName) {
+  EXPECT_EQ(Status::not_found("no such file").to_string(),
+            "not found: no such file");
+  EXPECT_EQ(Status().to_string(), "ok");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "invalid argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "not found");
+  EXPECT_STREQ(status_code_name(StatusCode::kIoError), "io error");
+  EXPECT_STREQ(status_code_name(StatusCode::kDataLoss), "data loss");
+  EXPECT_STREQ(status_code_name(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(status_code_name(StatusCode::kVersionMismatch),
+               "version mismatch");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
+               "failed precondition");
+  EXPECT_STREQ(status_code_name(StatusCode::kOutOfRange), "out of range");
+}
+
+TEST(StatusTest, ThrowIfErrorThrowsWithMessage) {
+  try {
+    Status::io_error("disk on fire").throw_if_error();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "io error: disk on fire");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.take(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  const Result<int> result(Status::not_found("gone"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(result.value(), std::runtime_error);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  EXPECT_THROW(Result<int>(Status{}), std::logic_error);
+}
+
+TEST(ResultTest, TakeMovesNonCopyableValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> value = result.take();
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 7);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -1,0 +1,50 @@
+# Checkpoint/resume acceptance check: a run that stops at a checkpoint and
+# resumes must print a byte-identical result report to an uninterrupted run.
+set(common --mode stochastic --lines 512 --regions 32 --endurance-mean 300
+    --spare maxwe --seed 7)
+set(ckpt ${WORK_DIR}/resume_test.ckpt)
+file(REMOVE ${ckpt})
+
+# Reference: one uninterrupted run.
+execute_process(
+  COMMAND ${TOOL} ${common}
+  RESULT_VARIABLE ref_result OUTPUT_VARIABLE ref_out)
+if(NOT ref_result EQUAL 0)
+  message(FATAL_ERROR "reference run failed: ${ref_result}")
+endif()
+
+# Interrupted: same config capped mid-run, dropping checkpoints on the way.
+execute_process(
+  COMMAND ${TOOL} ${common} --max-writes 5000
+          --checkpoint-out ${ckpt} --checkpoint-interval 2000
+  RESULT_VARIABLE cap_result OUTPUT_VARIABLE cap_out)
+if(NOT cap_result EQUAL 0)
+  message(FATAL_ERROR "capped checkpointing run failed: ${cap_result}")
+endif()
+if(NOT EXISTS ${ckpt})
+  message(FATAL_ERROR "capped run left no checkpoint at ${ckpt}")
+endif()
+
+# Resumed: pick the run back up from the checkpoint and finish it.
+execute_process(
+  COMMAND ${TOOL} ${common} --checkpoint-out ${ckpt} --resume
+  RESULT_VARIABLE res_result OUTPUT_VARIABLE res_out)
+if(NOT res_result EQUAL 0)
+  message(FATAL_ERROR "resumed run failed: ${res_result}")
+endif()
+
+if(NOT res_out STREQUAL ref_out)
+  message(FATAL_ERROR "resumed stdout differs from the uninterrupted run:\n"
+          "--- reference ---\n${ref_out}\n--- resumed ---\n${res_out}")
+endif()
+
+# A checkpoint from a different configuration must be refused.
+execute_process(
+  COMMAND ${TOOL} ${common} --seed 8 --checkpoint-out ${ckpt} --resume
+  RESULT_VARIABLE foreign_result ERROR_VARIABLE foreign_err)
+if(foreign_result EQUAL 0)
+  message(FATAL_ERROR "resume from a different config's checkpoint succeeded")
+endif()
+if(NOT foreign_err MATCHES "different configuration")
+  message(FATAL_ERROR "refusal did not explain itself: ${foreign_err}")
+endif()

@@ -14,6 +14,7 @@
 //   maxwe_sim --save-map map.csv
 //   maxwe_sim --load-map map.csv --spare pcd
 
+#include <filesystem>
 #include <iostream>
 #include <memory>
 
@@ -101,6 +102,34 @@ int main(int argc, char** argv) {
                "--metrics-out)", "");
   cli.add_flag("snapshot-interval",
                "emit a wear snapshot every N user writes (0 = off)", "0");
+  cli.add_flag("checkpoint-out",
+               "crash-safe checkpoint file: engine state every "
+               "--checkpoint-interval writes (single stochastic run), or "
+               "completed-run records (--seeds/--banks sweeps)", "");
+  cli.add_flag("checkpoint-interval",
+               "user writes between engine checkpoints (single stochastic "
+               "run; 0 = off)", "0");
+  cli.add_switch("resume",
+                 "resume from --checkpoint-out if it exists, else start "
+                 "fresh");
+  cli.add_flag("fault-stuck-at",
+               "device fault: lines that die on their first write", "0");
+  cli.add_flag("fault-early-death",
+               "device fault: lines with a fraction of mapped endurance",
+               "0");
+  cli.add_flag("fault-early-death-fraction",
+               "remaining endurance fraction for early-death lines", "0.01");
+  cli.add_flag("fault-outlier-regions",
+               "device fault: regions with scaled true endurance", "0");
+  cli.add_flag("fault-outlier-factor",
+               "endurance scale factor for outlier regions", "0.25");
+  cli.add_flag("fault-flip-interval",
+               "metadata fault: flip one RMT/LMT bit every N user writes "
+               "(0 = off; needs --spare maxwe --mode stochastic)", "0");
+  cli.add_flag("fault-seed",
+               "fault-injection RNG seed (its own stream; base results "
+               "are unchanged by faults being off or on a new seed)",
+               "99540903");
   cli.add_switch("verbose", "info-level logging");
 
   try {
@@ -114,29 +143,35 @@ int main(int argc, char** argv) {
     if (cli.get_bool("verbose")) set_log_level(LogLevel::kInfo);
 
     ExperimentConfig config;
-    const auto lines = static_cast<std::uint64_t>(cli.get_int("lines"));
+    const std::uint64_t lines = cli.get_uint("lines");
     if (lines > 0) {
-      config.geometry = DeviceGeometry::scaled(
-          lines, static_cast<std::uint64_t>(cli.get_int("regions")));
+      config.geometry = DeviceGeometry::scaled(lines, cli.get_uint("regions"));
     }
     config.endurance.endurance_at_mean = cli.get_double("endurance-mean");
     config.endurance.endurance_exponent =
         cli.get_double("endurance-exponent");
     config.line_jitter_sigma = cli.get_double("jitter");
     config.attack = cli.get_string("attack");
-    config.bpa_burst = static_cast<std::uint64_t>(cli.get_int("bpa-burst"));
+    config.bpa_burst = cli.get_uint("bpa-burst");
     config.zipf_skew = cli.get_double("zipf-skew");
     config.wear_leveler = cli.get_string("wl");
-    config.wl.swap_interval =
-        static_cast<std::uint64_t>(cli.get_int("swap-interval"));
+    config.wl.swap_interval = cli.get_uint("swap-interval");
     config.spare_scheme = cli.get_string("spare");
     config.spare_fraction = cli.get_double("spare-fraction");
     config.swr_fraction = cli.get_double("swr-fraction");
-    config.dram_buffer_lines =
-        static_cast<std::uint64_t>(cli.get_int("buffer-lines"));
-    config.max_user_writes =
-        static_cast<WriteCount>(cli.get_int("max-writes"));
-    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.dram_buffer_lines = cli.get_uint("buffer-lines");
+    config.max_user_writes = cli.get_uint("max-writes");
+    config.seed = cli.get_uint("seed");
+    config.fault.device.stuck_at_lines = cli.get_uint("fault-stuck-at");
+    config.fault.device.early_death_lines = cli.get_uint("fault-early-death");
+    config.fault.device.early_death_fraction =
+        cli.get_double("fault-early-death-fraction");
+    config.fault.device.outlier_regions =
+        cli.get_uint("fault-outlier-regions");
+    config.fault.device.outlier_factor =
+        cli.get_double("fault-outlier-factor");
+    config.fault.metadata.flip_interval = cli.get_uint("fault-flip-interval");
+    config.fault.seed = cli.get_uint("fault-seed");
     const std::string mode = cli.get_string("mode");
     if (mode == "stochastic") {
       config.mode = SimulationMode::kStochastic;
@@ -144,7 +179,7 @@ int main(int argc, char** argv) {
       config.mode = SimulationMode::kBitLevel;
       config.payload = cli.get_string("payload");
       config.codec = cli.get_string("codec");
-      config.ecp_entries = static_cast<std::uint32_t>(cli.get_int("ecp"));
+      config.ecp_entries = static_cast<std::uint32_t>(cli.get_uint("ecp"));
     } else if (mode == "event") {
       config.mode = SimulationMode::kUniformEvent;
     } else {
@@ -156,8 +191,7 @@ int main(int argc, char** argv) {
     obs_config.metrics_path = cli.get_string("metrics-out");
     obs_config.metrics_format = cli.get_string("metrics-format");
     obs_config.trace_path = cli.get_string("trace-out");
-    obs_config.snapshot_interval =
-        static_cast<WriteCount>(cli.get_int("snapshot-interval"));
+    obs_config.snapshot_interval = cli.get_uint("snapshot-interval");
     obs_config.snapshot_path = cli.get_string("snapshot-out");
     if (obs_config.snapshot_interval > 0 && obs_config.snapshot_path.empty()) {
       obs_config.snapshot_path = derive_snapshot_path(obs_config.metrics_path);
@@ -173,7 +207,7 @@ int main(int argc, char** argv) {
       const EnduranceModel model(config.endurance);
       const EnduranceMap map =
           EnduranceMap::from_model(config.geometry, model, rng);
-      save_endurance_csv(map, path);
+      save_endurance_csv(map, path).throw_if_error();
       std::cout << "wrote " << config.geometry.num_regions()
                 << " region endurances to " << path << "\n";
       return 0;
@@ -181,7 +215,7 @@ int main(int argc, char** argv) {
     // A loaded map replaces the generated one via a dedicated run below.
     if (const std::string path = cli.get_string("load-map"); !path.empty()) {
       log_info() << "loading endurance map from " << path;
-      const EnduranceMap loaded = load_endurance_csv(path);
+      const EnduranceMap loaded = load_endurance_csv(path).take();
       config.geometry = loaded.geometry();
       // run_experiment regenerates from the model; to honour the file we
       // replicate its minimal pipeline here.
@@ -219,12 +253,46 @@ int main(int argc, char** argv) {
     }
 
     ParallelOptions parallel;
-    parallel.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-    const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
-    const auto banks = static_cast<std::uint32_t>(cli.get_int("banks"));
+    parallel.jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
+    const std::uint64_t seeds = cli.get_uint("seeds");
+    const auto banks = static_cast<std::uint32_t>(cli.get_uint("banks"));
     if (banks > 1 && seeds > 1) {
       std::cerr << "error: --banks and --seeds cannot be combined\n";
       return 1;
+    }
+
+    const std::string checkpoint_out = cli.get_string("checkpoint-out");
+    const WriteCount checkpoint_interval = cli.get_uint("checkpoint-interval");
+    const bool resume = cli.get_bool("resume");
+    if (resume && checkpoint_out.empty()) {
+      std::cerr << "error: --resume needs --checkpoint-out\n";
+      return 1;
+    }
+    if (banks > 1 || seeds > 1) {
+      // Sweeps checkpoint at run granularity: each finished run's result is
+      // recorded, and a resumed sweep re-runs only the missing ones.
+      if (checkpoint_interval > 0) {
+        std::cerr << "error: sweep checkpoints record whole runs; drop "
+                     "--checkpoint-interval (it applies to single "
+                     "stochastic runs)\n";
+        return 1;
+      }
+      parallel.checkpoint_path = checkpoint_out;
+      parallel.resume = resume;
+    } else {
+      if (!checkpoint_out.empty() && checkpoint_interval == 0 && !resume) {
+        std::cerr << "error: --checkpoint-out needs --checkpoint-interval "
+                     "(or --resume to finish a run without further "
+                     "checkpoints)\n";
+        return 1;
+      }
+      if (checkpoint_interval > 0) {
+        config.checkpoint_out = checkpoint_out;
+        config.checkpoint_interval = checkpoint_interval;
+      }
+      if (resume && std::filesystem::exists(checkpoint_out)) {
+        config.resume_from = checkpoint_out;
+      }
     }
 
     // Multi-bank module lifetime: banks fan out across --jobs workers.
