@@ -7,12 +7,17 @@
 # times + speedup in BENCH_parallel_sweep.json (speedup is informational,
 # NOT gating: it depends on the machine's core count).
 #
+# Also measures the decision event log's overhead: the same run with and
+# without --events-out, recorded in BENCH_obs_overhead.json (informational;
+# the GATING part is that two recorded runs write byte-identical logs).
+#
 # Usage: scripts/bench_sweep_timing.sh [build-dir] [output-json] [seeds]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_parallel_sweep.json}"
 SEEDS="${3:-3}"
+OBS_OUT_JSON="${OBS_OUT_JSON:-BENCH_obs_overhead.json}"
 
 BENCH="$BUILD_DIR/bench/bench_fig6_spare_sweep"
 if [[ ! -x "$BENCH" ]]; then
@@ -74,3 +79,58 @@ cat > "$OUT_JSON" <<EOF
 EOF
 
 echo "== wrote $OUT_JSON (speedup ${SPEEDUP}x with $PARALLEL_JOBS jobs on $CORES cores)"
+
+# ---- decision event log overhead ------------------------------------------
+# The same stochastic run three ways: plain (no sinks), and twice with
+# --events-out. The no-op path must stay effectively free (informational on
+# a shared box), and the two recorded logs must be byte-identical (GATING).
+SIM="$BUILD_DIR/tools/maxwe_sim"
+if [[ ! -x "$SIM" ]]; then
+  echo "skipping obs-overhead bench: $SIM not built" >&2
+  exit 0
+fi
+
+SIM_ARGS=(--mode stochastic --lines 2048 --regions 128 --endurance-mean 2000
+          --spare maxwe --seed 11)
+
+run_sim_timed() {  # run_sim_timed [extra args...]; echoes elapsed seconds
+  local t0 t1
+  t0="$(now_ns)"
+  "$SIM" "${SIM_ARGS[@]}" "$@" > /dev/null
+  t1="$(now_ns)"
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+echo "== obs overhead: plain run (no sinks)"
+T_PLAIN="$(run_sim_timed)"
+echo "   ${T_PLAIN}s"
+
+echo "== obs overhead: run with --events-out (twice, for the identity gate)"
+T_EVENTS="$(run_sim_timed --events-out "$workdir/obs_a.events.jsonl")"
+echo "   ${T_EVENTS}s"
+run_sim_timed --events-out "$workdir/obs_b.events.jsonl" > /dev/null
+
+# GATING: recording the same run twice must write byte-identical logs.
+if ! cmp -s "$workdir/obs_a.events.jsonl" "$workdir/obs_b.events.jsonl"; then
+  echo "FAIL: two identical runs wrote different event logs" >&2
+  exit 1
+fi
+echo "== event logs byte-identical across repeated runs"
+
+EVENTS_LINES="$(wc -l < "$workdir/obs_a.events.jsonl" | tr -d ' ')"
+OVERHEAD="$(awk -v p="$T_PLAIN" -v e="$T_EVENTS" \
+  'BEGIN { printf "%.2f", (p > 0) ? 100 * (e - p) / p : 0 }')"
+
+cat > "$OBS_OUT_JSON" <<EOF
+{
+  "benchmark": "maxwe_sim_events_overhead",
+  "config": "stochastic 2048x128 maxwe seed 11",
+  "plain_seconds": $T_PLAIN,
+  "events_seconds": $T_EVENTS,
+  "overhead_percent": $OVERHEAD,
+  "event_lines": $EVENTS_LINES,
+  "logs_identical": true
+}
+EOF
+
+echo "== wrote $OBS_OUT_JSON (event-log overhead ${OVERHEAD}% over ${T_PLAIN}s baseline)"

@@ -100,3 +100,56 @@ if ! diff -u "${WORK}/sweep_ref.out" "${WORK}/sweep_resumed.out"; then
   exit 1
 fi
 echo "PASS: resumed sweep is byte-identical to the uninterrupted sweep"
+
+# ---- flight recorder: the decision event log survives the SIGKILL and the
+# resumed run's log is byte-identical to an uninterrupted reference. The
+# reference checkpoints at the same cadence (checkpoint boundaries are
+# recorded events), writing its checkpoints to a separate file.
+EV_REF=${WORK}/events_ref.jsonl
+EV_CRASH=${WORK}/events_crash.jsonl
+EV_CKPT=${WORK}/events_crash.ckpt
+EV_REF_CKPT=${WORK}/events_ref.ckpt
+
+echo "[events 1/3] reference run with --events-out (uninterrupted)..."
+if ! "${TOOL}" "${CONFIG[@]}" --events-out "${EV_REF}" \
+     --checkpoint-out "${EV_REF_CKPT}" --checkpoint-interval 20000 \
+     > "${WORK}/events_ref.out"; then
+  echo "FAIL: reference events run exited non-zero" >&2
+  exit 1
+fi
+
+echo "[events 2/3] recording run, SIGKILL once the first checkpoint lands..."
+"${TOOL}" "${CONFIG[@]}" --events-out "${EV_CRASH}" \
+  --checkpoint-out "${EV_CKPT}" --checkpoint-interval 20000 \
+  > "${WORK}/events_killed.out" 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+  [[ -f ${EV_CKPT} ]] && break
+  kill -0 "${PID}" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -KILL "${PID}" 2>/dev/null; then
+  echo "      killed pid ${PID}"
+else
+  echo "      note: run finished before the kill landed (still a valid resume)"
+fi
+wait "${PID}" 2>/dev/null
+if [[ ! -f ${EV_CKPT} ]]; then
+  echo "FAIL: no checkpoint was written before the process died" >&2
+  exit 1
+fi
+
+echo "[events 3/3] resume; the log rewinds to the checkpoint and replays..."
+if ! "${TOOL}" "${CONFIG[@]}" --events-out "${EV_CRASH}" \
+     --checkpoint-out "${EV_CKPT}" --checkpoint-interval 20000 --resume \
+     > "${WORK}/events_resumed.out"; then
+  echo "FAIL: resumed events run exited non-zero" >&2
+  exit 1
+fi
+
+if ! cmp -s "${EV_REF}" "${EV_CRASH}"; then
+  echo "FAIL: resumed event log differs from the uninterrupted reference" >&2
+  diff <(tail -5 "${EV_REF}") <(tail -5 "${EV_CRASH}") >&2 || true
+  exit 1
+fi
+echo "PASS: resumed event log is byte-identical to the uninterrupted run's"

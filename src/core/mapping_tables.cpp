@@ -181,20 +181,23 @@ std::uint32_t LineMappingTable::slot_crc(std::uint64_t pla, std::uint64_t sla) {
   return crc_of_pair(pla, sla);
 }
 
-void LineMappingTable::insert_or_replace(PhysLineAddr pla, PhysLineAddr sla) {
+std::optional<PhysLineAddr> LineMappingTable::insert_or_replace(
+    PhysLineAddr pla, PhysLineAddr sla) {
   if (pla.value() >= num_lines_ || sla.value() >= num_lines_) {
     throw std::out_of_range("LMT::insert_or_replace: address out of range");
   }
   const auto it = map_.find(pla.value());
   if (it != map_.end()) {
+    const PhysLineAddr previous{it->second.sla};
     it->second = Slot{sla.value(), slot_crc(pla.value(), sla.value())};
-    return;
+    return previous;
   }
   if (map_.size() >= capacity_) {
     throw std::length_error("LMT::insert_or_replace: table full");
   }
   map_.emplace(pla.value(),
                Slot{sla.value(), slot_crc(pla.value(), sla.value())});
+  return std::nullopt;
 }
 
 std::vector<PhysLineAddr> LineMappingTable::sorted_keys() const {

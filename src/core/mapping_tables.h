@@ -117,9 +117,12 @@ class LineMappingTable {
   /// Current spare line for `pla`, or nullopt.
   [[nodiscard]] std::optional<PhysLineAddr> lookup(PhysLineAddr pla) const;
 
-  /// Map pla -> sla, replacing any previous entry for pla. Throws
+  /// Map pla -> sla, replacing any previous entry for pla. Returns the
+  /// spare line the entry previously pointed at (nullopt for a fresh key),
+  /// so callers can report a worn-out spare being superseded. Throws
   /// std::length_error when the table is full and pla is a new key.
-  void insert_or_replace(PhysLineAddr pla, PhysLineAddr sla);
+  std::optional<PhysLineAddr> insert_or_replace(PhysLineAddr pla,
+                                                PhysLineAddr sla);
 
   void erase(PhysLineAddr pla);
 

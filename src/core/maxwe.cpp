@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nvm/device.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -155,13 +156,43 @@ PhysLineAddr MaxWe::resolve(std::uint64_t idx) {
 
 bool MaxWe::allocate_from_asr(std::uint64_t idx, PhysLineAddr pla) {
   if (next_asr_ >= asr_pool_.size()) {
+    if (obs_.events != nullptr) {
+      obs_.events->emit("pool_exhausted",
+                        {{"scheme", "maxwe"},
+                         {"working_index", static_cast<double>(idx)},
+                         {"raw_line", static_cast<double>(pla.value())}});
+    }
     return false;  // no spare lines left: device worn out (§4.2)
   }
   const PhysLineAddr sla{asr_pool_[next_asr_++]};
-  lmt_.insert_or_replace(pla, sla);
+  const std::optional<PhysLineAddr> evicted = lmt_.insert_or_replace(pla, sla);
   backing_[idx] = static_cast<std::uint32_t>(sla.value());
   ++stats_.replacements;
   if (asr_allocs_ != nullptr) asr_allocs_->inc();
+  if (obs_.events != nullptr) {
+    const double spare_region = static_cast<double>(
+        endurance_->geometry().region_of(sla).value());
+    if (evicted.has_value()) {
+      // The line that died was itself an earlier spare (LMT entry or the
+      // SWR partner); name it so the report can chain rescues.
+      obs_.events->emit(
+          "asr_alloc",
+          {{"working_index", static_cast<double>(idx)},
+           {"raw_line", static_cast<double>(pla.value())},
+           {"spare_line", static_cast<double>(sla.value())},
+           {"spare_region", spare_region},
+           {"replaces_spare", static_cast<double>(evicted->value())},
+           {"pool_remaining", static_cast<double>(asr_pool_remaining())}});
+    } else {
+      obs_.events->emit(
+          "asr_alloc",
+          {{"working_index", static_cast<double>(idx)},
+           {"raw_line", static_cast<double>(pla.value())},
+           {"spare_line", static_cast<double>(sla.value())},
+           {"spare_region", spare_region},
+           {"pool_remaining", static_cast<double>(asr_pool_remaining())}});
+    }
+  }
   if (obs_.trace != nullptr) {
     obs_.trace->instant(
         "maxwe.asr_alloc",
@@ -195,6 +226,16 @@ bool MaxWe::on_wear_out(std::uint64_t idx) {
       backing_[idx] = static_cast<std::uint32_t>(spare.value());
       ++stats_.replacements;
       if (rmt_redirects_ != nullptr) rmt_redirects_->inc();
+      if (obs_.events != nullptr) {
+        obs_.events->emit(
+            "rmt_redirect",
+            {{"region", static_cast<double>(region.value())},
+             {"offset", static_cast<double>(offset.value())},
+             {"spare_region",
+              static_cast<double>(rmt_.spare_of(region)->value())},
+             {"raw_line", static_cast<double>(pla.value())},
+             {"spare_line", static_cast<double>(spare.value())}});
+      }
       if (obs_.trace != nullptr) {
         obs_.trace->instant(
             "maxwe.rmt_redirect",
@@ -296,6 +337,13 @@ ScrubReport MaxWe::scrub(const Device& device) {
   rmt_ = std::move(fresh_rmt);
   lmt_ = std::move(fresh_lmt);
 
+  if (obs_.events != nullptr) {
+    obs_.events->emit(
+        "scrub",
+        {{"rmt_corrupt", static_cast<double>(report.rmt_corrupt_detected)},
+         {"lmt_corrupt", static_cast<double>(report.lmt_corrupt_detected)},
+         {"repaired", static_cast<double>(report.entries_repaired)}});
+  }
   if (obs_.trace != nullptr) {
     obs_.trace->instant(
         "maxwe.scrub",
@@ -451,6 +499,34 @@ void MaxWe::set_observer(const Observer& obs) {
            {"rwr_endurance", endurance_->region_endurance(rwr)},
            {"swr_endurance",
             endurance_->region_endurance(*rmt_.spare_of(rwr))}});
+    }
+  }
+  if (obs.events != nullptr) {
+    // Replay the boot-time spare allocation so the event log is
+    // self-contained: the role split, every SWR<->RWR pairing and every
+    // ASR region. All stamped t=0 — they are decided before any write.
+    obs.events->emit(
+        "spare_roles",
+        {{"scheme", "maxwe"},
+         {"swr_regions", static_cast<double>(swrs_.size())},
+         {"rwr_regions", static_cast<double>(rwrs_.size())},
+         {"asr_regions", static_cast<double>(asrs_.size())},
+         {"user_lines", static_cast<double>(user_lines_)},
+         {"asr_pool_lines", static_cast<double>(asr_pool_.size())}});
+    for (RegionId rwr : rwrs_) {
+      obs.events->emit(
+          "pairing",
+          {{"rwr_region", static_cast<double>(rwr.value())},
+           {"swr_region", static_cast<double>(rmt_.spare_of(rwr)->value())},
+           {"rwr_endurance", endurance_->region_endurance(rwr)},
+           {"swr_endurance",
+            endurance_->region_endurance(*rmt_.spare_of(rwr))}});
+    }
+    for (RegionId asr : asrs_) {
+      obs.events->emit(
+          "asr_region",
+          {{"region", static_cast<double>(asr.value())},
+           {"endurance", endurance_->region_endurance(asr)}});
     }
   }
 }

@@ -39,22 +39,26 @@ void json_append_string(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
-void json_write_number(std::ostream& out, double x) {
+void json_append_number(std::string& out, double x) {
   if (!std::isfinite(x)) {
-    out << "null";
+    out += "null";
     return;
   }
   // Integers up to 2^53 print exactly and without an exponent, which keeps
   // counters readable; everything else gets round-trip precision.
-  if (x == std::floor(x) && std::abs(x) < 9.007199254740992e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", x);
-    out << buf;
-    return;
-  }
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", x);
-  out << buf;
+  if (x == std::floor(x) && std::abs(x) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", x);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+  }
+  out += buf;
+}
+
+void json_write_number(std::ostream& out, double x) {
+  std::string s;
+  json_append_number(s, x);
+  out << s;
 }
 
 std::string json_quote(std::string_view s) {

@@ -18,6 +18,11 @@ namespace nvmsec {
 /// characters, quotes and backslashes.
 void json_append_string(std::string& out, std::string_view s);
 
+/// Append `x` to `out` as a JSON number with the same formatting rules as
+/// json_write_number: integers up to 2^53 exactly and without an exponent,
+/// other finite values with round-trip precision, non-finite values as null.
+void json_append_number(std::string& out, double x);
+
 /// Write `x` as a JSON number: finite values with round-trip precision,
 /// non-finite values as null (JSON has no NaN/Inf).
 void json_write_number(std::ostream& out, double x);

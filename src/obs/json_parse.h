@@ -1,0 +1,53 @@
+// A deliberately small recursive-descent JSON parser for reading back the
+// files the obs subsystem writes (metrics JSON, wear-snapshot JSONL, the
+// decision event log). It started life as a test-only utility; the
+// maxwe_report post-mortem tool needs the same thing at runtime, so it
+// lives in the library now. Accepts exactly the JSON grammar the obs
+// writers produce (ASCII strings, finite numbers); throws
+// std::runtime_error on anything malformed, which doubles as the validity
+// assertion tests rely on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nvmsec::minijson {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Object member lookup; throws std::runtime_error when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Numeric member; throws std::runtime_error when absent or non-numeric.
+  [[nodiscard]] double num(std::string_view key) const;
+
+  /// String member; throws std::runtime_error when absent or non-string.
+  [[nodiscard]] const std::string& str(std::string_view key) const;
+};
+
+/// Parse one complete JSON document.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Parse a JSONL document: one JSON value per non-empty line.
+[[nodiscard]] std::vector<JsonValue> parse_jsonl(std::string_view text);
+
+}  // namespace nvmsec::minijson

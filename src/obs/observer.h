@@ -15,14 +15,17 @@ class MetricsRegistry;
 class Counter;
 class TraceWriter;
 class SnapshotEmitter;
+class EventLog;
 
 struct Observer {
   MetricsRegistry* metrics{nullptr};
   TraceWriter* trace{nullptr};
   SnapshotEmitter* snapshots{nullptr};
+  EventLog* events{nullptr};
 
   [[nodiscard]] bool active() const {
-    return metrics != nullptr || trace != nullptr || snapshots != nullptr;
+    return metrics != nullptr || trace != nullptr || snapshots != nullptr ||
+           events != nullptr;
   }
 };
 

@@ -1,6 +1,8 @@
 #include "obs/session.h"
 
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/log.h"
 
@@ -32,6 +34,13 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
         "ObsSession: snapshot path set but snapshot interval is 0 "
         "(pass --snapshot-interval)");
   }
+  if (config_.resume && !config_.trace_path.empty()) {
+    throw std::invalid_argument(
+        "ObsSession: a trace cannot be resumed — it is a wall-clock event "
+        "array and appending a second process's timeline would corrupt it; "
+        "drop --trace-out for the resumed run or write a fresh trace file "
+        "without --resume");
+  }
   if (!config_.metrics_path.empty()) {
     metrics_ = std::make_unique<MetricsRegistry>();
   }
@@ -40,10 +49,57 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
     trace_ = std::make_unique<TraceWriter>(trace_writer_->stream());
   }
   if (config_.snapshot_interval > 0) {
-    snapshot_writer_ = open_or_throw(config_.snapshot_path);
-    snapshots_ =
-        std::make_unique<SnapshotEmitter>(snapshot_writer_->stream(),
-                                          config_.snapshot_interval);
+    if (config_.resume) {
+      // Resume appends to the final file (the interrupted run's atomic temp
+      // file is gone) behind an explicit boundary line, so consumers can
+      // tell where one process's samples end and the next one's begin.
+      snapshot_append_.open(config_.snapshot_path,
+                            std::ios::out | std::ios::app);
+      if (!snapshot_append_) {
+        throw std::runtime_error(
+            "ObsSession: cannot open snapshot file for append: '" +
+            config_.snapshot_path + "'");
+      }
+      snapshot_append_ << "{\"resume\": true}\n";
+      snapshots_ = std::make_unique<SnapshotEmitter>(
+          snapshot_append_, config_.snapshot_interval);
+    } else {
+      snapshot_writer_ = open_or_throw(config_.snapshot_path);
+      snapshots_ =
+          std::make_unique<SnapshotEmitter>(snapshot_writer_->stream(),
+                                            config_.snapshot_interval);
+    }
+  }
+  if (!config_.events_path.empty()) {
+    const std::ios::openmode mode =
+        std::ios::out | std::ios::binary |
+        (config_.resume ? std::ios::app : std::ios::trunc);
+    events_stream_.open(config_.events_path, mode);
+    if (!events_stream_) {
+      throw std::runtime_error("ObsSession: cannot open event log '" +
+                               config_.events_path + "'");
+    }
+    std::uint64_t existing = 0;
+    if (config_.resume) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(config_.events_path, ec);
+      if (!ec) existing = static_cast<std::uint64_t>(size);
+    }
+    events_ = std::make_unique<EventLog>(events_stream_,
+                                         EventLog::kDefaultMaxEvents,
+                                         /*write_header=*/!config_.resume);
+    if (config_.resume) events_->set_offset(existing);
+    events_->set_truncator(
+        [path = config_.events_path](std::uint64_t offset) -> Status {
+          std::error_code ec;
+          std::filesystem::resize_file(path, offset, ec);
+          if (ec) {
+            return Status::io_error("cannot rewind event log '" + path +
+                                    "' to byte " + std::to_string(offset) +
+                                    ": " + ec.message());
+          }
+          return Status::ok_status();
+        });
   }
 }
 
@@ -56,7 +112,8 @@ ObsSession::~ObsSession() {
 }
 
 Observer ObsSession::observer() {
-  return Observer{metrics_.get(), trace_.get(), snapshots_.get()};
+  return Observer{metrics_.get(), trace_.get(), snapshots_.get(),
+                  events_.get()};
 }
 
 void ObsSession::finalize() {
@@ -77,7 +134,15 @@ void ObsSession::finalize() {
     trace_writer_->commit().throw_if_error();
   }
   if (snapshots_) {
-    snapshot_writer_->commit().throw_if_error();
+    if (snapshot_writer_) {
+      snapshot_writer_->commit().throw_if_error();
+    } else {
+      snapshot_append_.flush();
+    }
+  }
+  if (events_) {
+    events_->finalize();
+    events_stream_.flush();
   }
 }
 

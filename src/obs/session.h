@@ -1,18 +1,27 @@
 // ObsSession: owns the observability sinks and their output files for one
 // run.
 //
-// The sinks themselves (MetricsRegistry, TraceWriter, SnapshotEmitter) are
-// stream-agnostic so tests drive them with string streams; ObsSession is
-// the file-backed composition the CLI and examples use: give it paths, it
-// opens the files, hands out a non-owning Observer view, and finalize()
-// (or destruction) writes the metrics file and closes the trace array.
-// Paths left empty leave the corresponding sink unconfigured (null in the
-// Observer), preserving the zero-overhead no-op mode end to end.
+// The sinks themselves (MetricsRegistry, TraceWriter, SnapshotEmitter,
+// EventLog) are stream-agnostic so tests drive them with string streams;
+// ObsSession is the file-backed composition the CLI and examples use: give
+// it paths, it opens the files, hands out a non-owning Observer view, and
+// finalize() (or destruction) writes the metrics file and closes the trace
+// array. Paths left empty leave the corresponding sink unconfigured (null
+// in the Observer), preserving the zero-overhead no-op mode end to end.
+//
+// Crash semantics differ by sink. Metrics/trace/snapshots write through
+// AtomicFileWriter (temp file + rename at finalize) so a crashed run never
+// leaves a torn file under a final name. The event log is the opposite: it
+// is the flight recorder for crashes, so it streams straight to the final
+// path and relies on checkpoint-time flushes plus offset-based rewind on
+// resume (see event_log.h) for consistency.
 #pragma once
 
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/snapshot.h"
@@ -33,10 +42,20 @@ struct ObsConfig {
   std::string snapshot_path;
   /// Snapshot cadence in user writes; 0 disables snapshots.
   WriteCount snapshot_interval{0};
+  /// Decision-event JSONL path; empty = no event log. Streams straight to
+  /// the final path (no temp file) so the log survives a crash.
+  std::string events_path;
+  /// Resuming from a checkpoint: the event log reopens in append mode (the
+  /// engine rewinds it to the checkpoint's byte offset, keeping the stream
+  /// byte-identical to an uninterrupted run), the snapshot stream appends
+  /// after an explicit {"resume": true} boundary line, and a trace path is
+  /// refused — a wall-clock trace cannot be stitched across processes.
+  bool resume{false};
 
   [[nodiscard]] bool any() const {
     return !metrics_path.empty() || !trace_path.empty() ||
-           !snapshot_path.empty() || snapshot_interval > 0;
+           !snapshot_path.empty() || snapshot_interval > 0 ||
+           !events_path.empty();
   }
 };
 
@@ -44,7 +63,8 @@ class ObsSession {
  public:
   /// Opens every configured sink; throws std::runtime_error when a file
   /// cannot be opened and std::invalid_argument for inconsistent configs
-  /// (snapshot interval without a path, unknown metrics format).
+  /// (snapshot interval without a path, unknown metrics format, trace
+  /// combined with resume).
   explicit ObsSession(ObsConfig config);
   ~ObsSession();
 
@@ -59,11 +79,11 @@ class ObsSession {
   [[nodiscard]] MetricsRegistry* metrics() { return metrics_.get(); }
   [[nodiscard]] TraceWriter* trace() { return trace_.get(); }
   [[nodiscard]] SnapshotEmitter* snapshots() { return snapshots_.get(); }
+  [[nodiscard]] EventLog* events() { return events_.get(); }
 
   /// Write the metrics file, close the trace array, and atomically rename
-  /// every sink file into place. Until finalize() the data lives in
-  /// "<path>.tmp.<pid>" temp files, so a crashed run never leaves a torn
-  /// file under a final name. Idempotent; called by the destructor.
+  /// the atomic sink files into place; flush the streaming event log.
+  /// Idempotent; called by the destructor.
   void finalize();
 
  private:
@@ -72,7 +92,10 @@ class ObsSession {
   std::unique_ptr<AtomicFileWriter> trace_writer_;
   std::unique_ptr<TraceWriter> trace_;
   std::unique_ptr<AtomicFileWriter> snapshot_writer_;
+  std::ofstream snapshot_append_;
   std::unique_ptr<SnapshotEmitter> snapshots_;
+  std::ofstream events_stream_;
+  std::unique_ptr<EventLog> events_;
   bool finalized_{false};
 };
 

@@ -20,17 +20,7 @@ namespace {
 /// past this region count snapshots keep the summary statistics only.
 constexpr std::uint64_t kMaxInlineRegions = 512;
 
-void append_number(std::string& line, double v) {
-  if (!std::isfinite(v)) {
-    line += "null";
-  } else if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
-    line += std::to_string(static_cast<std::int64_t>(v));
-  } else {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    line += buf;
-  }
-}
+void append_number(std::string& line, double v) { json_append_number(line, v); }
 
 void append_field(std::string& line, std::string_view key, double v) {
   json_append_string(line, key);

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
 namespace nvmsec {
 
 BitEngine::BitEngine(BitDevice& device, Attack& attack, PayloadModel& payload,
@@ -21,6 +24,11 @@ BitEngine::BitEngine(BitDevice& device, Attack& attack, PayloadModel& payload,
   }
 }
 
+void BitEngine::set_observer(const Observer& obs) {
+  obs_ = obs;
+  spare_.set_observer(obs);
+}
+
 LifetimeResult BitEngine::run(WriteCount max_user_writes) {
   LifetimeResult result;
   result.ideal_lifetime = device_.reference_lifetime();
@@ -29,9 +37,17 @@ LifetimeResult BitEngine::run(WriteCount max_user_writes) {
   WriteCount user_writes = 0;
   WriteCount overhead_writes = 0;
   std::uint64_t line_deaths = 0;
+  const DeviceGeometry& geom = device_.geometry();
+  std::vector<std::uint64_t> region_line_deaths;
+  if (obs_.events != nullptr) {
+    region_line_deaths.assign(geom.num_regions(), 0);
+  }
 
   while (!result.failed &&
          (max_user_writes == 0 || user_writes < max_user_writes)) {
+    if (obs_.events != nullptr) {
+      obs_.events->set_now(static_cast<double>(user_writes));
+    }
     const LogicalLineAddr la = attack_.next(rng_, wl_.logical_lines());
     batch.clear();
     wl_.on_write(la, rng_, batch);
@@ -50,12 +66,33 @@ LifetimeResult BitEngine::run(WriteCount max_user_writes) {
       }
       if (outcome == BitWriteOutcome::kWornOut) {
         ++line_deaths;
+        if (obs_.events != nullptr) {
+          obs_.events->set_now(static_cast<double>(user_writes));
+          const RegionId region = geom.region_of(line);
+          if (++region_line_deaths[region.value()] ==
+              geom.lines_per_region()) {
+            obs_.events->emit(
+                "region_wear_out",
+                {{"region", static_cast<double>(region.value())}});
+          }
+        }
         if (!spare_.on_wear_out(w.working_index)) {
           result.failed = true;
           result.failure_reason =
               "unreplaceable wear-out at working index " +
               std::to_string(w.working_index) + " (line " +
               std::to_string(line.value()) + ")";
+          if (obs_.events != nullptr) {
+            obs_.events->emit(
+                "end_of_life",
+                {{"cause", "unreplaceable_wear_out"},
+                 {"working_index", static_cast<double>(w.working_index)},
+                 {"line", static_cast<double>(line.value())},
+                 {"region",
+                  static_cast<double>(geom.region_of(line).value())},
+                 {"user_writes", static_cast<double>(user_writes)},
+                 {"line_deaths", static_cast<double>(line_deaths)}});
+          }
           break;
         }
       }
@@ -71,6 +108,31 @@ LifetimeResult BitEngine::run(WriteCount max_user_writes) {
                                 : 0.0;
   if (!result.failed) {
     result.failure_reason = "write cap reached";
+  }
+  if (obs_.events != nullptr) {
+    obs_.events->set_now(static_cast<double>(user_writes));
+    obs_.events->emit(
+        "run_end",
+        {{"outcome", result.failed ? "device_failure" : "write_cap_reached"},
+         {"user_writes", static_cast<double>(user_writes)},
+         {"overhead_writes", static_cast<double>(overhead_writes)},
+         {"line_deaths", static_cast<double>(line_deaths)}});
+  }
+  if (obs_.metrics != nullptr) {
+    // Mirror the line-level Engine's metric names so downstream tooling
+    // reads either engine's output unchanged.
+    MetricsRegistry& m = *obs_.metrics;
+    m.counter("engine.user_writes").set(user_writes);
+    m.counter("engine.overhead_writes").set(overhead_writes);
+    m.counter("engine.line_deaths").set(line_deaths);
+    m.counter("engine.device_writes").set(device_.total_writes());
+    const SpareSchemeStats s = spare_.stats();
+    m.gauge("spare.spares_remaining")
+        .set(static_cast<double>(s.spares_remaining));
+    m.gauge("spare.lmt_entries").set(static_cast<double>(s.lmt_entries));
+    m.gauge("spare.rmt_entries").set(static_cast<double>(s.rmt_entries));
+    m.counter("spare.replacements").set(s.replacements);
+    m.counter("wl.migration_writes").set(wl_.overhead_writes());
   }
   return result;
 }

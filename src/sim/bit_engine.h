@@ -13,6 +13,7 @@
 
 #include "attack/attack.h"
 #include "nvm/bit_device.h"
+#include "obs/observer.h"
 #include "reduction/payload.h"
 #include "sim/lifetime.h"
 #include "spare/spare_scheme.h"
@@ -31,12 +32,19 @@ class BitEngine {
             WriteCodec& codec, WearLeveler& wear_leveler,
             SpareScheme& spare_scheme, Rng& rng);
 
+  /// Attach observability sinks: the decision event log and run-level
+  /// metrics (same names as the line-level Engine's), forwarded to the
+  /// spare scheme. BitDevice itself stays uninstrumented — its per-cell
+  /// hot path is the whole point of this engine.
+  void set_observer(const Observer& obs);
+
   /// Run until device failure, or until `max_user_writes` if non-zero.
   /// The result's `normalized` uses BitDevice::reference_lifetime(), so a
   /// write-reducing codec can legitimately exceed 1.0.
   LifetimeResult run(WriteCount max_user_writes = 0);
 
  private:
+  Observer obs_{};
   BitDevice& device_;
   Attack& attack_;
   PayloadModel& payload_;

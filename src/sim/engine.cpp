@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/maxwe.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -67,9 +68,19 @@ void Engine::capture_state(StateWriter& w) const {
   if (buffer_ != nullptr) buffer_->save_state(w);
   w.boolean(injector_ != nullptr);
   if (injector_ != nullptr) injector_->save_state(w);
+  // Event-log byte offset, captured after the checkpoint event itself was
+  // emitted and flushed: restore truncates the log back to this point, so
+  // a resumed run's stream is byte-identical to an uninterrupted one.
+  w.boolean(obs_.events != nullptr);
+  if (obs_.events != nullptr) w.u64(obs_.events->offset());
 }
 
 void Engine::save_checkpoint() {
+  if (obs_.events != nullptr) {
+    obs_.events->emit("checkpoint",
+                      {{"user_writes", static_cast<double>(user_writes_)}});
+    obs_.events->flush();
+  }
   StateWriter w;
   w.u64(fingerprint_);
   capture_state(w);
@@ -106,6 +117,18 @@ Status Engine::restore_state(StateReader& r) {
   if (injector_ != nullptr) {
     if (Status st = injector_->load_state(r); !st.ok()) return st;
   }
+  bool has_events = false;
+  if (Status st = r.boolean(has_events); !st.ok()) return st;
+  if (has_events != (obs_.events != nullptr)) {
+    return Status::failed_precondition(
+        "checkpoint and configuration disagree on the decision event log "
+        "(--events-out)");
+  }
+  if (obs_.events != nullptr) {
+    std::uint64_t offset = 0;
+    if (Status st = r.u64(offset); !st.ok()) return st;
+    if (Status st = obs_.events->truncate_to(offset); !st.ok()) return st;
+  }
   if (!r.exhausted()) {
     return Status::corruption("checkpoint payload has trailing bytes");
   }
@@ -131,6 +154,19 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     overhead_writes_ = 0;  // migration writes the device absorbed
     line_deaths_ = 0;
   }
+  // Region wear-out events need per-region death counts. Rebuilt from the
+  // device's ground truth rather than checkpointed, so resumed runs agree
+  // with uninterrupted ones by construction.
+  const DeviceGeometry& geom = device_.geometry();
+  std::vector<std::uint64_t> region_line_deaths;
+  if (obs_.events != nullptr) {
+    region_line_deaths.assign(geom.num_regions(), 0);
+    for (std::uint64_t l = 0; l < geom.num_lines(); ++l) {
+      if (device_.is_worn_out(PhysLineAddr{l})) {
+        ++region_line_deaths[geom.region_of(PhysLineAddr{l}).value()];
+      }
+    }
+  }
   if (checkpoint_interval_ > 0) {
     // First boundary strictly ahead of the current position, so a resumed
     // run re-checkpoints on the original cadence instead of immediately.
@@ -143,6 +179,9 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     // User-write boundary work, in fixed order so checkpoints capture a
     // deterministic point: fault injection first, then the checkpoint
     // (which must include the injector's advance), then observability.
+    if (obs_.events != nullptr) {
+      obs_.events->set_now(static_cast<double>(user_writes_));
+    }
     if (injector_ != nullptr && injector_->due(user_writes_)) {
       injector_->inject_and_scrub(*injector_scheme_, device_);
     }
@@ -197,12 +236,33 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       }
       if (outcome == WriteOutcome::kWornOut) {
         ++line_deaths_;
+        if (obs_.events != nullptr) {
+          obs_.events->set_now(static_cast<double>(user_writes_));
+          const RegionId region = geom.region_of(line);
+          if (++region_line_deaths[region.value()] ==
+              geom.lines_per_region()) {
+            obs_.events->emit(
+                "region_wear_out",
+                {{"region", static_cast<double>(region.value())}});
+          }
+        }
         if (!spare_.on_wear_out(w.working_index)) {
           result.failed = true;
           result.failure_reason =
               "unreplaceable wear-out at working index " +
               std::to_string(w.working_index) + " (line " +
               std::to_string(line.value()) + ")";
+          if (obs_.events != nullptr) {
+            obs_.events->emit(
+                "end_of_life",
+                {{"cause", "unreplaceable_wear_out"},
+                 {"working_index", static_cast<double>(w.working_index)},
+                 {"line", static_cast<double>(line.value())},
+                 {"region",
+                  static_cast<double>(geom.region_of(line).value())},
+                 {"user_writes", static_cast<double>(user_writes_)},
+                 {"line_deaths", static_cast<double>(line_deaths_)}});
+          }
           if (obs_.trace != nullptr) {
             obs_.trace->instant(
                 "engine.device_failure",
@@ -216,6 +276,15 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     }
   }
 
+  if (obs_.events != nullptr) {
+    obs_.events->set_now(static_cast<double>(user_writes_));
+    obs_.events->emit(
+        "run_end",
+        {{"outcome", result.failed ? "device_failure" : "write_cap_reached"},
+         {"user_writes", static_cast<double>(user_writes_)},
+         {"overhead_writes", static_cast<double>(overhead_writes_)},
+         {"line_deaths", static_cast<double>(line_deaths_)}});
+  }
   if (obs_.metrics != nullptr) {
     MetricsRegistry& m = *obs_.metrics;
     m.counter("engine.user_writes").set(user_writes_);

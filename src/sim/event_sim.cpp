@@ -8,6 +8,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -89,6 +90,12 @@ LifetimeResult UniformEventSimulator::run() {
 
   double t = 0.0;
   std::uint64_t deaths = 0;
+  // Per-region death counts for region_wear_out events; every line dies at
+  // most once here (dead lines are never re-homed onto), so exact.
+  std::vector<std::uint64_t> region_line_deaths;
+  if (obs_.events != nullptr) {
+    region_line_deaths.assign(geom.num_regions(), 0);
+  }
 
   while (!heap.empty() && !result.failed) {
     const auto [death_time, line, v] = heap.top();
@@ -101,6 +108,17 @@ LifetimeResult UniformEventSimulator::run() {
     ++version[line];
     ++deaths;
 
+    if (obs_.events != nullptr) {
+      // The write clock is the continuous-time equivalent: t rounds of u
+      // uniform user writes each.
+      obs_.events->set_now(t * static_cast<double>(u));
+      const RegionId region = geom.region_of(PhysLineAddr{line});
+      if (++region_line_deaths[region.value()] == geom.lines_per_region()) {
+        obs_.events->emit(
+            "region_wear_out",
+            {{"region", static_cast<double>(region.value())}});
+      }
+    }
     if (obs_.trace != nullptr) {
       obs_.trace->instant(
           "wear_out",
@@ -154,6 +172,17 @@ LifetimeResult UniformEventSimulator::run() {
                                 std::to_string(idx) + " (line " +
                                 std::to_string(line) + ") after " +
                                 std::to_string(deaths) + " line deaths";
+        if (obs_.events != nullptr) {
+          obs_.events->emit(
+              "end_of_life",
+              {{"cause", "unreplaceable_wear_out"},
+               {"working_index", static_cast<double>(idx)},
+               {"line", static_cast<double>(line)},
+               {"region", static_cast<double>(
+                              geom.region_of(PhysLineAddr{line}).value())},
+               {"user_writes", t * static_cast<double>(u)},
+               {"line_deaths", static_cast<double>(deaths)}});
+        }
         break;
       }
       list_next[idx] = list_head[nb];
@@ -171,6 +200,12 @@ LifetimeResult UniformEventSimulator::run() {
     // exhaustion, but a custom scheme with unbounded spares could get here.
     result.failed = true;
     result.failure_reason = "all backed lines worn out";
+    if (obs_.events != nullptr) {
+      obs_.events->emit("end_of_life",
+                        {{"cause", "all_backed_lines_worn"},
+                         {"user_writes", t * static_cast<double>(u)},
+                         {"line_deaths", static_cast<double>(deaths)}});
+    }
   }
 
   result.user_writes = t * static_cast<double>(u);
@@ -179,6 +214,13 @@ LifetimeResult UniformEventSimulator::run() {
                           ? result.user_writes / result.ideal_lifetime
                           : 0.0;
 
+  if (obs_.events != nullptr) {
+    obs_.events->set_now(result.user_writes);
+    obs_.events->emit("run_end",
+                      {{"outcome", "device_failure"},
+                       {"user_writes", result.user_writes},
+                       {"line_deaths", static_cast<double>(deaths)}});
+  }
   if (obs_.metrics != nullptr) {
     // Mirror the stochastic engine's metric names so downstream tooling
     // reads either engine's output unchanged.

@@ -9,6 +9,7 @@
 #include "core/maxwe.h"
 #include "fault/device_faults.h"
 #include "fault/metadata_faults.h"
+#include "obs/event_log.h"
 #include "spare/freep.h"
 #include "nvm/device.h"
 #include "sim/bit_engine.h"
@@ -136,9 +137,40 @@ LifetimeResult run_experiment(const ExperimentConfig& config) {
   return run_experiment(config, nullptr);
 }
 
+namespace {
+
+const char* mode_name(SimulationMode mode) {
+  switch (mode) {
+    case SimulationMode::kStochastic: return "stochastic";
+    case SimulationMode::kUniformEvent: return "event";
+    case SimulationMode::kBitLevel: return "bit";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 LifetimeResult run_experiment(const ExperimentConfig& config,
                               EnduranceMapCache* cache) {
   validate_robustness_config(config);
+  if (config.observer.events != nullptr) {
+    // First event of every run; a resumed run re-emits it, but the engine
+    // rewinds the log to the checkpoint offset before continuing, so the
+    // file never holds two. Written before the spare scheme exists so the
+    // boot-time allocation events that follow have their config context.
+    config.observer.events->set_now(0.0);
+    config.observer.events->emit(
+        "run_start",
+        {{"mode", mode_name(config.mode)},
+         {"attack", config.attack},
+         {"wear_leveler", config.wear_leveler},
+         {"spare", config.spare_scheme},
+         {"seed", static_cast<double>(config.seed)},
+         {"lines", static_cast<double>(config.geometry.num_lines())},
+         {"regions", static_cast<double>(config.geometry.num_regions())},
+         {"spare_fraction", config.spare_fraction},
+         {"swr_fraction", config.swr_fraction}});
+  }
   Rng rng(config.seed);
 
   std::shared_ptr<const EnduranceMap> map;
@@ -170,8 +202,18 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
   std::shared_ptr<const EnduranceMap> device_map = map;
   if (config.fault.device.any()) {
     auto faulted = std::make_shared<EnduranceMap>(*map);
-    apply_device_faults(*faulted, config.fault.device, config.fault.seed);
+    const DeviceFaultReport injected =
+        apply_device_faults(*faulted, config.fault.device, config.fault.seed);
     device_map = std::move(faulted);
+    if (config.observer.events != nullptr) {
+      config.observer.events->emit(
+          "device_faults",
+          {{"stuck_at_lines", static_cast<double>(injected.stuck_at_lines)},
+           {"early_death_lines",
+            static_cast<double>(injected.early_death_lines)},
+           {"outlier_regions",
+            static_cast<double>(injected.outlier_regions)}});
+    }
   }
 
   if (config.mode == SimulationMode::kUniformEvent) {
@@ -228,6 +270,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     auto payload = make_payload(config.payload);
     auto codec = make_codec(config.codec);
     BitEngine engine(device, *attack, *payload, *codec, *wl, *spare, rng);
+    engine.set_observer(config.observer);
     return engine.run(config.max_user_writes);
   }
 

@@ -91,7 +91,8 @@ struct ExperimentConfig {
   /// Observability sinks (borrowed; see obs/session.h for an owning
   /// composition). Default — all null — is the zero-overhead no-op mode.
   /// Event and stochastic engines are fully instrumented; the bit-level
-  /// engine currently ignores the observer.
+  /// engine records decision events and run-level metrics but no traces
+  /// or snapshots (its per-cell hot path stays untouched).
   Observer observer{};
 
   /// Region-aligned spare budget in lines: round(spare_fraction * R) * L/R.

@@ -39,6 +39,7 @@ void reject_shared_sinks(std::span<const ExperimentConfig> configs) {
     check(config.observer.metrics, "metrics");
     check(config.observer.trace, "trace");
     check(config.observer.snapshots, "snapshot");
+    check(config.observer.events, "event-log");
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/event_log.h"
+
 namespace nvmsec {
 
 FreeP::FreeP(std::shared_ptr<const EnduranceMap> endurance,
@@ -41,7 +43,14 @@ bool FreeP::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("FreeP::on_wear_out: index out of range");
   }
   ++stats_.line_deaths;
+  const std::uint32_t worn = backing_[idx];
   if (next_spare_ >= spare_lines_) {
+    if (obs_.events != nullptr) {
+      obs_.events->emit("pool_exhausted",
+                        {{"scheme", "freep"},
+                         {"working_index", static_cast<double>(idx)},
+                         {"raw_line", static_cast<double>(worn)}});
+    }
     return false;  // pool exhausted
   }
   backing_[idx] =
@@ -49,6 +58,17 @@ bool FreeP::on_wear_out(std::uint64_t idx) {
   ++chain_depth_[idx];
   max_chain_ = std::max<std::uint64_t>(max_chain_, chain_depth_[idx]);
   ++stats_.replacements;
+  if (obs_.events != nullptr) {
+    obs_.events->emit(
+        "spare_alloc",
+        {{"scheme", "freep"},
+         {"working_index", static_cast<double>(idx)},
+         {"raw_line", static_cast<double>(worn)},
+         {"spare_line", static_cast<double>(backing_[idx])},
+         {"chain_depth", static_cast<double>(chain_depth_[idx])},
+         {"pool_remaining",
+          static_cast<double>(spare_lines_ - next_spare_)}});
+  }
   return true;
 }
 
@@ -123,6 +143,17 @@ Status FreeP::load_state(StateReader& r) {
   backing_ = std::move(backing);
   chain_depth_ = std::move(chain_depth);
   return Status{};
+}
+
+void FreeP::set_observer(const Observer& obs) {
+  obs_ = obs;
+  if (obs.events != nullptr) {
+    // Boot-time allocation: one address-tail pool, no endurance knowledge.
+    obs.events->emit("spare_roles",
+                     {{"scheme", "freep"},
+                      {"user_lines", static_cast<double>(working_lines_)},
+                      {"pool_lines", static_cast<double>(spare_lines_)}});
+  }
 }
 
 std::unique_ptr<SpareScheme> make_freep(

@@ -52,7 +52,13 @@ class FreeP final : public SpareScheme {
   void save_state(StateWriter& w) const override;
   [[nodiscard]] Status load_state(StateReader& r) override;
 
+  /// Event-log instrumentation only (FREE-p predates the metrics the
+  /// Max-WE gauges describe): pool allocations and exhaustion, so the
+  /// post-mortem report can compare schemes decision by decision.
+  void set_observer(const Observer& obs) override;
+
  private:
+  Observer obs_{};
   std::uint64_t working_lines_;
   std::uint64_t num_lines_;
   std::vector<std::uint32_t> backing_;

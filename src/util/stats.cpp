@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -95,6 +96,40 @@ double min_value(std::span<const double> xs) {
 double max_value(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("max_value: empty input");
   return *std::max_element(xs.begin(), xs.end());
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() < 0.0) {
+    throw std::invalid_argument("gini: inputs must be non-negative");
+  }
+  const auto n = static_cast<double>(sorted.size());
+  double sum = 0.0;
+  double weighted = 0.0;  // sum of rank_i * x_i with 1-based ranks
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    sum += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (sum == 0.0) return 0.0;
+  return 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+}
+
+double max_min_ratio(std::span<const double> xs) {
+  if (xs.size() < 2) return 1.0;
+  double lo = xs[0];
+  double hi = xs[0];
+  for (double x : xs) {
+    if (x < 0.0) {
+      throw std::invalid_argument("max_min_ratio: inputs must be non-negative");
+    }
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi == 0.0) return 1.0;  // all zeros: equal, not infinitely unequal
+  if (lo == 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

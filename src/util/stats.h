@@ -50,6 +50,18 @@ double percentile(std::span<const double> xs, double p);
 double min_value(std::span<const double> xs);
 double max_value(std::span<const double> xs);
 
+/// Gini coefficient of a non-negative sample (0 = perfectly equal wear,
+/// approaching 1 = one region took everything). Degenerate inputs — empty,
+/// a single sample, or an all-zero sample — have no meaningful inequality
+/// and return 0. Throws std::invalid_argument on negative values.
+double gini(std::span<const double> xs);
+
+/// max(xs) / min(xs), the paper's wear-imbalance ratio. Returns 1 for
+/// empty, single-sample and all-zero inputs (no imbalance to speak of),
+/// +infinity when min is 0 but max is not. Throws std::invalid_argument on
+/// negative values.
+double max_min_ratio(std::span<const double> xs);
+
 /// Fixed-width histogram over [lo, hi); values outside are clamped into the
 /// first/last bucket so nothing is silently dropped.
 class Histogram {

@@ -64,14 +64,20 @@ TEST(CheckpointFileTest, BadMagicIsCorruption) {
 
 TEST(CheckpointFileTest, WrongVersionIsVersionMismatch) {
   std::string bytes(kCheckpointMagic, sizeof(kCheckpointMagic));
-  bytes += std::string("\x02\x00\x00\x00", 4);  // version 2
-  bytes += std::string(8, '\x00');              // zero payload size
-  bytes += std::string(4, '\x00');              // (wrong) CRC
+  // One past the current version, little-endian.
+  const std::uint32_t wrong = kCheckpointVersion + 1;
+  bytes += std::string{static_cast<char>(wrong & 0xff),
+                       static_cast<char>((wrong >> 8) & 0xff),
+                       static_cast<char>((wrong >> 16) & 0xff),
+                       static_cast<char>((wrong >> 24) & 0xff)};
+  bytes += std::string(8, '\x00');  // zero payload size
+  bytes += std::string(4, '\x00');  // (wrong) CRC
   const std::string path = write_raw("ckpt_version.bin", bytes);
   const Result<std::vector<std::uint8_t>> r = load_checkpoint_file(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kVersionMismatch);
-  EXPECT_NE(r.status().message().find("version 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("version " + std::to_string(wrong)),
+            std::string::npos);
 }
 
 TEST(CheckpointFileTest, TruncatedPayloadIsRejected) {

@@ -1,0 +1,207 @@
+// The flight recorder's determinism contract: the decision event log is a
+// pure function of the configuration. Running serially or under --jobs,
+// uninterrupted or interrupted-and-resumed, must produce byte-identical
+// logs — otherwise post-mortems could not be trusted to describe the run
+// they came from.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/session.h"
+#include "sim/experiment.h"
+#include "sim/parallel.h"
+
+namespace nvmsec {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Run `base` under `seeds.size()` seeds with per-run in-memory event logs
+/// and the given worker count; return each run's event bytes.
+std::vector<std::string> event_bytes(const ExperimentConfig& base,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     std::size_t jobs) {
+  std::vector<std::ostringstream> outs(seeds.size());
+  std::vector<std::unique_ptr<EventLog>> logs;
+  std::vector<ExperimentConfig> configs(seeds.size(), base);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    logs.push_back(std::make_unique<EventLog>(outs[i]));
+    configs[i].seed = seeds[i];
+    configs[i].observer.events = logs[i].get();
+  }
+  ParallelOptions options;
+  options.jobs = jobs;
+  run_experiments(configs, options);
+  std::vector<std::string> bytes;
+  bytes.reserve(seeds.size());
+  for (std::ostringstream& out : outs) bytes.push_back(out.str());
+  return bytes;
+}
+
+void expect_serial_matches_parallel(const ExperimentConfig& base) {
+  const std::vector<std::uint64_t> seeds{7, 8, 9};
+  const std::vector<std::string> serial = event_bytes(base, seeds, 1);
+  const std::vector<std::string> parallel = event_bytes(base, seeds, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "seed " << seeds[i];
+  }
+}
+
+TEST(EventDeterminismTest, EventEngineSerialVsParallel) {
+  ExperimentConfig config;
+  config.geometry = DeviceGeometry::scaled(2048, 128);
+  config.endurance.endurance_at_mean = 1000.0;
+  config.mode = SimulationMode::kUniformEvent;
+  config.spare_scheme = "maxwe";
+  expect_serial_matches_parallel(config);
+}
+
+TEST(EventDeterminismTest, StochasticEngineSerialVsParallel) {
+  ExperimentConfig config = scaled_stochastic_config(512, 32, 300.0);
+  config.spare_scheme = "maxwe";
+  expect_serial_matches_parallel(config);
+}
+
+TEST(EventDeterminismTest, BitEngineSerialVsParallel) {
+  ExperimentConfig config;
+  config.geometry = DeviceGeometry::scaled(256, 16);
+  config.endurance.endurance_at_mean = 300.0;
+  config.mode = SimulationMode::kBitLevel;
+  config.spare_scheme = "maxwe";
+  config.spare_fraction = 0.25;
+  config.swr_fraction = 0.5;
+  expect_serial_matches_parallel(config);
+}
+
+TEST(EventDeterminismTest, SharedEventSinkIsRejectedUnderJobs) {
+  ExperimentConfig config;
+  config.geometry = DeviceGeometry::scaled(2048, 128);
+  config.endurance.endurance_at_mean = 1000.0;
+  config.mode = SimulationMode::kUniformEvent;
+  config.spare_scheme = "maxwe";
+  std::ostringstream out;
+  EventLog log(out);
+  std::vector<ExperimentConfig> configs(2, config);
+  for (ExperimentConfig& c : configs) c.observer.events = &log;
+  configs[1].seed = 43;
+  ParallelOptions options;
+  options.jobs = 2;
+  EXPECT_THROW(run_experiments(configs, options), std::invalid_argument);
+}
+
+TEST(EventDeterminismTest, InterruptedResumeIsByteIdentical) {
+  const std::string ref_events = temp_path("evdet_ref.events.jsonl");
+  const std::string res_events = temp_path("evdet_res.events.jsonl");
+  const std::string ref_ckpt = temp_path("evdet_ref.ckpt");
+  const std::string res_ckpt = temp_path("evdet_res.ckpt");
+  for (const std::string& p : {ref_events, res_events, ref_ckpt, res_ckpt}) {
+    std::filesystem::remove(p);
+  }
+
+  ExperimentConfig base = scaled_stochastic_config(512, 32, 300.0);
+  base.spare_scheme = "maxwe";
+  base.seed = 11;
+  base.checkpoint_interval = 2000;
+
+  // Reference: uninterrupted, but checkpointing at the same cadence —
+  // checkpoint boundaries are themselves events, so the interrupted run
+  // can only match a reference that also records them.
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = ref_ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = ref_events;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+
+  // Interrupted: capped mid-run, then resumed to completion.
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = res_ckpt;
+    config.max_user_writes = 5000;
+    ObsConfig obs_config;
+    obs_config.events_path = res_events;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = res_ckpt;
+    config.resume_from = res_ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = res_events;
+    obs_config.resume = true;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+
+  const std::string ref = slurp(ref_events);
+  const std::string res = slurp(res_events);
+  EXPECT_FALSE(ref.empty());
+  EXPECT_EQ(ref, res);
+
+  for (const std::string& p : {ref_events, res_events, ref_ckpt, res_ckpt}) {
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(EventDeterminismTest, ResumeWithoutEventsInCheckpointIsRefused) {
+  const std::string events = temp_path("evdet_refuse.events.jsonl");
+  const std::string ckpt = temp_path("evdet_refuse.ckpt");
+  std::filesystem::remove(events);
+  std::filesystem::remove(ckpt);
+
+  ExperimentConfig base = scaled_stochastic_config(512, 32, 300.0);
+  base.spare_scheme = "maxwe";
+  base.seed = 11;
+  base.checkpoint_interval = 2000;
+  base.checkpoint_out = ckpt;
+
+  // Checkpoint written without an event log attached...
+  {
+    ExperimentConfig config = base;
+    config.max_user_writes = 5000;
+    run_experiment(config);
+  }
+  // ...must refuse to resume into a run that has one: the log cannot
+  // contain the history the checkpoint skips over.
+  {
+    ExperimentConfig config = base;
+    config.resume_from = ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = events;
+    obs_config.resume = true;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    EXPECT_THROW(run_experiment(config), std::runtime_error);
+  }
+
+  std::filesystem::remove(events);
+  std::filesystem::remove(ckpt);
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -147,6 +147,51 @@ TEST(FreeFunctionsTest, MinMax) {
   EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
 }
 
+TEST(GiniTest, DegenerateInputsHaveNoInequality) {
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, AllEqualIsZero) {
+  EXPECT_NEAR(gini(std::vector<double>{3.0, 3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, KnownValue) {
+  // One of four holds everything: G = (n-1)/n = 0.75.
+  EXPECT_NEAR(gini(std::vector<double>{1.0, 0.0, 0.0, 0.0}), 0.75, 1e-12);
+  // Order must not matter.
+  EXPECT_NEAR(gini(std::vector<double>{0.0, 0.0, 1.0, 0.0}), 0.75, 1e-12);
+}
+
+TEST(GiniTest, ModerateInequalityBetweenExtremes) {
+  const double g = gini(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 0.75);
+  EXPECT_NEAR(g, 0.25, 1e-12);
+}
+
+TEST(GiniTest, NegativeValuesThrow) {
+  EXPECT_THROW(gini(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(MaxMinRatioTest, DegenerateInputsAreBalanced) {
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{7.0}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(MaxMinRatioTest, KnownRatioAndInfinity) {
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio(std::vector<double>{4.0, 4.0}), 1.0);
+  EXPECT_TRUE(std::isinf(max_min_ratio(std::vector<double>{0.0, 3.0})));
+}
+
+TEST(MaxMinRatioTest, NegativeValuesThrow) {
+  EXPECT_THROW(max_min_ratio(std::vector<double>{-2.0, 8.0}),
+               std::invalid_argument);
+}
+
 TEST(HistogramTest, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);    // bucket 0

@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
   cli.add_flag("zipf-skew", "zipf skew s", "0.99");
   cli.add_flag("wl", "none|startgap|tlsr|pcms|bwl|wawl|twl", "none");
   cli.add_flag("swap-interval", "wear-leveler remap cadence", "100");
-  cli.add_flag("spare", "none | pcd | ps | ps-worst | maxwe", "none");
+  cli.add_flag("spare", "none | pcd | ps | ps-worst | freep | maxwe",
+               "none");
   cli.add_flag("spare-fraction", "spare share of capacity", "0.10");
   cli.add_flag("swr-fraction", "Max-WE SWR share of spares", "0.90");
   cli.add_flag("buffer-lines", "DRAM front-buffer lines (0 = none)", "0");
@@ -102,6 +103,9 @@ int main(int argc, char** argv) {
                "--metrics-out)", "");
   cli.add_flag("snapshot-interval",
                "emit a wear snapshot every N user writes (0 = off)", "0");
+  cli.add_flag("events-out",
+               "decision event log (JSONL flight recorder; feed to "
+               "maxwe_report)", "");
   cli.add_flag("checkpoint-out",
                "crash-safe checkpoint file: engine state every "
                "--checkpoint-interval writes (single stochastic run), or "
@@ -187,12 +191,60 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    ParallelOptions parallel;
+    parallel.jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
+    const std::uint64_t seeds = cli.get_uint("seeds");
+    const auto banks = static_cast<std::uint32_t>(cli.get_uint("banks"));
+    if (banks > 1 && seeds > 1) {
+      std::cerr << "error: --banks and --seeds cannot be combined\n";
+      return 1;
+    }
+
+    const std::string checkpoint_out = cli.get_string("checkpoint-out");
+    const WriteCount checkpoint_interval = cli.get_uint("checkpoint-interval");
+    const bool resume = cli.get_bool("resume");
+    if (resume && checkpoint_out.empty()) {
+      std::cerr << "error: --resume needs --checkpoint-out\n";
+      return 1;
+    }
+    if (banks > 1 || seeds > 1) {
+      // Sweeps checkpoint at run granularity: each finished run's result is
+      // recorded, and a resumed sweep re-runs only the missing ones.
+      if (checkpoint_interval > 0) {
+        std::cerr << "error: sweep checkpoints record whole runs; drop "
+                     "--checkpoint-interval (it applies to single "
+                     "stochastic runs)\n";
+        return 1;
+      }
+      parallel.checkpoint_path = checkpoint_out;
+      parallel.resume = resume;
+    } else {
+      if (!checkpoint_out.empty() && checkpoint_interval == 0 && !resume) {
+        std::cerr << "error: --checkpoint-out needs --checkpoint-interval "
+                     "(or --resume to finish a run without further "
+                     "checkpoints)\n";
+        return 1;
+      }
+      if (checkpoint_interval > 0) {
+        config.checkpoint_out = checkpoint_out;
+        config.checkpoint_interval = checkpoint_interval;
+      }
+      if (resume && std::filesystem::exists(checkpoint_out)) {
+        config.resume_from = checkpoint_out;
+      }
+    }
+
     ObsConfig obs_config;
     obs_config.metrics_path = cli.get_string("metrics-out");
     obs_config.metrics_format = cli.get_string("metrics-format");
     obs_config.trace_path = cli.get_string("trace-out");
     obs_config.snapshot_interval = cli.get_uint("snapshot-interval");
     obs_config.snapshot_path = cli.get_string("snapshot-out");
+    obs_config.events_path = cli.get_string("events-out");
+    // The obs session must know up front whether this run restores from a
+    // checkpoint: a resumed event log is appended to (and rewound to the
+    // checkpoint's byte offset by the engine), not truncated.
+    obs_config.resume = !config.resume_from.empty();
     if (obs_config.snapshot_interval > 0 && obs_config.snapshot_path.empty()) {
       obs_config.snapshot_path = derive_snapshot_path(obs_config.metrics_path);
     }
@@ -252,49 +304,6 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    ParallelOptions parallel;
-    parallel.jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
-    const std::uint64_t seeds = cli.get_uint("seeds");
-    const auto banks = static_cast<std::uint32_t>(cli.get_uint("banks"));
-    if (banks > 1 && seeds > 1) {
-      std::cerr << "error: --banks and --seeds cannot be combined\n";
-      return 1;
-    }
-
-    const std::string checkpoint_out = cli.get_string("checkpoint-out");
-    const WriteCount checkpoint_interval = cli.get_uint("checkpoint-interval");
-    const bool resume = cli.get_bool("resume");
-    if (resume && checkpoint_out.empty()) {
-      std::cerr << "error: --resume needs --checkpoint-out\n";
-      return 1;
-    }
-    if (banks > 1 || seeds > 1) {
-      // Sweeps checkpoint at run granularity: each finished run's result is
-      // recorded, and a resumed sweep re-runs only the missing ones.
-      if (checkpoint_interval > 0) {
-        std::cerr << "error: sweep checkpoints record whole runs; drop "
-                     "--checkpoint-interval (it applies to single "
-                     "stochastic runs)\n";
-        return 1;
-      }
-      parallel.checkpoint_path = checkpoint_out;
-      parallel.resume = resume;
-    } else {
-      if (!checkpoint_out.empty() && checkpoint_interval == 0 && !resume) {
-        std::cerr << "error: --checkpoint-out needs --checkpoint-interval "
-                     "(or --resume to finish a run without further "
-                     "checkpoints)\n";
-        return 1;
-      }
-      if (checkpoint_interval > 0) {
-        config.checkpoint_out = checkpoint_out;
-        config.checkpoint_interval = checkpoint_interval;
-      }
-      if (resume && std::filesystem::exists(checkpoint_out)) {
-        config.resume_from = checkpoint_out;
-      }
-    }
-
     // Multi-bank module lifetime: banks fan out across --jobs workers.
     if (banks > 1) {
       const MultiBankResult r = run_multi_bank(config, banks, parallel);
@@ -342,6 +351,9 @@ int main(int argc, char** argv) {
       }
       if (obs_config.snapshot_interval > 0) {
         std::cout << "snapshots: " << obs_config.snapshot_path << "\n";
+      }
+      if (!obs_config.events_path.empty()) {
+        std::cout << "events:    " << obs_config.events_path << "\n";
       }
     }
     std::cout << "attack=" << config.attack << " wl=" << config.wear_leveler
