@@ -108,6 +108,84 @@ void BM_EnginePipelineWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_EnginePipelineWrite);
 
+void BM_DeviceWriteMany(benchmark::State& state) {
+  // Bulk budget decrement vs. the equivalent loop of single writes. The
+  // device is reset whenever the target line runs low so the batch never
+  // hits the wear-out path (that cost is measured by the engine bench).
+  auto map = bench_map();
+  Device device(map);
+  const PhysLineAddr line{0};
+  const auto batch = static_cast<WriteCount>(state.range(0));
+  for (auto _ : state) {
+    if (device.remaining(line) <= batch) {
+      state.PauseTiming();
+      device.reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(device.write_many(line, batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_DeviceWriteMany)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DeviceWriteLoop(benchmark::State& state) {
+  // Baseline for BM_DeviceWriteMany: the same writes issued one by one
+  // through the validated entry point.
+  auto map = bench_map();
+  Device device(map);
+  const PhysLineAddr line{0};
+  const auto batch = static_cast<WriteCount>(state.range(0));
+  for (auto _ : state) {
+    if (device.remaining(line) <= batch) {
+      state.PauseTiming();
+      device.reset();
+      state.ResumeTiming();
+    }
+    for (WriteCount i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(device.write(line));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_DeviceWriteLoop)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EngineBatchedWrite(benchmark::State& state) {
+  // Full Engine::run through the batched fast path vs. the per-write path
+  // (Arg: 1 = fastpath, 0 = per-write), on a UAA sweep under Start-Gap +
+  // Max-WE — the configuration the run-length batching targets. Each
+  // iteration runs a capped fresh engine; items = user writes simulated.
+  const bool fastpath = state.range(0) != 0;
+  constexpr WriteCount kCap = 200'000;
+  auto map = bench_map();
+  auto attack = make_attack("uaa");
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    Device device(map);
+    auto spare = make_maxwe(map, MaxWeParams{});
+    EnduranceView view(spare->working_lines());
+    for (std::uint64_t i = 0; i < view.size(); ++i) {
+      view[i] = map->line_endurance(spare->working_line(i));
+    }
+    WearLevelerParams params;
+    auto wl =
+        make_wear_leveler("startgap", spare->working_lines(), view, params,
+                          rng);
+    attack->reset();
+    Engine engine(device, *attack, *wl, *spare, rng);
+    engine.set_fast_path(fastpath);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.run(kCap));
+  }
+  state.SetLabel(fastpath ? "fastpath" : "per-write");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kCap));
+}
+BENCHMARK(BM_EngineBatchedWrite)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RngUniform(benchmark::State& state) {
   Rng rng(1);
   for (auto _ : state) {

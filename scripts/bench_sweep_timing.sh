@@ -11,6 +11,12 @@
 # without --events-out, recorded in BENCH_obs_overhead.json (informational;
 # the GATING part is that two recorded runs write byte-identical logs).
 #
+# Finally, measures the run-length batched fast path: a fig6-style UAA
+# spare-fraction sweep with and without --no-fastpath, recorded in
+# BENCH_fastpath.json. The speedup is informational but expected to be
+# large (>= 3x on typical boxes); the GATING part is that both modes print
+# byte-identical results.
+#
 # Usage: scripts/bench_sweep_timing.sh [build-dir] [output-json] [seeds]
 set -euo pipefail
 
@@ -18,6 +24,7 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_parallel_sweep.json}"
 SEEDS="${3:-3}"
 OBS_OUT_JSON="${OBS_OUT_JSON:-BENCH_obs_overhead.json}"
+FASTPATH_OUT_JSON="${FASTPATH_OUT_JSON:-BENCH_fastpath.json}"
 
 BENCH="$BUILD_DIR/bench/bench_fig6_spare_sweep"
 if [[ ! -x "$BENCH" ]]; then
@@ -134,3 +141,60 @@ cat > "$OBS_OUT_JSON" <<EOF
 EOF
 
 echo "== wrote $OBS_OUT_JSON (event-log overhead ${OVERHEAD}% over ${T_PLAIN}s baseline)"
+
+# ---- batched fast path speedup --------------------------------------------
+# A fig6-style UAA spare-fraction sweep, once through the run-length batched
+# fast path (the default) and once with --no-fastpath. Both modes must print
+# byte-identical results (GATING — the fast path is an optimization, never a
+# model change); the speedup is recorded for the record.
+FP_FRACTIONS=(0.10 0.20 0.30)
+FP_ATTACKS=(uaa bpa)
+FP_ARGS=(--mode stochastic --lines 4096 --regions 256
+         --endurance-mean 30000 --spare maxwe --seed 11)
+
+run_fp_sweep() {  # run_fp_sweep <output-file> [extra args...]; echoes seconds
+  local out="$1" t0 t1 frac atk
+  shift
+  t0="$(now_ns)"
+  : > "$out"
+  for atk in "${FP_ATTACKS[@]}"; do
+    for frac in "${FP_FRACTIONS[@]}"; do
+      "$SIM" "${FP_ARGS[@]}" --attack "$atk" --spare-fraction "$frac" \
+        "$@" >> "$out"
+    done
+  done
+  t1="$(now_ns)"
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+echo "== fastpath sweep: batched (default)"
+T_FAST="$(run_fp_sweep "$workdir/fp_fast.txt")"
+echo "   ${T_FAST}s"
+
+echo "== fastpath sweep: --no-fastpath (per-write reference)"
+T_PERWRITE="$(run_fp_sweep "$workdir/fp_slow.txt" --no-fastpath)"
+echo "   ${T_PERWRITE}s"
+
+# GATING: the fast path must not change a single output byte.
+if ! cmp -s "$workdir/fp_fast.txt" "$workdir/fp_slow.txt"; then
+  echo "FAIL: fast-path output differs from --no-fastpath" >&2
+  diff "$workdir/fp_fast.txt" "$workdir/fp_slow.txt" >&2 || true
+  exit 1
+fi
+echo "== fastpath and per-write outputs byte-identical"
+
+FP_SPEEDUP="$(awk -v f="$T_FAST" -v p="$T_PERWRITE" \
+  'BEGIN { printf "%.2f", (f > 0) ? p / f : 0 }')"
+
+cat > "$FASTPATH_OUT_JSON" <<EOF
+{
+  "benchmark": "maxwe_sim_fastpath_sweep",
+  "config": "stochastic 4096x256 maxwe seed 11, attacks [${FP_ATTACKS[*]}], spare fractions [${FP_FRACTIONS[*]}]",
+  "fastpath_seconds": $T_FAST,
+  "perwrite_seconds": $T_PERWRITE,
+  "speedup": $FP_SPEEDUP,
+  "outputs_identical": true
+}
+EOF
+
+echo "== wrote $FASTPATH_OUT_JSON (fast path ${FP_SPEEDUP}x over per-write)"

@@ -153,3 +153,42 @@ if ! cmp -s "${EV_REF}" "${EV_CRASH}"; then
   exit 1
 fi
 echo "PASS: resumed event log is byte-identical to the uninterrupted run's"
+
+# ---- cross-mode resume: a checkpoint written by the batched fast path is
+# resumed with --no-fastpath and must land on the same report as the
+# uninterrupted (fast-path) reference from step 1 — the fastpath flag is
+# deliberately outside the checkpoint's config fingerprint.
+FP_CKPT=${WORK}/fastpath.ckpt
+
+echo "[fastpath 1/2] fast-path run, SIGKILL once the first checkpoint lands..."
+"${TOOL}" "${CONFIG[@]}" --checkpoint-out "${FP_CKPT}" \
+  --checkpoint-interval 20000 > "${WORK}/fp_killed.out" 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+  [[ -f ${FP_CKPT} ]] && break
+  kill -0 "${PID}" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -KILL "${PID}" 2>/dev/null; then
+  echo "      killed pid ${PID}"
+else
+  echo "      note: run finished before the kill landed (still a valid resume)"
+fi
+wait "${PID}" 2>/dev/null
+if [[ ! -f ${FP_CKPT} ]]; then
+  echo "FAIL: no checkpoint was written before the process died" >&2
+  exit 1
+fi
+
+echo "[fastpath 2/2] resume with --no-fastpath (mode switch across resume)..."
+if ! "${TOOL}" "${CONFIG[@]}" --checkpoint-out "${FP_CKPT}" --resume \
+     --checkpoint-interval 20000 --no-fastpath > "${WORK}/fp_resumed.out"; then
+  echo "FAIL: --no-fastpath resume exited non-zero" >&2
+  exit 1
+fi
+
+if ! diff -u "${WORK}/ref.out" "${WORK}/fp_resumed.out"; then
+  echo "FAIL: --no-fastpath resume differs from the fast-path reference" >&2
+  exit 1
+fi
+echo "PASS: --no-fastpath resume is byte-identical to the fast-path reference"

@@ -18,12 +18,41 @@
 
 namespace nvmsec {
 
+/// A run of consecutive writes emitted as one unit by Attack::next_run:
+/// `count` writes starting at `start`, with logical addresses advancing by
+/// `stride` per write. stride 0 repeats one address (a BPA burst segment);
+/// stride 1 sweeps sequentially (a UAA sweep segment).
+struct AttackRun {
+  LogicalLineAddr start{LogicalLineAddr::invalid()};
+  std::uint64_t count{1};
+  std::uint64_t stride{0};
+
+  [[nodiscard]] LogicalLineAddr addr_at(std::uint64_t i) const {
+    return LogicalLineAddr{start.value() + i * stride};
+  }
+};
+
 class Attack {
  public:
   virtual ~Attack() = default;
 
   /// Produce the next logical address to write, strictly < user_lines.
   virtual LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) = 0;
+
+  /// Batched form of next(): emit up to `max_len` (>= 1) upcoming writes in
+  /// one run. The contract is strict bit-equivalence with the per-write
+  /// path — consuming a run of length n must leave the attack state *and*
+  /// the RNG stream exactly as n successive next() calls would, and every
+  /// address in the run must be strictly < user_lines. Attacks whose
+  /// addresses are a deterministic function of their cursor (UAA's sweep,
+  /// BPA's burst remainder) override this to emit whole segments; attacks
+  /// that draw per write (zipf, hotspot, random) keep this default so their
+  /// RNG consumption is untouched.
+  virtual AttackRun next_run(Rng& rng, std::uint64_t user_lines,
+                             std::uint64_t max_len) {
+    (void)max_len;
+    return AttackRun{next(rng, user_lines), 1, 0};
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -24,6 +24,23 @@ LogicalLineAddr BirthdayParadoxAttack::next(Rng& rng,
   return target_;
 }
 
+AttackRun BirthdayParadoxAttack::next_run(Rng& rng, std::uint64_t user_lines,
+                                          std::uint64_t max_len) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("BPA: empty address space");
+  }
+  if (max_len == 0) {
+    throw std::invalid_argument("BPA: next_run needs max_len >= 1");
+  }
+  if (remaining_in_burst_ == 0 || target_.value() >= user_lines) {
+    target_ = LogicalLineAddr{rng.uniform_u64(user_lines)};
+    remaining_in_burst_ = burst_length_;
+  }
+  const std::uint64_t n = std::min(max_len, remaining_in_burst_);
+  remaining_in_burst_ -= n;
+  return AttackRun{target_, n, 0};
+}
+
 void BirthdayParadoxAttack::reset() {
   remaining_in_burst_ = 0;
   target_ = LogicalLineAddr::invalid();

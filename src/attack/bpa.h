@@ -19,6 +19,11 @@ class BirthdayParadoxAttack final : public Attack {
   explicit BirthdayParadoxAttack(std::uint64_t burst_length);
 
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  /// Emits the rest of the current burst (up to max_len) as one stride-0
+  /// run. RNG use is bit-identical to the per-write path: the target is
+  /// drawn once at burst start, never inside a burst.
+  AttackRun next_run(Rng& rng, std::uint64_t user_lines,
+                     std::uint64_t max_len) override;
   [[nodiscard]] std::string name() const override { return "bpa"; }
   void reset() override;
 

@@ -15,4 +15,22 @@ LogicalLineAddr UniformAddressAttack::next(Rng& /*rng*/,
   return LogicalLineAddr{cursor_++};
 }
 
+AttackRun UniformAddressAttack::next_run(Rng& /*rng*/,
+                                         std::uint64_t user_lines,
+                                         std::uint64_t max_len) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("UAA: empty address space");
+  }
+  if (max_len == 0) {
+    throw std::invalid_argument("UAA: next_run needs max_len >= 1");
+  }
+  if (cursor_ >= user_lines) cursor_ = 0;
+  // The run ends at the sweep boundary so the wrap happens exactly where
+  // the per-write path would wrap it.
+  const std::uint64_t n = std::min(max_len, user_lines - cursor_);
+  const AttackRun run{LogicalLineAddr{cursor_}, n, 1};
+  cursor_ += n;
+  return run;
+}
+
 }  // namespace nvmsec

@@ -13,6 +13,10 @@ namespace nvmsec {
 class UniformAddressAttack final : public Attack {
  public:
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  /// Emits the rest of the current sweep pass (up to max_len) as one
+  /// stride-1 run; bit-identical to per-write next() calls (no RNG use).
+  AttackRun next_run(Rng& rng, std::uint64_t user_lines,
+                     std::uint64_t max_len) override;
   [[nodiscard]] std::string name() const override { return "uaa"; }
   void reset() override { cursor_ = 0; }
 

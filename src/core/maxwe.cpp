@@ -210,6 +210,7 @@ bool MaxWe::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("MaxWe::on_wear_out: index out of range");
   }
   ++stats_.line_deaths;
+  bump_mapping_epoch();
   const DeviceGeometry& geom = endurance_->geometry();
   const PhysLineAddr pla = working_line(idx);
   const PhysLineAddr worn{backing_[idx]};
@@ -336,6 +337,7 @@ ScrubReport MaxWe::scrub(const Device& device) {
 
   rmt_ = std::move(fresh_rmt);
   lmt_ = std::move(fresh_lmt);
+  bump_mapping_epoch();
 
   if (obs_.events != nullptr) {
     obs_.events->emit(
@@ -466,6 +468,7 @@ std::uint64_t MaxWe::mapping_overhead_bits() const {
 }
 
 void MaxWe::reset() {
+  bump_mapping_epoch();
   stats_ = {};
   rmt_.reset_tags();
   lmt_.clear();

@@ -84,6 +84,7 @@ class MaxWe final : public SpareScheme {
   }
   [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
   PhysLineAddr resolve(std::uint64_t idx) override;
+  [[nodiscard]] bool resolve_cacheable() const override { return true; }
   bool on_wear_out(std::uint64_t idx) override;
   [[nodiscard]] std::string name() const override { return "maxwe"; }
   [[nodiscard]] SpareSchemeStats stats() const override;

@@ -33,6 +33,13 @@ class MetadataFaultInjector {
     return interval_ > 0 && user_writes >= next_at_;
   }
 
+  /// Writes the engine can batch before the next injection point: 0 when
+  /// due() is already true, a huge sentinel when injection is disabled.
+  [[nodiscard]] std::uint64_t writes_until_due(std::uint64_t user_writes) const {
+    if (interval_ == 0) return UINT64_MAX;
+    return user_writes >= next_at_ ? 0 : next_at_ - user_writes;
+  }
+
   /// Flip one random bit in one random live table field of `scheme`, then
   /// scrub. Returns the scrub report (all-zero when the tables held no
   /// corruptible entry yet, e.g. before the first wear-out).

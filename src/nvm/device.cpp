@@ -1,5 +1,6 @@
 #include "nvm/device.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -27,26 +28,48 @@ WriteOutcome Device::write(PhysLineAddr line) {
   if (!geometry().contains(line)) {
     throw std::out_of_range("Device::write: line out of range");
   }
-  WriteCount& rem = remaining_[line.value()];
-  if (rem == 0) {
+  if (remaining_[line.value()] == 0) {
     throw std::logic_error(
         "Device::write: write to a worn-out line (spare layer must redirect)");
   }
-  ++total_writes_;
-  --rem;
-  if (rem == 0) {
-    ++worn_out_count_;
-    if (wear_outs_ != nullptr) wear_outs_->inc();
-    if (obs_.trace != nullptr) {
-      obs_.trace->instant(
-          "wear_out",
-          {{"line", static_cast<double>(line.value())},
-           {"region", static_cast<double>(geometry().region_of(line).value())},
-           {"worn_out_lines", static_cast<double>(worn_out_count_)}});
-    }
-    return WriteOutcome::kWornOut;
+  return write_unchecked(line);
+}
+
+BulkWriteResult Device::write_many(PhysLineAddr line, WriteCount count) {
+  if (!geometry().contains(line)) {
+    throw std::out_of_range("Device::write_many: line out of range");
   }
-  return WriteOutcome::kOk;
+  if (count == 0) {
+    throw std::invalid_argument("Device::write_many: count must be >= 1");
+  }
+  WriteCount& rem = remaining_[line.value()];
+  if (rem == 0) {
+    throw std::logic_error(
+        "Device::write_many: write to a worn-out line (spare layer must "
+        "redirect)");
+  }
+  BulkWriteResult res;
+  res.absorbed = std::min(count, rem);
+  total_writes_ += res.absorbed;
+  rem -= res.absorbed;
+  if (rem == 0) {
+    note_wear_out(line);
+    res.wore_out = true;
+  }
+  return res;
+}
+
+WriteOutcome Device::note_wear_out(PhysLineAddr line) {
+  ++worn_out_count_;
+  if (wear_outs_ != nullptr) wear_outs_->inc();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(
+        "wear_out",
+        {{"line", static_cast<double>(line.value())},
+         {"region", static_cast<double>(geometry().region_of(line).value())},
+         {"worn_out_lines", static_cast<double>(worn_out_count_)}});
+  }
+  return WriteOutcome::kWornOut;
 }
 
 void Device::set_observer(const Observer& obs) {

@@ -7,6 +7,7 @@
 // corrupting lifetime accounting.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -24,6 +25,12 @@ enum class WriteOutcome {
   kWornOut,  ///< This write was the line's last: it is now worn out.
 };
 
+/// Result of a batched Device::write_many call.
+struct BulkWriteResult {
+  WriteCount absorbed{0};  ///< Writes the line actually took (<= requested).
+  bool wore_out{false};    ///< The last absorbed write exhausted the line.
+};
+
 class Device {
  public:
   explicit Device(std::shared_ptr<const EnduranceMap> endurance);
@@ -36,6 +43,26 @@ class Device {
   /// Apply one write to `line`. Throws std::logic_error if the line is
   /// already worn out.
   WriteOutcome write(PhysLineAddr line);
+
+  /// Batched entry: apply up to `count` writes to `line`, validating once
+  /// and bulk-decrementing the budget. Returns how many writes the line
+  /// absorbed (min(count, remaining)) and whether the last absorbed write
+  /// wore it out. Throws exactly like write() for an out-of-range or
+  /// already-worn-out line; `count` must be >= 1.
+  BulkWriteResult write_many(PhysLineAddr line, WriteCount count);
+
+  /// Fast-path single write: range/liveness validation reduced to
+  /// debug-only asserts. Callers must guarantee `line` is in range and not
+  /// worn out (the batched engine path validates once per span).
+  WriteOutcome write_unchecked(PhysLineAddr line) {
+    assert(geometry().contains(line));
+    WriteCount& rem = remaining_[line.value()];
+    assert(rem > 0);
+    ++total_writes_;
+    --rem;
+    if (rem == 0) return note_wear_out(line);
+    return WriteOutcome::kOk;
+  }
 
   /// Integer write budget of `line` (endurance rounded, at least 1).
   [[nodiscard]] WriteCount write_budget(PhysLineAddr line) const;
@@ -81,6 +108,10 @@ class Device {
   void set_observer(const Observer& obs);
 
  private:
+  /// Cold path shared by write_unchecked/write_many: bump the worn-out
+  /// counters and emit the trace instant. Always returns kWornOut.
+  WriteOutcome note_wear_out(PhysLineAddr line);
+
   Observer obs_{};
   Counter* wear_outs_{nullptr};
   std::shared_ptr<const EnduranceMap> endurance_;

@@ -12,6 +12,7 @@
 // runs have no DRAM buffer) are simply omitted from the line.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <ostream>
 
@@ -53,6 +54,14 @@ class SnapshotEmitter {
   /// compare — cheap enough for a per-write loop.
   [[nodiscard]] bool due(double user_writes) const {
     return user_writes >= next_at_;
+  }
+
+  /// Writes the engine can batch before the next cadence threshold (>= 1
+  /// whenever due() is false; snapshot() always advances next_at_ past the
+  /// current write count, so the threshold cannot stick in the past).
+  [[nodiscard]] std::uint64_t writes_until_due(double user_writes) const {
+    if (user_writes >= next_at_) return 0;
+    return static_cast<std::uint64_t>(std::ceil(next_at_ - user_writes));
   }
 
   /// Emit one snapshot line and advance the threshold past

@@ -1,5 +1,8 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -174,6 +177,103 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
         (user_writes_ / checkpoint_interval_ + 1) * checkpoint_interval_;
   }
 
+  const std::uint64_t logical_lines = wl_.logical_lines();
+  // Combined translate∘resolve cache for fast spans. One u64 per logical
+  // line: (version << 32) | physical line. Any mapping-epoch change (wear
+  // leveler remap, spare rescue, scrub, state load) flushes the whole
+  // cache in O(1) by bumping the version; entries are zero-filled only on
+  // the (practically unreachable) u32 version wrap. FreeP declines caching
+  // because its resolve() charges checkpointed pointer-walk counters.
+  const bool cache_resolves = fastpath_ && spare_.resolve_cacheable() &&
+                              geom.num_lines() <= UINT32_MAX &&
+                              logical_lines <= UINT32_MAX;
+  std::vector<std::uint64_t> line_cache;
+  std::uint32_t cache_version = 0;
+  std::uint64_t seen_wl_epoch = ~0ull;
+  std::uint64_t seen_spare_epoch = ~0ull;
+  if (cache_resolves) line_cache.assign(logical_lines, 0);
+
+  const auto resolve_cached = [&](LogicalLineAddr la) -> PhysLineAddr {
+    if (wl_.mapping_epoch() != seen_wl_epoch ||
+        spare_.mapping_epoch() != seen_spare_epoch) {
+      seen_wl_epoch = wl_.mapping_epoch();
+      seen_spare_epoch = spare_.mapping_epoch();
+      if (++cache_version == 0) {
+        std::fill(line_cache.begin(), line_cache.end(), 0);
+        cache_version = 1;
+      }
+    }
+    std::uint64_t& slot = line_cache[la.value()];
+    if ((slot >> 32) == cache_version) {
+      return PhysLineAddr{slot & 0xffffffffull};
+    }
+    const PhysLineAddr line = spare_.resolve(wl_.translate(la));
+    slot = (static_cast<std::uint64_t>(cache_version) << 32) | line.value();
+    return line;
+  };
+
+  // Wear-out bookkeeping shared by both paths; bit-identical to the seed
+  // per-write branch. Returns false when the failure ends the run.
+  const auto handle_wear_out = [&](std::uint64_t working_index,
+                                   PhysLineAddr line) -> bool {
+    ++line_deaths_;
+    if (obs_.events != nullptr) {
+      obs_.events->set_now(static_cast<double>(user_writes_));
+      const RegionId region = geom.region_of(line);
+      if (++region_line_deaths[region.value()] == geom.lines_per_region()) {
+        obs_.events->emit("region_wear_out",
+                          {{"region", static_cast<double>(region.value())}});
+      }
+    }
+    if (!spare_.on_wear_out(working_index)) {
+      result.failed = true;
+      result.failure_reason = "unreplaceable wear-out at working index " +
+                              std::to_string(working_index) + " (line " +
+                              std::to_string(line.value()) + ")";
+      if (obs_.events != nullptr) {
+        obs_.events->emit(
+            "end_of_life",
+            {{"cause", "unreplaceable_wear_out"},
+             {"working_index", static_cast<double>(working_index)},
+             {"line", static_cast<double>(line.value())},
+             {"region", static_cast<double>(geom.region_of(line).value())},
+             {"user_writes", static_cast<double>(user_writes_)},
+             {"line_deaths", static_cast<double>(line_deaths_)}});
+      }
+      if (obs_.trace != nullptr) {
+        obs_.trace->instant(
+            "engine.device_failure",
+            {{"working_index", static_cast<double>(working_index)},
+             {"line", static_cast<double>(line.value())},
+             {"user_writes", static_cast<double>(user_writes_)}});
+      }
+      return false;
+    }
+    return true;
+  };
+
+  // Exact per-write pipeline (the seed loop body): wear-leveler write path
+  // with migration writes, then device writes one by one.
+  batch.reserve(16);
+  const auto write_one = [&](LogicalLineAddr la) {
+    batch.clear();
+    wl_.on_write(la, rng_, batch);
+    for (const WlPhysWrite& w : batch) {
+      const PhysLineAddr line = spare_.resolve(w.working_index);
+      const WriteOutcome outcome = device_.write(line);
+      // Count only writes the device absorbed: when failure aborts the
+      // batch, the unissued remainder must not inflate the lifetime.
+      if (w.is_overhead) {
+        ++overhead_writes_;
+      } else {
+        ++user_writes_;
+      }
+      if (outcome == WriteOutcome::kWornOut) {
+        if (!handle_wear_out(w.working_index, line)) break;
+      }
+    }
+  };
+
   while (!result.failed &&
          (max_user_writes == 0 || user_writes_ < max_user_writes)) {
     // User-write boundary work, in fixed order so checkpoints capture a
@@ -211,68 +311,94 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
              {"lmt_entries", static_cast<double>(s.lmt_entries)}});
       }
     }
-    LogicalLineAddr la = attack_.next(rng_, wl_.logical_lines());
-    if (buffer_) {
-      const std::optional<LogicalLineAddr> evicted = buffer_->write(la);
+
+    // Batch cap: a run may never cross the write cap, a checkpoint, a
+    // snapshot threshold, or a fault-injection point — those all fire in
+    // the boundary block above, at exactly the write counts the per-write
+    // loop would see. A DRAM buffer keeps the per-write default: its
+    // hit/evict decisions are inherently per-address.
+    std::uint64_t limit = 1;
+    if (fastpath_ && buffer_ == nullptr) {
+      limit = max_user_writes == 0
+                  ? std::numeric_limits<std::uint64_t>::max()
+                  : max_user_writes - user_writes_;
+      if (checkpoint_interval_ > 0) {
+        limit = std::min(limit, next_checkpoint_at_ - user_writes_);
+      }
+      if (injector_ != nullptr) {
+        limit = std::min(limit, injector_->writes_until_due(user_writes_));
+      }
+      if (obs_.snapshots != nullptr) {
+        limit = std::min(limit, obs_.snapshots->writes_until_due(
+                                    static_cast<double>(user_writes_)));
+      }
+      if (limit == 0) limit = 1;  // defensive: the boundary fired above
+    }
+
+    const AttackRun run = attack_.next_run(rng_, logical_lines, limit);
+    if (buffer_ != nullptr) {
+      // limit == 1, so the run is a single write — identical to next().
+      const std::optional<LogicalLineAddr> evicted = buffer_->write(run.start);
       if (!evicted) {
         ++user_writes_;
         ++absorbed_writes_;
         continue;
       }
-      la = *evicted;  // the write-back carries this line's data to the NVM
+      write_one(*evicted);  // the write-back carries the data to the NVM
+      continue;
     }
-    batch.clear();
-    wl_.on_write(la, rng_, batch);
 
-    for (const WlPhysWrite& w : batch) {
-      const PhysLineAddr line = spare_.resolve(w.working_index);
-      const WriteOutcome outcome = device_.write(line);
-      // Count only writes the device absorbed: when failure aborts the
-      // batch, the unissued remainder must not inflate the lifetime.
-      if (w.is_overhead) {
-        ++overhead_writes_;
+    std::uint64_t done = 0;
+    while (done < run.count && !result.failed) {
+      // Static-mapping horizon: how many writes the wear leveler takes
+      // without remapping, migrating, or drawing from the RNG. 0 means the
+      // leveler declines batching (or a remap is imminent): take the exact
+      // per-write path for this write.
+      const std::uint64_t horizon = fastpath_ ? wl_.writes_until_remap() : 0;
+      if (horizon == 0) {
+        write_one(run.addr_at(done));
+        ++done;
+        continue;
+      }
+      const std::uint64_t span = std::min(horizon, run.count - done);
+      std::uint64_t issued = 0;
+      if (run.stride == 0 && cache_resolves) {
+        // One address hammered repeatedly: resolve once, bulk-decrement the
+        // device budget, re-resolve only after a wear-out rescues the data
+        // onto a different backing line (the epoch bump flushes the cache).
+        while (issued < span && !result.failed) {
+          const PhysLineAddr line = resolve_cached(run.start);
+          const BulkWriteResult res =
+              device_.write_many(line, span - issued);
+          user_writes_ += res.absorbed;
+          issued += res.absorbed;
+          if (res.wore_out &&
+              !handle_wear_out(wl_.translate(run.start), line)) {
+            break;
+          }
+        }
       } else {
-        ++user_writes_;
-      }
-      if (outcome == WriteOutcome::kWornOut) {
-        ++line_deaths_;
-        if (obs_.events != nullptr) {
-          obs_.events->set_now(static_cast<double>(user_writes_));
-          const RegionId region = geom.region_of(line);
-          if (++region_line_deaths[region.value()] ==
-              geom.lines_per_region()) {
-            obs_.events->emit(
-                "region_wear_out",
-                {{"region", static_cast<double>(region.value())}});
+        // Distinct addresses (sweep segment), or a spare scheme whose
+        // resolve() must run once per write (FreeP's pointer-walk stats).
+        while (issued < span && !result.failed) {
+          const LogicalLineAddr la = run.addr_at(done + issued);
+          const PhysLineAddr line = cache_resolves
+                                        ? resolve_cached(la)
+                                        : spare_.resolve(wl_.translate(la));
+          const WriteOutcome outcome = device_.write_unchecked(line);
+          ++user_writes_;
+          ++issued;
+          if (outcome == WriteOutcome::kWornOut &&
+              !handle_wear_out(wl_.translate(la), line)) {
+            break;
           }
         }
-        if (!spare_.on_wear_out(w.working_index)) {
-          result.failed = true;
-          result.failure_reason =
-              "unreplaceable wear-out at working index " +
-              std::to_string(w.working_index) + " (line " +
-              std::to_string(line.value()) + ")";
-          if (obs_.events != nullptr) {
-            obs_.events->emit(
-                "end_of_life",
-                {{"cause", "unreplaceable_wear_out"},
-                 {"working_index", static_cast<double>(w.working_index)},
-                 {"line", static_cast<double>(line.value())},
-                 {"region",
-                  static_cast<double>(geom.region_of(line).value())},
-                 {"user_writes", static_cast<double>(user_writes_)},
-                 {"line_deaths", static_cast<double>(line_deaths_)}});
-          }
-          if (obs_.trace != nullptr) {
-            obs_.trace->instant(
-                "engine.device_failure",
-                {{"working_index", static_cast<double>(w.working_index)},
-                 {"line", static_cast<double>(line.value())},
-                 {"user_writes", static_cast<double>(user_writes_)}});
-          }
-          break;
-        }
       }
+      // Fast-forward the remap cadence by the writes actually issued (the
+      // per-write path would have counted each of them, including a fatal
+      // final write, before the remap ever fired).
+      wl_.commit_batched_writes(issued);
+      done += issued;
     }
   }
 

@@ -39,6 +39,14 @@ class Engine {
   /// buffer must set a write cap.
   void set_front_buffer(DramBuffer* buffer) { buffer_ = buffer; }
 
+  /// Toggle the run-length batched fast path (on by default). The fast
+  /// path advances in chunks bounded by the attack's run length, the wear
+  /// leveler's static-mapping horizon, and the next checkpoint / snapshot /
+  /// fault boundary; it is bit-identical to the per-write path — same
+  /// LifetimeResult, RNG stream, event-log bytes, checkpoint payloads —
+  /// so disabling it (`--no-fastpath`) is purely an escape hatch.
+  void set_fast_path(bool enabled) { fastpath_ = enabled; }
+
   /// Enable periodic checkpointing: every `interval` user writes the full
   /// engine + component state is serialized and atomically written to
   /// `path` (temp file + rename, so a crash never leaves a torn file).
@@ -97,6 +105,7 @@ class Engine {
   WriteCount overhead_writes_{0};
   std::uint64_t line_deaths_{0};
   bool resumed_{false};
+  bool fastpath_{true};
 };
 
 }  // namespace nvmsec

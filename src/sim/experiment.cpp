@@ -276,6 +276,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
 
   Device device(device_map);
   Engine engine(device, *attack, *wl, *spare, rng);
+  engine.set_fast_path(config.fastpath);
   engine.set_observer(config.observer);
   std::unique_ptr<DramBuffer> buffer;
   if (config.dram_buffer_lines > 0) {

@@ -56,6 +56,14 @@ struct ExperimentConfig {
   /// Max-WE only: fraction q of the spare budget used as SWRs.
   double swr_fraction{0.90};
 
+  /// Stochastic mode only: run-length batched fast path (attack runs ->
+  /// WL horizon -> Device::write_many). Bit-identical to the per-write
+  /// path, so it is on by default; `--no-fastpath` is the escape hatch.
+  /// Deliberately excluded from config_fingerprint — like
+  /// max_user_writes, it does not shape the trajectory, so checkpoints
+  /// interchange across fastpath on/off.
+  bool fastpath{true};
+
   SimulationMode mode{SimulationMode::kUniformEvent};
   /// Stochastic mode only: stop after this many user writes (0 = until
   /// failure).

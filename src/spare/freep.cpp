@@ -43,6 +43,7 @@ bool FreeP::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("FreeP::on_wear_out: index out of range");
   }
   ++stats_.line_deaths;
+  bump_mapping_epoch();
   const std::uint32_t worn = backing_[idx];
   if (next_spare_ >= spare_lines_) {
     if (obs_.events != nullptr) {
@@ -86,6 +87,7 @@ std::uint64_t FreeP::chain_depth(std::uint64_t idx) const {
 }
 
 void FreeP::reset() {
+  bump_mapping_epoch();
   stats_ = {};
   next_spare_ = 0;
   max_chain_ = 0;

@@ -32,6 +32,9 @@ class FreeP final : public SpareScheme {
   [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
   PhysLineAddr resolve(std::uint64_t idx) override;
   bool on_wear_out(std::uint64_t idx) override;
+  /// resolve() charges pointer-walk reads (hops_/resolves_), and those
+  /// counters are checkpointed — caching would change checkpoint bytes.
+  [[nodiscard]] bool resolve_cacheable() const override { return false; }
   [[nodiscard]] std::string name() const override { return "freep"; }
   [[nodiscard]] SpareSchemeStats stats() const override;
   void reset() override;

@@ -21,6 +21,7 @@ bool NoSpare::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("NoSpare::on_wear_out: index out of range");
   }
   ++stats_.line_deaths;
+  bump_mapping_epoch();
   return false;  // nothing to replace with: first death is device failure
 }
 

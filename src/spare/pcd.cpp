@@ -45,6 +45,7 @@ void Pcd::rehome(std::uint64_t idx) {
   backing_[idx] = alive_list_[static_cast<std::size_t>(
       rng_.uniform_u64(alive_list_.size()))];
   ++stats_.replacements;
+  bump_mapping_epoch();
 }
 
 PhysLineAddr Pcd::resolve(std::uint64_t idx) {
@@ -62,6 +63,9 @@ bool Pcd::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("Pcd::on_wear_out: index out of range");
   }
   mark_dead(PhysLineAddr{backing_[idx]});
+  // A death invalidates every cached resolve of an index sharing the dead
+  // backing line, not just `idx` — bump even when rehome() will bump again.
+  bump_mapping_epoch();
   if (stats_.line_deaths > degradation_budget_) {
     return false;  // capacity guarantee broken
   }
@@ -122,10 +126,12 @@ Status Pcd::load_state(StateReader& r) {
   alive_list_ = std::move(alive);
   dead_ = std::move(dead);
   alive_pos_ = std::move(alive_pos);
+  bump_mapping_epoch();
   return Status{};
 }
 
 void Pcd::reset() {
+  bump_mapping_epoch();
   stats_ = {};
   backing_.resize(num_lines_);
   dead_.assign(num_lines_, false);

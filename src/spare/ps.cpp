@@ -63,6 +63,7 @@ bool PhysicalSparing::on_wear_out(std::uint64_t idx) {
     throw std::out_of_range("PhysicalSparing::on_wear_out: out of range");
   }
   ++stats_.line_deaths;
+  bump_mapping_epoch();
   if (next_spare_ >= pool_.size()) {
     return false;  // pool exhausted: replacement procedure fails
   }
@@ -81,6 +82,7 @@ void PhysicalSparing::reset() {
   stats_ = {};
   next_spare_ = 0;
   backing_ = working_;
+  bump_mapping_epoch();
 }
 
 void PhysicalSparing::save_state(StateWriter& w) const {
@@ -108,6 +110,7 @@ Status PhysicalSparing::load_state(StateReader& r) {
   stats_.replacements = replacements;
   next_spare_ = static_cast<std::size_t>(next_spare);
   backing_ = std::move(backing);
+  bump_mapping_epoch();
   return Status{};
 }
 

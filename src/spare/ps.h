@@ -32,6 +32,7 @@ class PhysicalSparing final : public SpareScheme {
   }
   [[nodiscard]] PhysLineAddr working_line(std::uint64_t idx) const override;
   PhysLineAddr resolve(std::uint64_t idx) override;
+  [[nodiscard]] bool resolve_cacheable() const override { return true; }
   bool on_wear_out(std::uint64_t idx) override;
   [[nodiscard]] std::string name() const override {
     return policy_ == PsPoolPolicy::kRandom ? "ps" : "ps-worst";

@@ -55,6 +55,21 @@ class SpareScheme {
   /// scheme redirected `idx` to a replacement; false means device failure.
   virtual bool on_wear_out(std::uint64_t idx) = 0;
 
+  /// Monotone counter bumped on every change to the working-index ->
+  /// backing-line mapping: replacements, lazy repairs (PCD's rehome),
+  /// scrub rebuilds (Max-WE), reset, and state load. A batched engine
+  /// caches resolve() results only while this value is unchanged.
+  [[nodiscard]] std::uint64_t mapping_epoch() const { return mapping_epoch_; }
+
+  /// True when resolve() is a pure lookup whose result may be cached while
+  /// mapping_epoch() is unchanged. The default is false — the safe answer
+  /// for a scheme that doesn't know about epochs. A scheme may opt in only
+  /// if (a) resolve() mutates nothing observable and (b) *every* mapping
+  /// change calls bump_mapping_epoch(). FREE-p stays false even though it
+  /// bumps: its resolve() charges pointer-walk reads into checkpointed
+  /// counters, so skipping calls would change checkpoint bytes.
+  [[nodiscard]] virtual bool resolve_cacheable() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   [[nodiscard]] virtual SpareSchemeStats stats() const = 0;
@@ -80,6 +95,12 @@ class SpareScheme {
     (void)r;
     return Status{};
   }
+
+ protected:
+  void bump_mapping_epoch() { ++mapping_epoch_; }
+
+ private:
+  std::uint64_t mapping_epoch_{0};
 };
 
 /// Parameters shared by the bundled spare schemes. `spare_lines` is an

@@ -34,6 +34,13 @@ class Bwl final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "bwl"; }
 
+  [[nodiscard]] std::uint64_t writes_until_remap() const override {
+    return interval_ - writes_since_swap_ - 1;
+  }
+  void commit_batched_writes(std::uint64_t k) override {
+    writes_since_swap_ += k;
+  }
+
   /// Quantized class index of a working group (exposed for tests).
   [[nodiscard]] std::uint32_t class_of_group(std::uint64_t group) const {
     return group_class_[group];

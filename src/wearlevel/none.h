@@ -15,6 +15,11 @@ class NoWearLeveling final : public PermutationWearLeveler {
   void on_write(LogicalLineAddr la, Rng& rng,
                 std::vector<WlPhysWrite>& out) override;
 
+  [[nodiscard]] std::uint64_t writes_until_remap() const override {
+    return kNeverRemaps;
+  }
+  void commit_batched_writes(std::uint64_t /*k*/) override {}
+
   [[nodiscard]] std::string name() const override { return "none"; }
 };
 

@@ -22,6 +22,13 @@ class PcmS final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "pcms"; }
 
+  [[nodiscard]] std::uint64_t writes_until_remap() const override {
+    return interval_ - writes_since_swap_ - 1;
+  }
+  void commit_batched_writes(std::uint64_t k) override {
+    writes_since_swap_ += k;
+  }
+
  private:
   void reset_policy() override { writes_since_swap_ = 0; }
   void save_policy(StateWriter& w) const override { w.u64(writes_since_swap_); }

@@ -35,6 +35,7 @@ void PermutationWearLeveler::swap_logical(std::uint64_t a, std::uint64_t b,
   fwd_[b] = wa;
   inv_[wa] = static_cast<std::uint32_t>(b);
   inv_[wb] = static_cast<std::uint32_t>(a);
+  bump_mapping_epoch();
   // Data migration: a's contents are rewritten into wb and b's into wa.
   out.push_back({wb, true});
   out.push_back({wa, true});
@@ -56,6 +57,7 @@ void PermutationWearLeveler::swap_logical_free(std::uint64_t a,
   fwd_[b] = wa;
   inv_[wa] = static_cast<std::uint32_t>(b);
   inv_[wb] = static_cast<std::uint32_t>(a);
+  bump_mapping_epoch();
 }
 
 void PermutationWearLeveler::charge_overhead(std::uint64_t wi,
@@ -93,6 +95,7 @@ Status PermutationWearLeveler::load_state(StateReader& r) {
     inv_[fwd_[la]] = static_cast<std::uint32_t>(la);
   }
   overhead_writes_ = overhead;
+  bump_mapping_epoch();
   return load_policy(r);
 }
 
@@ -102,6 +105,7 @@ void PermutationWearLeveler::reset() {
     inv_[i] = static_cast<std::uint32_t>(i);
   }
   overhead_writes_ = 0;
+  bump_mapping_epoch();
   reset_policy();
 }
 

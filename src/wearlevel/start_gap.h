@@ -26,6 +26,15 @@ class StartGap final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "startgap"; }
 
+  /// Writes left before the next gap move: on_write remaps when the
+  /// pre-incremented counter reaches psi.
+  [[nodiscard]] std::uint64_t writes_until_remap() const override {
+    return psi_ - writes_since_move_ - 1;
+  }
+  void commit_batched_writes(std::uint64_t k) override {
+    writes_since_move_ += k;
+  }
+
   /// Working index currently serving as the gap (exposed for tests).
   [[nodiscard]] std::uint64_t gap_slot() const { return gap_slot_; }
 

@@ -30,6 +30,13 @@ class Twl final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "twl"; }
 
+  [[nodiscard]] std::uint64_t writes_until_remap() const override {
+    return interval_ - writes_since_toss_ - 1;
+  }
+  void commit_batched_writes(std::uint64_t k) override {
+    writes_since_toss_ += k;
+  }
+
   /// Bonded partner group of `group` (exposed for tests).
   [[nodiscard]] std::uint64_t bonded_group(std::uint64_t group) const {
     return bond_[group];

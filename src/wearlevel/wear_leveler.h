@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,37 @@ class WearLeveler {
   virtual void on_write(LogicalLineAddr la, Rng& rng,
                         std::vector<WlPhysWrite>& out) = 0;
 
+  /// writes_until_remap() returning this means the mapping never changes
+  /// (the identity leveler).
+  static constexpr std::uint64_t kNeverRemaps =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Static-mapping horizon: how many upcoming on_write() calls are
+  /// guaranteed to leave the logical->working mapping untouched, emit no
+  /// migration writes, and draw nothing from the RNG — regardless of the
+  /// addresses written. Over that horizon a batched engine may map writes
+  /// through translate() alone and fast-forward the cadence afterwards via
+  /// commit_batched_writes(). 0 declines batching; the default declines so
+  /// schemes with per-write state (TLSR's sub-region counters, WAWL's
+  /// dwell countdowns, age tables) stay on the exact per-write path.
+  [[nodiscard]] virtual std::uint64_t writes_until_remap() const { return 0; }
+
+  /// Fast-forward the remap cadence by `k` user writes that were issued
+  /// without per-write on_write() calls. Only valid for
+  /// k <= writes_until_remap() as observed before the batch; levelers that
+  /// decline batching reject any commit.
+  virtual void commit_batched_writes(std::uint64_t k) {
+    if (k > 0) {
+      throw std::logic_error("WearLeveler::commit_batched_writes: '" + name() +
+                             "' does not support batched writes");
+    }
+  }
+
+  /// Monotone counter bumped whenever the logical->working mapping changes
+  /// (any swap, gap move, reset, or state load). A batched engine caches
+  /// translate() results only while this value is unchanged.
+  [[nodiscard]] std::uint64_t mapping_epoch() const { return mapping_epoch_; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Total migration (overhead) writes emitted so far.
@@ -66,6 +99,12 @@ class WearLeveler {
     (void)r;
     return Status{};
   }
+
+ protected:
+  void bump_mapping_epoch() { ++mapping_epoch_; }
+
+ private:
+  std::uint64_t mapping_epoch_{0};
 };
 
 /// Tunables shared by the bundled wear levelers.

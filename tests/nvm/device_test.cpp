@@ -85,6 +85,61 @@ TEST(DeviceTest, ResetRestoresFactoryState) {
   EXPECT_EQ(d.write(PhysLineAddr{0}), WriteOutcome::kOk);
 }
 
+TEST(DeviceTest, WriteManyAbsorbsUpToTheBudget) {
+  Device d(tiny_map());
+  const PhysLineAddr line{12};  // budget 5
+  const BulkWriteResult r = d.write_many(line, 3);
+  EXPECT_EQ(r.absorbed, 3u);
+  EXPECT_FALSE(r.wore_out);
+  EXPECT_EQ(d.remaining(line), 2u);
+  EXPECT_EQ(d.total_writes(), 3u);
+  EXPECT_EQ(d.writes_to(line), 3u);
+}
+
+TEST(DeviceTest, WriteManySplitsAtWearOut) {
+  Device d(tiny_map());
+  const PhysLineAddr line{4};  // budget 3
+  // Ask for more than the line can take: only the remainder is absorbed
+  // and the line dies on its last absorbed write.
+  const BulkWriteResult r = d.write_many(line, 10);
+  EXPECT_EQ(r.absorbed, 3u);
+  EXPECT_TRUE(r.wore_out);
+  EXPECT_TRUE(d.is_worn_out(line));
+  EXPECT_EQ(d.total_writes(), 3u);
+  EXPECT_EQ(d.worn_out_count(), 1u);
+}
+
+TEST(DeviceTest, WriteManyExactBudgetWearsOut) {
+  Device d(tiny_map());
+  const PhysLineAddr line{0};  // budget 2
+  const BulkWriteResult r = d.write_many(line, 2);
+  EXPECT_EQ(r.absorbed, 2u);
+  EXPECT_TRUE(r.wore_out);
+  EXPECT_EQ(d.worn_out_count(), 1u);
+}
+
+TEST(DeviceTest, WriteManyMatchesSingleWrites) {
+  Device a(tiny_map());
+  Device b(tiny_map());
+  const PhysLineAddr line{8};  // budget 4
+  const BulkWriteResult bulk = a.write_many(line, 4);
+  WriteOutcome last = WriteOutcome::kOk;
+  for (int i = 0; i < 4; ++i) last = b.write(line);
+  EXPECT_EQ(bulk.absorbed, 4u);
+  EXPECT_EQ(bulk.wore_out, last == WriteOutcome::kWornOut);
+  EXPECT_EQ(a.total_writes(), b.total_writes());
+  EXPECT_EQ(a.remaining(line), b.remaining(line));
+  EXPECT_EQ(a.worn_out_count(), b.worn_out_count());
+}
+
+TEST(DeviceTest, WriteManyValidationMatchesWrite) {
+  Device d(tiny_map());
+  EXPECT_THROW(d.write_many(PhysLineAddr{16}, 1), std::out_of_range);
+  EXPECT_THROW(d.write_many(PhysLineAddr{0}, 0), std::invalid_argument);
+  d.write_many(PhysLineAddr{0}, 2);  // wears the line out
+  EXPECT_THROW(d.write_many(PhysLineAddr{0}, 1), std::logic_error);
+}
+
 TEST(DeviceTest, GeometryAndMapAccessors) {
   auto map = tiny_map();
   Device d(map);

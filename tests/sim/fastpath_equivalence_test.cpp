@@ -1,0 +1,263 @@
+// The batched fast path's bit-identity contract: with and without
+// --no-fastpath, a stochastic run must produce the same LifetimeResult,
+// the same decision-event bytes, the same snapshot series, and the same
+// checkpoint payloads — across every attack x wear leveler x spare scheme
+// combination, with a DRAM buffer, under metadata fault injection, and
+// across a checkpoint/resume that switches modes mid-run. The fast path is
+// an optimization, never a model change.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/session.h"
+#include "obs/snapshot.h"
+#include "sim/experiment.h"
+
+namespace nvmsec {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Small-but-representative configuration: regions carry distinct
+/// endurances, every scheme has a non-trivial spare budget, and the cap
+/// bounds combinations that would otherwise sweep forever.
+ExperimentConfig base_config() {
+  ExperimentConfig config = scaled_stochastic_config(256, 16, 300.0);
+  config.spare_fraction = 0.25;
+  config.swr_fraction = 0.5;
+  config.max_user_writes = 120'000;
+  return config;
+}
+
+struct RunOutput {
+  LifetimeResult result;
+  std::string events;
+  std::string snapshots;
+};
+
+RunOutput run_once(ExperimentConfig config, bool fastpath,
+                   WriteCount snapshot_interval = 0) {
+  config.fastpath = fastpath;
+  std::ostringstream events_out;
+  EventLog events(events_out);
+  config.observer.events = &events;
+  std::ostringstream snap_out;
+  std::unique_ptr<SnapshotEmitter> snapshots;
+  if (snapshot_interval > 0) {
+    snapshots = std::make_unique<SnapshotEmitter>(snap_out, snapshot_interval);
+    config.observer.snapshots = snapshots.get();
+  }
+  RunOutput out;
+  out.result = run_experiment(config);
+  out.events = events_out.str();
+  out.snapshots = snap_out.str();
+  return out;
+}
+
+void expect_identical(const RunOutput& fast, const RunOutput& slow,
+                      const std::string& label) {
+  EXPECT_EQ(fast.result.user_writes, slow.result.user_writes) << label;
+  EXPECT_EQ(fast.result.overhead_writes, slow.result.overhead_writes) << label;
+  EXPECT_EQ(fast.result.absorbed_writes, slow.result.absorbed_writes) << label;
+  EXPECT_EQ(fast.result.device_writes, slow.result.device_writes) << label;
+  EXPECT_EQ(fast.result.line_deaths, slow.result.line_deaths) << label;
+  EXPECT_EQ(fast.result.failed, slow.result.failed) << label;
+  EXPECT_EQ(fast.result.failure_reason, slow.result.failure_reason) << label;
+  EXPECT_DOUBLE_EQ(fast.result.normalized, slow.result.normalized) << label;
+  EXPECT_FALSE(fast.events.empty()) << label;
+  EXPECT_EQ(fast.events, slow.events) << label;
+  EXPECT_EQ(fast.snapshots, slow.snapshots) << label;
+}
+
+// One test per attack keeps failures attributable and lets ctest schedule
+// them; each sweeps the full wear-leveler x spare-scheme grid.
+void sweep_attack(const std::string& attack) {
+  for (const std::string wl : {"none", "startgap", "tlsr", "pcms", "bwl",
+                               "agebased", "twl", "wawl"}) {
+    for (const std::string spare : {"none", "pcd", "ps", "freep", "maxwe"}) {
+      ExperimentConfig config = base_config();
+      config.attack = attack;
+      config.wear_leveler = wl;
+      config.spare_scheme = spare;
+      const std::string label = attack + "/" + wl + "/" + spare;
+      const RunOutput fast = run_once(config, /*fastpath=*/true);
+      const RunOutput slow = run_once(config, /*fastpath=*/false);
+      expect_identical(fast, slow, label);
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, UaaMatrix) { sweep_attack("uaa"); }
+TEST(FastPathEquivalenceTest, BpaMatrix) { sweep_attack("bpa"); }
+TEST(FastPathEquivalenceTest, ZipfMatrix) { sweep_attack("zipf"); }
+TEST(FastPathEquivalenceTest, HotspotMatrix) { sweep_attack("hotspot"); }
+TEST(FastPathEquivalenceTest, RandomMatrix) { sweep_attack("random"); }
+
+TEST(FastPathEquivalenceTest, SnapshotSeriesIsByteIdentical) {
+  for (const std::string attack : {"uaa", "bpa"}) {
+    ExperimentConfig config = base_config();
+    config.attack = attack;
+    config.wear_leveler = "startgap";
+    config.spare_scheme = "maxwe";
+    const RunOutput fast =
+        run_once(config, /*fastpath=*/true, /*snapshot_interval=*/700);
+    const RunOutput slow =
+        run_once(config, /*fastpath=*/false, /*snapshot_interval=*/700);
+    EXPECT_FALSE(fast.snapshots.empty());
+    expect_identical(fast, slow, attack + "/snapshots");
+  }
+}
+
+TEST(FastPathEquivalenceTest, DramBufferRunsAgree) {
+  ExperimentConfig config = base_config();
+  config.attack = "bpa";
+  config.wear_leveler = "startgap";
+  config.spare_scheme = "maxwe";
+  config.dram_buffer_lines = 16;
+  config.max_user_writes = 60'000;
+  const RunOutput fast = run_once(config, /*fastpath=*/true);
+  const RunOutput slow = run_once(config, /*fastpath=*/false);
+  expect_identical(fast, slow, "buffered");
+  EXPECT_GT(fast.result.absorbed_writes, 0u);
+}
+
+TEST(FastPathEquivalenceTest, MetadataFaultInjectionRunsAgree) {
+  ExperimentConfig config = base_config();
+  config.attack = "uaa";
+  config.wear_leveler = "startgap";
+  config.spare_scheme = "maxwe";
+  config.fault.metadata.flip_interval = 500;
+  const RunOutput fast = run_once(config, /*fastpath=*/true);
+  const RunOutput slow = run_once(config, /*fastpath=*/false);
+  expect_identical(fast, slow, "metadata-faults");
+}
+
+TEST(FastPathEquivalenceTest, DeviceFaultPlanRunsAgree) {
+  ExperimentConfig config = base_config();
+  config.attack = "uaa";
+  config.wear_leveler = "pcms";
+  config.spare_scheme = "maxwe";
+  config.fault.device.early_death_lines = 8;
+  config.fault.device.early_death_fraction = 0.3;
+  const RunOutput fast = run_once(config, /*fastpath=*/true);
+  const RunOutput slow = run_once(config, /*fastpath=*/false);
+  expect_identical(fast, slow, "device-faults");
+}
+
+TEST(FastPathEquivalenceTest, CheckpointPayloadsAreBitIdentical) {
+  const std::string fast_ckpt = temp_path("fastpath_eq_fast.ckpt");
+  const std::string slow_ckpt = temp_path("fastpath_eq_slow.ckpt");
+  std::filesystem::remove(fast_ckpt);
+  std::filesystem::remove(slow_ckpt);
+
+  ExperimentConfig config = base_config();
+  config.attack = "uaa";
+  config.wear_leveler = "startgap";
+  config.spare_scheme = "maxwe";
+  config.checkpoint_interval = 3'000;
+
+  ExperimentConfig fast_config = config;
+  fast_config.fastpath = true;
+  fast_config.checkpoint_out = fast_ckpt;
+  ExperimentConfig slow_config = config;
+  slow_config.fastpath = false;
+  slow_config.checkpoint_out = slow_ckpt;
+  run_experiment(fast_config);
+  run_experiment(slow_config);
+
+  const std::string fast_bytes = slurp(fast_ckpt);
+  const std::string slow_bytes = slurp(slow_ckpt);
+  EXPECT_FALSE(fast_bytes.empty());
+  // Same fingerprint, same progress counters, same RNG stream, same
+  // component state: the final checkpoint file is byte-for-byte the same.
+  EXPECT_EQ(fast_bytes, slow_bytes);
+
+  std::filesystem::remove(fast_ckpt);
+  std::filesystem::remove(slow_ckpt);
+}
+
+TEST(FastPathEquivalenceTest, CrossModeResumeIsBitIdentical) {
+  // A checkpoint written by the fast path resumes under the per-write path
+  // (and vice versa), landing on the per-write reference's event bytes —
+  // the fastpath flag is deliberately outside the config fingerprint.
+  const std::string ref_events = temp_path("fastpath_eq_ref.events.jsonl");
+  const std::string ref_ckpt = temp_path("fastpath_eq_ref.ckpt");
+
+  ExperimentConfig base = base_config();
+  base.attack = "uaa";
+  base.wear_leveler = "startgap";
+  base.spare_scheme = "maxwe";
+  base.checkpoint_interval = 2'000;
+
+  std::filesystem::remove(ref_events);
+  std::filesystem::remove(ref_ckpt);
+  {
+    ExperimentConfig config = base;
+    config.fastpath = false;
+    config.checkpoint_out = ref_ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = ref_events;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+  const std::string reference = slurp(ref_events);
+  ASSERT_FALSE(reference.empty());
+
+  for (const bool first_fast : {true, false}) {
+    const std::string events = temp_path("fastpath_eq_res.events.jsonl");
+    const std::string ckpt = temp_path("fastpath_eq_res.ckpt");
+    std::filesystem::remove(events);
+    std::filesystem::remove(ckpt);
+    {
+      ExperimentConfig config = base;
+      config.fastpath = first_fast;
+      config.checkpoint_out = ckpt;
+      config.max_user_writes = 7'000;  // interrupt mid-run
+      ObsConfig obs_config;
+      obs_config.events_path = events;
+      ObsSession session(obs_config);
+      config.observer = session.observer();
+      run_experiment(config);
+      session.finalize();
+    }
+    {
+      ExperimentConfig config = base;
+      config.fastpath = !first_fast;  // switch modes across the resume
+      config.checkpoint_out = ckpt;
+      config.resume_from = ckpt;
+      ObsConfig obs_config;
+      obs_config.events_path = events;
+      obs_config.resume = true;
+      ObsSession session(obs_config);
+      config.observer = session.observer();
+      run_experiment(config);
+      session.finalize();
+    }
+    EXPECT_EQ(slurp(events), reference)
+        << (first_fast ? "fast->perwrite" : "perwrite->fast");
+    std::filesystem::remove(events);
+    std::filesystem::remove(ckpt);
+  }
+
+  std::filesystem::remove(ref_events);
+  std::filesystem::remove(ref_ckpt);
+}
+
+}  // namespace
+}  // namespace nvmsec

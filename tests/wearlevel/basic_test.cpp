@@ -172,6 +172,99 @@ TEST(FactoryTest, AllSchemesConstructAndRun) {
                std::invalid_argument);
 }
 
+TEST(BatchHorizonTest, IdentityLevelerNeverRemaps) {
+  NoWearLeveling wl(32);
+  EXPECT_EQ(wl.writes_until_remap(), WearLeveler::kNeverRemaps);
+  const std::uint64_t epoch = wl.mapping_epoch();
+  wl.commit_batched_writes(1'000'000);  // no cadence to advance: a no-op
+  EXPECT_EQ(wl.writes_until_remap(), WearLeveler::kNeverRemaps);
+  EXPECT_EQ(wl.mapping_epoch(), epoch);
+}
+
+TEST(BatchHorizonTest, StartGapHorizonCountsDownToTheGapMove) {
+  StartGap wl(16, 4);  // psi = 4
+  Rng rng(1);
+  std::vector<WlPhysWrite> batch;
+  // Fresh leveler: 3 writes are safe, the 4th moves the gap.
+  EXPECT_EQ(wl.writes_until_remap(), 3u);
+  wl.on_write(LogicalLineAddr{0}, rng, batch);
+  EXPECT_EQ(wl.writes_until_remap(), 2u);
+  const std::uint64_t epoch = wl.mapping_epoch();
+  wl.commit_batched_writes(2);
+  EXPECT_EQ(wl.writes_until_remap(), 0u);
+  EXPECT_EQ(wl.mapping_epoch(), epoch);  // fast-forward moves no mapping
+  batch.clear();
+  wl.on_write(LogicalLineAddr{0}, rng, batch);  // the gap move fires here
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].is_overhead);
+  EXPECT_NE(wl.mapping_epoch(), epoch);
+  EXPECT_EQ(wl.writes_until_remap(), 3u);  // cadence restarted
+}
+
+TEST(BatchHorizonTest, HorizonWritesAreMigrationAndEpochFree) {
+  // Every batching leveler must take writes_until_remap() writes without
+  // emitting migration writes or changing the mapping — that is exactly
+  // what lets the engine skip per-write on_write() calls.
+  Rng rng(3);
+  WearLevelerParams params;
+  params.swap_interval = 5;
+  params.tlsr_subregion_lines = 16;
+  EnduranceView view(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    view[i] = 100.0 + static_cast<double>(i);
+  }
+  for (const std::string name : {"startgap", "pcms", "bwl", "twl"}) {
+    auto wl = make_wear_leveler(name, 64, view, params, rng);
+    const std::uint64_t h = wl->writes_until_remap();
+    ASSERT_EQ(h, params.swap_interval - 1) << name;
+    std::vector<WlPhysWrite> batch;
+    for (std::uint64_t i = 0; i < h; ++i) {
+      const std::uint64_t epoch = wl->mapping_epoch();
+      batch.clear();
+      wl->on_write(LogicalLineAddr{i % wl->logical_lines()}, rng, batch);
+      EXPECT_EQ(batch.size(), 1u) << name << " write " << i;
+      EXPECT_FALSE(batch[0].is_overhead) << name;
+      EXPECT_EQ(wl->mapping_epoch(), epoch) << name;
+      EXPECT_EQ(wl->writes_until_remap(), h - i - 1) << name;
+    }
+    // The next write crosses the cadence; afterwards the horizon restarts.
+    batch.clear();
+    wl->on_write(LogicalLineAddr{0}, rng, batch);
+    EXPECT_EQ(wl->writes_until_remap(), h) << name;
+  }
+}
+
+TEST(BatchHorizonTest, CommitFastForwardMatchesPerWriteCadence) {
+  Rng rng_a(7), rng_b(7);
+  WearLevelerParams params;
+  params.swap_interval = 6;
+  EnduranceView view(32, 200.0);
+  auto a = make_wear_leveler("pcms", 32, view, params, rng_a);
+  auto b = make_wear_leveler("pcms", 32, view, params, rng_b);
+  // a: three per-write calls; b: one commit of three. Cadence must agree.
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.clear();
+    a->on_write(LogicalLineAddr{static_cast<std::uint64_t>(i)}, rng_a, batch);
+  }
+  b->commit_batched_writes(3);
+  EXPECT_EQ(a->writes_until_remap(), b->writes_until_remap());
+}
+
+TEST(BatchHorizonTest, PerWriteStateLevelersDeclineBatching) {
+  Rng rng(5);
+  WearLevelerParams params;
+  params.swap_interval = 5;
+  params.tlsr_subregion_lines = 16;
+  EnduranceView view(64, 150.0);
+  for (const std::string name : {"tlsr", "wawl", "agebased"}) {
+    auto wl = make_wear_leveler(name, 64, view, params, rng);
+    EXPECT_EQ(wl->writes_until_remap(), 0u) << name;
+    EXPECT_THROW(wl->commit_batched_writes(1), std::logic_error) << name;
+    wl->commit_batched_writes(0);  // an empty commit is always fine
+  }
+}
+
 TEST(FactoryTest, PaperSchemesListMatchesEvaluation) {
   const auto& schemes = paper_wear_levelers();
   ASSERT_EQ(schemes.size(), 4u);

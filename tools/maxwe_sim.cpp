@@ -134,6 +134,10 @@ int main(int argc, char** argv) {
                "fault-injection RNG seed (its own stream; base results "
                "are unchanged by faults being off or on a new seed)",
                "99540903");
+  cli.add_switch("no-fastpath",
+                 "disable the run-length batched fast path (stochastic "
+                 "mode); results are bit-identical either way — this is a "
+                 "debugging escape hatch");
   cli.add_switch("verbose", "info-level logging");
 
   try {
@@ -165,6 +169,7 @@ int main(int argc, char** argv) {
     config.swr_fraction = cli.get_double("swr-fraction");
     config.dram_buffer_lines = cli.get_uint("buffer-lines");
     config.max_user_writes = cli.get_uint("max-writes");
+    config.fastpath = !cli.get_bool("no-fastpath");
     config.seed = cli.get_uint("seed");
     config.fault.device.stuck_at_lines = cli.get_uint("fault-stuck-at");
     config.fault.device.early_death_lines = cli.get_uint("fault-early-death");
