@@ -14,7 +14,7 @@
 
 #include "sim/parallel.h"
 #include "util/cli.h"
-#include "util/stats.h"
+#include "util/sketch.h"
 
 namespace nvmsec::bench {
 
@@ -31,18 +31,26 @@ inline ParallelOptions jobs_from_cli(const CliParser& cli) {
   return options;
 }
 
-/// Mean / spread of normalized lifetime across a seed sweep. The reduction
-/// is a deterministic input-order (seed-order) pass over the results.
+/// Distribution of normalized lifetime across a seed sweep: exact moments
+/// plus sketch percentiles, built on the same StreamSummary the fleet
+/// aggregates use. The reduction is a deterministic input-order
+/// (seed-order) pass over the results, so the summary — sketch centroids
+/// included — is bit-identical at any job count.
 struct SeedSweepStats {
-  double mean{0};
-  double stddev{0};
-  double min{0};
-  double max{0};
+  StreamSummary summary;
   int seeds{0};
+
+  [[nodiscard]] double mean() const { return summary.mean(); }
+  [[nodiscard]] double stddev() const { return summary.stddev(); }
+  [[nodiscard]] double min() const { return summary.min(); }
+  [[nodiscard]] double max() const { return summary.max(); }
+  /// Sketch percentile, q in [0, 1] (exact for small sweeps, where every
+  /// seed fits its own centroid).
+  [[nodiscard]] double quantile(double q) const { return summary.quantile(q); }
 };
 
-/// Run `seeds` experiments (base_seed, base_seed+1, ...) and reduce to
-/// mean/stddev/min/max in seed order.
+/// Run `seeds` experiments (base_seed, base_seed+1, ...) and reduce in seed
+/// order.
 inline SeedSweepStats lifetime_over_seeds(
     ExperimentConfig config, int seeds, std::uint64_t base_seed = 42,
     const ParallelOptions& options = {}) {
@@ -54,17 +62,17 @@ inline SeedSweepStats lifetime_over_seeds(
   }
   const std::vector<LifetimeResult> results =
       run_experiments(configs, options);
-  RunningStats stats;
-  for (const LifetimeResult& r : results) stats.add(r.normalized);
-  return SeedSweepStats{stats.mean(), stats.stddev(), stats.min(),
-                        stats.max(), seeds};
+  SeedSweepStats stats;
+  stats.seeds = seeds;
+  for (const LifetimeResult& r : results) stats.summary.add(r.normalized);
+  return stats;
 }
 
 /// Average a lifetime experiment over `seeds` seeds starting at base_seed.
 inline double mean_normalized_lifetime(ExperimentConfig config, int seeds,
                                        std::uint64_t base_seed = 42,
                                        const ParallelOptions& options = {}) {
-  return lifetime_over_seeds(config, seeds, base_seed, options).mean;
+  return lifetime_over_seeds(config, seeds, base_seed, options).mean();
 }
 
 /// Percentage formatting convention used in every table (paper reports

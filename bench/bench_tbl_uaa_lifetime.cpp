@@ -52,11 +52,11 @@ int main(int argc, char** argv) {
                   std::to_string(seeds) + " seeds");
   table.set_precision(1);
   for (const Row& r : rows) {
-    table.add_row({Cell{std::string{r.name}}, Cell{bench::pct(r.measured.mean)},
-                   Cell{bench::pct(r.measured.stddev)},
-                   Cell{bench::pct(r.measured.min)},
-                   Cell{bench::pct(r.measured.max)},
-                   Cell{r.measured.mean / none.mean}, Cell{r.paper_pct},
+    table.add_row({Cell{std::string{r.name}}, Cell{bench::pct(r.measured.mean())},
+                   Cell{bench::pct(r.measured.stddev())},
+                   Cell{bench::pct(r.measured.min())},
+                   Cell{bench::pct(r.measured.max())},
+                   Cell{r.measured.mean() / none.mean()}, Cell{r.paper_pct},
                    Cell{r.paper_factor}});
   }
   if (cli.get_bool("csv")) {
@@ -66,9 +66,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Max-WE vs PCD/PS: +"
-            << 100.0 * (rows[1].measured.mean / rows[2].measured.mean - 1.0)
+            << 100.0 * (rows[1].measured.mean() / rows[2].measured.mean() - 1.0)
             << "% (paper: +40.7%); vs PS-worst: +"
-            << 100.0 * (rows[1].measured.mean / rows[4].measured.mean - 1.0)
+            << 100.0 * (rows[1].measured.mean() / rows[4].measured.mean() - 1.0)
             << "% (paper: +51.1%)\n";
   return 0;
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Reproducible perf baseline for the sharded fleet runner.
+#
+# Runs the same >= 10k-device campaign at --jobs 1, 2 and 4, checks that all
+# three fleet-result JSONs are byte-identical (the fleet determinism
+# contract — this check is GATING), and records devices/sec at each job
+# count in BENCH_fleet.json (throughput and scaling are informational, NOT
+# gating: they depend on the machine's core count).
+#
+# Usage: scripts/bench_fleet.sh [build-dir] [output-json] [devices]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_fleet.json}"
+DEVICES="${3:-10000}"
+
+TOOL="$BUILD_DIR/tools/fleet_sim"
+if [[ ! -x "$TOOL" ]]; then
+  echo "build first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+# Small per-device geometry so a 10k-device population finishes in minutes;
+# the fleet layer's cost model (shard fan-out, sketch folds, checkpointing)
+# is what is being measured, not a single device's write loop.
+FLEET_ARGS=(--devices "$DEVICES" --lines 256 --regions 16
+            --endurance-mean 200 --spare maxwe --shard-size 256)
+
+now_ns() { date +%s%N; }
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+declare -A SECONDS_AT RATE_AT
+for jobs in 1 2 4; do
+  echo "== fleet: $DEVICES devices, --jobs $jobs"
+  t0="$(now_ns)"
+  "$TOOL" "${FLEET_ARGS[@]}" --jobs "$jobs" --out "$workdir/fleet_$jobs.json"
+  t1="$(now_ns)"
+  SECONDS_AT[$jobs]="$(awk -v a="$t0" -v b="$t1" \
+    'BEGIN { printf "%.3f", (b - a) / 1e9 }')"
+  RATE_AT[$jobs]="$(awk -v d="$DEVICES" -v s="${SECONDS_AT[$jobs]}" \
+    'BEGIN { printf "%.1f", (s > 0) ? d / s : 0 }')"
+  echo "   ${SECONDS_AT[$jobs]}s (${RATE_AT[$jobs]} devices/sec)"
+done
+
+# GATING: the fleet result must be byte-identical at every job count.
+for jobs in 2 4; do
+  if ! cmp -s "$workdir/fleet_1.json" "$workdir/fleet_$jobs.json"; then
+    echo "FAIL: --jobs $jobs fleet result differs from --jobs 1" >&2
+    exit 1
+  fi
+done
+echo "== fleet results byte-identical at jobs 1/2/4"
+
+cat > "$OUT_JSON" <<EOF
+{
+  "benchmark": "fleet_sim_population",
+  "config": "event 256x16 maxwe uaa, shard 256",
+  "devices": $DEVICES,
+  "cores": $CORES,
+  "jobs1_seconds": ${SECONDS_AT[1]},
+  "jobs1_devices_per_sec": ${RATE_AT[1]},
+  "jobs2_seconds": ${SECONDS_AT[2]},
+  "jobs2_devices_per_sec": ${RATE_AT[2]},
+  "jobs4_seconds": ${SECONDS_AT[4]},
+  "jobs4_devices_per_sec": ${RATE_AT[4]},
+  "outputs_identical": true
+}
+EOF
+
+echo "== wrote $OUT_JSON (${RATE_AT[1]} devices/sec serial on $CORES cores)"

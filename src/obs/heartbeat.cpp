@@ -1,0 +1,66 @@
+#include "obs/heartbeat.h"
+
+#include "obs/json.h"
+
+namespace nvmsec {
+
+HeartbeatSink::HeartbeatSink(std::ostream& out,
+                             std::uint64_t interval_devices)
+    : out_(out),
+      interval_(interval_devices == 0 ? 1 : interval_devices),
+      start_(std::chrono::steady_clock::now()) {}
+
+void HeartbeatSink::sample(const HeartbeatSample& s) {
+  if (s.devices_done < last_emitted_at_ + interval_) return;
+  write_line(s);
+}
+
+void HeartbeatSink::finish(const HeartbeatSample& s) {
+  write_line(s);
+  out_.flush();
+}
+
+void HeartbeatSink::write_line(const HeartbeatSample& s) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate =
+      elapsed > 0 ? static_cast<double>(s.devices_done) / elapsed : -1.0;
+  const double eta =
+      rate > 0 && s.devices_total >= s.devices_done
+          ? static_cast<double>(s.devices_total - s.devices_done) / rate
+          : -1.0;
+
+  std::string line;
+  line += R"({"v":1,"type":"fleet_heartbeat","devices_done":)";
+  json_append_number(line, static_cast<double>(s.devices_done));
+  line += R"(,"devices_total":)";
+  json_append_number(line, static_cast<double>(s.devices_total));
+  line += R"(,"devices_per_sec":)";
+  json_append_number(line, rate);
+  line += R"(,"eta_sec":)";
+  json_append_number(line, eta);
+  line += R"(,"p50":)";
+  json_append_number(line, s.p50);
+  line += R"(,"p99":)";
+  json_append_number(line, s.p99);
+  line += R"(,"failure_causes":{)";
+  bool first = true;
+  for (const auto& [cause, count] : s.failure_causes) {
+    if (!first) line += ',';
+    first = false;
+    json_append_string(line, cause);
+    line += ':';
+    json_append_number(line, static_cast<double>(count));
+  }
+  line += R"(},"truncated_logs":)";
+  json_append_number(line, static_cast<double>(s.truncated_logs));
+  line += "}\n";
+  out_ << line;
+  out_.flush();
+
+  last_emitted_at_ = s.devices_done;
+  ++lines_;
+}
+
+}  // namespace nvmsec

@@ -1,0 +1,75 @@
+// Live fleet progress telemetry: a JSONL heartbeat stream.
+//
+// A 100k-device campaign runs for minutes; the heartbeat is how an operator
+// (or CI) watches it without touching the results. The fleet runner hands
+// the sink a snapshot of its progress aggregate after each completed shard
+// and the sink decides whether enough devices have passed since the last
+// line (configurable interval). Like the other obs sinks it is strictly
+// optional — an unattached fleet run does zero heartbeat work — and it
+// never feeds back into the simulation: the fleet result is bit-identical
+// with or without a heartbeat attached.
+//
+// Schema (one JSON object per line, validated by a ctest):
+//
+//   {"v":1,"type":"fleet_heartbeat","devices_done":N,"devices_total":N,
+//    "devices_per_sec":X,"eta_sec":X,"p50":X,"p99":X,
+//    "failure_causes":{"<cause>":N,...},"truncated_logs":N}
+//
+// devices_per_sec and eta_sec are wall-clock telemetry (the only wall-clock
+// numbers in the fleet layer) and are -1 until the first interval elapses;
+// everything else is simulation state. At jobs > 1 the running p50/p99
+// reflect whichever shards happened to finish first — they converge to the
+// final (deterministic) values but intermediate lines are telemetry, not
+// results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvmsec {
+
+/// One progress observation, filled by the fleet runner from its running
+/// aggregate. Plain data so the obs layer stays independent of sim types.
+struct HeartbeatSample {
+  std::uint64_t devices_done{0};
+  std::uint64_t devices_total{0};
+  /// Running normalized-lifetime percentiles over completed devices.
+  double p50{0};
+  double p99{0};
+  /// (cause, count), already in deterministic (sorted) order.
+  std::vector<std::pair<std::string, std::uint64_t>> failure_causes;
+  std::uint64_t truncated_logs{0};
+};
+
+class HeartbeatSink {
+ public:
+  /// Emit at most one line per `interval_devices` completed devices (the
+  /// final sample is always emitted). The stream is borrowed and must
+  /// outlive the sink.
+  explicit HeartbeatSink(std::ostream& out,
+                         std::uint64_t interval_devices = 1000);
+
+  /// Record a progress sample; writes a line when due. Thread-compatible,
+  /// not thread-safe — the fleet runner calls it under its merge lock.
+  void sample(const HeartbeatSample& s);
+
+  /// Emit the final line unconditionally and flush.
+  void finish(const HeartbeatSample& s);
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  void write_line(const HeartbeatSample& s);
+
+  std::ostream& out_;
+  std::uint64_t interval_;
+  std::uint64_t last_emitted_at_{0};
+  std::uint64_t lines_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nvmsec

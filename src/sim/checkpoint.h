@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       8     magic "MXWECKPT"
-//   8       4     format version (little-endian u32, currently 2)
+//   8       4     format version (little-endian u32, currently 3)
 //   12      8     payload size in bytes (little-endian u64)
 //   20      n     payload
 //   20+n    4     CRC-32 of the payload (little-endian u32)
@@ -26,9 +26,11 @@ namespace nvmsec {
 
 inline constexpr char kCheckpointMagic[8] = {'M', 'X', 'W', 'E',
                                              'C', 'K', 'P', 'T'};
+// v3: LifetimeResult records (sweep checkpoints, fleet shard state) gained
+// the wear_gini field; earlier versions are refused.
 // v2: the engine payload gained the event-log presence flag and byte
-// offset (decision flight recorder); v1 files are refused.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// offset (decision flight recorder).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Atomically write `payload` as a checkpoint file at `path`.
 [[nodiscard]] Status save_checkpoint_file(const std::string& path,

@@ -13,6 +13,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "sim/checkpoint.h"
+#include "sim/wear_report.h"
 
 namespace nvmsec {
 
@@ -448,6 +449,7 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   result.normalized =
       result.ideal_lifetime > 0 ? result.user_writes / result.ideal_lifetime
                                 : 0.0;
+  result.wear_gini = analyze_wear(device_).utilization_gini;
   if (!result.failed) {
     result.failure_reason = "write cap reached";
   }

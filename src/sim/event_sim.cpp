@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "sim/wear_report.h"
 
 namespace nvmsec {
 
@@ -55,6 +56,10 @@ LifetimeResult UniformEventSimulator::run() {
     remaining[l] = static_cast<double>(static_cast<WriteCount>(std::llround(
         std::max(1.0, endurance_->line_endurance(PhysLineAddr{l})))));
   }
+
+  // Initial budgets, kept so per-line utilization (consumed / budget) can be
+  // reported at end of run — the event-driven analogue of analyze_wear().
+  const std::vector<double> budget = remaining;
 
   std::vector<std::uint32_t> load(n, 0);
   std::vector<double> last_t(n, 0.0);
@@ -213,6 +218,19 @@ LifetimeResult UniformEventSimulator::run() {
   result.normalized = result.ideal_lifetime > 0
                           ? result.user_writes / result.ideal_lifetime
                           : 0.0;
+
+  // Per-line utilization Gini at end of run, matching analyze_wear()'s
+  // definition. Lines still under load accrued wear since their last
+  // settle; bring every line up to the failure time first.
+  {
+    std::vector<double> utilization(n);
+    for (std::uint64_t l = 0; l < n; ++l) {
+      if (load[l] > 0) settle(l, t);
+      utilization[l] =
+          budget[l] > 0 ? (budget[l] - remaining[l]) / budget[l] : 0.0;
+    }
+    result.wear_gini = gini_coefficient(std::move(utilization));
+  }
 
   if (obs_.events != nullptr) {
     obs_.events->set_now(result.user_writes);

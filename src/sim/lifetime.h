@@ -36,6 +36,10 @@ struct LifetimeResult {
   /// cap (stochastic engine only).
   bool failed{false};
   std::string failure_reason;
+  /// Gini coefficient of per-line wear utilization (writes / budget) at the
+  /// end of the run — the fleet report's wear-balance distribution. -1 when
+  /// the engine does not track per-line wear (bit-level engine).
+  double wear_gini{-1};
 };
 
 }  // namespace nvmsec

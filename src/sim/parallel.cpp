@@ -53,6 +53,7 @@ void save_result(StateWriter& w, const LifetimeResult& r) {
   w.u64(r.line_deaths);
   w.boolean(r.failed);
   w.str(r.failure_reason);
+  w.f64(r.wear_gini);
 }
 
 Status load_result(StateReader& r, LifetimeResult& out) {
@@ -64,7 +65,8 @@ Status load_result(StateReader& r, LifetimeResult& out) {
   if (Status st = r.f64(out.normalized); !st.ok()) return st;
   if (Status st = r.u64(out.line_deaths); !st.ok()) return st;
   if (Status st = r.boolean(out.failed); !st.ok()) return st;
-  return r.str(out.failure_reason);
+  if (Status st = r.str(out.failure_reason); !st.ok()) return st;
+  return r.f64(out.wear_gini);
 }
 
 /// Tracks which runs of a sweep have finished and mirrors them to a

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace nvmsec {
 
 void RunningStats::add(double x) {
@@ -44,6 +46,25 @@ void RunningStats::merge(const RunningStats& other) {
   n_ += other.n_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::save_state(StateWriter& w) const {
+  w.u64(n_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+Status RunningStats::load_state(StateReader& r) {
+  std::uint64_t n = 0;
+  if (Status st = r.u64(n); !st.ok()) return st;
+  if (Status st = r.f64(mean_); !st.ok()) return st;
+  if (Status st = r.f64(m2_); !st.ok()) return st;
+  if (Status st = r.f64(min_); !st.ok()) return st;
+  if (Status st = r.f64(max_); !st.ok()) return st;
+  n_ = static_cast<std::size_t>(n);
+  return Status::ok_status();
 }
 
 double mean(std::span<const double> xs) {

@@ -8,7 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace nvmsec {
+
+class StateWriter;
+class StateReader;
 
 /// Streaming accumulator (Welford) for mean/variance without storing samples.
 class RunningStats {
@@ -25,6 +30,10 @@ class RunningStats {
 
   /// Merge another accumulator (parallel reduction).
   void merge(const RunningStats& other);
+
+  /// Serialize for checkpointing (rides the fleet sketch state).
+  void save_state(StateWriter& w) const;
+  [[nodiscard]] Status load_state(StateReader& r);
 
  private:
   std::size_t n_{0};

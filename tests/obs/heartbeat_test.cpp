@@ -1,0 +1,93 @@
+// HeartbeatSink: JSONL schema conformance, interval gating, and the
+// always-emitted final line.
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_test_util.h"
+
+namespace nvmsec {
+namespace {
+
+HeartbeatSample make_sample(std::uint64_t done, std::uint64_t total) {
+  HeartbeatSample s;
+  s.devices_done = done;
+  s.devices_total = total;
+  s.p50 = 1.25;
+  s.p99 = 0.5;
+  s.failure_causes = {{"all_backed_lines_worn", done / 2},
+                      {"unreplaceable_wear_out", done - done / 2}};
+  s.truncated_logs = 3;
+  return s;
+}
+
+TEST(HeartbeatSink, LinesMatchDocumentedSchema) {
+  std::ostringstream out;
+  HeartbeatSink sink(out, /*interval_devices=*/100);
+  sink.sample(make_sample(100, 1000));
+  sink.finish(make_sample(1000, 1000));
+
+  const auto lines = testjson::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.num("v"), 1);
+    EXPECT_EQ(line.str("type"), "fleet_heartbeat");
+    EXPECT_TRUE(line.find("devices_done") != nullptr);
+    EXPECT_EQ(line.num("devices_total"), 1000);
+    EXPECT_TRUE(line.find("devices_per_sec")->is_number());
+    EXPECT_TRUE(line.find("eta_sec")->is_number());
+    EXPECT_EQ(line.num("p50"), 1.25);
+    EXPECT_EQ(line.num("p99"), 0.5);
+    const testjson::JsonValue* causes = line.find("failure_causes");
+    ASSERT_TRUE(causes != nullptr && causes->is_object());
+    EXPECT_EQ(causes->object.size(), 2u);
+    EXPECT_EQ(line.num("truncated_logs"), 3);
+  }
+  EXPECT_EQ(lines[0].num("devices_done"), 100);
+  EXPECT_EQ(lines[1].num("devices_done"), 1000);
+}
+
+TEST(HeartbeatSink, IntervalGatesEmission) {
+  std::ostringstream out;
+  HeartbeatSink sink(out, /*interval_devices=*/100);
+  sink.sample(make_sample(10, 1000));   // below interval: silent
+  sink.sample(make_sample(99, 1000));   // still below
+  EXPECT_EQ(sink.lines_written(), 0u);
+  sink.sample(make_sample(100, 1000));  // due
+  EXPECT_EQ(sink.lines_written(), 1u);
+  sink.sample(make_sample(150, 1000));  // only 50 since last emit
+  EXPECT_EQ(sink.lines_written(), 1u);
+  sink.sample(make_sample(200, 1000));
+  EXPECT_EQ(sink.lines_written(), 2u);
+}
+
+TEST(HeartbeatSink, FinishAlwaysEmits) {
+  std::ostringstream out;
+  HeartbeatSink sink(out, /*interval_devices=*/1000000);
+  sink.sample(make_sample(5, 10));
+  EXPECT_EQ(sink.lines_written(), 0u);
+  sink.finish(make_sample(10, 10));
+  EXPECT_EQ(sink.lines_written(), 1u);
+  const auto lines = testjson::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].num("devices_done"), 10);
+}
+
+TEST(HeartbeatSink, EmptyCausesRenderAsEmptyObject) {
+  std::ostringstream out;
+  HeartbeatSink sink(out, 1);
+  HeartbeatSample s;
+  s.devices_done = 1;
+  s.devices_total = 2;
+  sink.sample(s);
+  const auto lines = testjson::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const testjson::JsonValue* causes = lines[0].find("failure_causes");
+  ASSERT_TRUE(causes != nullptr && causes->is_object());
+  EXPECT_TRUE(causes->object.empty());
+}
+
+}  // namespace
+}  // namespace nvmsec

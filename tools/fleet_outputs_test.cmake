@@ -1,0 +1,124 @@
+# Fleet acceptance check, tool level:
+#   (a) a campaign interrupted by --stop-after-shards and resumed at a
+#       different --jobs level writes a byte-identical fleet-result JSON to
+#       an uninterrupted run (ISSUE acceptance: resume + jobs cannot change
+#       the population statistics);
+#   (b) every heartbeat line conforms to the documented JSONL schema;
+#   (c) fleet_report renders the result (and refuses a non-fleet file).
+set(common --devices 192 --shard-size 32 --lines 256 --regions 16
+    --endurance-mean 200 --spare maxwe --heartbeat-interval 64)
+set(ckpt ${WORK_DIR}/fleet_test.ckpt)
+file(REMOVE ${ckpt})
+
+# Reference: one uninterrupted serial campaign.
+execute_process(
+  COMMAND ${TOOL} ${common} --jobs 1 --out ${WORK_DIR}/fleet_ref.json
+  RESULT_VARIABLE ref_result ERROR_VARIABLE ref_err)
+if(NOT ref_result EQUAL 0)
+  message(FATAL_ERROR "reference fleet run failed: ${ref_result}\n${ref_err}")
+endif()
+
+# Interrupted: stop after two shards; must exit 3 (incomplete) and leave a
+# checkpoint behind.
+execute_process(
+  COMMAND ${TOOL} ${common} --jobs 1 --stop-after-shards 2
+          --checkpoint-out ${ckpt} --out ${WORK_DIR}/fleet_partial.json
+  RESULT_VARIABLE stop_result ERROR_VARIABLE stop_err)
+if(NOT stop_result EQUAL 3)
+  message(FATAL_ERROR
+          "interrupted fleet run should exit 3, got ${stop_result}")
+endif()
+if(NOT EXISTS ${ckpt})
+  message(FATAL_ERROR "interrupted campaign left no checkpoint at ${ckpt}")
+endif()
+
+# Resumed at a different job count, with a heartbeat attached.
+execute_process(
+  COMMAND ${TOOL} ${common} --jobs 2 --checkpoint-out ${ckpt} --resume
+          --heartbeat-out ${WORK_DIR}/fleet_heartbeat.jsonl
+          --out ${WORK_DIR}/fleet_resumed.json
+  RESULT_VARIABLE res_result ERROR_VARIABLE res_err)
+if(NOT res_result EQUAL 0)
+  message(FATAL_ERROR "resumed fleet run failed: ${res_result}\n${res_err}")
+endif()
+
+file(READ ${WORK_DIR}/fleet_ref.json ref_json)
+file(READ ${WORK_DIR}/fleet_resumed.json res_json)
+if(NOT ref_json STREQUAL res_json)
+  message(FATAL_ERROR "resumed fleet JSON differs from the uninterrupted run")
+endif()
+
+# Heartbeat: at least one line, every line carrying the documented fields.
+file(STRINGS ${WORK_DIR}/fleet_heartbeat.jsonl hb_lines)
+list(LENGTH hb_lines n_hb)
+if(n_hb LESS 1)
+  message(FATAL_ERROR "heartbeat file has no lines")
+endif()
+foreach(line IN LISTS hb_lines)
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    foreach(key "v" "type" "devices_done" "devices_total" "devices_per_sec"
+            "eta_sec" "p50" "p99" "failure_causes" "truncated_logs")
+      string(JSON v ERROR_VARIABLE err GET "${line}" "${key}")
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR "heartbeat line missing '${key}': ${line}")
+      endif()
+    endforeach()
+    string(JSON hb_type GET "${line}" "type")
+    if(NOT hb_type STREQUAL "fleet_heartbeat")
+      message(FATAL_ERROR "unexpected heartbeat type: ${hb_type}")
+    endif()
+  elseif(NOT line MATCHES "\"type\":\"fleet_heartbeat\"")
+    message(FATAL_ERROR "heartbeat line missing type: ${line}")
+  endif()
+endforeach()
+# The final heartbeat always covers the whole population.
+list(GET hb_lines -1 last_hb)
+if(NOT last_hb MATCHES "\"devices_done\":192")
+  message(FATAL_ERROR "final heartbeat does not cover the fleet: ${last_hb}")
+endif()
+
+# A checkpoint from a different population must be refused.
+execute_process(
+  COMMAND ${TOOL} ${common} --jobs 1 --seed-start 999
+          --checkpoint-out ${ckpt} --resume
+  RESULT_VARIABLE foreign_result ERROR_VARIABLE foreign_err)
+if(foreign_result EQUAL 0)
+  message(FATAL_ERROR "resume from a foreign fleet checkpoint succeeded")
+endif()
+
+# The report renders both terminal and markdown views of the result.
+execute_process(
+  COMMAND ${REPORT} --fleet ${WORK_DIR}/fleet_ref.json
+  RESULT_VARIABLE rep_result OUTPUT_VARIABLE rep_out ERROR_VARIABLE rep_err)
+if(NOT rep_result EQUAL 0)
+  message(FATAL_ERROR "fleet_report failed: ${rep_result}\n${rep_err}")
+endif()
+foreach(section "Population" "Lifetime" "Failure causes")
+  if(NOT rep_out MATCHES "${section}")
+    message(FATAL_ERROR "fleet_report output missing '${section}' section")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${REPORT} --fleet ${WORK_DIR}/fleet_ref.json
+          --md ${WORK_DIR}/fleet_report.md
+          --compare ${WORK_DIR}/fleet_resumed.json
+  RESULT_VARIABLE md_result OUTPUT_VARIABLE md_out)
+if(NOT md_result EQUAL 0)
+  message(FATAL_ERROR "fleet_report --md --compare failed: ${md_result}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/fleet_report.md)
+  message(FATAL_ERROR "--md wrote no Markdown file")
+endif()
+file(READ ${WORK_DIR}/fleet_report.md md_text)
+if(NOT md_text MATCHES "## ")
+  message(FATAL_ERROR "Markdown report has no section headings")
+endif()
+
+# And it refuses a file that is not a fleet result.
+file(WRITE ${WORK_DIR}/fleet_not_a_fleet.json "{\"type\":\"metrics\"}\n")
+execute_process(
+  COMMAND ${REPORT} --fleet ${WORK_DIR}/fleet_not_a_fleet.json
+  RESULT_VARIABLE bad_result ERROR_VARIABLE bad_err)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR "fleet_report accepted a non-fleet JSON file")
+endif()

@@ -76,6 +76,7 @@ struct RunReport {
   double scrub_repaired{0}, scrub_rmt{0}, scrub_lmt{0};
   std::map<std::string, std::uint64_t> eol_causes;
   bool truncated{false};
+  double truncated_dropped{0};
 
   /// Rescues per raw-line region, for the wear-inequality stats.
   std::vector<double> region_rescues;
@@ -178,6 +179,7 @@ std::vector<RunReport> build_reports(const std::vector<JsonValue>& events) {
       r.line_deaths = opt_num(e, "line_deaths", 0);
     } else if (type == "log_truncated") {
       r.truncated = true;
+      r.truncated_dropped += opt_num(e, "dropped", 0);
     }
     // pairing / asr_region / other detail events need no aggregation here.
   }
@@ -268,8 +270,10 @@ void render_run(Renderer& out, const RunReport& r, std::size_t top_n) {
   out.heading("Run summary");
   out.table(summary);
   if (r.truncated) {
-    out.text("WARNING: the event log hit its cap; later decision events "
-             "were dropped and every count below is a lower bound.\n");
+    out.text("WARNING: the event log hit its cap; " +
+             fmt(r.truncated_dropped) +
+             " decision events were dropped and every count below is a "
+             "lower bound.\n");
   }
 
   if (r.user_lines >= 0) {
