@@ -5,13 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/maxwe.h"
 #include "nvm/device.h"
 #include "reduction/codec.h"
 #include "sim/engine.h"
 #include "util/alias_table.h"
+#include "util/multinomial.h"
 #include "wearlevel/wear_leveler.h"
 
 namespace {
@@ -150,6 +154,84 @@ void BM_DeviceWriteLoop(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_DeviceWriteLoop)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MultinomialDraw(benchmark::State& state) {
+  // One batched multinomial chunk draw (recursive binomial splits) over a
+  // zipf-shaped weight vector. Items = writes sampled, so items/sec is
+  // directly comparable to BM_AliasTableSample (one write per call).
+  const auto outcomes = static_cast<std::size_t>(state.range(0));
+  const auto chunk = static_cast<std::uint64_t>(state.range(1));
+  std::vector<double> weights(outcomes);
+  for (std::size_t i = 0; i < outcomes; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.99);
+  }
+  const MultinomialSampler sampler{std::span<const double>(weights)};
+  Rng rng(6);
+  WriteCountVector out;
+  for (auto _ : state) {
+    out.clear();
+    sampler.draw(rng, chunk, out);
+    benchmark::DoNotOptimize(out.addrs.data());
+    benchmark::DoNotOptimize(out.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_MultinomialDraw)
+    ->Args({512, 2048})
+    ->Args({4096, 2048})
+    ->Args({4096, 1 << 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeviceWriteCountsSoA(benchmark::State& state) {
+  // The SoA bulk-decrement the counts path rides on: one write_counts call
+  // absorbing `lines * kPerLine` writes across distinct lines, vs the same
+  // multiset issued one write() at a time (BM_DeviceWriteCountsPerWrite).
+  auto map = bench_map();
+  Device device(map);
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  constexpr WriteCount kPerLine = 4;
+  std::vector<std::uint64_t> addrs(lines);
+  std::vector<WriteCount> counts(lines, kPerLine);
+  for (std::size_t i = 0; i < lines; ++i) addrs[i] = i;
+  for (auto _ : state) {
+    if (device.remaining(PhysLineAddr{0}) <= kPerLine) {
+      state.PauseTiming();
+      device.reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        device.write_counts(std::span<const std::uint64_t>(addrs),
+                            std::span<const WriteCount>(counts)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines * kPerLine));
+}
+BENCHMARK(BM_DeviceWriteCountsSoA)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DeviceWriteCountsPerWrite(benchmark::State& state) {
+  // Baseline for BM_DeviceWriteCountsSoA: identical write multiset through
+  // the validated single-write entry point.
+  auto map = bench_map();
+  Device device(map);
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  constexpr WriteCount kPerLine = 4;
+  for (auto _ : state) {
+    if (device.remaining(PhysLineAddr{0}) <= kPerLine) {
+      state.PauseTiming();
+      device.reset();
+      state.ResumeTiming();
+    }
+    for (std::size_t i = 0; i < lines; ++i) {
+      for (WriteCount k = 0; k < kPerLine; ++k) {
+        benchmark::DoNotOptimize(device.write(PhysLineAddr{i}));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines * kPerLine));
+}
+BENCHMARK(BM_DeviceWriteCountsPerWrite)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_EngineBatchedWrite(benchmark::State& state) {
   // Full Engine::run through the batched fast path vs. the per-write path

@@ -192,3 +192,72 @@ if ! diff -u "${WORK}/ref.out" "${WORK}/fp_resumed.out"; then
   exit 1
 fi
 echo "PASS: --no-fastpath resume is byte-identical to the fast-path reference"
+
+# ---- stochastic sampling (counts path): zipf rides the multinomial counts
+# path, whose RNG substream is checkpointed. A same-mode resume must be
+# byte-identical to the uninterrupted run; a cross-mode resume (fastpath
+# checkpoint finished with --no-fastpath) is only distribution-equivalent,
+# so its gate is completion with a lifetime inside a 20% band. The reference
+# checkpoints at the same cadence (to a separate file): checkpoint
+# boundaries cap the sampling chunks, so the cadence is part of the
+# trajectory being reproduced.
+ZCONFIG=(--mode stochastic --lines 2048 --regions 128 --endurance-mean 2000
+         --spare maxwe --attack zipf --seed 11)
+Z_CKPT=${WORK}/zipf.ckpt
+Z_REF_CKPT=${WORK}/zipf_ref.ckpt
+
+echo "[zipf 1/3] reference zipf run (uninterrupted)..."
+if ! "${TOOL}" "${ZCONFIG[@]}" --checkpoint-out "${Z_REF_CKPT}" \
+     --checkpoint-interval 20000 > "${WORK}/zipf_ref.out"; then
+  echo "FAIL: zipf reference run exited non-zero" >&2
+  exit 1
+fi
+
+echo "[zipf 2/3] checkpointing zipf run, SIGKILL once a checkpoint lands..."
+"${TOOL}" "${ZCONFIG[@]}" --checkpoint-out "${Z_CKPT}" \
+  --checkpoint-interval 20000 > "${WORK}/zipf_killed.out" 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+  [[ -f ${Z_CKPT} ]] && break
+  kill -0 "${PID}" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -KILL "${PID}" 2>/dev/null; then
+  echo "      killed pid ${PID}"
+else
+  echo "      note: run finished before the kill landed (still a valid resume)"
+fi
+wait "${PID}" 2>/dev/null
+if [[ ! -f ${Z_CKPT} ]]; then
+  echo "FAIL: no checkpoint was written before the process died" >&2
+  exit 1
+fi
+
+echo "[zipf 3/3] same-mode resume (must be byte-identical)..."
+if ! "${TOOL}" "${ZCONFIG[@]}" --checkpoint-out "${Z_CKPT}" --resume \
+     --checkpoint-interval 20000 > "${WORK}/zipf_resumed.out"; then
+  echo "FAIL: resumed zipf run exited non-zero" >&2
+  exit 1
+fi
+if ! diff -u "${WORK}/zipf_ref.out" "${WORK}/zipf_resumed.out"; then
+  echo "FAIL: resumed zipf run differs from the uninterrupted reference" >&2
+  exit 1
+fi
+echo "PASS: same-mode zipf resume is byte-identical to the reference"
+
+echo "[zipf cross] finish the same checkpoint with --no-fastpath..."
+if ! "${TOOL}" "${ZCONFIG[@]}" --checkpoint-out "${Z_CKPT}" --resume \
+     --checkpoint-interval 20000 --no-fastpath \
+     > "${WORK}/zipf_cross.out"; then
+  echo "FAIL: cross-mode zipf resume exited non-zero" >&2
+  exit 1
+fi
+UW_REF=$(awk '/user writes:/ { print $3; exit }' "${WORK}/zipf_ref.out")
+UW_CROSS=$(awk '/user writes:/ { print $3; exit }' "${WORK}/zipf_cross.out")
+if ! awk -v f="${UW_CROSS}" -v s="${UW_REF}" \
+    'BEGIN { r = f / s; exit !(r >= 0.8 && r <= 1.2) }'; then
+  echo "FAIL: cross-mode zipf lifetime ${UW_CROSS} vs reference ${UW_REF}" \
+       "outside the 20% distribution-equivalence band" >&2
+  exit 1
+fi
+echo "PASS: cross-mode zipf resume completed (${UW_CROSS} vs ${UW_REF} in band)"

@@ -11,12 +11,46 @@
 #include <memory>
 #include <string>
 
+#include "util/multinomial.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace nvmsec {
+
+/// RNG-stream contract: how an attack's batched draws relate to the exact
+/// per-write address stream. This is a *declared* property the equivalence
+/// test enforces — the engine uses it to decide which batching paths are
+/// legal, and the fleet fingerprint uses it to refuse resume across runs
+/// whose sampling contracts are incompatible.
+enum class BatchContract : std::uint8_t {
+  /// Batched runs replay the per-write stream exactly: same addresses, same
+  /// order, same RNG consumption (UAA sweeps, BPA bursts, traces). Fastpath
+  /// and per-write runs are byte-identical end to end.
+  kBitIdentical = 0,
+  /// next_counts() emits deterministically the same per-line write totals
+  /// the per-write stream would issue over the chunk, but the engine may
+  /// apply them out of order within the chunk (hotspot's round-robin). No
+  /// RNG involved; cross-mode results agree up to within-chunk reordering.
+  kMultisetExact = 1,
+  /// next_counts() draws a Multinomial(chunk; p) count vector over the same
+  /// stationary per-line distribution the per-write stream samples, from a
+  /// dedicated substream (zipf, random). Fastpath and per-write runs are
+  /// equal in distribution — lifetime/wear statistics match within sampling
+  /// noise — and each mode is independently reproducible from the seed, but
+  /// trajectories are not bit-comparable across modes.
+  kDistributionEquivalent = 2,
+};
+
+/// Canonical token for JSON output ("bit_identical", "multiset_exact",
+/// "distribution_equivalent").
+const char* batch_contract_name(BatchContract contract);
+
+/// Contract of the attack registered under `name` in make_attack (plus
+/// "zipf", which experiment configs construct directly). Throws
+/// std::invalid_argument for unknown names.
+BatchContract attack_batch_contract(const std::string& name);
 
 /// A run of consecutive writes emitted as one unit by Attack::next_run:
 /// `count` writes starting at `start`, with logical addresses advancing by
@@ -52,6 +86,30 @@ class Attack {
                              std::uint64_t max_len) {
     (void)max_len;
     return AttackRun{next(rng, user_lines), 1, 0};
+  }
+
+  /// Which equivalence class this attack's batched draws fall into. The
+  /// engine only takes the count-vector path for contracts that allow it
+  /// (anything but kBitIdentical) and only when next_counts() is overridden.
+  [[nodiscard]] virtual BatchContract batch_contract() const {
+    return BatchContract::kBitIdentical;
+  }
+
+  /// Count-vector form of the next `n_writes` writes: append (address,
+  /// count) entries whose counts sum to exactly `n_writes`, every address
+  /// strictly < user_lines. `rng` is the dedicated batched-sampling
+  /// substream (NOT the simulation stream — the per-write RNG position is
+  /// untouched by a counts draw). Distribution-equivalent attacks draw the
+  /// multinomial from it; multiset-exact attacks ignore it. Returns false
+  /// when the attack has no counts form (the default), in which case the
+  /// engine falls back to next_run().
+  virtual bool next_counts(Rng& rng, std::uint64_t user_lines,
+                           std::uint64_t n_writes, WriteCountVector& out) {
+    (void)rng;
+    (void)user_lines;
+    (void)n_writes;
+    (void)out;
+    return false;
   }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -21,4 +21,27 @@ LogicalLineAddr HotspotAttack::next(Rng& /*rng*/, std::uint64_t user_lines) {
   return LogicalLineAddr{cursor_++};
 }
 
+bool HotspotAttack::next_counts(Rng& /*rng*/, std::uint64_t user_lines,
+                                std::uint64_t n_writes,
+                                WriteCountVector& out) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("HotspotAttack: empty address space");
+  }
+  const std::uint64_t set = std::min(working_set_, user_lines);
+  if (cursor_ >= set) cursor_ = 0;
+  // n_writes round-robin steps from the cursor: the first n_writes % set
+  // offsets after it get ceil(n/set) writes, the rest floor(n/set) — the
+  // exact multiset the per-write loop would produce.
+  const std::uint64_t base = n_writes / set;
+  const std::uint64_t extra = n_writes % set;
+  for (std::uint64_t i = 0; i < set; ++i) {
+    const WriteCount count = base + (i < extra ? 1 : 0);
+    if (count > 0) {
+      out.append((cursor_ + i) % set, count);
+    }
+  }
+  cursor_ = (cursor_ + extra) % set;
+  return true;
+}
+
 }  // namespace nvmsec

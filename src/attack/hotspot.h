@@ -13,6 +13,17 @@ class HotspotAttack final : public Attack {
   explicit HotspotAttack(std::uint64_t working_set);
 
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+
+  /// The round-robin cursor makes batched counts fully deterministic: a
+  /// chunk of n writes touches exactly the same per-line totals the
+  /// per-write loop would (floor/ceil split around the cursor), with no RNG
+  /// involved — only the within-chunk write order differs.
+  [[nodiscard]] BatchContract batch_contract() const override {
+    return BatchContract::kMultisetExact;
+  }
+  bool next_counts(Rng& rng, std::uint64_t user_lines, std::uint64_t n_writes,
+                   WriteCountVector& out) override;
+
   [[nodiscard]] std::string name() const override { return "hotspot"; }
   void reset() override { cursor_ = 0; }
 

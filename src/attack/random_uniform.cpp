@@ -15,6 +15,40 @@ LogicalLineAddr RandomUniformAttack::next(Rng& rng, std::uint64_t user_lines) {
   return LogicalLineAddr{rng.uniform_u64(user_lines)};
 }
 
+bool RandomUniformAttack::next_counts(Rng& rng, std::uint64_t user_lines,
+                                      std::uint64_t n_writes,
+                                      WriteCountVector& out) {
+  if (user_lines == 0) {
+    throw std::invalid_argument("RandomUniformAttack: empty address space");
+  }
+  multinomial_uniform(rng, n_writes, user_lines, out);
+  return true;
+}
+
+const char* batch_contract_name(BatchContract contract) {
+  switch (contract) {
+    case BatchContract::kBitIdentical:
+      return "bit_identical";
+    case BatchContract::kMultisetExact:
+      return "multiset_exact";
+    case BatchContract::kDistributionEquivalent:
+      return "distribution_equivalent";
+  }
+  throw std::invalid_argument("batch_contract_name: unknown contract");
+}
+
+BatchContract attack_batch_contract(const std::string& name) {
+  if (name == "uaa" || name == "bpa" || name == "trace") {
+    return BatchContract::kBitIdentical;
+  }
+  if (name == "hotspot") return BatchContract::kMultisetExact;
+  if (name == "random" || name == "zipf") {
+    return BatchContract::kDistributionEquivalent;
+  }
+  throw std::invalid_argument("attack_batch_contract: unknown attack '" +
+                              name + "'");
+}
+
 std::unique_ptr<Attack> make_uaa() {
   return std::make_unique<UniformAddressAttack>();
 }

@@ -12,6 +12,16 @@ namespace nvmsec {
 class RandomUniformAttack final : public Attack {
  public:
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+
+  /// Batched draws are Multinomial(n; uniform) count vectors from the
+  /// sampling substream — same stationary distribution as next(), different
+  /// stream, so fastpath runs are distribution-equivalent, not bit-equal.
+  [[nodiscard]] BatchContract batch_contract() const override {
+    return BatchContract::kDistributionEquivalent;
+  }
+  bool next_counts(Rng& rng, std::uint64_t user_lines, std::uint64_t n_writes,
+                   WriteCountVector& out) override;
+
   [[nodiscard]] std::string name() const override { return "random"; }
   void reset() override {}
 };

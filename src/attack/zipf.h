@@ -12,8 +12,42 @@
 
 #include "attack/attack.h"
 #include "util/alias_table.h"
+#include "util/multinomial.h"
 
 namespace nvmsec {
+
+/// Immutable sampling machinery for a Zipf(s) rank distribution over n
+/// ranks: the raw 1/k^s weights, the per-draw alias table, and the batched
+/// multinomial splitter. Building all three is O(n) with large constants
+/// (a pow() per rank), so instances are shared: a spare-fraction sweep over
+/// N seeds would otherwise rebuild the identical tables 7·N times. All
+/// members are read-only after construction and safe to share across
+/// threads.
+struct ZipfDist {
+  std::vector<double> weights;
+  AliasTable ranks;
+  MultinomialSampler rank_counts;
+
+  explicit ZipfDist(std::vector<double> w)
+      : weights(std::move(w)), ranks(weights), rank_counts(weights) {}
+};
+
+/// Process-wide LRU cache of Zipf distributions keyed by (skew, max_lines)
+/// — the endurance-cache idiom. The per-instance placement permutation is
+/// NOT cached (it depends on the placement seed and is a cheap shuffle).
+/// Thread-safe; returns a shared immutable instance.
+std::shared_ptr<const ZipfDist> zipf_dist(double s, std::uint64_t max_lines);
+
+/// Cache telemetry (for tests).
+std::uint64_t zipf_dist_cache_hits();
+std::uint64_t zipf_dist_cache_misses();
+
+/// Per-address stationary write rates of the Zipf workload over an address
+/// space of `max_lines` lines: rates[a] = sum of P(rank k) over ranks the
+/// placement permutation maps to address a. Sums to 1. Used by the
+/// event-driven engine to bulk-advance a zipf phase analytically.
+std::vector<double> zipf_address_rates(double s, std::uint64_t max_lines,
+                                       std::uint64_t placement_seed = 1);
 
 class ZipfWorkload final : public Attack {
  public:
@@ -24,6 +58,16 @@ class ZipfWorkload final : public Attack {
                std::uint64_t placement_seed = 1);
 
   LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+
+  /// Batched draws are Multinomial(n; zipf ranks) count vectors scattered
+  /// through the same placement permutation next() uses, drawn from the
+  /// sampling substream: distribution-equivalent to the per-write stream.
+  [[nodiscard]] BatchContract batch_contract() const override {
+    return BatchContract::kDistributionEquivalent;
+  }
+  bool next_counts(Rng& rng, std::uint64_t user_lines, std::uint64_t n_writes,
+                   WriteCountVector& out) override;
+
   [[nodiscard]] std::string name() const override { return "zipf"; }
   void reset() override {}
 
@@ -32,7 +76,7 @@ class ZipfWorkload final : public Attack {
  private:
   double s_;
   std::uint64_t max_lines_;
-  AliasTable ranks_;
+  std::shared_ptr<const ZipfDist> dist_;
   /// rank -> logical address scatter.
   std::vector<std::uint32_t> placement_;
 };

@@ -59,6 +59,45 @@ BulkWriteResult Device::write_many(PhysLineAddr line, WriteCount count) {
   return res;
 }
 
+BulkCountsResult Device::write_counts(std::span<const std::uint64_t> lines,
+                                      std::span<const WriteCount> counts) {
+  if (lines.size() != counts.size()) {
+    throw std::invalid_argument("Device::write_counts: span length mismatch");
+  }
+  const std::uint64_t num_lines = geometry().num_lines();
+  BulkCountsResult res;
+  // Tight SoA loop: two flat input arrays against the flat remaining_
+  // vector. No virtual dispatch, no per-write branching — the only cold
+  // exit is the first wear-out, which returns control to the engine so the
+  // spare layer can rescue and the stale tail can be re-resolved.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::uint64_t l = lines[i];
+    if (l >= num_lines) {
+      throw std::out_of_range("Device::write_counts: line out of range");
+    }
+    WriteCount& rem = remaining_[l];
+    if (rem == 0) {
+      throw std::logic_error(
+          "Device::write_counts: write to a worn-out line (spare layer must "
+          "redirect)");
+    }
+    const WriteCount take = std::min(counts[i], rem);
+    rem -= take;
+    res.absorbed += take;
+    if (rem == 0) {
+      total_writes_ += res.absorbed;
+      res.entries_done = i;
+      res.entry_absorbed = take;
+      res.wore_out = true;
+      note_wear_out(PhysLineAddr{l});
+      return res;
+    }
+  }
+  total_writes_ += res.absorbed;
+  res.entries_done = lines.size();
+  return res;
+}
+
 WriteOutcome Device::note_wear_out(PhysLineAddr line) {
   ++worn_out_count_;
   if (wear_outs_ != nullptr) wear_outs_->inc();

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nvm/endurance_map.h"
@@ -31,6 +32,16 @@ struct BulkWriteResult {
   bool wore_out{false};    ///< The last absorbed write exhausted the line.
 };
 
+/// Result of a Device::write_counts scan over an SoA count vector.
+struct BulkCountsResult {
+  /// Entries fully absorbed before the scan stopped; equals lines.size()
+  /// when no wear-out occurred. On a wear-out, the stopping entry's index.
+  std::size_t entries_done{0};
+  WriteCount absorbed{0};        ///< Total writes absorbed this call.
+  WriteCount entry_absorbed{0};  ///< Absorbed within the stopping entry.
+  bool wore_out{false};          ///< Scan stopped at a line wear-out.
+};
+
 class Device {
  public:
   explicit Device(std::shared_ptr<const EnduranceMap> endurance);
@@ -50,6 +61,17 @@ class Device {
   /// wore it out. Throws exactly like write() for an out-of-range or
   /// already-worn-out line; `count` must be >= 1.
   BulkWriteResult write_many(PhysLineAddr line, WriteCount count);
+
+  /// Structure-of-arrays bulk decrement: apply counts[i] writes to raw
+  /// physical line lines[i], in order, as one tight loop over two flat
+  /// arrays — the wear half of the batched stochastic fast path. The scan
+  /// stops at the first line that wears out (the caller must let the spare
+  /// layer rescue it and re-resolve the tail before continuing) and reports
+  /// how far it got. Lines may repeat; zero counts are skipped. Throws like
+  /// write() on an out-of-range or already-worn-out line, and
+  /// std::invalid_argument on mismatched span lengths.
+  BulkCountsResult write_counts(std::span<const std::uint64_t> lines,
+                                std::span<const WriteCount> counts);
 
   /// Fast-path single write: range/liveness validation reduced to
   /// debug-only asserts. Callers must guarantee `line` is in range and not

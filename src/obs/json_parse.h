@@ -26,6 +26,7 @@ struct JsonValue {
   std::vector<std::pair<std::string, JsonValue>> object;
 
   [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
   [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
   [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
   [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }

@@ -26,11 +26,14 @@ namespace nvmsec {
 
 inline constexpr char kCheckpointMagic[8] = {'M', 'X', 'W', 'E',
                                              'C', 'K', 'P', 'T'};
+// v4: the engine payload gained the batched-sampling substream RNG state
+// (counts_rng_), saved right after the main simulation RNG, so resumed
+// fastpath runs of stochastic attacks continue the same counts sequence.
 // v3: LifetimeResult records (sweep checkpoints, fleet shard state) gained
 // the wear_gini field; earlier versions are refused.
 // v2: the engine payload gained the event-log presence flag and byte
 // offset (decision flight recorder).
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// Atomically write `payload` as a checkpoint file at `path`.
 [[nodiscard]] Status save_checkpoint_file(const std::string& path,

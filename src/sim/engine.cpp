@@ -23,7 +23,8 @@ Engine::Engine(Device& device, Attack& attack, WearLeveler& wear_leveler,
       attack_(attack),
       wl_(wear_leveler),
       spare_(spare_scheme),
-      rng_(rng) {
+      rng_(rng),
+      counts_rng_(rng.substream(kCountsStreamTag)) {
   if (wl_.working_lines() != spare_.working_lines()) {
     throw std::invalid_argument(
         "Engine: wear leveler and spare scheme disagree on working size");
@@ -64,6 +65,7 @@ void Engine::capture_state(StateWriter& w) const {
   w.u64(overhead_writes_);
   w.u64(line_deaths_);
   rng_.save_state(w);
+  counts_rng_.save_state(w);
   device_.save_state(w);
   attack_.save_state(w);
   wl_.save_state(w);
@@ -99,6 +101,7 @@ Status Engine::restore_state(StateReader& r) {
   if (Status st = r.u64(overhead_writes_); !st.ok()) return st;
   if (Status st = r.u64(line_deaths_); !st.ok()) return st;
   if (Status st = rng_.load_state(r); !st.ok()) return st;
+  if (Status st = counts_rng_.load_state(r); !st.ok()) return st;
   if (Status st = device_.load_state(r); !st.ok()) return st;
   if (Status st = attack_.load_state(r); !st.ok()) return st;
   if (Status st = wl_.load_state(r); !st.ok()) return st;
@@ -275,6 +278,26 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     }
   };
 
+  // Count-vector path (stochastic attacks): instead of one address per RNG
+  // call, draw how many of the chunk's writes land on each line (an exact
+  // multinomial from the dedicated counts substream) and bulk-decrement the
+  // wear counters in one SoA pass. Only legal when the attack's declared
+  // contract permits reordering (anything but bit-identical), and only
+  // worthwhile on large chunks — tiny chunks would pay the multinomial
+  // overhead for no batching win, so they fall back to next_run(). Requires
+  // the resolve cache (FreeP's per-resolve counters must see every write).
+  constexpr std::uint64_t kMinCountsChunk = 256;
+  const bool counts_capable =
+      fastpath_ && buffer_ == nullptr && cache_resolves &&
+      attack_.batch_contract() != BatchContract::kBitIdentical;
+  // Cap a chunk at ~1/128 of the device's total write budget so the
+  // within-chunk reorder distortion (the documented equivalence slack) stays
+  // a small fraction of any lifetime the run can reach.
+  const std::uint64_t counts_chunk_cap = std::max<std::uint64_t>(
+      1024, static_cast<std::uint64_t>(device_.total_budget()) / 128);
+  WriteCountVector counts_vec;
+  std::vector<std::uint64_t> phys_scratch;
+
   while (!result.failed &&
          (max_user_writes == 0 || user_writes_ < max_user_writes)) {
     // User-write boundary work, in fixed order so checkpoints capture a
@@ -334,6 +357,82 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
                                     static_cast<double>(user_writes_)));
       }
       if (limit == 0) limit = 1;  // defensive: the boundary fired above
+    }
+
+    if (counts_capable) {
+      // Ramp the chunk with elapsed lifetime: a chunk never spans more than
+      // ~1/8 of the run so far, so wear-outs (and the spare allocations
+      // they trigger) land within 12.5% of their per-write stream
+      // positions even when the static cap exceeds the whole lifetime
+      // (spare-limited runs die at a small fraction of the total budget).
+      const std::uint64_t chunk = std::min(
+          {limit, wl_.writes_until_remap(), counts_chunk_cap,
+           std::max(kMinCountsChunk, user_writes_ / 8)});
+      if (chunk >= kMinCountsChunk) {
+        counts_vec.clear();
+        if (attack_.next_counts(counts_rng_, logical_lines, chunk,
+                                counts_vec)) {
+          // Resolve every entry up front under the current mapping epoch,
+          // then stream the whole vector through the device. A wear-out
+          // hands control back: the spare layer rescues (epoch bump flushes
+          // the cache), the unwritten tail is re-resolved, and the scan
+          // resumes at the stopping entry's unabsorbed remainder.
+          const std::size_t n_entries = counts_vec.size();
+          phys_scratch.resize(n_entries);
+          for (std::size_t i = 0; i < n_entries; ++i) {
+            phys_scratch[i] =
+                resolve_cached(LogicalLineAddr{counts_vec.addrs[i]}).value();
+          }
+          std::uint64_t issued = 0;
+          std::size_t e = 0;
+          while (e < n_entries && !result.failed) {
+            const BulkCountsResult res = device_.write_counts(
+                std::span<const std::uint64_t>(phys_scratch).subspan(e),
+                std::span<const WriteCount>(counts_vec.counts).subspan(e));
+            user_writes_ += res.absorbed;
+            issued += res.absorbed;
+            if (!res.wore_out) break;
+            const std::size_t stop = e + res.entries_done;
+            const LogicalLineAddr la{counts_vec.addrs[stop]};
+            const PhysLineAddr dead{phys_scratch[stop]};
+            const std::uint64_t entry_total = counts_vec.counts[stop];
+            counts_vec.counts[stop] -= res.entry_absorbed;
+            if (!handle_wear_out(wl_.translate(la), dead)) {
+              // Terminal failure: the per-write stream interleaves the
+              // chunk's writes uniformly (the chunk is exchangeable for a
+              // stationary attack), so the fatal r-th write to the dead
+              // line lands at an expected stream position of
+              // r*(C+1)/(c+1) within the chunk — not at the SoA scan
+              // position, which undercounts by up to a whole chunk when
+              // the chunk spans a large fraction of the lifetime. Credit
+              // the difference so the reported lifetime follows the
+              // per-write law.
+              const double est = static_cast<double>(res.entry_absorbed) *
+                                 (static_cast<double>(chunk) + 1.0) /
+                                 (static_cast<double>(entry_total) + 1.0);
+              const std::uint64_t fatal_pos =
+                  std::min(chunk, static_cast<std::uint64_t>(est));
+              if (fatal_pos > issued) {
+                // The credited writes never reached the device (it is
+                // dead); book them as absorbed so device_writes ==
+                // user_writes - absorbed + overhead stays exact.
+                user_writes_ += fatal_pos - issued;
+                absorbed_writes_ += fatal_pos - issued;
+                issued = fatal_pos;
+              }
+              break;
+            }
+            e = stop;
+            if (counts_vec.counts[e] == 0) ++e;
+            for (std::size_t i = e; i < n_entries; ++i) {
+              phys_scratch[i] =
+                  resolve_cached(LogicalLineAddr{counts_vec.addrs[i]}).value();
+            }
+          }
+          wl_.commit_batched_writes(issued);
+          continue;
+        }
+      }
     }
 
     const AttackRun run = attack_.next_run(rng_, logical_lines, limit);

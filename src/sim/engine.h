@@ -39,12 +39,18 @@ class Engine {
   /// buffer must set a write cap.
   void set_front_buffer(DramBuffer* buffer) { buffer_ = buffer; }
 
-  /// Toggle the run-length batched fast path (on by default). The fast
-  /// path advances in chunks bounded by the attack's run length, the wear
-  /// leveler's static-mapping horizon, and the next checkpoint / snapshot /
-  /// fault boundary; it is bit-identical to the per-write path — same
-  /// LifetimeResult, RNG stream, event-log bytes, checkpoint payloads —
-  /// so disabling it (`--no-fastpath`) is purely an escape hatch.
+  /// Toggle the batched fast path (on by default). Chunks are bounded by
+  /// the attack's run length, the wear leveler's static-mapping horizon,
+  /// and the next checkpoint / snapshot / fault boundary. The equivalence
+  /// guarantee is the attack's declared BatchContract: for bit-identical
+  /// attacks (UAA, BPA, traces) fastpath runs match the per-write loop
+  /// exactly — same LifetimeResult, RNG stream, event-log bytes, checkpoint
+  /// payloads. Stochastic attacks (zipf, random; hotspot with a multi-line
+  /// working set) additionally take the count-vector path on large chunks:
+  /// per-chunk multinomial draws from a dedicated substream, applied via
+  /// Device::write_counts. Those runs are distribution-equivalent (multiset
+  /// -exact for hotspot) to `--no-fastpath`, and each mode is independently
+  /// reproducible and resumable from its own checkpoints.
   void set_fast_path(bool enabled) { fastpath_ = enabled; }
 
   /// Enable periodic checkpointing: every `interval` user writes the full
@@ -82,12 +88,23 @@ class Engine {
   void save_checkpoint();
   void capture_state(StateWriter& w) const;
 
+  /// Domain tag for the batched-sampling substream derivation.
+  static constexpr std::uint64_t kCountsStreamTag = 0xBA7C4ED5A3B1E500ULL;
+
   Observer obs_{};
   Device& device_;
   Attack& attack_;
   WearLeveler& wl_;
   SpareScheme& spare_;
   Rng& rng_;
+  /// Dedicated stream for count-vector draws, derived from the simulation
+  /// RNG's seed position at construction (identically in fastpath and
+  /// per-write modes, without advancing the main stream). Keeping the two
+  /// streams separate is what lets bit-identical attacks stay bit-identical
+  /// while stochastic attacks batch: the per-write RNG sequence is never
+  /// perturbed by batched draws. Checkpointed alongside the main RNG so a
+  /// resumed fastpath run continues the same counts sequence.
+  Rng counts_rng_;
   DramBuffer* buffer_{nullptr};
 
   MetadataFaultInjector* injector_{nullptr};

@@ -43,6 +43,35 @@ void UniformEventSimulator::set_observer(const Observer& obs) {
   scheme_.set_observer(obs);
 }
 
+void UniformEventSimulator::set_index_rates(std::vector<double> weights) {
+  const std::uint64_t u = scheme_.working_lines();
+  if (weights.size() != u) {
+    throw std::invalid_argument(
+        "UniformEventSimulator::set_index_rates: weight count " +
+        std::to_string(weights.size()) + " != working lines " +
+        std::to_string(u));
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "UniformEventSimulator::set_index_rates: weights must be finite "
+          "and non-negative");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(
+        "UniformEventSimulator::set_index_rates: weight sum must be > 0");
+  }
+  // Normalize so the mean-weight index writes once per round: rates sum to
+  // u, and a uniform input becomes exactly 1.0 per index (reproducing the
+  // unweighted arithmetic bit-for-bit).
+  const double scale = static_cast<double>(u) / total;
+  for (double& w : weights) w *= scale;
+  index_rates_ = std::move(weights);
+}
+
 LifetimeResult UniformEventSimulator::run() {
   const DeviceGeometry& geom = endurance_->geometry();
   const std::uint64_t n = geom.num_lines();
@@ -61,7 +90,17 @@ LifetimeResult UniformEventSimulator::run() {
   // reported at end of run — the event-driven analogue of analyze_wear().
   const std::vector<double> budget = remaining;
 
-  std::vector<std::uint32_t> load(n, 0);
+  // Per-index write rate (writes per round): 1.0 everywhere in the uniform
+  // default, the normalized weight vector otherwise. A line's wear rate is
+  // the sum over the indices it serves — integer-valued doubles in the
+  // uniform case, so the weighted code path reproduces the historical
+  // uint32 load arithmetic exactly.
+  const bool weighted = !index_rates_.empty();
+  const auto idx_rate = [&](std::uint32_t idx) {
+    return weighted ? index_rates_[idx] : 1.0;
+  };
+
+  std::vector<double> rate(n, 0.0);
   std::vector<double> last_t(n, 0.0);
   std::vector<std::uint32_t> version(n, 0);
   // Reverse map backing line -> working indices, as intrusive lists.
@@ -72,20 +111,20 @@ LifetimeResult UniformEventSimulator::run() {
     const std::uint64_t b = scheme_.resolve(idx).value();
     list_next[idx] = list_head[b];
     list_head[b] = static_cast<std::uint32_t>(idx);
-    ++load[b];
+    rate[b] += idx_rate(static_cast<std::uint32_t>(idx));
   }
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
   for (std::uint64_t l = 0; l < n; ++l) {
-    if (load[l] > 0) {
-      heap.emplace(remaining[l] / load[l], static_cast<std::uint32_t>(l),
+    if (rate[l] > 0.0) {
+      heap.emplace(remaining[l] / rate[l], static_cast<std::uint32_t>(l),
                    version[l]);
     }
   }
 
-  // Accrue wear on `l` up to time `t` under its current load.
+  // Accrue wear on `l` up to time `t` under its current rate.
   const auto settle = [&](std::uint64_t l, double t) {
-    remaining[l] -= (t - last_t[l]) * load[l];
+    remaining[l] -= (t - last_t[l]) * rate[l];
     if (remaining[l] < 0) remaining[l] = 0;  // floating-point slack only
     last_t[l] = t;
   };
@@ -105,7 +144,7 @@ LifetimeResult UniformEventSimulator::run() {
   while (!heap.empty() && !result.failed) {
     const auto [death_time, line, v] = heap.top();
     heap.pop();
-    if (v != version[line] || load[line] == 0) continue;  // stale entry
+    if (v != version[line] || rate[line] <= 0.0) continue;  // stale entry
 
     t = death_time;
     remaining[line] = 0;
@@ -153,7 +192,7 @@ LifetimeResult UniformEventSimulator::run() {
     // Re-home every working index the dead line was serving.
     std::uint32_t idx = list_head[line];
     list_head[line] = kNone;
-    load[line] = 0;
+    rate[line] = 0.0;
     while (idx != kNone) {
       const std::uint32_t next_idx = list_next[idx];
       // A replacement can land on a line whose own wear-out falls at this
@@ -192,10 +231,12 @@ LifetimeResult UniformEventSimulator::run() {
       }
       list_next[idx] = list_head[nb];
       list_head[nb] = idx;
-      ++load[nb];
+      rate[nb] += idx_rate(idx);
       ++version[nb];
-      heap.emplace(t + remaining[nb] / load[nb],
-                   static_cast<std::uint32_t>(nb), version[nb]);
+      if (rate[nb] > 0.0) {
+        heap.emplace(t + remaining[nb] / rate[nb],
+                     static_cast<std::uint32_t>(nb), version[nb]);
+      }
       idx = next_idx;
     }
   }
@@ -225,7 +266,7 @@ LifetimeResult UniformEventSimulator::run() {
   {
     std::vector<double> utilization(n);
     for (std::uint64_t l = 0; l < n; ++l) {
-      if (load[l] > 0) settle(l, t);
+      if (rate[l] > 0.0) settle(l, t);
       utilization[l] =
           budget[l] > 0 ? (budget[l] - remaining[l]) / budget[l] : 0.0;
     }

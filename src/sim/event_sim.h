@@ -1,4 +1,4 @@
-// Event-driven lifetime simulator for uniform-rate attacks (UAA).
+// Event-driven lifetime simulator for stationary-rate attacks.
 //
 // Under UAA every working index receives exactly one write per sweep
 // ("round"), so per-line wear rates are piecewise constant between
@@ -10,6 +10,14 @@
 // to within one partial sweep (< N writes, < 0.003% of any reported
 // lifetime), which we note in EXPERIMENTS.md.
 //
+// set_index_rates() generalizes the same machinery to any *stationary*
+// per-index write-rate vector (hotspot's working set, zipf's scattered
+// skew): a line's wear rate becomes the sum of its indices' rates and the
+// event algebra is otherwise unchanged. This is the mean-field equivalence
+// class — the count-vector fast path's per-chunk multinomial noise is
+// integrated out, so event-mode lifetimes are the expected-trajectory
+// limit of the stochastic engine's distribution-equivalent runs.
+//
 // Wear levelers are deliberately absent: under UAA a bijective remap does
 // not change any line's write rate (§5.2.1 observes lifetime under UAA is
 // "uncorrelated to the types of wear-leveling schemes"); the stochastic
@@ -17,6 +25,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "nvm/endurance_map.h"
 #include "obs/observer.h"
@@ -31,6 +40,15 @@ class UniformEventSimulator {
   /// its on_wear_out()/resolve() exactly like the stochastic engine would.
   UniformEventSimulator(std::shared_ptr<const EnduranceMap> endurance,
                         SpareScheme& scheme);
+
+  /// Non-uniform stationary rates: `weights[i]` is working index i's
+  /// relative write rate (any non-negative scale; at least one must be
+  /// positive, size must equal working_lines()). Internally normalized so
+  /// the mean-weight index writes once per round — a uniform weight vector
+  /// reproduces the default UAA arithmetic bit-for-bit. Indices with zero
+  /// weight never wear their line (but still re-home when it dies from
+  /// other indices' writes). Call before run().
+  void set_index_rates(std::vector<double> weights);
 
   /// Run until device failure. Always terminates: every event consumes a
   /// line, and the scheme must eventually report failure.
@@ -48,6 +66,8 @@ class UniformEventSimulator {
   Observer obs_{};
   std::shared_ptr<const EnduranceMap> endurance_;
   SpareScheme& scheme_;
+  /// Normalized per-index rates (writes per round); empty means uniform.
+  std::vector<double> index_rates_;
 };
 
 }  // namespace nvmsec

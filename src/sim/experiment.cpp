@@ -101,6 +101,7 @@ std::uint64_t config_fingerprint(const ExperimentConfig& config) {
   w.str(config.attack);
   w.u64(config.bpa_burst);
   w.f64(config.zipf_skew);
+  w.u64(config.hotspot_working_set);
   w.str(config.wear_leveler);
   w.u64(config.wl.swap_interval);
   w.u32(config.wl.bwl_classes);
@@ -217,18 +218,38 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
   }
 
   if (config.mode == SimulationMode::kUniformEvent) {
-    if (config.attack != "uaa") {
-      throw std::invalid_argument(
-          "run_experiment: the event-driven engine models uniform sweeps; "
-          "use stochastic mode for attack '" + config.attack + "'");
-    }
     if (config.wear_leveler != "none") {
       throw std::invalid_argument(
           "run_experiment: the event-driven engine is wear-leveler-free "
-          "(bijective remapping does not change uniform-rate wear); use "
+          "(bijective remapping does not change stationary-rate wear); use "
           "stochastic mode to include wear-leveler overhead");
     }
     UniformEventSimulator sim(device_map, *spare);
+    // The event engine bulk-advances any *stationary* per-index write-rate
+    // vector (the mean-field limit of the stochastic sampling): uniform for
+    // uaa/random, a hot working set for hotspot, the scattered skew for
+    // zipf. BPA's burst pattern is non-stationary, so it stays stochastic.
+    const std::uint64_t u = spare->working_lines();
+    if (config.attack == "uaa" || config.attack == "random") {
+      // Uniform rates: the default, no weight vector needed.
+    } else if (config.attack == "hotspot") {
+      if (config.hotspot_working_set == 0) {
+        throw std::invalid_argument(
+            "run_experiment: hotspot_working_set must be >= 1");
+      }
+      std::vector<double> weights(u, 0.0);
+      const std::uint64_t set = std::min(config.hotspot_working_set, u);
+      for (std::uint64_t i = 0; i < set; ++i) weights[i] = 1.0;
+      sim.set_index_rates(std::move(weights));
+    } else if (config.attack == "zipf") {
+      sim.set_index_rates(
+          zipf_address_rates(config.zipf_skew, u, config.seed));
+    } else {
+      throw std::invalid_argument(
+          "run_experiment: the event-driven engine bulk-advances stationary "
+          "write-rate phases; attack '" + config.attack +
+          "' is non-stationary — use stochastic mode");
+    }
     sim.set_observer(config.observer);
     return sim.run();
   }
@@ -238,6 +259,12 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     attack = make_bpa(config.bpa_burst);
   } else if (config.attack == "zipf") {
     attack = make_zipf(config.zipf_skew, spare->working_lines(), config.seed);
+  } else if (config.attack == "hotspot") {
+    if (config.hotspot_working_set == 0) {
+      throw std::invalid_argument(
+          "run_experiment: hotspot_working_set must be >= 1");
+    }
+    attack = make_hotspot(config.hotspot_working_set);
   } else {
     attack = make_attack(config.attack);
   }

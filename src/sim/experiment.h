@@ -43,6 +43,8 @@ struct ExperimentConfig {
   std::string attack{"uaa"};
   std::uint64_t bpa_burst{1024};
   double zipf_skew{0.99};
+  /// Hotspot only: number of lines in the hammered working set (>= 1).
+  std::uint64_t hotspot_working_set{1};
 
   /// "none", "startgap", "tlsr", "pcms", "bwl", "wawl".
   std::string wear_leveler{"none"};
@@ -56,12 +58,16 @@ struct ExperimentConfig {
   /// Max-WE only: fraction q of the spare budget used as SWRs.
   double swr_fraction{0.90};
 
-  /// Stochastic mode only: run-length batched fast path (attack runs ->
-  /// WL horizon -> Device::write_many). Bit-identical to the per-write
-  /// path, so it is on by default; `--no-fastpath` is the escape hatch.
-  /// Deliberately excluded from config_fingerprint — like
-  /// max_user_writes, it does not shape the trajectory, so checkpoints
-  /// interchange across fastpath on/off.
+  /// Stochastic mode only: batched fast path (attack runs -> WL horizon ->
+  /// Device::write_many, plus multinomial count vectors for stochastic
+  /// attacks). Bit-identical to the per-write path for attacks declaring
+  /// BatchContract::kBitIdentical (UAA/BPA); distribution-equivalent for
+  /// zipf/random (multiset-exact for hotspot). On by default;
+  /// `--no-fastpath` is the escape hatch. Deliberately excluded from
+  /// config_fingerprint — like max_user_writes, it does not change which
+  /// trajectory family the run belongs to, so checkpoints interchange
+  /// across fastpath on/off (byte-identity of the resumed suffix is only
+  /// guaranteed for bit-identical attacks or same-mode resume).
   bool fastpath{true};
 
   SimulationMode mode{SimulationMode::kUniformEvent};

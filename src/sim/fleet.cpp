@@ -258,6 +258,18 @@ const std::string& fleet_device_attack(const FleetSpec& spec,
   return spec.attack_mix.back().attack;  // floating-point slack only
 }
 
+BatchContract fleet_sampling_contract(const FleetSpec& spec) {
+  // The weakest (largest) contract across the attacks any device can run.
+  if (spec.attack_mix.empty()) {
+    return attack_batch_contract(spec.base.attack);
+  }
+  BatchContract worst = BatchContract::kBitIdentical;
+  for (const AttackShare& share : spec.attack_mix) {
+    worst = std::max(worst, attack_batch_contract(share.attack));
+  }
+  return worst;
+}
+
 std::uint64_t fleet_fingerprint(const FleetSpec& spec) {
   // The base config's own seed and attack are overridden per device, so
   // they must not perturb the fingerprint; the seed stream and the mix are
@@ -275,6 +287,16 @@ std::uint64_t fleet_fingerprint(const FleetSpec& spec) {
   for (const AttackShare& share : spec.attack_mix) {
     h = fnv_mix(h, share.attack.data(), share.attack.size());
     h = fnv_mix_u64(h, std::bit_cast<std::uint64_t>(share.weight));
+  }
+  // Sampling-contract compatibility: when any attack in the population is
+  // not bit-identical under batching, a stochastic-mode campaign's
+  // trajectories depend on the fastpath flag (distribution-equivalent, not
+  // equal), so fastpath-on and fastpath-off campaigns must not share
+  // checkpoints. Bit-identical populations keep the PR-5 behavior:
+  // checkpoints interchange across fastpath on/off.
+  if (spec.base.mode == SimulationMode::kStochastic &&
+      fleet_sampling_contract(spec) != BatchContract::kBitIdentical) {
+    h = fnv_mix_u64(h, spec.base.fastpath ? 1 : 0);
   }
   return h;
 }
@@ -576,6 +598,10 @@ std::string fleet_result_json(const FleetSpec& spec,
   out += R"(,"regions":)";
   json_append_number(out,
                      static_cast<double>(spec.base.geometry.num_regions()));
+  out += R"(,"fastpath":)";
+  out += spec.base.fastpath ? "true" : "false";
+  out += R"(,"sampling_contract":)";
+  json_append_string(out, batch_contract_name(fleet_sampling_contract(spec)));
   out += R"(,"fingerprint":)";
   json_append_string(out, std::to_string(fleet_fingerprint(spec)));
   out += R"(},"shards_total":)";

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attack/attack.h"
 #include "sim/experiment.h"
 #include "util/sketch.h"
 
@@ -165,8 +166,19 @@ struct FleetSpec {
 [[nodiscard]] const std::string& fleet_device_attack(const FleetSpec& spec,
                                                      std::uint64_t index);
 
+/// Weakest batching contract across the population's effective attack set
+/// (base.attack, or every mix entry): kBitIdentical only when every attack
+/// replays bit-identically under the fast path. Surfaced in the result
+/// JSON and folded into the fleet fingerprint.
+[[nodiscard]] BatchContract fleet_sampling_contract(const FleetSpec& spec);
+
 /// Fingerprint of every trajectory-shaping field of the spec. Stored in
 /// fleet checkpoints; resume refuses a file from a different population.
+/// When the population's sampling contract is not bit-identical (stochastic
+/// attacks in the mix, stochastic mode), the fastpath flag is part of the
+/// fingerprint: fastpath and per-write trajectories are then only
+/// distribution-equivalent, so resuming one campaign with the other mode's
+/// shards would silently mix sampling contracts.
 [[nodiscard]] std::uint64_t fleet_fingerprint(const FleetSpec& spec);
 
 struct FleetOptions {

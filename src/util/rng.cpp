@@ -133,6 +133,17 @@ std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
 
 Rng Rng::fork() { return Rng(gen_.fork()); }
 
+Rng Rng::substream(std::uint64_t tag) const {
+  // Fold the domain tag and the four state words through SplitMix64. Each
+  // word perturbs the running seed before another SplitMix64 round, so all
+  // 256 state bits (and the tag) influence the child seed.
+  std::uint64_t seed = SplitMix64(tag).next();
+  for (std::uint64_t word : gen_.state()) {
+    seed = SplitMix64(seed ^ word).next();
+  }
+  return Rng(seed);
+}
+
 void Rng::save_state(StateWriter& w) const {
   for (std::uint64_t word : gen_.state()) w.u64(word);
   w.boolean(has_cached_normal_);

@@ -105,6 +105,15 @@ class Rng {
   /// Derive an independent child stream (for parallel experiment arms).
   Rng fork();
 
+  /// Derive a deterministic side stream from the current position WITHOUT
+  /// advancing this stream (fork() consumes a jump). The child seed hashes
+  /// the four xoshiro state words together with a caller-chosen domain tag
+  /// through SplitMix64, so distinct tags at the same position — and the
+  /// same tag at distinct positions — yield unrelated streams. Used for the
+  /// batched-sampling substream: both fastpath and per-write runs derive it
+  /// identically at engine construction, keeping the main stream untouched.
+  [[nodiscard]] Rng substream(std::uint64_t tag) const;
+
   /// Checkpointing: the full stream position is the xoshiro state plus the
   /// Box–Muller carry (the cached second normal), all of which must be
   /// restored for a resumed run to draw the identical sequence.

@@ -151,5 +151,90 @@ TEST(FactoryTest, KnownNames) {
   EXPECT_THROW(make_attack("nope"), std::invalid_argument);
 }
 
+TEST(BatchContractTest, NamesAndFactoryClassification) {
+  EXPECT_STREQ(batch_contract_name(BatchContract::kBitIdentical),
+               "bit_identical");
+  EXPECT_STREQ(batch_contract_name(BatchContract::kMultisetExact),
+               "multiset_exact");
+  EXPECT_STREQ(batch_contract_name(BatchContract::kDistributionEquivalent),
+               "distribution_equivalent");
+  EXPECT_EQ(attack_batch_contract("uaa"), BatchContract::kBitIdentical);
+  EXPECT_EQ(attack_batch_contract("bpa"), BatchContract::kBitIdentical);
+  EXPECT_EQ(attack_batch_contract("hotspot"), BatchContract::kMultisetExact);
+  EXPECT_EQ(attack_batch_contract("random"),
+            BatchContract::kDistributionEquivalent);
+  EXPECT_EQ(attack_batch_contract("zipf"),
+            BatchContract::kDistributionEquivalent);
+  EXPECT_THROW(attack_batch_contract("nope"), std::invalid_argument);
+
+  EXPECT_EQ(make_attack("uaa")->batch_contract(),
+            BatchContract::kBitIdentical);
+  EXPECT_EQ(make_attack("hotspot")->batch_contract(),
+            BatchContract::kMultisetExact);
+  EXPECT_EQ(make_attack("random")->batch_contract(),
+            BatchContract::kDistributionEquivalent);
+}
+
+TEST(BatchContractTest, BitIdenticalAttacksDeclineCounts) {
+  Rng rng(3);
+  WriteCountVector out;
+  EXPECT_FALSE(make_attack("uaa")->next_counts(rng, 64, 1000, out));
+  EXPECT_FALSE(make_attack("bpa")->next_counts(rng, 64, 1000, out));
+  EXPECT_TRUE(out.empty());
+}
+
+// next_counts must emit the exact multiset next() would: base = n/set
+// everywhere plus one extra on the first n%set lines after the cursor,
+// with the cursor advancing as if the writes were issued one by one.
+TEST(HotspotTest, NextCountsMatchesPerWriteMultiset) {
+  const std::uint64_t kSet = 7;
+  const std::uint64_t kLines = 64;
+  HotspotAttack batched(kSet);
+  HotspotAttack per_write(kSet);
+  Rng rng(5);
+  std::map<std::uint64_t, std::uint64_t> expected;
+  // Uneven chunk sizes exercise the cursor carry between chunks.
+  for (const std::uint64_t chunk : {std::uint64_t{23}, std::uint64_t{7},
+                                    std::uint64_t{100}, std::uint64_t{3}}) {
+    expected.clear();
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      ++expected[per_write.next(rng, kLines).value()];
+    }
+    WriteCountVector out;
+    ASSERT_TRUE(batched.next_counts(rng, kLines, chunk, out));
+    EXPECT_EQ(out.total(), chunk);
+    std::map<std::uint64_t, std::uint64_t> got;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      got[out.addrs[i]] += out.counts[i];
+    }
+    EXPECT_EQ(got, expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(HotspotTest, NextCountsSingleLineWorkingSet) {
+  HotspotAttack a(1);
+  Rng rng(2);
+  WriteCountVector out;
+  ASSERT_TRUE(a.next_counts(rng, 64, 500, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.addrs[0], 0u);
+  EXPECT_EQ(out.counts[0], 500u);
+}
+
+TEST(RandomUniformTest, NextCountsConservesAndCoversSpace) {
+  auto a = make_random_uniform();
+  Rng rng(8);
+  WriteCountVector out;
+  ASSERT_TRUE(a->next_counts(rng, 64, 100'000, out));
+  EXPECT_EQ(out.total(), 100'000u);
+  EXPECT_EQ(out.size(), 64u);  // every line hit at ~1562 expected writes
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out.addrs[i], 64u);
+    // Loose uniformity band: 6 sigma around n/64.
+    EXPECT_NEAR(static_cast<double>(out.counts[i]), 100'000.0 / 64.0,
+                6.0 * std::sqrt(100'000.0 / 64.0));
+  }
+}
+
 }  // namespace
 }  // namespace nvmsec

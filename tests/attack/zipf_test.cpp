@@ -92,5 +92,116 @@ TEST(ZipfTest, BenignWorkloadBenefitsFromWearLeveling) {
   EXPECT_GT(leveled, 3 * unleveled);
 }
 
+
+TEST(ZipfTest, NextCountsMatchesPerDrawDistribution) {
+  const std::uint64_t kLines = 128;
+  const std::uint64_t kDraws = 200'000;
+  ZipfWorkload batched(0.99, kLines);
+  ZipfWorkload per_write(0.99, kLines);
+
+  Rng counts_rng(17);
+  WriteCountVector out;
+  ASSERT_TRUE(batched.next_counts(counts_rng, kLines, kDraws, out));
+  EXPECT_EQ(out.total(), kDraws);
+  std::vector<double> from_counts(kLines, 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_LT(out.addrs[i], kLines);
+    from_counts[out.addrs[i]] += static_cast<double>(out.counts[i]);
+  }
+
+  Rng rng(71);
+  std::vector<double> from_draws(kLines, 0.0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    from_draws[per_write.next(rng, kLines).value()] += 1.0;
+  }
+
+  // Same address space, same skew: the two histograms agree cell-by-cell
+  // within sampling noise (6 sigma of the larger expected count, floored
+  // so the cold tail's tiny cells don't produce vacuous bands).
+  for (std::uint64_t a = 0; a < kLines; ++a) {
+    const double expected = std::max(from_draws[a], 1.0);
+    EXPECT_NEAR(from_counts[a], from_draws[a],
+                6.0 * std::sqrt(expected) + 6.0)
+        << "addr=" << a;
+  }
+}
+
+TEST(ZipfTest, NextCountsFoldsPlacementThroughSamePermutation) {
+  // The hottest address under next() must also be the hottest under
+  // next_counts(): both go through the same rank->address placement.
+  const std::uint64_t kLines = 64;
+  ZipfWorkload w(1.2, kLines);
+  Rng rng(3);
+  std::map<std::uint64_t, std::uint64_t> per_draw;
+  for (int i = 0; i < 50'000; ++i) ++per_draw[w.next(rng, kLines).value()];
+  std::uint64_t hottest_draw = 0, best = 0;
+  for (const auto& [addr, n] : per_draw) {
+    if (n > best) { best = n; hottest_draw = addr; }
+  }
+  WriteCountVector out;
+  Rng counts_rng(4);
+  ASSERT_TRUE(w.next_counts(counts_rng, kLines, 50'000, out));
+  std::uint64_t hottest_counts = 0;
+  WriteCount best_count = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.counts[i] > best_count) {
+      best_count = out.counts[i];
+      hottest_counts = out.addrs[i];
+    }
+  }
+  EXPECT_EQ(hottest_counts, hottest_draw);
+}
+
+TEST(ZipfTest, DistCacheSharesInstancesAcrossWorkloads) {
+  const std::uint64_t h0 = zipf_dist_cache_hits();
+  const auto a = zipf_dist(0.77, 4321);
+  const std::uint64_t m_after_first = zipf_dist_cache_misses();
+  const auto b = zipf_dist(0.77, 4321);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(zipf_dist_cache_hits(), h0 + 1);
+  // A distinct key misses; the first lookup's miss count is unchanged.
+  const auto c = zipf_dist(0.78, 4321);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_GT(zipf_dist_cache_misses(), m_after_first);
+
+  // Two workloads with equal (skew, lines) share one dist instance, and
+  // different placement seeds still produce different address streams.
+  ZipfWorkload w1(0.77, 4321, /*placement_seed=*/1);
+  ZipfWorkload w2(0.77, 4321, /*placement_seed=*/2);
+  Rng r1(5), r2(5);
+  bool diverged = false;
+  for (int i = 0; i < 50; ++i) {
+    diverged |= w1.next(r1, 4321).value() != w2.next(r2, 4321).value();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ZipfTest, AddressRatesMatchEmpiricalFrequencies) {
+  const std::uint64_t kLines = 64;
+  const std::vector<double> rates = zipf_address_rates(0.99, kLines);
+  ASSERT_EQ(rates.size(), kLines);
+  double total = 0.0;
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    total += r;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Empirical frequencies from the workload itself (same default placement
+  // seed) converge on the analytic rates.
+  ZipfWorkload w(0.99, kLines);
+  Rng rng(21);
+  const std::uint64_t kDraws = 400'000;
+  std::vector<double> freq(kLines, 0.0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    freq[w.next(rng, kLines).value()] += 1.0;
+  }
+  for (std::uint64_t a = 0; a < kLines; ++a) {
+    const double expected = rates[a] * static_cast<double>(kDraws);
+    EXPECT_NEAR(freq[a], expected, 6.0 * std::sqrt(expected + 1.0) + 6.0)
+        << "addr=" << a;
+  }
+}
+
 }  // namespace
 }  // namespace nvmsec

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/maxwe.h"
@@ -143,6 +144,88 @@ TEST(EventSimTest, FullPaperScaleRunsFast) {
   EXPECT_GT(r.normalized, 0.10);
   EXPECT_LT(r.normalized, 0.60);
   EXPECT_GT(r.line_deaths, 100000u);
+}
+
+
+TEST(EventSimTest, UniformWeightsReproduceDefaultBitForBit) {
+  // An explicit all-equal weight vector must normalize to 1.0 per index and
+  // reproduce the unweighted arithmetic exactly, not just approximately.
+  // The shared weight is a power of two so the normalization (u / sum) is
+  // itself exact in floating point — the bit-for-bit claim is about the
+  // simulator's arithmetic, not about fp rounding in the caller's weights.
+  auto map = ramp_map(64, 4, 5.0);
+  auto spare_a = make_no_spare(map);
+  UniformEventSimulator plain(map, *spare_a);
+  const LifetimeResult a = plain.run();
+
+  auto spare_b = make_no_spare(map);
+  UniformEventSimulator weighted(map, *spare_b);
+  weighted.set_index_rates(
+      std::vector<double>(spare_b->working_lines(), 2.0));
+  const LifetimeResult b = weighted.run();
+
+  EXPECT_DOUBLE_EQ(a.user_writes, b.user_writes);
+  EXPECT_EQ(a.line_deaths, b.line_deaths);
+  EXPECT_DOUBLE_EQ(a.normalized, b.normalized);
+  EXPECT_DOUBLE_EQ(a.wear_gini, b.wear_gini);
+}
+
+TEST(EventSimTest, SetIndexRatesValidation) {
+  auto map = ramp_map(4, 4);
+  auto spare = make_no_spare(map);
+  UniformEventSimulator sim(map, *spare);
+  const std::uint64_t u = spare->working_lines();
+  EXPECT_THROW(sim.set_index_rates(std::vector<double>(u - 1, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(sim.set_index_rates(std::vector<double>(u, 0.0)),
+               std::invalid_argument);
+  std::vector<double> negative(u, 1.0);
+  negative[0] = -1.0;
+  EXPECT_THROW(sim.set_index_rates(std::move(negative)),
+               std::invalid_argument);
+}
+
+TEST(EventSimTest, HotspotWeightsMatchAnalyticLifetime) {
+  // 0/1 weights concentrate all traffic on k indices. Unprotected, the
+  // device dies when the weakest loaded line exhausts: each loaded index
+  // writes u/k per round (normalization: k hot indices share u writes per
+  // round), so failure is at round EL*k/u -> user_writes = u * EL * k / u.
+  // Working lines u = 16, k = 4 hot indices on lines 0..3 (endurance 10):
+  // each hot line takes 16/4 = 4 writes per round, dying at round 10/4;
+  // user_writes = 16 * 2.5 = 40.
+  auto map = ramp_map(4, 4);  // regions e = 10,20,30,40; u = 16
+  auto spare = make_no_spare(map);
+  UniformEventSimulator sim(map, *spare);
+  std::vector<double> weights(16, 0.0);
+  for (int i = 0; i < 4; ++i) weights[i] = 1.0;
+  sim.set_index_rates(std::move(weights));
+  const LifetimeResult r = sim.run();
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.user_writes, 40.0);
+  EXPECT_EQ(r.line_deaths, 1u);
+}
+
+TEST(EventSimTest, SkewedRatesShortenUnprotectedLifetime) {
+  // A zipf-shaped rate vector focuses wear: the unprotected lifetime must
+  // fall strictly below the uniform one (same map, same spare scheme).
+  auto map = ramp_map(16, 8, 10.0);
+  auto spare_u = make_no_spare(map);
+  UniformEventSimulator uniform_sim(map, *spare_u);
+  const LifetimeResult uniform = uniform_sim.run();
+
+  auto spare_z = make_no_spare(map);
+  UniformEventSimulator zipf_sim(map, *spare_z);
+  const std::uint64_t u = spare_z->working_lines();
+  std::vector<double> rates(u);
+  for (std::uint64_t i = 0; i < u; ++i) {
+    rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.99);
+  }
+  zipf_sim.set_index_rates(std::move(rates));
+  const LifetimeResult skewed = zipf_sim.run();
+
+  EXPECT_TRUE(skewed.failed);
+  EXPECT_LT(skewed.user_writes, uniform.user_writes);
+  EXPECT_GT(skewed.user_writes, 0.0);
 }
 
 }  // namespace

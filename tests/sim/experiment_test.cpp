@@ -179,5 +179,71 @@ TEST(ExperimentTest, ScaledConfigHasTightenedCadences) {
             WearLevelerParams{}.tlsr_subregion_lines);
 }
 
+
+TEST(ExperimentTest, EventModeRunsStationaryAttacks) {
+  // The event engine bulk-advances every stationary-rate attack, not just
+  // UAA: hotspot, random, and zipf all complete without the per-write loop.
+  for (const std::string attack : {"uaa", "hotspot", "random", "zipf"}) {
+    ExperimentConfig c = small_event_config();
+    c.attack = attack;
+    c.hotspot_working_set = 4;
+    const LifetimeResult r = run_experiment(c);
+    EXPECT_TRUE(r.failed) << attack;
+    EXPECT_GT(r.user_writes, 0.0) << attack;
+  }
+}
+
+TEST(ExperimentTest, EventModeZipfTracksStochastic) {
+  // Mean-field check: the event engine's analytic zipf rates land within a
+  // sampling-noise band of the stochastic per-write engine.
+  ExperimentConfig c;
+  c.geometry = DeviceGeometry::scaled(512, 32);
+  c.endurance.endurance_at_mean = 500.0;
+  c.attack = "zipf";
+  c.zipf_skew = 0.99;
+  c.seed = 7;
+
+  ExperimentConfig event_c = c;
+  event_c.mode = SimulationMode::kUniformEvent;
+  const LifetimeResult event_r = run_experiment(event_c);
+
+  ExperimentConfig stoch_c = c;
+  stoch_c.mode = SimulationMode::kStochastic;
+  const LifetimeResult stoch_r = run_experiment(stoch_c);
+
+  ASSERT_GT(stoch_r.user_writes, 0.0);
+  EXPECT_NEAR(event_r.user_writes / stoch_r.user_writes, 1.0, 0.20);
+}
+
+TEST(ExperimentTest, EventModeHotspotTracksStochastic) {
+  ExperimentConfig c;
+  c.geometry = DeviceGeometry::scaled(512, 32);
+  c.endurance.endurance_at_mean = 500.0;
+  c.attack = "hotspot";
+  c.hotspot_working_set = 8;
+  c.seed = 9;
+
+  ExperimentConfig event_c = c;
+  event_c.mode = SimulationMode::kUniformEvent;
+  const LifetimeResult event_r = run_experiment(event_c);
+
+  ExperimentConfig stoch_c = c;
+  stoch_c.mode = SimulationMode::kStochastic;
+  const LifetimeResult stoch_r = run_experiment(stoch_c);
+
+  ASSERT_GT(stoch_r.user_writes, 0.0);
+  // The hotspot rotation is deterministic in both engines; only the
+  // continuous-time rounding separates them.
+  EXPECT_NEAR(event_r.user_writes / stoch_r.user_writes, 1.0, 0.10);
+}
+
+TEST(ExperimentTest, FingerprintCoversHotspotWorkingSet) {
+  ExperimentConfig a = small_event_config();
+  a.attack = "hotspot";
+  ExperimentConfig b = a;
+  b.hotspot_working_set = 16;
+  EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
+}
+
 }  // namespace
 }  // namespace nvmsec

@@ -334,5 +334,66 @@ TEST(FleetRunner, WearGiniIsTrackedForEventEngine) {
   EXPECT_LE(result.aggregate.wear_gini.max(), 1.0);
 }
 
+
+TEST(FleetSamplingContract, WeakestContractAcrossMixWins) {
+  FleetSpec spec = small_spec();
+  EXPECT_EQ(fleet_sampling_contract(spec), BatchContract::kBitIdentical);
+  spec.base.attack = "hotspot";
+  EXPECT_EQ(fleet_sampling_contract(spec), BatchContract::kMultisetExact);
+  spec.base.attack = "zipf";
+  EXPECT_EQ(fleet_sampling_contract(spec),
+            BatchContract::kDistributionEquivalent);
+  // A mix overrides base.attack; the weakest member's contract governs.
+  spec.base.attack = "uaa";
+  spec.attack_mix = {{"uaa", 0.9}, {"bpa", 0.1}};
+  EXPECT_EQ(fleet_sampling_contract(spec), BatchContract::kBitIdentical);
+  spec.attack_mix.push_back({"zipf", 0.1});
+  EXPECT_EQ(fleet_sampling_contract(spec),
+            BatchContract::kDistributionEquivalent);
+}
+
+TEST(FleetFingerprint, FastpathFoldsInOnlyForStochasticSampling) {
+  // Bit-identical populations interchange checkpoints across fastpath
+  // modes (same trajectories), so the flag must NOT shift the fingerprint.
+  FleetSpec uaa = small_spec();
+  uaa.base.mode = SimulationMode::kStochastic;
+  FleetSpec uaa_off = uaa;
+  uaa_off.base.fastpath = false;
+  EXPECT_EQ(fleet_fingerprint(uaa), fleet_fingerprint(uaa_off));
+
+  // Distribution-equivalent stochastic populations must refuse cross-mode
+  // resume: the flag IS part of the fingerprint.
+  FleetSpec zipf = small_spec();
+  zipf.base.attack = "zipf";
+  zipf.base.mode = SimulationMode::kStochastic;
+  FleetSpec zipf_off = zipf;
+  zipf_off.base.fastpath = false;
+  EXPECT_NE(fleet_fingerprint(zipf), fleet_fingerprint(zipf_off));
+
+  // In event mode there is no sampling at all: flag irrelevant again.
+  FleetSpec zipf_event = zipf;
+  zipf_event.base.mode = SimulationMode::kUniformEvent;
+  FleetSpec zipf_event_off = zipf_event;
+  zipf_event_off.base.fastpath = false;
+  EXPECT_EQ(fleet_fingerprint(zipf_event), fleet_fingerprint(zipf_event_off));
+}
+
+TEST(FleetResultJson, SpecCarriesFastpathAndSamplingContract) {
+  FleetSpec spec = small_spec();
+  FleetOptions options;
+  const std::string json = fleet_result_json(spec, run_fleet(spec, options));
+  EXPECT_NE(json.find("\"fastpath\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"sampling_contract\":\"bit_identical\""),
+            std::string::npos);
+  spec.base.attack = "zipf";
+  spec.base.fastpath = false;
+  const std::string json_zipf =
+      fleet_result_json(spec, run_fleet(spec, options));
+  EXPECT_NE(json_zipf.find("\"fastpath\":false"), std::string::npos);
+  EXPECT_NE(
+      json_zipf.find("\"sampling_contract\":\"distribution_equivalent\""),
+      std::string::npos);
+}
+
 }  // namespace
 }  // namespace nvmsec

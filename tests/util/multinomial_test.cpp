@@ -1,0 +1,260 @@
+// Exactness contract of the batched-sampling primitives: count vectors
+// conserve the draw count exactly, are deterministic for a fixed stream,
+// and follow the same law as per-draw sampling (chi-squared against the
+// exact probabilities; fixed seeds keep every check deterministic).
+#include "util/multinomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace nvmsec {
+namespace {
+
+std::vector<double> geometric_weights(std::size_t n) {
+  std::vector<double> w(n);
+  double v = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = v;
+    v *= 0.93;
+  }
+  return w;
+}
+
+TEST(BinomialDrawTest, Edges) {
+  Rng rng(1);
+  EXPECT_EQ(binomial_draw(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial_draw(rng, 1000, 0.0), 0u);
+  EXPECT_EQ(binomial_draw(rng, 1000, -0.3), 0u);
+  EXPECT_EQ(binomial_draw(rng, 1000, 1.0), 1000u);
+  EXPECT_EQ(binomial_draw(rng, 1000, 1.7), 1000u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(binomial_draw(rng, 1, 0.5), 1u);
+  }
+}
+
+TEST(BinomialDrawTest, NeverExceedsN) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(binomial_draw(rng, 37, 0.9), 37u);
+  }
+}
+
+// Both regimes (BINV for n*p < 10, BTRS above) must track the exact
+// binomial moments. 50k samples put the sample mean within ~5 standard
+// errors of n*p for the fixed seeds below.
+TEST(BinomialDrawTest, MeanAndVarianceBothRegimes) {
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  for (const Case c : {Case{200, 0.02}, Case{40, 0.1},      // BINV
+                       Case{10'000, 0.3}, Case{500, 0.5}})  // BTRS
+  {
+    Rng rng(99);
+    const int kSamples = 50'000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double x = static_cast<double>(binomial_draw(rng, c.n, c.p));
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum_sq / kSamples - mean * mean;
+    const double exp_mean = static_cast<double>(c.n) * c.p;
+    const double exp_var = exp_mean * (1.0 - c.p);
+    const double se = std::sqrt(exp_var / kSamples);
+    EXPECT_NEAR(mean, exp_mean, 5.0 * se) << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, exp_var, 0.1 * exp_var) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(WriteCountVectorTest, AppendTotalClear) {
+  WriteCountVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.total(), 0u);
+  v.append(7, 3);
+  v.append(9, 5);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.total(), 8u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.total(), 0u);
+}
+
+TEST(MultinomialSamplerTest, RejectsBadWeights) {
+  EXPECT_THROW(MultinomialSampler(std::span<const double>{}),
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(MultinomialSampler(std::span<const double>(zeros)),
+               std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(MultinomialSampler(std::span<const double>(negative)),
+               std::invalid_argument);
+  const std::vector<double> inf{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(MultinomialSampler(std::span<const double>(inf)),
+               std::invalid_argument);
+}
+
+TEST(MultinomialSamplerTest, ProbabilitiesSumToOne) {
+  for (const std::size_t n : {1u, 2u, 3u, 64u, 1000u}) {
+    const std::vector<double> w = geometric_weights(n);
+    const MultinomialSampler sampler{std::span<const double>(w)};
+    EXPECT_EQ(sampler.size(), n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += sampler.probability(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+// The load-bearing exactness property: counts sum to exactly n_draws (no
+// rounding, no truncation), entries are in ascending index order, every
+// emitted count is >= 1, and zero-weight indices never appear.
+TEST(MultinomialSamplerTest, ExactCountConservation) {
+  for (const std::size_t n : {1u, 2u, 3u, 64u, 1000u}) {
+    std::vector<double> w = geometric_weights(n);
+    if (n >= 3) w[n / 2] = 0.0;  // a hole the draw must never hit
+    const MultinomialSampler sampler{std::span<const double>(w)};
+    Rng rng(7 + n);
+    for (const std::uint64_t draws : {std::uint64_t{0}, std::uint64_t{1},
+                                      std::uint64_t{1'000'000}}) {
+      WriteCountVector out;
+      sampler.draw(rng, draws, out);
+      EXPECT_EQ(out.total(), draws) << "n=" << n << " draws=" << draws;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out.counts[i], 1u);
+        EXPECT_LT(out.addrs[i], n);
+        if (n >= 3) EXPECT_NE(out.addrs[i], n / 2);
+        if (i > 0) EXPECT_GT(out.addrs[i], out.addrs[i - 1]);
+      }
+      if (draws == 0) EXPECT_TRUE(out.empty());
+    }
+  }
+}
+
+TEST(MultinomialSamplerTest, DeterministicForFixedSeed) {
+  const std::vector<double> w = geometric_weights(128);
+  const MultinomialSampler sampler{std::span<const double>(w)};
+  Rng a(42), b(42);
+  WriteCountVector out_a, out_b;
+  sampler.draw(a, 100'000, out_a);
+  sampler.draw(b, 100'000, out_b);
+  EXPECT_EQ(out_a.addrs, out_b.addrs);
+  EXPECT_EQ(out_a.counts, out_b.counts);
+  // And the next draw from the same stream differs (the stream advanced).
+  WriteCountVector out_c;
+  sampler.draw(a, 100'000, out_c);
+  EXPECT_NE(out_a.counts, out_c.counts);
+}
+
+TEST(MultinomialSamplerTest, SingleOutcomeTakesEverything) {
+  const std::vector<double> w{3.5};
+  const MultinomialSampler sampler{std::span<const double>(w)};
+  Rng rng(5);
+  WriteCountVector out;
+  sampler.draw(rng, 12'345, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.addrs[0], 0u);
+  EXPECT_EQ(out.counts[0], 12'345u);
+}
+
+// One batched draw must follow the same law as the per-draw histogram.
+// Chi-squared of the batched counts against the exact cell probabilities,
+// and of an alias-table per-draw histogram for reference: both must sit
+// below the same (generous) critical value. df = 63; the 99.9th percentile
+// of chi2(63) is ~106, and the fixed seeds keep this fully deterministic.
+TEST(MultinomialSamplerTest, MatchesPerDrawDistribution) {
+  const std::size_t kOutcomes = 64;
+  const std::uint64_t kDraws = 1'000'000;
+  const std::vector<double> w = geometric_weights(kOutcomes);
+  const MultinomialSampler sampler{std::span<const double>(w)};
+
+  std::vector<double> batched(kOutcomes, 0.0);
+  {
+    Rng rng(123);
+    WriteCountVector out;
+    sampler.draw(rng, kDraws, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      batched[out.addrs[i]] = static_cast<double>(out.counts[i]);
+    }
+  }
+  std::vector<double> per_draw(kOutcomes, 0.0);
+  {
+    Rng rng(321);
+    const AliasTable alias(w);
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+      per_draw[alias.sample(rng)] += 1.0;
+    }
+  }
+
+  const auto chi2 = [&](const std::vector<double>& observed) {
+    double stat = 0.0;
+    for (std::size_t i = 0; i < kOutcomes; ++i) {
+      const double expected =
+          sampler.probability(i) * static_cast<double>(kDraws);
+      const double d = observed[i] - expected;
+      stat += d * d / expected;
+    }
+    return stat;
+  };
+  EXPECT_LT(chi2(batched), 110.0);
+  EXPECT_LT(chi2(per_draw), 110.0);
+}
+
+TEST(MultinomialUniformTest, ExactConservationAndOrder) {
+  Rng rng(11);
+  for (const std::uint64_t n : {std::uint64_t{1}, std::uint64_t{2},
+                                std::uint64_t{1000}}) {
+    WriteCountVector out;
+    multinomial_uniform(rng, 250'000, n, out);
+    EXPECT_EQ(out.total(), 250'000u) << "n=" << n;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_GE(out.counts[i], 1u);
+      EXPECT_LT(out.addrs[i], n);
+      if (i > 0) EXPECT_GT(out.addrs[i], out.addrs[i - 1]);
+    }
+  }
+  WriteCountVector out;
+  multinomial_uniform(rng, 0, 64, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MultinomialUniformTest, Deterministic) {
+  Rng a(9), b(9);
+  WriteCountVector out_a, out_b;
+  multinomial_uniform(a, 100'000, 333, out_a);
+  multinomial_uniform(b, 100'000, 333, out_b);
+  EXPECT_EQ(out_a.addrs, out_b.addrs);
+  EXPECT_EQ(out_a.counts, out_b.counts);
+}
+
+TEST(MultinomialUniformTest, UniformChiSquared) {
+  const std::uint64_t kOutcomes = 64;
+  const std::uint64_t kDraws = 1'000'000;
+  Rng rng(77);
+  WriteCountVector out;
+  multinomial_uniform(rng, kDraws, kOutcomes, out);
+  const double expected =
+      static_cast<double>(kDraws) / static_cast<double>(kOutcomes);
+  std::vector<double> observed(kOutcomes, 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    observed[out.addrs[i]] = static_cast<double>(out.counts[i]);
+  }
+  double stat = 0.0;
+  for (std::uint64_t i = 0; i < kOutcomes; ++i) {
+    const double d = observed[i] - expected;
+    stat += d * d / expected;
+  }
+  EXPECT_LT(stat, 110.0);  // chi2(63) 99.9th percentile ~106
+}
+
+}  // namespace
+}  // namespace nvmsec

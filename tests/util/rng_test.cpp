@@ -189,5 +189,50 @@ TEST(RngTest, ForkedStreamsAreIndependent) {
   EXPECT_TRUE(overlap.empty());
 }
 
+TEST(RngTest, SubstreamIsDeterministicAndLeavesParentUntouched) {
+  Rng a(33);
+  Rng b(33);
+  // Deriving a substream must not advance the parent: both parents keep
+  // producing the identical sequence whether or not one derived a child.
+  Rng child_a = a.substream(0x1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_u64(1ULL << 62), b.uniform_u64(1ULL << 62));
+  }
+  // Same tag at the same parent position reproduces the same substream.
+  Rng c(33);
+  Rng child_c = c.substream(0x1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a.uniform_u64(1ULL << 62),
+              child_c.uniform_u64(1ULL << 62));
+  }
+}
+
+TEST(RngTest, SubstreamTagAndPositionBothSelectTheStream) {
+  Rng parent(33);
+  Rng tag_a = parent.substream(1);
+  Rng tag_b = parent.substream(2);
+  std::set<std::uint64_t> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.insert(tag_a.uniform_u64(1ULL << 62));
+    b.insert(tag_b.uniform_u64(1ULL << 62));
+  }
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty()) << "distinct tags must give unrelated streams";
+
+  // Advance the parent: the same tag now yields a different substream.
+  (void)parent.uniform_u64(10);
+  Rng tag_a_later = parent.substream(1);
+  Rng tag_a_again(33);
+  Rng reference = tag_a_again.substream(1);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    any_diff |= tag_a_later.uniform_u64(1ULL << 62) !=
+                reference.uniform_u64(1ULL << 62);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
 }  // namespace
 }  // namespace nvmsec

@@ -58,6 +58,10 @@ struct FleetDoc {
   std::string mode, attack, wl, spare;
   double spare_fraction{0}, lines{0}, regions{0};
   std::string mix;  // rendered attack mix, empty when none
+  // Batched-sampling fields; absent in files from older fleet_sim builds.
+  bool has_fastpath{false};
+  bool fastpath{true};
+  std::string sampling_contract;
   // result
   bool complete{true};
   double shards_done{0}, shards_total{0};
@@ -129,6 +133,15 @@ FleetDoc load_fleet(const std::string& path) {
       os << mix->array[i].str("attack") << ":" << mix->array[i].num("weight");
     }
     f.mix = os.str();
+  }
+  if (const JsonValue* fast = spec.find("fastpath");
+      fast != nullptr && fast->is_bool()) {
+    f.has_fastpath = true;
+    f.fastpath = fast->boolean;
+  }
+  if (const JsonValue* contract = spec.find("sampling_contract");
+      contract != nullptr && contract->is_string()) {
+    f.sampling_contract = contract->string;
   }
 
   const JsonValue* complete = doc.find("complete");
@@ -229,6 +242,13 @@ void render_fleet(Renderer& out, const FleetDoc& f) {
   spec.add_row({std::string("attack"),
                 f.mix.empty() ? f.attack : "mix: " + f.mix});
   spec.add_row({std::string("wear leveler"), f.wl});
+  if (f.has_fastpath) {
+    spec.add_row({std::string("fastpath"),
+                  std::string(f.fastpath ? "on" : "off") +
+                      (f.sampling_contract.empty()
+                           ? ""
+                           : " (" + f.sampling_contract + ")")});
+  }
   spec.add_row({std::string("spare fraction"), fmt(f.spare_fraction, 3)});
   spec.add_row({std::string("geometry"),
                 fmt(f.lines) + " lines / " + fmt(f.regions) + " regions"});

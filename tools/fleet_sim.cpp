@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
                "independent of sharding)", "");
   cli.add_flag("bpa-burst", "BPA burst length", "1024");
   cli.add_flag("zipf-skew", "zipf skew s", "0.99");
+  cli.add_flag("hotspot-set", "hotspot working-set lines (>= 1)", "1");
   cli.add_flag("wl", "none|startgap|tlsr|pcms|bwl|wawl|twl", "none");
   cli.add_flag("swap-interval", "wear-leveler remap cadence", "100");
   cli.add_flag("spare", "none | pcd | ps | ps-worst | freep | maxwe",
@@ -86,6 +87,12 @@ int main(int argc, char** argv) {
   cli.add_flag("swr-fraction", "Max-WE SWR share of spares", "0.90");
   cli.add_flag("max-writes", "stochastic: user-write cap per device "
                              "(0 = run to failure)", "0");
+  cli.add_switch("no-fastpath",
+                 "disable the batched fast path (stochastic mode). "
+                 "Bit-identical either way for uaa/bpa populations; "
+                 "distribution-equivalent for random/zipf (multiset-exact "
+                 "for hotspot) — the campaign fingerprint then refuses "
+                 "cross-mode --resume");
   cli.add_flag("payload", "bit mode: random|constant|fnw-adversarial|"
                           "complement", "random");
   cli.add_flag("codec", "bit mode: full|differential|fnw", "differential");
@@ -150,12 +157,14 @@ int main(int argc, char** argv) {
     base.attack = cli.get_string("attack");
     base.bpa_burst = cli.get_uint("bpa-burst");
     base.zipf_skew = cli.get_double("zipf-skew");
+    base.hotspot_working_set = cli.get_uint("hotspot-set");
     base.wear_leveler = cli.get_string("wl");
     base.wl.swap_interval = cli.get_uint("swap-interval");
     base.spare_scheme = cli.get_string("spare");
     base.spare_fraction = cli.get_double("spare-fraction");
     base.swr_fraction = cli.get_double("swr-fraction");
     base.max_user_writes = cli.get_uint("max-writes");
+    base.fastpath = !cli.get_bool("no-fastpath");
     base.fault.device.stuck_at_lines = cli.get_uint("fault-stuck-at");
     base.fault.device.early_death_lines = cli.get_uint("fault-early-death");
     base.fault.device.early_death_fraction =
