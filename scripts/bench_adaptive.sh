@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Adaptive-defense scenario matrix: {static benign-tuned, static
+# attack-tuned, adaptive} x {zipf, uaa, bpa, uaa-onset, bursty}.
+#
+# Two checks are GATING:
+#   * on the UAA-onset scenario the adaptive config must recover at least
+#     GAP_RECOVERY_MIN of the lifetime gap between the two static tunings
+#     (i.e. land well above the worse static choice — no static cadence is
+#     safe against a stream that changes character mid-run);
+#   * on pure-zipf benign traffic the adaptive config must stay within
+#     BENIGN_REGRESSION_MAX of the static benign tuning (the detector must
+#     not false-alarm its lifetime away).
+# The rest of the matrix is recorded in BENCH_adaptive.json for trend
+# tracking but is informational.
+#
+# Usage: scripts/bench_adaptive.sh [build-dir] [output-json] [seeds]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_adaptive.json}"
+SEEDS="${3:-5}"
+
+TOOL="$BUILD_DIR/tools/maxwe_sim"
+if [[ ! -x "$TOOL" ]]; then
+  echo "build first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+GAP_RECOVERY_MIN="0.20"
+BENIGN_REGRESSION_MAX="0.05"
+
+# Scaled stochastic device. The benign cadence (psi 32) is what zipf
+# traffic wants; the attack cadence (psi 256 = 32 * 2^3) is where the
+# adaptive controller tops out under a sweep alarm (factor 2, 3 steps).
+BASE=(--mode stochastic --lines 2048 --regions 128 --endurance-mean 2000
+      --spare maxwe --wl startgap --seeds "$SEEDS")
+PSI_BENIGN=32
+PSI_ATTACK=256
+DETECT=(--detect --detect-window 8192 --adaptive
+        --adaptive-factor 2.0 --adaptive-max-steps 3)
+
+ONSET=100000
+BURSTY="zipf:100k,uaa:50k"
+
+# run <psi> <extra args...> -> mean normalized lifetime (percent).
+run() {
+  local psi="$1"
+  shift
+  "$TOOL" "${BASE[@]}" --swap-interval "$psi" "$@" |
+    awk -F'[:%]' '/normalized lifetime/ { gsub(/ /, "", $2); print $2 }'
+}
+
+declare -A LIFE
+for scenario in zipf uaa bpa onset bursty; do
+  case "$scenario" in
+    zipf)   args=(--attack zipf) ;;
+    uaa)    args=(--attack uaa) ;;
+    bpa)    args=(--attack bpa) ;;
+    onset)  args=(--attack-onset "$ONSET") ;;
+    bursty) args=(--attack-phases "$BURSTY") ;;
+  esac
+  LIFE[$scenario,static_benign]="$(run "$PSI_BENIGN" "${args[@]}")"
+  LIFE[$scenario,static_attack]="$(run "$PSI_ATTACK" "${args[@]}")"
+  LIFE[$scenario,adaptive]="$(run "$PSI_BENIGN" "${args[@]}" "${DETECT[@]}")"
+  printf '== %-7s static(psi=%s) %s%%  static(psi=%s) %s%%  adaptive %s%%\n' \
+    "$scenario" "$PSI_BENIGN" "${LIFE[$scenario,static_benign]}" \
+    "$PSI_ATTACK" "${LIFE[$scenario,static_attack]}" \
+    "${LIFE[$scenario,adaptive]}"
+done
+
+# GATE 1: fraction of the |static_benign - static_attack| gap the adaptive
+# run recovers above the worse static tuning, on the UAA-onset scenario.
+GAP_RECOVERED="$(awk -v b="${LIFE[onset,static_benign]}" \
+                     -v a="${LIFE[onset,static_attack]}" \
+                     -v ad="${LIFE[onset,adaptive]}" 'BEGIN {
+  lo = (b < a) ? b : a; hi = (b > a) ? b : a
+  printf "%.4f", (hi > lo) ? (ad - lo) / (hi - lo) : 1
+}')"
+GAP_OK="$(awk -v r="$GAP_RECOVERED" -v min="$GAP_RECOVERY_MIN" \
+  'BEGIN { print (r >= min) ? "true" : "false" }')"
+
+# GATE 2: benign regression of the adaptive config on pure zipf.
+BENIGN_REGRESSION="$(awk -v s="${LIFE[zipf,static_benign]}" \
+                         -v ad="${LIFE[zipf,adaptive]}" \
+  'BEGIN { printf "%.4f", (s > 0) ? (s - ad) / s : 0 }')"
+BENIGN_OK="$(awk -v r="$BENIGN_REGRESSION" -v max="$BENIGN_REGRESSION_MAX" \
+  'BEGIN { print (r <= max) ? "true" : "false" }')"
+
+echo "== onset gap recovery: $GAP_RECOVERED (gate >= $GAP_RECOVERY_MIN: $GAP_OK)"
+echo "== benign zipf regression: $BENIGN_REGRESSION (gate <= $BENIGN_REGRESSION_MAX: $BENIGN_OK)"
+
+scenario_json() {
+  printf '    "%s": {"static_benign": %s, "static_attack": %s, "adaptive": %s}' \
+    "$1" "${LIFE[$1,static_benign]}" "${LIFE[$1,static_attack]}" \
+    "${LIFE[$1,adaptive]}"
+}
+
+cat > "$OUT_JSON" <<EOF
+{
+  "benchmark": "adaptive_defense_matrix",
+  "config": "stochastic 2048x128 maxwe startgap, psi ${PSI_BENIGN}/${PSI_ATTACK}, window 8192",
+  "seeds": $SEEDS,
+  "onset_writes": $ONSET,
+  "bursty_schedule": "$BURSTY",
+  "normalized_lifetime_pct": {
+$(scenario_json zipf),
+$(scenario_json uaa),
+$(scenario_json bpa),
+$(scenario_json onset),
+$(scenario_json bursty)
+  },
+  "onset_gap_recovered": $GAP_RECOVERED,
+  "onset_gap_recovery_min": $GAP_RECOVERY_MIN,
+  "onset_gap_ok": $GAP_OK,
+  "benign_regression": $BENIGN_REGRESSION,
+  "benign_regression_max": $BENIGN_REGRESSION_MAX,
+  "benign_ok": $BENIGN_OK
+}
+EOF
+echo "== wrote $OUT_JSON"
+
+if [[ "$GAP_OK" != "true" || "$BENIGN_OK" != "true" ]]; then
+  echo "FAIL: adaptive-defense gate violated (see $OUT_JSON)" >&2
+  exit 1
+fi

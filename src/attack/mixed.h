@@ -1,0 +1,102 @@
+// Composite attack: a phase schedule interleaving benign background traffic
+// with attack bursts (ROADMAP: "Adaptive defenses and online attack
+// detection").
+//
+// Real adversaries do not announce themselves at write 0 — the detector
+// scenarios need streams that *become* hostile (benign zipf, then a UAA
+// onset) or blink ("bursty" on/off hammering). A MixedAttack runs a list
+// of (generator, write budget) phases: each phase emits its generator's
+// stream until its budget is spent, then the schedule moves on. A terminal
+// phase with budget 0 runs forever; a schedule whose last phase is bounded
+// cycles, which is how the on/off scenarios are expressed.
+//
+// Phase generators keep their state across phase switches and cycles (a
+// UAA phase resumes its sweep where the previous burst left off), and all
+// cursors ride save_state/load_state, so crash/resume and the batched fast
+// path see exactly the per-write stream.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace nvmsec {
+
+/// One parsed entry of a "--attack-phases" schedule spec.
+struct MixedPhaseSpec {
+  std::string attack;
+  /// User writes this phase emits; 0 = unbounded (terminal, last phase
+  /// only).
+  std::uint64_t writes{0};
+};
+
+/// Parse "name:writes,name:writes,..." (e.g. "zipf:200000,uaa:0"). Writes
+/// accepts plain integers with optional k/m/g suffix (powers of ten).
+/// Throws std::invalid_argument on malformed specs, an unbounded phase
+/// anywhere but last, or an empty schedule.
+std::vector<MixedPhaseSpec> parse_mixed_phases(const std::string& spec);
+
+class MixedAttack final : public Attack {
+ public:
+  struct Phase {
+    std::unique_ptr<Attack> attack;
+    /// 0 = unbounded.
+    std::uint64_t writes{0};
+  };
+
+  /// Takes ownership of the phase generators. Enforces the same shape
+  /// rules as parse_mixed_phases.
+  explicit MixedAttack(std::vector<Phase> phases);
+
+  LogicalLineAddr next(Rng& rng, std::uint64_t user_lines) override;
+  /// Delegates to the current phase, capping the run at the phase
+  /// boundary so a run never straddles two generators.
+  AttackRun next_run(Rng& rng, std::uint64_t user_lines,
+                     std::uint64_t max_len) override;
+  /// The weakest (largest) contract among the phases: one
+  /// distribution-equivalent phase makes the whole stream
+  /// distribution-equivalent.
+  [[nodiscard]] BatchContract batch_contract() const override {
+    return contract_;
+  }
+  /// Delegates min(n_writes, phase remaining) to the current phase. May
+  /// therefore emit counts summing to FEWER than n_writes (it stops at the
+  /// phase boundary) — callers must total the returned vector rather than
+  /// assume n_writes. Returns false when the current phase has no counts
+  /// form (e.g. a UAA phase); the caller falls back to next_run() and the
+  /// counts path resumes once a counts-capable phase is current.
+  bool next_counts(Rng& rng, std::uint64_t user_lines, std::uint64_t n_writes,
+                   WriteCountVector& out) override;
+
+  [[nodiscard]] std::string name() const override { return "mixed"; }
+  void reset() override;
+  void save_state(StateWriter& w) const override;
+  [[nodiscard]] Status load_state(StateReader& r) override;
+
+  // --- schedule introspection (run_start event ground truth, report) -------
+  [[nodiscard]] std::size_t phase_count() const { return phases_.size(); }
+  [[nodiscard]] const std::string& phase_name(std::size_t i) const {
+    return phase_names_[i];
+  }
+  [[nodiscard]] std::uint64_t phase_writes(std::size_t i) const {
+    return phases_[i].writes;
+  }
+  [[nodiscard]] std::size_t current_phase() const { return phase_idx_; }
+
+ private:
+  /// Writes left in the current phase (max() when unbounded).
+  [[nodiscard]] std::uint64_t phase_remaining() const;
+  void advance_if_exhausted();
+
+  std::vector<Phase> phases_;
+  std::vector<std::string> phase_names_;
+  BatchContract contract_{BatchContract::kBitIdentical};
+  /// True when the last phase is bounded: the schedule wraps around.
+  bool cyclic_{false};
+  std::size_t phase_idx_{0};
+  std::uint64_t phase_written_{0};
+};
+
+}  // namespace nvmsec

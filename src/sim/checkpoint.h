@@ -26,6 +26,10 @@ namespace nvmsec {
 
 inline constexpr char kCheckpointMagic[8] = {'M', 'X', 'W', 'E',
                                              'C', 'K', 'P', 'T'};
+// v5: the engine payload gained the attack-detector presence flag and
+// state (saved after the fault injector), and LifetimeResult records
+// gained the detector/adaptive stat fields (windows, alarms, cadence
+// changes).
 // v4: the engine payload gained the batched-sampling substream RNG state
 // (counts_rng_), saved right after the main simulation RNG, so resumed
 // fastpath runs of stochastic attacks continue the same counts sequence.
@@ -33,7 +37,7 @@ inline constexpr char kCheckpointMagic[8] = {'M', 'X', 'W', 'E',
 // the wear_gini field; earlier versions are refused.
 // v2: the engine payload gained the event-log presence flag and byte
 // offset (decision flight recorder).
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 /// Atomically write `payload` as a checkpoint file at `path`.
 [[nodiscard]] Status save_checkpoint_file(const std::string& path,

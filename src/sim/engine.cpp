@@ -59,6 +59,16 @@ void Engine::set_fault_injection(MetadataFaultInjector* injector,
   injector_scheme_ = scheme;
 }
 
+void Engine::set_detector(AttackDetector* detector,
+                          AdaptiveWearLeveler* adaptive) {
+  if (detector == nullptr && adaptive != nullptr) {
+    throw std::invalid_argument(
+        "Engine::set_detector: adaptive control needs a detector");
+  }
+  detector_ = detector;
+  adaptive_ = adaptive;
+}
+
 void Engine::capture_state(StateWriter& w) const {
   w.u64(user_writes_);
   w.u64(absorbed_writes_);
@@ -74,6 +84,12 @@ void Engine::capture_state(StateWriter& w) const {
   if (buffer_ != nullptr) buffer_->save_state(w);
   w.boolean(injector_ != nullptr);
   if (injector_ != nullptr) injector_->save_state(w);
+  // Detector state (window accumulators, hysteresis machine, lifetime
+  // stats). The adaptive leveler needs no slot of its own: when adaptive
+  // control is on, wl_ IS the AdaptiveWearLeveler and its save_state above
+  // already carried the controller + wrapped-leveler state.
+  w.boolean(detector_ != nullptr);
+  if (detector_ != nullptr) detector_->save_state(w);
   // Event-log byte offset, captured after the checkpoint event itself was
   // emitted and flushed: restore truncates the log back to this point, so
   // a resumed run's stream is byte-identical to an uninterrupted one.
@@ -123,6 +139,16 @@ Status Engine::restore_state(StateReader& r) {
   }
   if (injector_ != nullptr) {
     if (Status st = injector_->load_state(r); !st.ok()) return st;
+  }
+  bool has_detector = false;
+  if (Status st = r.boolean(has_detector); !st.ok()) return st;
+  if (has_detector != (detector_ != nullptr)) {
+    return Status::failed_precondition(
+        "checkpoint and configuration disagree on attack detection "
+        "(--detect)");
+  }
+  if (detector_ != nullptr) {
+    if (Status st = detector_->load_state(r); !st.ok()) return st;
   }
   bool has_events = false;
   if (Status st = r.boolean(has_events); !st.ok()) return st;
@@ -256,6 +282,48 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     return true;
   };
 
+  // Close one due detection window: emit the verdict (the raw signals are
+  // what the report's ROC sweep re-thresholds post-mortem), the alarm
+  // transition events, and feed the alarm level into the adaptive cadence
+  // controller when one is attached.
+  const auto close_detector_window = [&] {
+    const AlarmLevel before = detector_->level();
+    const WindowVerdict v = detector_->close_window();
+    if (obs_.events != nullptr) {
+      obs_.events->emit(
+          "detect_window",
+          {{"window", static_cast<double>(v.window_index)},
+           {"writes", static_cast<double>(v.writes)},
+           {"uniformity", v.uniformity},
+           {"occupancy", v.occupancy},
+           {"sequential", v.sequential},
+           {"anomalous", v.anomalous ? 1.0 : 0.0},
+           {"kind", attack_kind_name(v.kind)},
+           {"level", alarm_level_name(v.level_after)}});
+      if (v.level_after == AlarmLevel::kUnderAttack &&
+          before != AlarmLevel::kUnderAttack) {
+        obs_.events->emit("alarm_raised",
+                          {{"window", static_cast<double>(v.window_index)},
+                           {"kind", attack_kind_name(detector_->kind())}});
+      } else if (before == AlarmLevel::kUnderAttack &&
+                 v.level_after == AlarmLevel::kBenign) {
+        obs_.events->emit("alarm_cleared",
+                          {{"window", static_cast<double>(v.window_index)}});
+      }
+    }
+    if (adaptive_ != nullptr) {
+      const CadenceChange ch =
+          adaptive_->on_window(v.level_after, detector_->kind());
+      if (ch.changed && obs_.events != nullptr) {
+        obs_.events->emit(
+            "cadence_change",
+            {{"old_interval", static_cast<double>(ch.old_interval)},
+             {"new_interval", static_cast<double>(ch.new_interval)},
+             {"step", static_cast<double>(ch.step)}});
+      }
+    }
+  };
+
   // Exact per-write pipeline (the seed loop body): wear-leveler write path
   // with migration writes, then device writes one by one.
   batch.reserve(16);
@@ -305,6 +373,13 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     // (which must include the injector's advance), then observability.
     if (obs_.events != nullptr) {
       obs_.events->set_now(static_cast<double>(user_writes_));
+    }
+    // Detection windows close before fault injection and checkpoints so a
+    // checkpoint always captures post-close state (a resumed run never
+    // re-closes a window). The loop drains multiple boundaries at once:
+    // the wear-out position credit can jump user_writes_ past a boundary.
+    if (detector_ != nullptr) {
+      while (detector_->window_due(user_writes_)) close_detector_window();
     }
     if (injector_ != nullptr && injector_->due(user_writes_)) {
       injector_->inject_and_scrub(*injector_scheme_, device_);
@@ -356,6 +431,9 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
         limit = std::min(limit, obs_.snapshots->writes_until_due(
                                     static_cast<double>(user_writes_)));
       }
+      if (detector_ != nullptr) {
+        limit = std::min(limit, detector_->writes_until_window(user_writes_));
+      }
       if (limit == 0) limit = 1;  // defensive: the boundary fired above
     }
 
@@ -372,6 +450,11 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
         counts_vec.clear();
         if (attack_.next_counts(counts_rng_, logical_lines, chunk,
                                 counts_vec)) {
+          // A mixed attack stops a counts draw at its phase boundary, so
+          // the vector may total fewer than `chunk` — the fatal-position
+          // credit below must use the actual total, not the request.
+          const std::uint64_t chunk_total = counts_vec.total();
+          if (detector_ != nullptr) detector_->observe_counts(counts_vec);
           // Resolve every entry up front under the current mapping epoch,
           // then stream the whole vector through the device. A wear-out
           // hands control back: the spare layer rescues (epoch bump flushes
@@ -408,10 +491,10 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
               // the difference so the reported lifetime follows the
               // per-write law.
               const double est = static_cast<double>(res.entry_absorbed) *
-                                 (static_cast<double>(chunk) + 1.0) /
+                                 (static_cast<double>(chunk_total) + 1.0) /
                                  (static_cast<double>(entry_total) + 1.0);
               const std::uint64_t fatal_pos =
-                  std::min(chunk, static_cast<std::uint64_t>(est));
+                  std::min(chunk_total, static_cast<std::uint64_t>(est));
               if (fatal_pos > issued) {
                 // The credited writes never reached the device (it is
                 // dead); book them as absorbed so device_writes ==
@@ -436,6 +519,14 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     }
 
     const AttackRun run = attack_.next_run(rng_, logical_lines, limit);
+    // Observe the request stream at generation time: the run form updates
+    // the detector's counters exactly as per-write observes would, so
+    // bit-identical attacks keep byte-identical detector state across
+    // fastpath on/off. Buffer-absorbed writes are observed too — the
+    // detector watches what the attacker issues, not what reaches the NVM.
+    if (detector_ != nullptr) {
+      detector_->observe_run(run.start.value(), run.count, run.stride);
+    }
     if (buffer_ != nullptr) {
       // limit == 1, so the run is a single write — identical to next().
       const std::optional<LogicalLineAddr> evicted = buffer_->write(run.start);
@@ -526,6 +617,16 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     m.gauge("spare.rmt_entries").set(static_cast<double>(s.rmt_entries));
     m.counter("spare.replacements").set(s.replacements);
     m.counter("wl.migration_writes").set(wl_.overhead_writes());
+    if (detector_ != nullptr) {
+      m.counter("detect.windows_closed").set(detector_->windows_closed());
+      m.counter("detect.anomalous_windows")
+          .set(detector_->anomalous_windows());
+      m.counter("detect.alarms_raised").set(detector_->alarms_raised());
+      m.counter("detect.windows_in_alarm").set(detector_->windows_in_alarm());
+    }
+    if (adaptive_ != nullptr) {
+      m.counter("adaptive.cadence_changes").set(adaptive_->cadence_changes());
+    }
   }
   if (obs_.snapshots != nullptr) {
     // Final sample so the series always ends at the run's last state.
@@ -549,6 +650,15 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       result.ideal_lifetime > 0 ? result.user_writes / result.ideal_lifetime
                                 : 0.0;
   result.wear_gini = analyze_wear(device_).utilization_gini;
+  if (detector_ != nullptr) {
+    result.windows_observed = detector_->windows_closed();
+    result.anomalous_windows = detector_->anomalous_windows();
+    result.alarms_raised = detector_->alarms_raised();
+    result.windows_in_alarm = detector_->windows_in_alarm();
+  }
+  if (adaptive_ != nullptr) {
+    result.cadence_changes = adaptive_->cadence_changes();
+  }
   if (!result.failed) {
     result.failure_reason = "write cap reached";
   }

@@ -13,6 +13,7 @@
 
 #include "attack/attack.h"
 #include "cache/dram_buffer.h"
+#include "detect/detector.h"
 #include "fault/metadata_faults.h"
 #include "nvm/device.h"
 #include "obs/observer.h"
@@ -21,6 +22,7 @@
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "wearlevel/adaptive.h"
 #include "wearlevel/wear_leveler.h"
 
 namespace nvmsec {
@@ -66,6 +68,18 @@ class Engine {
   /// mapping tables and scrubs. Both are borrowed.
   void set_fault_injection(MetadataFaultInjector* injector, MaxWe* scheme);
 
+  /// Attach the online attack detector (borrowed). The detector observes
+  /// every user-write request (buffer-absorbed ones included — it watches
+  /// the attacker-visible stream), batches are capped at its window
+  /// boundaries, and windows close in the boundary block before fault
+  /// injection and checkpoints, so detector state and alarm events land at
+  /// identical write counts across --jobs, fastpath on/off (within the
+  /// attack's batch contract) and crash/resume. `adaptive` (optional) is a
+  /// non-owning alias of the run's wear leveler: when set, every window
+  /// close feeds the alarm level into its escalation policy and
+  /// cadence_change events are emitted for the retunes it applies.
+  void set_detector(AttackDetector* detector, AdaptiveWearLeveler* adaptive);
+
   /// Restore mid-run state from a checkpoint payload (Engine::run resumes
   /// from the restored write counts). The caller has already validated the
   /// container CRC and the config fingerprint; this reads the progress
@@ -109,6 +123,9 @@ class Engine {
 
   MetadataFaultInjector* injector_{nullptr};
   MaxWe* injector_scheme_{nullptr};
+
+  AttackDetector* detector_{nullptr};
+  AdaptiveWearLeveler* adaptive_{nullptr};
 
   std::string checkpoint_path_;
   WriteCount checkpoint_interval_{0};

@@ -10,11 +10,13 @@
 #include <optional>
 #include <string>
 
+#include "detect/detector.h"
 #include "fault/fault_plan.h"
 #include "nvm/endurance_model.h"
 #include "nvm/geometry.h"
 #include "obs/observer.h"
 #include "sim/lifetime.h"
+#include "wearlevel/adaptive.h"
 #include "wearlevel/wear_leveler.h"
 
 namespace nvmsec {
@@ -38,13 +40,31 @@ struct ExperimentConfig {
   double line_jitter_sigma{0.0};
   std::uint64_t seed{42};
 
-  /// "uaa", "bpa", "hotspot", "random", or "zipf" (a benign-workload proxy
-  /// rather than an attack).
+  /// "uaa", "bpa", "hotspot", "random", "zipf" (a benign-workload proxy
+  /// rather than an attack), or "mixed" (a phase schedule, see below).
   std::string attack{"uaa"};
   std::uint64_t bpa_burst{1024};
   double zipf_skew{0.99};
   /// Hotspot only: number of lines in the hammered working set (>= 1).
   std::uint64_t hotspot_working_set{1};
+  /// Mixed attack only (stochastic mode): phase schedule spec
+  /// "name:writes,..." (see attack/mixed.h). Writes 0 marks a terminal
+  /// unbounded phase; a bounded last phase makes the schedule cycle. Phase
+  /// generators take their knobs from bpa_burst / zipf_skew /
+  /// hotspot_working_set above. Must be set iff attack == "mixed".
+  std::string mixed_phases;
+
+  /// Stochastic mode only: online attack detection (detect/detector.h).
+  /// The detector observes the user write stream, closes a window every
+  /// detector.window_writes writes, and emits detect_window /
+  /// alarm_raised / alarm_cleared events plus the detector stats in
+  /// LifetimeResult.
+  bool detect{false};
+  DetectorParams detector{};
+  /// Requires detect: wrap the wear leveler in an AdaptiveWearLeveler that
+  /// retunes the remap cadence from the alarm signal (wearlevel/adaptive.h).
+  bool adaptive{false};
+  AdaptivePolicy adaptive_policy{};
 
   /// "none", "startgap", "tlsr", "pcms", "bwl", "wawl".
   std::string wear_leveler{"none"};

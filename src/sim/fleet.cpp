@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "attack/mixed.h"
 #include "obs/event_log.h"
 #include "obs/heartbeat.h"
 #include "obs/json.h"
@@ -132,6 +133,15 @@ void FleetAggregate::add(std::uint64_t device_id, const LifetimeResult& result,
   lifetime.add(result.normalized);
   user_writes.add(result.user_writes);
   if (result.wear_gini >= 0) wear_gini.add(result.wear_gini);
+  // Detector stats fold in only for detector-enabled devices: a window
+  // count of 0 means "no detector ran", and mixing those zeros into the
+  // population summaries would dilute the alarm-rate statistics.
+  if (result.windows_observed > 0) {
+    alarms_raised.add(static_cast<double>(result.alarms_raised));
+    windows_in_alarm.add(static_cast<double>(result.windows_in_alarm));
+    cadence_changes.add(static_cast<double>(result.cadence_changes));
+    if (result.alarms_raised > 0) ++devices_alarmed;
+  }
   lifetime_hist.add(result.normalized);
   ++failure_causes[cause];
   worst.add(device_id, result.normalized);
@@ -145,6 +155,10 @@ void FleetAggregate::merge(const FleetAggregate& other) {
   lifetime.merge(other.lifetime);
   user_writes.merge(other.user_writes);
   wear_gini.merge(other.wear_gini);
+  alarms_raised.merge(other.alarms_raised);
+  windows_in_alarm.merge(other.windows_in_alarm);
+  cadence_changes.merge(other.cadence_changes);
+  devices_alarmed += other.devices_alarmed;
   lifetime_hist.merge(other.lifetime_hist);
   for (const auto& [cause, count] : other.failure_causes) {
     failure_causes[cause] += count;
@@ -160,12 +174,19 @@ void FleetAggregate::compress() {
   lifetime.compress();
   user_writes.compress();
   wear_gini.compress();
+  alarms_raised.compress();
+  windows_in_alarm.compress();
+  cadence_changes.compress();
 }
 
 void FleetAggregate::save_state(StateWriter& w) const {
   lifetime.save_state(w);
   user_writes.save_state(w);
   wear_gini.save_state(w);
+  alarms_raised.save_state(w);
+  windows_in_alarm.save_state(w);
+  cadence_changes.save_state(w);
+  w.u64(devices_alarmed);
   lifetime_hist.save_state(w);
   w.u64(failure_causes.size());
   for (const auto& [cause, count] : failure_causes) {
@@ -183,6 +204,10 @@ Status FleetAggregate::load_state(StateReader& r) {
   if (Status st = lifetime.load_state(r); !st.ok()) return st;
   if (Status st = user_writes.load_state(r); !st.ok()) return st;
   if (Status st = wear_gini.load_state(r); !st.ok()) return st;
+  if (Status st = alarms_raised.load_state(r); !st.ok()) return st;
+  if (Status st = windows_in_alarm.load_state(r); !st.ok()) return st;
+  if (Status st = cadence_changes.load_state(r); !st.ok()) return st;
+  if (Status st = r.u64(devices_alarmed); !st.ok()) return st;
   if (Status st = lifetime_hist.load_state(r); !st.ok()) return st;
   std::uint64_t n = 0;
   if (Status st = r.u64(n); !st.ok()) return st;
@@ -258,14 +283,30 @@ const std::string& fleet_device_attack(const FleetSpec& spec,
   return spec.attack_mix.back().attack;  // floating-point slack only
 }
 
+namespace {
+
+/// attack_batch_contract, extended with the composite "mixed" attack: its
+/// contract is the weakest among its phases (see attack/mixed.h).
+BatchContract fleet_attack_contract(const FleetSpec& spec,
+                                    const std::string& name) {
+  if (name != "mixed") return attack_batch_contract(name);
+  BatchContract worst = BatchContract::kBitIdentical;
+  for (const MixedPhaseSpec& p : parse_mixed_phases(spec.base.mixed_phases)) {
+    worst = std::max(worst, attack_batch_contract(p.attack));
+  }
+  return worst;
+}
+
+}  // namespace
+
 BatchContract fleet_sampling_contract(const FleetSpec& spec) {
   // The weakest (largest) contract across the attacks any device can run.
   if (spec.attack_mix.empty()) {
-    return attack_batch_contract(spec.base.attack);
+    return fleet_attack_contract(spec, spec.base.attack);
   }
   BatchContract worst = BatchContract::kBitIdentical;
   for (const AttackShare& share : spec.attack_mix) {
-    worst = std::max(worst, attack_batch_contract(share.attack));
+    worst = std::max(worst, fleet_attack_contract(spec, share.attack));
   }
   return worst;
 }
@@ -573,6 +614,12 @@ std::string fleet_result_json(const FleetSpec& spec,
   json_append_string(out, mode_name(spec.base.mode));
   out += R"(,"attack":)";
   json_append_string(out, spec.base.attack);
+  out += R"(,"attack_phases":)";
+  json_append_string(out, spec.base.mixed_phases);
+  out += R"(,"detect":)";
+  out += spec.base.detect ? "true" : "false";
+  out += R"(,"adaptive":)";
+  out += spec.base.adaptive ? "true" : "false";
   out += R"(,"attack_mix":[)";
   bool first = true;
   for (const AttackShare& share : spec.attack_mix) {
@@ -620,6 +667,15 @@ std::string fleet_result_json(const FleetSpec& spec,
   append_summary(out, "user_writes", agg.user_writes);
   out += ',';
   append_summary(out, "wear_gini", agg.wear_gini);
+  out += R"(,"detector":{"devices_alarmed":)";
+  json_append_number(out, static_cast<double>(agg.devices_alarmed));
+  out += ',';
+  append_summary(out, "alarms_raised", agg.alarms_raised);
+  out += ',';
+  append_summary(out, "windows_in_alarm", agg.windows_in_alarm);
+  out += ',';
+  append_summary(out, "cadence_changes", agg.cadence_changes);
+  out += '}';
   out += R"(,"lifetime_hist":{"lo":)";
   json_append_number(out, agg.lifetime_hist.lo());
   out += R"(,"growth":)";

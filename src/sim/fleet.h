@@ -104,6 +104,13 @@ struct FleetAggregate {
   StreamSummary lifetime;        ///< normalized lifetime
   StreamSummary user_writes;     ///< raw user writes before failure
   StreamSummary wear_gini;       ///< per-device wear-balance Gini
+  /// Per-device attack-detector stats (populated when base.detect is on;
+  /// all-zero summaries otherwise).
+  StreamSummary alarms_raised;     ///< alarm raise transitions per device
+  StreamSummary windows_in_alarm;  ///< windows at under-attack per device
+  StreamSummary cadence_changes;   ///< adaptive cadence retunes per device
+  /// Devices that raised at least one alarm.
+  std::uint64_t devices_alarmed{0};
   StreamingHistogram lifetime_hist{1e-6, 2.0, 64};
   /// end_of_life cause -> device count; std::map for deterministic order.
   std::map<std::string, std::uint64_t> failure_causes;

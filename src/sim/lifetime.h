@@ -40,6 +40,17 @@ struct LifetimeResult {
   /// end of the run — the fleet report's wear-balance distribution. -1 when
   /// the engine does not track per-line wear (bit-level engine).
   double wear_gini{-1};
+  /// Attack-detector lifetime stats; all 0 when detection is off
+  /// (--detect). Windows the detector closed over the run...
+  std::uint64_t windows_observed{0};
+  /// ...how many of them were individually anomalous...
+  std::uint64_t anomalous_windows{0};
+  /// ...alarm raise transitions (suspicious -> under attack)...
+  std::uint64_t alarms_raised{0};
+  /// ...and windows spent at the under-attack level.
+  std::uint64_t windows_in_alarm{0};
+  /// Cadence retunes the adaptive wear leveler applied (--adaptive).
+  std::uint64_t cadence_changes{0};
 };
 
 }  // namespace nvmsec

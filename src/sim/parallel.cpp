@@ -54,6 +54,11 @@ void save_result(StateWriter& w, const LifetimeResult& r) {
   w.boolean(r.failed);
   w.str(r.failure_reason);
   w.f64(r.wear_gini);
+  w.u64(r.windows_observed);
+  w.u64(r.anomalous_windows);
+  w.u64(r.alarms_raised);
+  w.u64(r.windows_in_alarm);
+  w.u64(r.cadence_changes);
 }
 
 Status load_result(StateReader& r, LifetimeResult& out) {
@@ -66,7 +71,12 @@ Status load_result(StateReader& r, LifetimeResult& out) {
   if (Status st = r.u64(out.line_deaths); !st.ok()) return st;
   if (Status st = r.boolean(out.failed); !st.ok()) return st;
   if (Status st = r.str(out.failure_reason); !st.ok()) return st;
-  return r.f64(out.wear_gini);
+  if (Status st = r.f64(out.wear_gini); !st.ok()) return st;
+  if (Status st = r.u64(out.windows_observed); !st.ok()) return st;
+  if (Status st = r.u64(out.anomalous_windows); !st.ok()) return st;
+  if (Status st = r.u64(out.alarms_raised); !st.ok()) return st;
+  if (Status st = r.u64(out.windows_in_alarm); !st.ok()) return st;
+  return r.u64(out.cadence_changes);
 }
 
 /// Tracks which runs of a sweep have finished and mirrors them to a

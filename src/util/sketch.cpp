@@ -44,12 +44,16 @@ void QuantileSketch::add(double x) {
 void QuantileSketch::merge(const QuantileSketch& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
+    // Adopt the representation wholesale (compression included): merging
+    // into an empty sketch must reproduce `other` exactly, byte for byte.
+    // Re-running the greedy partition here is not idempotent — midpoint
+    // quantiles shift once clusters exist — so a rebuilt copy could
+    // serialize differently from its source.
+    *this = other;
+    return;
   }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
   count_ += other.count_;
   centroids_.insert(centroids_.end(), other.centroids_.begin(),
                     other.centroids_.end());
@@ -236,6 +240,15 @@ bool StreamingHistogram::same_layout(const StreamingHistogram& other) const {
 }
 
 void StreamingHistogram::merge(const StreamingHistogram& other) {
+  // Empty operands merge as exact identities regardless of layout: a shard
+  // that saw no devices contributes nothing, and an aggregate that hasn't
+  // seen data yet adopts the first real shard's layout wholesale. Only two
+  // non-empty sketches need comparable buckets.
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    *this = other;
+    return;
+  }
   if (!same_layout(other)) {
     throw std::invalid_argument(
         "StreamingHistogram::merge: bucket layouts differ");

@@ -51,6 +51,9 @@ class QuantileSketch {
 
   void add(double x);
   /// Fold `other` into this sketch (buffer + centroids, then compress).
+  /// Merging with an empty sketch on either side is an exact identity:
+  /// an empty `other` is a no-op, and an empty `this` adopts `other`'s
+  /// representation (compression included) byte for byte.
   void merge(const QuantileSketch& other);
 
   /// Canonicalize: fold the unmerged buffer into centroids. Called
@@ -111,7 +114,10 @@ class StreamingHistogram {
 
   void add(double x) { add_weighted(x, 1); }
   void add_weighted(double x, std::uint64_t weight);
-  /// Throws std::invalid_argument when layouts differ.
+  /// Throws std::invalid_argument when two *non-empty* layouts differ.
+  /// An empty `other` merges as a no-op and an empty `this` adopts
+  /// `other`'s layout and counts wholesale, so merging an empty sketch is
+  /// an exact identity in both directions.
   void merge(const StreamingHistogram& other);
 
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }

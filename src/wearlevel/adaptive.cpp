@@ -1,0 +1,146 @@
+#include "wearlevel/adaptive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmsec {
+
+AdaptiveWearLeveler::AdaptiveWearLeveler(std::unique_ptr<WearLeveler> inner,
+                                         const AdaptivePolicy& policy)
+    : inner_(std::move(inner)),
+      policy_(policy),
+      base_interval_(inner_->remap_interval()) {
+  if (policy_.escalate_factor <= 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveWearLeveler: escalate_factor must be > 1");
+  }
+  if (policy_.hold_windows == 0 || policy_.relax_windows == 0) {
+    throw std::invalid_argument(
+        "AdaptiveWearLeveler: hold/relax windows must be > 0");
+  }
+}
+
+std::uint64_t AdaptiveWearLeveler::interval_for_step(int step) const {
+  double v = static_cast<double>(base_interval_);
+  for (int i = 0; i < (step < 0 ? -step : step); ++i) {
+    if (step > 0) {
+      v *= policy_.escalate_factor;
+    } else {
+      v /= policy_.escalate_factor;
+    }
+  }
+  const long long rounded = std::llround(v);
+  return rounded < 1 ? 1 : static_cast<std::uint64_t>(rounded);
+}
+
+CadenceChange AdaptiveWearLeveler::on_window(AlarmLevel level,
+                                             AttackKind kind) {
+  CadenceChange change;
+  change.old_interval = inner_->remap_interval();
+  change.step = step_;
+  if (base_interval_ == 0) {
+    change.new_interval = change.old_interval;
+    return change;  // wrapped leveler has no tunable cadence
+  }
+  int target = step_;
+  if (level == AlarmLevel::kUnderAttack && kind != AttackKind::kNone) {
+    benign_windows_ = 0;
+    // Escalate on the first alarm window, then once per hold_windows.
+    if (alarm_windows_ % policy_.hold_windows == 0) {
+      const int dir = (kind == AttackKind::kSweep) ? 1 : -1;
+      target = step_ + dir;
+      const int max = static_cast<int>(policy_.max_steps);
+      if (target > max) target = max;
+      if (target < -max) target = -max;
+    }
+    ++alarm_windows_;
+  } else if (level == AlarmLevel::kBenign) {
+    alarm_windows_ = 0;
+    if (step_ != 0) {
+      if (++benign_windows_ >= policy_.relax_windows) {
+        benign_windows_ = 0;
+        target = step_ + (step_ > 0 ? -1 : 1);
+      }
+    } else {
+      benign_windows_ = 0;
+    }
+  }
+  // kSuspicious: hold position — the hysteresis level has to commit before
+  // the cadence moves (counters freeze, nothing changes).
+  if (target != step_) {
+    const std::uint64_t next = interval_for_step(target);
+    if (next != change.old_interval && inner_->set_remap_interval(next)) {
+      step_ = target;
+      ++cadence_changes_;
+      change.changed = true;
+    } else if (next == change.old_interval) {
+      // Interval saturated (rounding), but record the logical step so the
+      // relax path unwinds symmetrically.
+      step_ = target;
+    }
+  }
+  change.step = step_;
+  change.new_interval = inner_->remap_interval();
+  return change;
+}
+
+bool AdaptiveWearLeveler::set_remap_interval(std::uint64_t interval) {
+  if (!inner_->set_remap_interval(interval)) return false;
+  base_interval_ = interval;
+  step_ = 0;
+  alarm_windows_ = 0;
+  benign_windows_ = 0;
+  return true;
+}
+
+void AdaptiveWearLeveler::reset() {
+  inner_->reset();
+  if (base_interval_ != 0 && step_ != 0) {
+    inner_->set_remap_interval(base_interval_);
+  }
+  step_ = 0;
+  alarm_windows_ = 0;
+  benign_windows_ = 0;
+  cadence_changes_ = 0;
+}
+
+void AdaptiveWearLeveler::save_state(StateWriter& w) const {
+  w.u64(base_interval_);
+  w.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(step_)));
+  w.u32(alarm_windows_);
+  w.u32(benign_windows_);
+  w.u64(cadence_changes_);
+  w.u64(inner_->remap_interval());
+  inner_->save_state(w);
+}
+
+Status AdaptiveWearLeveler::load_state(StateReader& r) {
+  std::uint64_t base = 0, step_bits = 0, changes = 0, applied = 0;
+  std::uint32_t alarm = 0, benign = 0;
+  if (Status st = r.u64(base); !st.ok()) return st;
+  if (Status st = r.u64(step_bits); !st.ok()) return st;
+  if (Status st = r.u32(alarm); !st.ok()) return st;
+  if (Status st = r.u32(benign); !st.ok()) return st;
+  if (Status st = r.u64(changes); !st.ok()) return st;
+  if (Status st = r.u64(applied); !st.ok()) return st;
+  const auto step = static_cast<int>(static_cast<std::int64_t>(step_bits));
+  if (step > static_cast<int>(policy_.max_steps) ||
+      step < -static_cast<int>(policy_.max_steps)) {
+    return Status::corruption("adaptive state: step out of range");
+  }
+  // Re-apply the cadence that was live at capture time BEFORE loading the
+  // inner state: the checkpointed cadence counters are consistent with that
+  // interval, and levelers treat the interval as boot config (unsaved).
+  if (applied != 0 && applied != inner_->remap_interval()) {
+    inner_->set_remap_interval(applied);
+  }
+  if (Status st = inner_->load_state(r); !st.ok()) return st;
+  base_interval_ = base;
+  step_ = step;
+  alarm_windows_ = alarm;
+  benign_windows_ = benign;
+  cadence_changes_ = changes;
+  return Status{};
+}
+
+}  // namespace nvmsec

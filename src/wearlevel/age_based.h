@@ -13,6 +13,7 @@
 // random swapping — the §3.3.1 argument, executable.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "wearlevel/permutation_base.h"
@@ -30,6 +31,16 @@ class AgeBased final : public PermutationWearLeveler {
                 std::vector<WlPhysWrite>& out) override;
 
   [[nodiscard]] std::string name() const override { return "agebased"; }
+
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return interval_;
+  }
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    interval_ = interval;
+    writes_since_swap_ = std::min(writes_since_swap_, interval_ - 1);
+    return true;
+  }
 
   /// Observed write count of a working slot (exposed for tests).
   [[nodiscard]] std::uint64_t age(std::uint64_t working_index) const {

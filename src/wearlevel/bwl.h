@@ -41,6 +41,16 @@ class Bwl final : public PermutationWearLeveler {
     writes_since_swap_ += k;
   }
 
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return interval_;
+  }
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    interval_ = interval;
+    writes_since_swap_ = std::min(writes_since_swap_, interval_ - 1);
+    return true;
+  }
+
   /// Quantized class index of a working group (exposed for tests).
   [[nodiscard]] std::uint32_t class_of_group(std::uint64_t group) const {
     return group_class_[group];

@@ -9,6 +9,8 @@
 // the two together and Fig. 8 indeed shows them within 0.1% of each other.
 #pragma once
 
+#include <algorithm>
+
 #include "wearlevel/permutation_base.h"
 
 namespace nvmsec {
@@ -27,6 +29,16 @@ class PcmS final : public PermutationWearLeveler {
   }
   void commit_batched_writes(std::uint64_t k) override {
     writes_since_swap_ += k;
+  }
+
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return interval_;
+  }
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    interval_ = interval;
+    writes_since_swap_ = std::min(writes_since_swap_, interval_ - 1);
+    return true;
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "wearlevel/security_refresh.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nvmsec {
@@ -29,6 +30,18 @@ SecurityRefresh::SecurityRefresh(std::uint64_t working_lines,
     k = 0;
     while (k == 0) k = rng.uniform_u64(lines_per_subregion_);
   }
+}
+
+bool SecurityRefresh::set_remap_interval(std::uint64_t interval) {
+  if (interval == 0) return false;
+  interval_ = interval;
+  // Both levels compare their counters against the interval with >=, so a
+  // shrink just fires sooner; clamp only to keep the counters from sitting
+  // arbitrarily far past a shrunk quota (one step per write, never a burst).
+  for (auto& w : writes_since_step_) w = std::min(w, interval_ - 1);
+  const std::uint64_t outer_quota = interval_ * lines_per_subregion_;
+  for (auto& w : writes_since_outer_) w = std::min(w, outer_quota - 1);
+  return true;
 }
 
 void SecurityRefresh::on_write(LogicalLineAddr la, Rng& rng,

@@ -35,6 +35,11 @@ class SecurityRefresh final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "tlsr"; }
 
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return interval_;
+  }
+  bool set_remap_interval(std::uint64_t interval) override;
+
  private:
   void reset_policy() override;
   void save_policy(StateWriter& w) const override {

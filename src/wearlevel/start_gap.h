@@ -8,6 +8,8 @@
 // (§2.2.1); we ship it for completeness and for the attack regression tests.
 #pragma once
 
+#include <algorithm>
+
 #include "wearlevel/permutation_base.h"
 
 namespace nvmsec {
@@ -33,6 +35,16 @@ class StartGap final : public PermutationWearLeveler {
   }
   void commit_batched_writes(std::uint64_t k) override {
     writes_since_move_ += k;
+  }
+
+  [[nodiscard]] std::uint64_t remap_interval() const override { return psi_; }
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    psi_ = interval;
+    // Shrinking below the current counter fires the next gap move on the
+    // next write; without the clamp writes_until_remap() would underflow.
+    writes_since_move_ = std::min(writes_since_move_, psi_ - 1);
+    return true;
   }
 
   /// Working index currently serving as the gap (exposed for tests).

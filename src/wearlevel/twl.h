@@ -37,6 +37,16 @@ class Twl final : public PermutationWearLeveler {
     writes_since_toss_ += k;
   }
 
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return interval_;
+  }
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    interval_ = interval;
+    writes_since_toss_ = std::min(writes_since_toss_, interval_ - 1);
+    return true;
+  }
+
   /// Bonded partner group of `group` (exposed for tests).
   [[nodiscard]] std::uint64_t bonded_group(std::uint64_t group) const {
     return bond_[group];

@@ -33,6 +33,18 @@ class Wawl final : public PermutationWearLeveler {
 
   [[nodiscard]] std::string name() const override { return "wawl"; }
 
+  [[nodiscard]] std::uint64_t remap_interval() const override {
+    return base_interval_;
+  }
+  /// Changes the dwell budget granted to FUTURE placements; outstanding
+  /// countdowns keep the budget they were assigned, so the new cadence
+  /// phases in as lines hit their next swap.
+  bool set_remap_interval(std::uint64_t interval) override {
+    if (interval == 0) return false;
+    base_interval_ = interval;
+    return true;
+  }
+
   /// Dwell budget granted when data lands on `working_index` (for tests).
   [[nodiscard]] std::uint64_t dwell_budget(std::uint64_t working_index) const;
 

@@ -81,8 +81,27 @@ class WearLeveler {
 
   /// Monotone counter bumped whenever the logical->working mapping changes
   /// (any swap, gap move, reset, or state load). A batched engine caches
-  /// translate() results only while this value is unchanged.
-  [[nodiscard]] std::uint64_t mapping_epoch() const { return mapping_epoch_; }
+  /// translate() results only while this value is unchanged. Virtual so a
+  /// decorator (AdaptiveWearLeveler) can forward the wrapped leveler's
+  /// epoch instead of carrying a stale counter of its own.
+  [[nodiscard]] virtual std::uint64_t mapping_epoch() const {
+    return mapping_epoch_;
+  }
+
+  /// Remap-cadence tuning surface for the adaptive defense layer. The
+  /// current user-writes-per-remap interval, or 0 when the leveler has no
+  /// tunable cadence (the identity leveler).
+  [[nodiscard]] virtual std::uint64_t remap_interval() const { return 0; }
+
+  /// Retune the remap cadence mid-run; returns false when the leveler has
+  /// no tunable cadence. Implementations clamp their cadence counters so
+  /// that shrinking the interval below the current counter triggers the
+  /// next remap immediately instead of underflowing the
+  /// writes_until_remap() horizon.
+  virtual bool set_remap_interval(std::uint64_t interval) {
+    (void)interval;
+    return false;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -1,0 +1,219 @@
+// Determinism contract for detector-enabled runs: switching --jobs,
+// toggling the batched fast path (within the bit-identical contract), or
+// interrupting and resuming must all leave the event log — including every
+// detect_window / alarm / cadence_change event — byte-identical. This is
+// what makes detector post-mortems and the adaptive cadence trail
+// trustworthy records of the run they describe.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/session.h"
+#include "sim/experiment.h"
+#include "sim/parallel.h"
+
+namespace nvmsec {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Detector-enabled scaled stochastic base: small windows so even short
+/// runs close several, adaptive cadence on.
+ExperimentConfig detect_config() {
+  ExperimentConfig config = scaled_stochastic_config(512, 32, 300.0);
+  config.spare_scheme = "maxwe";
+  config.wear_leveler = "startgap";
+  config.detect = true;
+  config.detector.window_writes = 1024;
+  config.detector.coarse_buckets = 32;
+  config.detector.fine_buckets = 128;
+  config.adaptive = true;
+  return config;
+}
+
+std::vector<std::string> event_bytes(const ExperimentConfig& base,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     std::size_t jobs) {
+  std::vector<std::ostringstream> outs(seeds.size());
+  std::vector<std::unique_ptr<EventLog>> logs;
+  std::vector<ExperimentConfig> configs(seeds.size(), base);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    logs.push_back(std::make_unique<EventLog>(outs[i]));
+    configs[i].seed = seeds[i];
+    configs[i].observer.events = logs[i].get();
+  }
+  ParallelOptions options;
+  options.jobs = jobs;
+  run_experiments(configs, options);
+  std::vector<std::string> bytes;
+  bytes.reserve(seeds.size());
+  for (std::ostringstream& out : outs) bytes.push_back(out.str());
+  return bytes;
+}
+
+std::string single_run_bytes(const ExperimentConfig& base) {
+  std::ostringstream out;
+  EventLog log(out);
+  ExperimentConfig config = base;
+  config.observer.events = &log;
+  run_experiment(config);
+  return out.str();
+}
+
+TEST(DetectDeterminismTest, DetectorRunSerialVsParallel) {
+  ExperimentConfig config = detect_config();
+  config.attack = "mixed";
+  config.mixed_phases = "zipf:1k,uaa:0";
+
+  const std::vector<std::uint64_t> seeds{7, 8, 9};
+  const std::vector<std::string> serial = event_bytes(config, seeds, 1);
+  const std::vector<std::string> parallel = event_bytes(config, seeds, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    // The log must actually contain detector traffic, or this test proves
+    // nothing about it.
+    EXPECT_NE(serial[i].find("\"detect_window\""), std::string::npos);
+    EXPECT_NE(serial[i].find("\"alarm_raised\""), std::string::npos);
+    EXPECT_EQ(serial[i], parallel[i]) << "seed " << seeds[i];
+  }
+}
+
+TEST(DetectDeterminismTest, FastpathToggleIsByteIdenticalWithinContract) {
+  // A cyclic schedule of two bit-identical phases: the fast path must
+  // replay the exact per-write stream (including detector window math via
+  // the analytic run updates), so the logs agree byte for byte.
+  ExperimentConfig config = detect_config();
+  config.attack = "mixed";
+  config.mixed_phases = "uaa:2k,bpa:2k";
+  config.seed = 21;
+
+  ExperimentConfig fast = config;
+  fast.fastpath = true;
+  ExperimentConfig slow = config;
+  slow.fastpath = false;
+
+  const std::string fast_bytes = single_run_bytes(fast);
+  const std::string slow_bytes = single_run_bytes(slow);
+  EXPECT_FALSE(fast_bytes.empty());
+  EXPECT_NE(fast_bytes.find("\"cadence_change\""), std::string::npos);
+  EXPECT_EQ(fast_bytes, slow_bytes);
+}
+
+TEST(DetectDeterminismTest, InterruptedResumeIsByteIdentical) {
+  const std::string ref_events = temp_path("detdet_ref.events.jsonl");
+  const std::string res_events = temp_path("detdet_res.events.jsonl");
+  const std::string ref_ckpt = temp_path("detdet_ref.ckpt");
+  const std::string res_ckpt = temp_path("detdet_res.ckpt");
+  for (const std::string& p : {ref_events, res_events, ref_ckpt, res_ckpt}) {
+    std::filesystem::remove(p);
+  }
+
+  ExperimentConfig base = detect_config();
+  base.attack = "mixed";
+  base.mixed_phases = "zipf:1k,uaa:0";
+  base.seed = 11;
+  base.checkpoint_interval = 2000;
+
+  // Reference: uninterrupted, checkpointing at the same cadence.
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = ref_ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = ref_events;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+
+  // Interrupted: the cap lands mid-detector-window AND mid-alarm (the UAA
+  // phase starts at 1k, the cap at 5k), then resumed to completion — the
+  // detector histograms, hysteresis state, and adaptive ladder all have to
+  // ride the checkpoint exactly.
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = res_ckpt;
+    config.max_user_writes = 5000;
+    ObsConfig obs_config;
+    obs_config.events_path = res_events;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = res_ckpt;
+    config.resume_from = res_ckpt;
+    ObsConfig obs_config;
+    obs_config.events_path = res_events;
+    obs_config.resume = true;
+    ObsSession session(obs_config);
+    config.observer = session.observer();
+    run_experiment(config);
+    session.finalize();
+  }
+
+  const std::string ref = slurp(ref_events);
+  const std::string res = slurp(res_events);
+  EXPECT_FALSE(ref.empty());
+  EXPECT_NE(ref.find("\"detect_window\""), std::string::npos);
+  EXPECT_EQ(ref, res);
+
+  for (const std::string& p : {ref_events, res_events, ref_ckpt, res_ckpt}) {
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(DetectDeterminismTest, DetectorStatsRideTheResult) {
+  // The LifetimeResult detector stats must agree between a straight run
+  // and a crash/resume of the same config (they are part of the record,
+  // not recomputed from the log).
+  ExperimentConfig base = detect_config();
+  base.attack = "uaa";
+  base.seed = 5;
+
+  const LifetimeResult straight = run_experiment(base);
+  EXPECT_GT(straight.windows_observed, 0u);
+  EXPECT_GT(straight.anomalous_windows, 0u);
+  EXPECT_GT(straight.alarms_raised, 0u);
+  EXPECT_GT(straight.cadence_changes, 0u);
+
+  const std::string ckpt = temp_path("detdet_stats.ckpt");
+  std::filesystem::remove(ckpt);
+  {
+    ExperimentConfig config = base;
+    config.checkpoint_out = ckpt;
+    config.checkpoint_interval = 2000;
+    config.max_user_writes = 5000;
+    run_experiment(config);
+  }
+  ExperimentConfig config = base;
+  config.resume_from = ckpt;
+  const LifetimeResult resumed = run_experiment(config);
+  EXPECT_EQ(resumed.windows_observed, straight.windows_observed);
+  EXPECT_EQ(resumed.anomalous_windows, straight.anomalous_windows);
+  EXPECT_EQ(resumed.alarms_raised, straight.alarms_raised);
+  EXPECT_EQ(resumed.windows_in_alarm, straight.windows_in_alarm);
+  EXPECT_EQ(resumed.cadence_changes, straight.cadence_changes);
+  EXPECT_EQ(resumed.user_writes, straight.user_writes);
+  std::filesystem::remove(ckpt);
+}
+
+}  // namespace
+}  // namespace nvmsec

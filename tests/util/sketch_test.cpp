@@ -129,6 +129,77 @@ TEST(QuantileSketch, MergeMatchesCombinedAccuracy) {
   }
 }
 
+TEST(QuantileSketch, MergeEmptyIsExactIdentityBothDirections) {
+  QuantileSketch full;
+  for (double x : uniform_samples(5000, 42)) full.add(x);
+  StateWriter before;
+  full.save_state(before);
+
+  // Empty other is a no-op, byte for byte.
+  full.merge(QuantileSketch());
+  StateWriter after_noop;
+  full.save_state(after_noop);
+  EXPECT_EQ(before.buffer(), after_noop.buffer());
+
+  // Empty this adopts other's representation (compression included) — a
+  // rebuilt partition would not serialize identically, adoption must.
+  QuantileSketch empty(64);
+  empty.merge(full);
+  StateWriter adopted;
+  empty.save_state(adopted);
+  EXPECT_EQ(before.buffer(), adopted.buffer());
+  EXPECT_EQ(empty.compression(), full.compression());
+}
+
+TEST(QuantileSketch, SingleElementMergeIsExact) {
+  QuantileSketch one;
+  one.add(7.5);
+  QuantileSketch target;
+  target.merge(one);
+  StateWriter w1, w2;
+  one.save_state(w1);
+  target.save_state(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.quantile(0.5), 7.5);
+  EXPECT_EQ(target.min(), 7.5);
+  EXPECT_EQ(target.max(), 7.5);
+}
+
+TEST(StreamSummary, MergeEmptyIsExactIdentityBothDirections) {
+  StreamSummary full;
+  for (double x : zipf_like_samples(3000, 9)) full.add(x);
+  StateWriter before;
+  full.save_state(before);
+
+  full.merge(StreamSummary());
+  StateWriter after_noop;
+  full.save_state(after_noop);
+  EXPECT_EQ(before.buffer(), after_noop.buffer());
+
+  StreamSummary empty;
+  empty.merge(full);
+  StateWriter adopted;
+  empty.save_state(adopted);
+  EXPECT_EQ(before.buffer(), adopted.buffer());
+}
+
+TEST(StreamSummary, SingleElementMergePreservesMoments) {
+  StreamSummary one;
+  one.add(3.0);
+  StreamSummary target;
+  target.merge(one);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.mean(), 3.0);
+  EXPECT_EQ(target.variance(), 0.0);
+  EXPECT_EQ(target.min(), 3.0);
+  EXPECT_EQ(target.max(), 3.0);
+  StateWriter w1, w2;
+  one.save_state(w1);
+  target.save_state(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+}
+
 TEST(QuantileSketch, BoundedMemory) {
   // The q*(1-q) cluster bound admits singleton clusters in the far tails,
   // so the centroid count is O(compression * log(n / compression)) — for
@@ -215,11 +286,48 @@ TEST(StreamingHistogram, MergeIsAssociativeAndCommutative) {
 }
 
 TEST(StreamingHistogram, MergeRejectsLayoutMismatch) {
+  // Only two *non-empty* sketches need comparable layouts; empty operands
+  // merge as identities (covered below).
   StreamingHistogram a(1.0, 2.0, 8);
-  const StreamingHistogram b(1.0, 2.0, 16);
-  const StreamingHistogram c(2.0, 2.0, 8);
+  StreamingHistogram b(1.0, 2.0, 16);
+  StreamingHistogram c(2.0, 2.0, 8);
+  a.add(1.5);
+  b.add(1.5);
+  c.add(2.5);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
   EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(StreamingHistogram, MergeEmptyIsExactIdentityBothDirections) {
+  StreamingHistogram full(1.0, 2.0, 8);
+  for (double x : {0.5, 1.5, 3.0, 300.0}) full.add(x);  // under/in/overflow
+  StateWriter before;
+  full.save_state(before);
+
+  // Empty other — even with a different layout — is a no-op.
+  full.merge(StreamingHistogram(2.0, 4.0, 4));
+  StateWriter after_noop;
+  full.save_state(after_noop);
+  EXPECT_EQ(before.buffer(), after_noop.buffer());
+
+  // Empty this adopts the non-empty operand wholesale, layout included.
+  StreamingHistogram empty(2.0, 4.0, 4);
+  empty.merge(full);
+  StateWriter adopted;
+  empty.save_state(adopted);
+  EXPECT_EQ(before.buffer(), adopted.buffer());
+}
+
+TEST(StreamingHistogram, SingleElementMergeIsExact) {
+  StreamingHistogram one(1.0, 2.0, 8);
+  one.add(3.0);
+  StreamingHistogram target(1.0, 2.0, 8);
+  target.merge(one);
+  StateWriter w1, w2;
+  one.save_state(w1);
+  target.save_state(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+  EXPECT_EQ(target.total(), 1u);
 }
 
 TEST(StreamingHistogram, SerializeRoundTrip) {

@@ -1,0 +1,241 @@
+// Tests for the self-tuning wear-leveling decorator: steering direction by
+// attack kind, bounded escalation with hold/relax pacing, the retune
+// clamping contract every cadence-bearing leveler implements, and
+// checkpoint state round trips.
+#include "wearlevel/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wearlevel/start_gap.h"
+#include "wearlevel/wear_leveler.h"
+
+namespace nvmsec {
+namespace {
+
+constexpr std::uint64_t kLines = 256;
+constexpr std::uint64_t kBase = 100;
+
+AdaptivePolicy fast_policy() {
+  AdaptivePolicy p;
+  p.escalate_factor = 2.0;
+  p.max_steps = 3;
+  p.hold_windows = 1;  // escalate every alarm window
+  p.relax_windows = 2;
+  return p;
+}
+
+std::unique_ptr<AdaptiveWearLeveler> make_adaptive(
+    const AdaptivePolicy& policy = fast_policy()) {
+  return std::make_unique<AdaptiveWearLeveler>(
+      std::make_unique<StartGap>(kLines, kBase), policy);
+}
+
+TEST(AdaptiveWearLevelerTest, ConstructionValidation) {
+  AdaptivePolicy p = fast_policy();
+  p.escalate_factor = 1.0;
+  EXPECT_THROW(make_adaptive(p), std::invalid_argument);
+  p = fast_policy();
+  p.hold_windows = 0;
+  EXPECT_THROW(make_adaptive(p), std::invalid_argument);
+  p = fast_policy();
+  p.relax_windows = 0;
+  EXPECT_THROW(make_adaptive(p), std::invalid_argument);
+}
+
+TEST(AdaptiveWearLevelerTest, ForwardsToInnerLeveler) {
+  auto wl = make_adaptive();
+  EXPECT_EQ(wl->name(), "adaptive(startgap)");
+  EXPECT_EQ(wl->remap_interval(), kBase);
+  EXPECT_GT(wl->working_lines(), wl->logical_lines());
+}
+
+TEST(AdaptiveWearLevelerTest, SweepAlarmLengthensInterval) {
+  auto wl = make_adaptive();
+  const CadenceChange ch =
+      wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  EXPECT_TRUE(ch.changed);
+  EXPECT_EQ(ch.old_interval, kBase);
+  EXPECT_EQ(ch.new_interval, 2 * kBase);
+  EXPECT_EQ(ch.step, 1);
+  EXPECT_EQ(wl->remap_interval(), 2 * kBase);
+}
+
+TEST(AdaptiveWearLevelerTest, ConcentrationAlarmShortensInterval) {
+  auto wl = make_adaptive();
+  const CadenceChange ch =
+      wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kConcentration);
+  EXPECT_TRUE(ch.changed);
+  EXPECT_EQ(ch.new_interval, kBase / 2);
+  EXPECT_EQ(ch.step, -1);
+}
+
+TEST(AdaptiveWearLevelerTest, EscalationIsBoundedAtMaxSteps) {
+  auto wl = make_adaptive();
+  for (int i = 0; i < 10; ++i) {
+    wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  }
+  EXPECT_EQ(wl->step(), 3);
+  EXPECT_EQ(wl->remap_interval(), 8 * kBase);
+  EXPECT_EQ(wl->cadence_changes(), 3u);
+}
+
+TEST(AdaptiveWearLevelerTest, HoldWindowsPacesEscalation) {
+  AdaptivePolicy p = fast_policy();
+  p.hold_windows = 4;
+  auto wl = make_adaptive(p);
+  // First alarm window escalates immediately; the next step needs 4 more.
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  EXPECT_EQ(wl->step(), 1);
+  for (int i = 0; i < 3; ++i) {
+    wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+    EXPECT_EQ(wl->step(), 1) << "alarm window " << i + 2;
+  }
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  EXPECT_EQ(wl->step(), 2);
+}
+
+TEST(AdaptiveWearLevelerTest, SuspiciousFreezesTheController) {
+  auto wl = make_adaptive();
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  ASSERT_EQ(wl->step(), 1);
+  for (int i = 0; i < 10; ++i) {
+    const CadenceChange ch =
+        wl->on_window(AlarmLevel::kSuspicious, AttackKind::kSweep);
+    EXPECT_FALSE(ch.changed);
+  }
+  EXPECT_EQ(wl->step(), 1);
+}
+
+TEST(AdaptiveWearLevelerTest, BenignWindowsRelaxTowardBase) {
+  auto wl = make_adaptive();  // relax_windows = 2
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  ASSERT_EQ(wl->step(), 2);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(wl->step(), 2);  // one benign window is not enough
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(wl->step(), 1);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(wl->step(), 0);
+  EXPECT_EQ(wl->remap_interval(), kBase);
+  // At base, further benign windows change nothing.
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(wl->step(), 0);
+}
+
+TEST(AdaptiveWearLevelerTest, AlarmResetsRelaxProgress) {
+  auto wl = make_adaptive();
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  // The alarm returns before the second benign window: relax restarts.
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(wl->step(), 2);
+}
+
+TEST(AdaptiveWearLevelerTest, ShortenSaturatesAtIntervalOne) {
+  AdaptivePolicy p = fast_policy();
+  p.max_steps = 10;
+  auto wl = std::make_unique<AdaptiveWearLeveler>(
+      std::make_unique<StartGap>(kLines, 2), p);
+  for (int i = 0; i < 10; ++i) {
+    wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kConcentration);
+  }
+  // 2 -> 1, then the interval floors at 1 while the logical step keeps
+  // descending so the relax path unwinds symmetrically.
+  EXPECT_EQ(wl->remap_interval(), 1u);
+  EXPECT_EQ(wl->cadence_changes(), 1u);
+  EXPECT_EQ(wl->step(), -10);
+}
+
+TEST(AdaptiveWearLevelerTest, ExternalRetuneRebasesTheLadder) {
+  auto wl = make_adaptive();
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  ASSERT_EQ(wl->remap_interval(), 2 * kBase);
+  ASSERT_TRUE(wl->set_remap_interval(500));
+  EXPECT_EQ(wl->base_interval(), 500u);
+  EXPECT_EQ(wl->step(), 0);
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  EXPECT_EQ(wl->remap_interval(), 1000u);
+}
+
+TEST(AdaptiveWearLevelerTest, CadenceBearingLevelersHonorRetune) {
+  // The decorator is only as good as the retune contract underneath it:
+  // every cadence-bearing leveler must accept a new interval and clamp its
+  // internal countdowns so writes_until_remap never underflows.
+  EnduranceView view(kLines);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    view[i] = 1000.0 + static_cast<double>(i);
+  }
+  Rng rng(3);
+  WearLevelerParams params;
+  params.swap_interval = kBase;
+  const std::vector<std::string> levelers{"startgap", "tlsr",  "pcms",
+                                          "bwl",      "wawl", "twl"};
+  for (const std::string& name : levelers) {
+    auto wl = make_wear_leveler(name, kLines, view, params, rng);
+    ASSERT_EQ(wl->remap_interval(), kBase) << name;
+    // Burn most of the current countdown, then shrink the interval below
+    // the writes already spent: the counter must clamp, not wrap.
+    std::vector<WlPhysWrite> batch;
+    for (int i = 0; i < 90; ++i) {
+      batch.clear();
+      wl->on_write(LogicalLineAddr{static_cast<std::uint64_t>(i % 7)}, rng,
+                   batch);
+    }
+    ASSERT_TRUE(wl->set_remap_interval(10)) << name;
+    EXPECT_EQ(wl->remap_interval(), 10u) << name;
+    EXPECT_LE(wl->writes_until_remap(), 10u) << name;
+    EXPECT_FALSE(wl->set_remap_interval(0)) << name;
+  }
+  // The no-op leveler has no cadence and must refuse the retune.
+  auto none = make_wear_leveler("none", kLines, view, params, rng);
+  EXPECT_EQ(none->remap_interval(), 0u);
+  EXPECT_FALSE(none->set_remap_interval(10));
+}
+
+TEST(AdaptiveWearLevelerTest, StateRoundTripRestoresControllerAndCadence) {
+  auto wl = make_adaptive();
+  Rng rng(9);
+  std::vector<WlPhysWrite> batch;
+  for (int i = 0; i < 57; ++i) {
+    batch.clear();
+    wl->on_write(LogicalLineAddr{static_cast<std::uint64_t>(i % kLines)}, rng,
+                 batch);
+  }
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  wl->on_window(AlarmLevel::kUnderAttack, AttackKind::kSweep);
+  ASSERT_EQ(wl->step(), 2);
+
+  StateWriter w;
+  wl->save_state(w);
+  auto restored = make_adaptive();
+  StateReader r(w.buffer());
+  ASSERT_TRUE(restored->load_state(r).ok());
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(restored->step(), 2);
+  EXPECT_EQ(restored->base_interval(), kBase);
+  EXPECT_EQ(restored->remap_interval(), 4 * kBase);
+  EXPECT_EQ(restored->cadence_changes(), wl->cadence_changes());
+  EXPECT_EQ(restored->writes_until_remap(), wl->writes_until_remap());
+  EXPECT_EQ(restored->translate(LogicalLineAddr{13}),
+            wl->translate(LogicalLineAddr{13}));
+  // The restored controller keeps relaxing from where the original was.
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  wl->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  restored->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  restored->on_window(AlarmLevel::kBenign, AttackKind::kNone);
+  EXPECT_EQ(restored->step(), wl->step());
+  EXPECT_EQ(restored->remap_interval(), wl->remap_interval());
+}
+
+}  // namespace
+}  // namespace nvmsec

@@ -62,6 +62,12 @@ struct FleetDoc {
   bool has_fastpath{false};
   bool fastpath{true};
   std::string sampling_contract;
+  // Detector fields; absent in files from older fleet_sim builds.
+  std::string attack_phases;
+  bool detect{false}, adaptive{false};
+  bool has_detector{false};
+  double devices_alarmed{0};
+  SummaryStats alarms_raised, windows_in_alarm, cadence_changes;
   // result
   bool complete{true};
   double shards_done{0}, shards_total{0};
@@ -143,6 +149,18 @@ FleetDoc load_fleet(const std::string& path) {
       contract != nullptr && contract->is_string()) {
     f.sampling_contract = contract->string;
   }
+  if (const JsonValue* phases = spec.find("attack_phases");
+      phases != nullptr && phases->is_string()) {
+    f.attack_phases = phases->string;
+  }
+  if (const JsonValue* detect = spec.find("detect");
+      detect != nullptr && detect->is_bool()) {
+    f.detect = detect->boolean;
+  }
+  if (const JsonValue* adaptive = spec.find("adaptive");
+      adaptive != nullptr && adaptive->is_bool()) {
+    f.adaptive = adaptive->boolean;
+  }
 
   const JsonValue* complete = doc.find("complete");
   f.complete = complete == nullptr || complete->boolean;
@@ -153,6 +171,14 @@ FleetDoc load_fleet(const std::string& path) {
   f.lifetime = parse_summary(doc.at("lifetime"));
   f.user_writes = parse_summary(doc.at("user_writes"));
   f.wear_gini = parse_summary(doc.at("wear_gini"));
+  if (const JsonValue* det = doc.find("detector");
+      det != nullptr && det->is_object()) {
+    f.has_detector = true;
+    f.devices_alarmed = det->num("devices_alarmed");
+    f.alarms_raised = parse_summary(det->at("alarms_raised"));
+    f.windows_in_alarm = parse_summary(det->at("windows_in_alarm"));
+    f.cadence_changes = parse_summary(det->at("cadence_changes"));
+  }
 
   const JsonValue& hist = doc.at("lifetime_hist");
   f.hist_underflow = hist.num("underflow");
@@ -249,6 +275,13 @@ void render_fleet(Renderer& out, const FleetDoc& f) {
                            ? ""
                            : " (" + f.sampling_contract + ")")});
   }
+  if (!f.attack_phases.empty()) {
+    spec.add_row({std::string("attack phases"), f.attack_phases});
+  }
+  if (f.detect) {
+    spec.add_row({std::string("detector"),
+                  std::string(f.adaptive ? "on (adaptive cadence)" : "on")});
+  }
   spec.add_row({std::string("spare fraction"), fmt(f.spare_fraction, 3)});
   spec.add_row({std::string("geometry"),
                 fmt(f.lines) + " lines / " + fmt(f.regions) + " regions"});
@@ -312,6 +345,30 @@ void render_fleet(Renderer& out, const FleetDoc& f) {
     out.text("no per-device wear data (bit-level engine)\n");
   }
 
+  // Population alarm statistics (only devices that ran a detector fold
+  // into these summaries).
+  if (f.has_detector && f.alarms_raised.count > 0) {
+    out.heading("Attack detection across the fleet");
+    Table det({"metric", "value"});
+    det.add_row({std::string("devices with a detector"),
+                 fmt(f.alarms_raised.count)});
+    det.add_row({std::string("devices that raised an alarm"),
+                 fmt(f.devices_alarmed) + " (" +
+                     (f.alarms_raised.count > 0
+                          ? pct(f.devices_alarmed / f.alarms_raised.count)
+                          : "-") +
+                     ")"});
+    add_summary_rows(det, "alarms raised", f.alarms_raised,
+                     /*as_pct=*/false);
+    add_summary_rows(det, "windows in alarm", f.windows_in_alarm,
+                     /*as_pct=*/false);
+    if (f.adaptive) {
+      add_summary_rows(det, "cadence changes", f.cadence_changes,
+                       /*as_pct=*/false);
+    }
+    out.table(det);
+  }
+
   const auto exemplar_table = [](const std::vector<Exemplar>& items) {
     Table t({"device", "seed", "normalized lifetime"});
     for (const Exemplar& e : items) {
@@ -352,6 +409,16 @@ void render_compare(Renderer& out, const std::vector<FleetDoc>& fleets) {
       true);
   row("wear Gini p50", [](const FleetDoc& f) { return f.wear_gini.p50; },
       false);
+  bool any_detector = false;
+  for (const FleetDoc& f : fleets) {
+    any_detector = any_detector || (f.has_detector && f.alarms_raised.count > 0);
+  }
+  if (any_detector) {
+    row("devices alarmed",
+        [](const FleetDoc& f) { return f.devices_alarmed; }, false);
+    row("alarms raised p50",
+        [](const FleetDoc& f) { return f.alarms_raised.p50; }, false);
+  }
   // Causes: union across fleets so a cause absent from one renders as 0.
   std::map<std::string, bool> all_causes;
   for (const FleetDoc& f : fleets) {

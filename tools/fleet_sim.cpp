@@ -71,7 +71,17 @@ int main(int argc, char** argv) {
   cli.add_flag("endurance-exponent", "power-law exponent k (E ~ I^-k)", "8");
   cli.add_flag("jitter", "intra-region lognormal endurance jitter sigma",
                "0");
-  cli.add_flag("attack", "uaa | bpa | hotspot | random | zipf", "uaa");
+  cli.add_flag("attack", "uaa | bpa | hotspot | random | zipf | mixed",
+               "uaa");
+  cli.add_flag("attack-phases",
+               "mixed-attack phase schedule 'name:writes,...' (k/m/g "
+               "suffixes; writes 0 = terminal unbounded last phase, a "
+               "bounded last phase cycles). Implies --attack mixed; "
+               "stochastic mode only", "");
+  cli.add_flag("attack-onset",
+               "shorthand for --attack-phases 'zipf:N,uaa:0': benign zipf "
+               "traffic for N writes, then a UAA that runs to failure "
+               "(0 = off)", "0");
   cli.add_flag("attack-mix",
                "weighted population mix, e.g. 'zipf:0.8,bpa:0.2' "
                "(overrides --attack; per-device pick is a stateless hash, "
@@ -79,6 +89,18 @@ int main(int argc, char** argv) {
   cli.add_flag("bpa-burst", "BPA burst length", "1024");
   cli.add_flag("zipf-skew", "zipf skew s", "0.99");
   cli.add_flag("hotspot-set", "hotspot working-set lines (>= 1)", "1");
+  cli.add_switch("detect",
+                 "per-device online attack detector (stochastic mode); "
+                 "alarm stats stream into the population aggregate");
+  cli.add_flag("detect-window",
+               "detector window size in user writes", "16384");
+  cli.add_switch("adaptive",
+                 "self-tuning defense (needs --detect and a wear leveler): "
+                 "retune the remap cadence from the alarm signal");
+  cli.add_flag("adaptive-factor",
+               "cadence multiplier per escalation step (> 1)", "2.0");
+  cli.add_flag("adaptive-max-steps",
+               "escalation bound in steps either direction", "3");
   cli.add_flag("wl", "none|startgap|tlsr|pcms|bwl|wawl|twl", "none");
   cli.add_flag("swap-interval", "wear-leveler remap cadence", "100");
   cli.add_flag("spare", "none | pcd | ps | ps-worst | freep | maxwe",
@@ -155,9 +177,26 @@ int main(int argc, char** argv) {
     base.endurance.endurance_exponent = cli.get_double("endurance-exponent");
     base.line_jitter_sigma = cli.get_double("jitter");
     base.attack = cli.get_string("attack");
+    base.mixed_phases = cli.get_string("attack-phases");
+    const std::uint64_t attack_onset = cli.get_uint("attack-onset");
+    if (attack_onset > 0) {
+      if (!base.mixed_phases.empty()) {
+        std::cerr << "error: --attack-onset and --attack-phases are two "
+                     "spellings of the same schedule; pick one\n";
+        return 1;
+      }
+      base.mixed_phases = "zipf:" + std::to_string(attack_onset) + ",uaa:0";
+    }
+    if (!base.mixed_phases.empty()) base.attack = "mixed";
     base.bpa_burst = cli.get_uint("bpa-burst");
     base.zipf_skew = cli.get_double("zipf-skew");
     base.hotspot_working_set = cli.get_uint("hotspot-set");
+    base.detect = cli.get_bool("detect");
+    base.detector.window_writes = cli.get_uint("detect-window");
+    base.adaptive = cli.get_bool("adaptive");
+    base.adaptive_policy.escalate_factor = cli.get_double("adaptive-factor");
+    base.adaptive_policy.max_steps =
+        static_cast<std::uint32_t>(cli.get_uint("adaptive-max-steps"));
     base.wear_leveler = cli.get_string("wl");
     base.wl.swap_interval = cli.get_uint("swap-interval");
     base.spare_scheme = cli.get_string("spare");

@@ -12,6 +12,7 @@
 //   maxwe_report --events run.events.jsonl --md postmortem.md \
 //                --metrics run.json --snapshots run.snapshots.jsonl
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -53,6 +54,29 @@ struct Rescue {
   double writes_bought{0};
 };
 
+/// One closed detection window (a detect_window event): the raw signals
+/// the ROC sweep re-thresholds, plus the detector's own verdict.
+struct DetectWindow {
+  double t{0};       // window end, in user writes
+  double writes{0};  // writes covered by the window
+  double uniformity{0}, occupancy{0}, sequential{0};
+  bool anomalous{false};
+  std::string kind, level;
+};
+
+/// An alarm transition (alarm_raised / alarm_cleared).
+struct AlarmEvent {
+  double t{0};
+  bool raised{false};
+  std::string kind;  // raised only
+};
+
+/// One adaptive cadence retune (a cadence_change event).
+struct CadenceEvent {
+  double t{0};
+  double old_interval{0}, new_interval{0}, step{0};
+};
+
 /// Everything the report derives from one run's slice of the event log.
 struct RunReport {
   // run_start metadata.
@@ -60,6 +84,13 @@ struct RunReport {
   std::string mode, attack, wear_leveler, spare;
   double seed{0}, lines{0}, regions{0};
   double spare_fraction{0}, swr_fraction{0};
+  bool detect_enabled{false}, adaptive_enabled{false};
+
+  // Detector post-mortem inputs.
+  std::string attack_schedule;  // attack_phases ground truth ("" = none)
+  std::vector<DetectWindow> windows;
+  std::vector<AlarmEvent> alarms;
+  std::vector<CadenceEvent> cadence;
 
   // spare_roles metadata (scheme-dependent fields; -1 = absent).
   double swr_regions{-1}, rwr_regions{-1}, asr_regions{-1};
@@ -128,6 +159,8 @@ std::vector<RunReport> build_reports(const std::vector<JsonValue>& events) {
       r.regions = e.num("regions");
       r.spare_fraction = e.num("spare_fraction");
       r.swr_fraction = e.num("swr_fraction");
+      r.detect_enabled = opt_num(e, "detect", 0) != 0;
+      r.adaptive_enabled = opt_num(e, "adaptive", 0) != 0;
       if (r.regions > 0) {
         r.region_rescues.assign(static_cast<std::size_t>(r.regions), 0.0);
       }
@@ -171,6 +204,26 @@ std::vector<RunReport> build_reports(const std::vector<JsonValue>& events) {
       r.scrub_rmt += opt_num(e, "rmt_corrupt", 0);
       r.scrub_lmt += opt_num(e, "lmt_corrupt", 0);
       r.scrub_repaired += opt_num(e, "repaired", 0);
+    } else if (type == "attack_phases") {
+      r.attack_schedule = e.str("schedule");
+    } else if (type == "detect_window") {
+      DetectWindow w;
+      w.t = t;
+      w.writes = e.num("writes");
+      w.uniformity = e.num("uniformity");
+      w.occupancy = e.num("occupancy");
+      w.sequential = e.num("sequential");
+      w.anomalous = e.num("anomalous") != 0;
+      w.kind = e.str("kind");
+      w.level = e.str("level");
+      r.windows.push_back(std::move(w));
+    } else if (type == "alarm_raised") {
+      r.alarms.push_back({t, true, e.str("kind")});
+    } else if (type == "alarm_cleared") {
+      r.alarms.push_back({t, false, std::string()});
+    } else if (type == "cadence_change") {
+      r.cadence.push_back({t, e.num("old_interval"), e.num("new_interval"),
+                           e.num("step")});
     } else if (type == "end_of_life") {
       ++r.eol_causes[e.str("cause")];
     } else if (type == "run_end") {
@@ -210,6 +263,75 @@ std::string fmt(double v, int digits = 2) {
     os << v;
   }
   return os.str();
+}
+
+/// One phase of the attack_phases ground-truth schedule.
+struct PhaseSpan {
+  std::string name;
+  double writes{0};  // 0 = terminal unbounded
+};
+
+/// Parse the "name:writes,..." schedule an attack_phases event recorded
+/// (k/m/g suffixes, writes 0 = terminal unbounded last phase).
+std::vector<PhaseSpan> parse_schedule(const std::string& spec) {
+  std::vector<PhaseSpan> phases;
+  std::istringstream in(spec);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    if (entry.empty()) continue;
+    PhaseSpan p;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      p.name = entry;
+    } else {
+      p.name = entry.substr(0, colon);
+      std::string w = entry.substr(colon + 1);
+      double scale = 1;
+      if (!w.empty()) {
+        const char suffix = static_cast<char>(std::tolower(w.back()));
+        if (suffix == 'k') scale = 1e3;
+        if (suffix == 'm') scale = 1e6;
+        if (suffix == 'g') scale = 1e9;
+        if (scale != 1) w.pop_back();
+      }
+      if (!w.empty()) p.writes = std::stod(w) * scale;
+    }
+    phases.push_back(std::move(p));
+  }
+  return phases;
+}
+
+/// Benign phases: workload proxies, not attacks. Everything else counts
+/// as ground-truth attack traffic for the detector scoring.
+bool benign_phase(const std::string& name) {
+  return name == "zipf" || name == "random";
+}
+
+/// Phase active at user-write time t. A bounded last phase cycles; a
+/// 0-writes last phase is terminal and absorbs the rest of the run.
+const std::string& phase_at(const std::vector<PhaseSpan>& phases, double t) {
+  static const std::string empty;
+  if (phases.empty()) return empty;
+  double total = 0;
+  for (const PhaseSpan& p : phases) total += p.writes;
+  const bool cyclic = phases.back().writes > 0;
+  if (cyclic && total > 0) t = std::fmod(t, total);
+  for (const PhaseSpan& p : phases) {
+    if (p.writes == 0 || t < p.writes) return p.name;
+    t -= p.writes;
+  }
+  return phases.back().name;
+}
+
+/// Ground-truth label for a window: attack iff the phase active at its
+/// midpoint is non-benign. No schedule -> fall back to the run's single
+/// attack name (a pure-uaa detector run is all-attack, a zipf run is
+/// all-benign).
+bool window_is_attack(const RunReport& r,
+                      const std::vector<PhaseSpan>& phases,
+                      const DetectWindow& w) {
+  if (phases.empty()) return !benign_phase(r.attack);
+  return !benign_phase(phase_at(phases, w.t - w.writes / 2));
 }
 
 /// Renders both the terminal and the Markdown flavour: headings switch
@@ -384,6 +506,162 @@ void render_run(Renderer& out, const RunReport& r, std::size_t top_n) {
   }
 }
 
+/// The attack-detector post-mortem: alarm timeline, detection latency and
+/// false alarms against the attack_phases ground truth, an ROC sweep that
+/// re-thresholds the raw per-window signals, and the adaptive cadence
+/// trail.
+void render_detector(Renderer& out, const RunReport& r) {
+  out.heading("Attack detector");
+  if (r.windows.empty()) {
+    out.text("no detect_window events (run without --detect, or the log "
+             "was truncated before the first window closed)\n");
+    return;
+  }
+  const std::vector<PhaseSpan> phases = parse_schedule(r.attack_schedule);
+
+  // Confusion counts at the detector's own per-window operating point and
+  // at the hysteresis-filtered alarm level.
+  std::uint64_t attack_windows = 0, benign_windows = 0;
+  std::uint64_t raw_tp = 0, raw_fp = 0, alarm_tp = 0, alarm_fp = 0;
+  double writes_in_alarm = 0, windows_in_alarm = 0, anomalous = 0;
+  for (const DetectWindow& w : r.windows) {
+    const bool attack = window_is_attack(r, phases, w);
+    (attack ? attack_windows : benign_windows) += 1;
+    if (w.anomalous) {
+      ++anomalous;
+      (attack ? raw_tp : raw_fp) += 1;
+    }
+    if (w.level == "under_attack") {
+      windows_in_alarm += 1;
+      writes_in_alarm += w.writes;
+      (attack ? alarm_tp : alarm_fp) += 1;
+    }
+  }
+  std::uint64_t raises = 0, clears = 0;
+  for (const AlarmEvent& a : r.alarms) (a.raised ? raises : clears) += 1;
+
+  Table summary({"metric", "value"});
+  summary.add_row({std::string("windows closed"),
+                   fmt(double(r.windows.size()))});
+  summary.add_row({std::string("anomalous windows"), fmt(anomalous)});
+  summary.add_row({std::string("alarms raised / cleared"),
+                   fmt(double(raises)) + " / " + fmt(double(clears))});
+  summary.add_row(
+      {std::string("windows in alarm"),
+       fmt(windows_in_alarm) + " (" +
+           fmt(100.0 * windows_in_alarm / double(r.windows.size()), 1) +
+           "% of windows)"});
+  if (r.end_t > 0) {
+    summary.add_row({std::string("lifetime in alarm"),
+                     fmt(100.0 * writes_in_alarm / r.end_t, 1) + "%"});
+  }
+  if (!r.attack_schedule.empty()) {
+    summary.add_row({std::string("ground-truth schedule"),
+                     r.attack_schedule});
+  }
+  out.table(summary);
+
+  // Detection latency: for each benign->attack onset in the first cycle,
+  // the user writes from the onset to the first alarm raised at or after
+  // it. False alarms are raises while ground truth says benign.
+  if (!phases.empty() || !benign_phase(r.attack)) {
+    std::vector<std::pair<double, std::string>> onsets;
+    if (phases.empty()) {
+      onsets.emplace_back(0.0, r.attack);
+    } else {
+      double at = 0;
+      bool prev_benign = true;
+      for (const PhaseSpan& p : phases) {
+        if (!benign_phase(p.name) && prev_benign) onsets.emplace_back(at, p.name);
+        prev_benign = benign_phase(p.name);
+        if (p.writes == 0) break;
+        at += p.writes;
+      }
+    }
+    std::uint64_t false_alarms = 0;
+    for (const AlarmEvent& a : r.alarms) {
+      if (a.raised && phases.empty() && benign_phase(r.attack)) {
+        ++false_alarms;
+      } else if (a.raised && !phases.empty() &&
+                 benign_phase(phase_at(phases, a.t))) {
+        ++false_alarms;
+      }
+    }
+    Table latency({"attack onset (user writes)", "phase", "first alarm",
+                   "latency (writes)"});
+    for (const auto& [at, name] : onsets) {
+      const AlarmEvent* first = nullptr;
+      for (const AlarmEvent& a : r.alarms) {
+        if (a.raised && a.t >= at) {
+          first = &a;
+          break;
+        }
+      }
+      latency.add_row({fmt(at), name,
+                       first != nullptr ? fmt(first->t) : std::string("never"),
+                       first != nullptr ? fmt(first->t - at)
+                                        : std::string("-")});
+    }
+    out.heading("Detection latency");
+    out.table(latency);
+    out.text("false alarms (raised while ground truth benign): " +
+             fmt(double(false_alarms)) + "\n");
+  }
+
+  // ROC sweep: re-threshold the raw signals post-mortem.
+  // Sequential-fraction-above catches sweeps (UAA), occupancy-below
+  // catches concentration (BPA / hotspot); uniformity-below is the
+  // chi-square backstop for non-sequential sweeps. The shipped operating
+  // point combines all three.
+  if (attack_windows > 0 && benign_windows > 0) {
+    Table roc({"threshold", "sequential>t TPR", "sequential>t FPR",
+               "occupancy<t TPR", "occupancy<t FPR", "uniformity<t TPR",
+               "uniformity<t FPR"});
+    for (double thr = 0.05; thr < 1.0; thr += 0.10) {
+      std::uint64_t s_tp = 0, s_fp = 0, o_tp = 0, o_fp = 0, u_tp = 0,
+                    u_fp = 0;
+      for (const DetectWindow& w : r.windows) {
+        const bool attack = window_is_attack(r, phases, w);
+        if (w.sequential > thr) (attack ? s_tp : s_fp) += 1;
+        if (w.occupancy < thr) (attack ? o_tp : o_fp) += 1;
+        if (w.uniformity < thr) (attack ? u_tp : u_fp) += 1;
+      }
+      roc.add_row({fmt(thr, 2),
+                   fmt(double(s_tp) / double(attack_windows), 3),
+                   fmt(double(s_fp) / double(benign_windows), 3),
+                   fmt(double(o_tp) / double(attack_windows), 3),
+                   fmt(double(o_fp) / double(benign_windows), 3),
+                   fmt(double(u_tp) / double(attack_windows), 3),
+                   fmt(double(u_fp) / double(benign_windows), 3)});
+    }
+    out.heading("ROC sweep (re-thresholded raw signals)");
+    out.table(roc);
+    out.text("shipped operating point: per-window TPR " +
+             fmt(double(raw_tp) / double(attack_windows), 3) + ", FPR " +
+             fmt(double(raw_fp) / double(benign_windows), 3) +
+             "; after hysteresis TPR " +
+             fmt(double(alarm_tp) / double(attack_windows), 3) + ", FPR " +
+             fmt(double(alarm_fp) / double(benign_windows), 3) + "\n");
+  }
+
+  // Adaptive cadence trail: every retune the controller applied.
+  if (r.adaptive_enabled || !r.cadence.empty()) {
+    out.heading("Adaptive cadence changes");
+    if (r.cadence.empty()) {
+      out.text("none (alarm never committed, or the leveler has no "
+               "cadence)\n");
+    } else {
+      Table trail({"at (user writes)", "interval", "step"});
+      for (const CadenceEvent& c : r.cadence) {
+        trail.add_row({fmt(c.t),
+                       fmt(c.old_interval) + " -> " + fmt(c.new_interval),
+                       fmt(c.step)});
+      }
+      out.table(trail);
+    }
+  }
+}
+
 void render_compare(Renderer& out, const RunReport& a, const RunReport& b) {
   out.heading("Side-by-side comparison");
   Table cmp({"metric", a.spare + " (A)", b.spare + " (B)"});
@@ -406,8 +684,22 @@ void render_compare(Renderer& out, const RunReport& a, const RunReport& b) {
   row("rescue Gini", fmt(a.rescue_gini(), 4), fmt(b.rescue_gini(), 4));
   row("rescue max/min", fmt(a.rescue_max_min(), 2),
       fmt(b.rescue_max_min(), 2));
+  if (!a.windows.empty() || !b.windows.empty()) {
+    row("detector windows", fmt(double(a.windows.size())),
+        fmt(double(b.windows.size())));
+    const auto raises = [](const RunReport& r) {
+      double n = 0;
+      for (const AlarmEvent& e : r.alarms) n += e.raised ? 1 : 0;
+      return n;
+    };
+    row("alarms raised", fmt(raises(a)), fmt(raises(b)));
+    row("cadence changes", fmt(double(a.cadence.size())),
+        fmt(double(b.cadence.size())));
+  }
   out.table(cmp);
   if (b.end_t > 0) {
+    // With B as the static baseline this is the lifetime-recovered metric
+    // the adaptive-defense bench gates on.
     out.text("lifetime ratio A/B: " + fmt(a.end_t / b.end_t, 3) + "\n");
   }
 }
@@ -480,7 +772,7 @@ void render_all(Renderer& out, const std::string& events_path,
                 const std::vector<RunReport>& runs,
                 const std::vector<RunReport>* other, std::size_t top_n,
                 const std::string& metrics_path,
-                const std::string& snapshots_path) {
+                const std::string& snapshots_path, bool force_detector) {
   out.title("Max-WE post-mortem: " + events_path);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     if (runs.size() > 1) {
@@ -488,6 +780,10 @@ void render_all(Renderer& out, const std::string& events_path,
                   std::to_string(runs.size()));
     }
     render_run(out, runs[i], top_n);
+    if (force_detector || runs[i].detect_enabled ||
+        !runs[i].windows.empty()) {
+      render_detector(out, runs[i]);
+    }
   }
   if (!metrics_path.empty()) render_metrics(out, metrics_path);
   if (!snapshots_path.empty()) render_snapshots(out, snapshots_path);
@@ -512,6 +808,10 @@ int main(int argc, char** argv) {
                "wear-snapshot JSONL from the same run (--snapshot-out)", "");
   cli.add_flag("md", "also write the report as Markdown to this path", "");
   cli.add_flag("top", "rows in the top-rescues table", "10");
+  cli.add_switch("detector",
+                 "force the attack-detector section (alarm timeline, "
+                 "detection latency, ROC sweep) even when the log carries "
+                 "no detector events; auto-enabled when it does");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -537,9 +837,11 @@ int main(int argc, char** argv) {
     const std::vector<RunReport>* other_ptr =
         compare_path.empty() ? nullptr : &other;
 
+    const bool force_detector = cli.get_bool("detector");
+
     Renderer terminal(std::cout, /*md=*/false);
     render_all(terminal, events_path, runs, other_ptr, top_n, metrics_path,
-               snapshots_path);
+               snapshots_path, force_detector);
 
     if (const std::string md_path = cli.get_string("md"); !md_path.empty()) {
       std::ofstream md_out(md_path, std::ios::binary);
@@ -549,7 +851,7 @@ int main(int argc, char** argv) {
       }
       Renderer md(md_out, /*md=*/true);
       render_all(md, events_path, runs, other_ptr, top_n, metrics_path,
-                 snapshots_path);
+                 snapshots_path, force_detector);
       std::cout << "markdown report: " << md_path << "\n";
     }
     return 0;

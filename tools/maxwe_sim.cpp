@@ -75,10 +75,35 @@ int main(int argc, char** argv) {
   cli.add_flag("endurance-exponent", "power-law exponent k (E ~ I^-k)", "8");
   cli.add_flag("jitter", "intra-region lognormal endurance jitter sigma",
                "0");
-  cli.add_flag("attack", "uaa | bpa | hotspot | random | zipf", "uaa");
+  cli.add_flag("attack", "uaa | bpa | hotspot | random | zipf | mixed",
+               "uaa");
+  cli.add_flag("attack-phases",
+               "mixed-attack phase schedule 'name:writes,...' (k/m/g "
+               "suffixes; writes 0 = terminal unbounded last phase, a "
+               "bounded last phase cycles). Implies --attack mixed; "
+               "stochastic mode only", "");
+  cli.add_flag("attack-onset",
+               "shorthand for --attack-phases 'zipf:N,uaa:0': benign zipf "
+               "traffic for N writes, then a UAA that runs to failure "
+               "(0 = off)", "0");
   cli.add_flag("bpa-burst", "BPA burst length", "1024");
   cli.add_flag("zipf-skew", "zipf skew s", "0.99");
   cli.add_flag("hotspot-set", "hotspot working-set lines (>= 1)", "1");
+  cli.add_switch("detect",
+                 "online attack detector (stochastic mode): watch the user "
+                 "write stream, close a verdict window every "
+                 "--detect-window writes, emit detect_window/alarm events "
+                 "and detector stats");
+  cli.add_flag("detect-window",
+               "detector window size in user writes", "16384");
+  cli.add_switch("adaptive",
+                 "self-tuning defense (needs --detect and a wear leveler): "
+                 "retune the remap cadence from the alarm signal, bounded "
+                 "escalation with cool-down");
+  cli.add_flag("adaptive-factor",
+               "cadence multiplier per escalation step (> 1)", "2.0");
+  cli.add_flag("adaptive-max-steps",
+               "escalation bound in steps either direction", "3");
   cli.add_flag("wl", "none|startgap|tlsr|pcms|bwl|wawl|twl", "none");
   cli.add_flag("swap-interval", "wear-leveler remap cadence", "100");
   cli.add_flag("spare", "none | pcd | ps | ps-worst | freep | maxwe",
@@ -164,9 +189,28 @@ int main(int argc, char** argv) {
         cli.get_double("endurance-exponent");
     config.line_jitter_sigma = cli.get_double("jitter");
     config.attack = cli.get_string("attack");
+    config.mixed_phases = cli.get_string("attack-phases");
+    const std::uint64_t attack_onset = cli.get_uint("attack-onset");
+    if (attack_onset > 0) {
+      if (!config.mixed_phases.empty()) {
+        std::cerr << "error: --attack-onset and --attack-phases are two "
+                     "spellings of the same schedule; pick one\n";
+        return 1;
+      }
+      config.mixed_phases =
+          "zipf:" + std::to_string(attack_onset) + ",uaa:0";
+    }
+    if (!config.mixed_phases.empty()) config.attack = "mixed";
     config.bpa_burst = cli.get_uint("bpa-burst");
     config.zipf_skew = cli.get_double("zipf-skew");
     config.hotspot_working_set = cli.get_uint("hotspot-set");
+    config.detect = cli.get_bool("detect");
+    config.detector.window_writes = cli.get_uint("detect-window");
+    config.adaptive = cli.get_bool("adaptive");
+    config.adaptive_policy.escalate_factor =
+        cli.get_double("adaptive-factor");
+    config.adaptive_policy.max_steps =
+        static_cast<std::uint32_t>(cli.get_uint("adaptive-max-steps"));
     config.wear_leveler = cli.get_string("wl");
     config.wl.swap_interval = cli.get_uint("swap-interval");
     config.spare_scheme = cli.get_string("spare");
@@ -377,6 +421,15 @@ int main(int argc, char** argv) {
               << "absorbed writes:     " << r.absorbed_writes << "\n"
               << "line deaths:         " << r.line_deaths << "\n"
               << "outcome:             " << r.failure_reason << "\n";
+    if (config.detect) {
+      std::cout << "detector windows:    " << r.windows_observed
+                << "  (anomalous " << r.anomalous_windows << ", in alarm "
+                << r.windows_in_alarm << ")\n"
+                << "alarms raised:       " << r.alarms_raised << "\n";
+      if (config.adaptive) {
+        std::cout << "cadence changes:     " << r.cadence_changes << "\n";
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
