@@ -31,8 +31,18 @@ void HeartbeatSink::write_line(const HeartbeatSample& s) {
           ? static_cast<double>(s.devices_total - s.devices_done) / rate
           : -1.0;
 
+  const double shard_mean =
+      s.shards_timed > 0 ? s.shard_sec_sum / static_cast<double>(s.shards_timed)
+                         : -1.0;
+  const double shard_max = s.shards_timed > 0 ? s.shard_sec_max : -1.0;
+  const double imbalance = shard_mean > 0 ? shard_max / shard_mean : -1.0;
+  const double busy_frac =
+      elapsed > 0 && s.workers > 0 && s.shards_timed > 0
+          ? s.shard_sec_sum / (elapsed * static_cast<double>(s.workers))
+          : -1.0;
+
   std::string line;
-  line += R"({"v":1,"type":"fleet_heartbeat","devices_done":)";
+  line += R"({"v":2,"type":"fleet_heartbeat","devices_done":)";
   json_append_number(line, static_cast<double>(s.devices_done));
   line += R"(,"devices_total":)";
   json_append_number(line, static_cast<double>(s.devices_total));
@@ -55,6 +65,21 @@ void HeartbeatSink::write_line(const HeartbeatSample& s) {
   }
   line += R"(},"truncated_logs":)";
   json_append_number(line, static_cast<double>(s.truncated_logs));
+  // v2 fields, appended after every v1 field so v1 consumers keep working.
+  line += R"(,"shards_done":)";
+  json_append_number(line, static_cast<double>(s.shards_done));
+  line += R"(,"shards_total":)";
+  json_append_number(line, static_cast<double>(s.shards_total));
+  line += R"(,"workers":)";
+  json_append_number(line, static_cast<double>(s.workers));
+  line += R"(,"shard_sec_mean":)";
+  json_append_number(line, shard_mean);
+  line += R"(,"shard_sec_max":)";
+  json_append_number(line, shard_max);
+  line += R"(,"shard_imbalance":)";
+  json_append_number(line, imbalance);
+  line += R"(,"worker_busy_frac":)";
+  json_append_number(line, busy_frac);
   line += "}\n";
   out_ << line;
   out_.flush();

@@ -11,15 +11,27 @@
 //
 // Schema (one JSON object per line, validated by a ctest):
 //
-//   {"v":1,"type":"fleet_heartbeat","devices_done":N,"devices_total":N,
+//   {"v":2,"type":"fleet_heartbeat","devices_done":N,"devices_total":N,
 //    "devices_per_sec":X,"eta_sec":X,"p50":X,"p99":X,
-//    "failure_causes":{"<cause>":N,...},"truncated_logs":N}
+//    "failure_causes":{"<cause>":N,...},"truncated_logs":N,
+//    "shards_done":N,"shards_total":N,"workers":N,
+//    "shard_sec_mean":X,"shard_sec_max":X,"shard_imbalance":X,
+//    "worker_busy_frac":X}
 //
-// devices_per_sec and eta_sec are wall-clock telemetry (the only wall-clock
-// numbers in the fleet layer) and are -1 until the first interval elapses;
-// everything else is simulation state. At jobs > 1 the running p50/p99
-// reflect whichever shards happened to finish first — they converge to the
-// final (deterministic) values but intermediate lines are telemetry, not
+// v2 appended the shard-throughput and worker-utilization fields after
+// truncated_logs; every v1 field kept its name, position and meaning, so
+// v1 consumers that index by key keep working. shard_sec_mean/max cover
+// the shards *newly run* in this process (resumed shards have no wall
+// time) and are -1 until one finishes; shard_imbalance is max/mean (1.0 =
+// perfectly even shards); worker_busy_frac is the completed shards' total
+// wall time divided by (elapsed x workers) — a live lower bound on pool
+// utilization that converges once the last shard lands.
+//
+// devices_per_sec and eta_sec are wall-clock telemetry and are -1 until
+// the first interval elapses; everything except the utilization fields is
+// simulation state. At jobs > 1 the running p50/p99 reflect whichever
+// shards happened to finish first — they converge to the final
+// (deterministic) values but intermediate lines are telemetry, not
 // results.
 #pragma once
 
@@ -43,6 +55,18 @@ struct HeartbeatSample {
   /// (cause, count), already in deterministic (sorted) order.
   std::vector<std::pair<std::string, std::uint64_t>> failure_causes;
   std::uint64_t truncated_logs{0};
+  /// v2 shard-throughput / utilization fields. Zero-initialized defaults
+  /// render as the "no data yet" (-1) values, so fillers that predate v2
+  /// still produce valid lines.
+  std::uint64_t shards_done{0};
+  std::uint64_t shards_total{0};
+  /// Worker threads (including the driving thread) the campaign runs with.
+  std::uint64_t workers{0};
+  /// Shards newly run in this process (denominator for shard_sec_sum).
+  std::uint64_t shards_timed{0};
+  /// Total / max wall seconds across the newly-run shards.
+  double shard_sec_sum{0};
+  double shard_sec_max{0};
 };
 
 class HeartbeatSink {

@@ -16,16 +16,18 @@ class Counter;
 class TraceWriter;
 class SnapshotEmitter;
 class EventLog;
+class Profiler;
 
 struct Observer {
   MetricsRegistry* metrics{nullptr};
   TraceWriter* trace{nullptr};
   SnapshotEmitter* snapshots{nullptr};
   EventLog* events{nullptr};
+  Profiler* profiler{nullptr};
 
   [[nodiscard]] bool active() const {
     return metrics != nullptr || trace != nullptr || snapshots != nullptr ||
-           events != nullptr;
+           events != nullptr || profiler != nullptr;
   }
 };
 

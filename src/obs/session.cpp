@@ -70,6 +70,10 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
                                             config_.snapshot_interval);
     }
   }
+  if (!config_.profile_path.empty()) {
+    profiler_ = std::make_unique<Profiler>();
+    profile_start_ns_ = Profiler::now_ns();
+  }
   if (!config_.events_path.empty()) {
     const std::ios::openmode mode =
         std::ios::out | std::ios::binary |
@@ -113,7 +117,7 @@ ObsSession::~ObsSession() {
 
 Observer ObsSession::observer() {
   return Observer{metrics_.get(), trace_.get(), snapshots_.get(),
-                  events_.get()};
+                  events_.get(), profiler_.get()};
 }
 
 void ObsSession::finalize() {
@@ -143,6 +147,13 @@ void ObsSession::finalize() {
   if (events_) {
     events_->finalize();
     events_stream_.flush();
+  }
+  if (profiler_) {
+    AtomicFileWriter writer(config_.profile_path);
+    writer.open_status().throw_if_error();
+    writer.stream() << profiler_->to_json(Profiler::now_ns() -
+                                          profile_start_ns_);
+    writer.commit().throw_if_error();
   }
 }
 

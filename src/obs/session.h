@@ -24,6 +24,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "util/atomic_file.h"
@@ -45,6 +46,11 @@ struct ObsConfig {
   /// Decision-event JSONL path; empty = no event log. Streams straight to
   /// the final path (no temp file) so the log survives a crash.
   std::string events_path;
+  /// Self-profile JSON path; empty = no profiler. Written at finalize().
+  /// The profile's timings are wall-clock and explicitly excluded from
+  /// every byte-identity contract; attaching the profiler never changes
+  /// any other output.
+  std::string profile_path;
   /// Resuming from a checkpoint: the event log reopens in append mode (the
   /// engine rewinds it to the checkpoint's byte offset, keeping the stream
   /// byte-identical to an uninterrupted run), the snapshot stream appends
@@ -55,7 +61,7 @@ struct ObsConfig {
   [[nodiscard]] bool any() const {
     return !metrics_path.empty() || !trace_path.empty() ||
            !snapshot_path.empty() || snapshot_interval > 0 ||
-           !events_path.empty();
+           !events_path.empty() || !profile_path.empty();
   }
 };
 
@@ -80,6 +86,7 @@ class ObsSession {
   [[nodiscard]] TraceWriter* trace() { return trace_.get(); }
   [[nodiscard]] SnapshotEmitter* snapshots() { return snapshots_.get(); }
   [[nodiscard]] EventLog* events() { return events_.get(); }
+  [[nodiscard]] Profiler* profiler() { return profiler_.get(); }
 
   /// Write the metrics file, close the trace array, and atomically rename
   /// the atomic sink files into place; flush the streaming event log.
@@ -96,6 +103,8 @@ class ObsSession {
   std::unique_ptr<SnapshotEmitter> snapshots_;
   std::ofstream events_stream_;
   std::unique_ptr<EventLog> events_;
+  std::unique_ptr<Profiler> profiler_;
+  std::uint64_t profile_start_ns_{0};
   bool finalized_{false};
 };
 

@@ -5,6 +5,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace nvmsec {
 
@@ -32,6 +33,7 @@ void BitEngine::set_observer(const Observer& obs) {
 LifetimeResult BitEngine::run(WriteCount max_user_writes) {
   LifetimeResult result;
   result.ideal_lifetime = device_.reference_lifetime();
+  const ScopedProfPhase prof_span(obs_.profiler, ProfPhase::kBitRun);
 
   std::vector<WlPhysWrite> batch;
   WriteCount user_writes = 0;

@@ -34,7 +34,9 @@ EnduranceMapCache::BuiltMap EnduranceMapCache::get_or_build(
       if (it->key == key) {
         ++hits_;
         entries_.splice(entries_.begin(), entries_, it);  // mark MRU
-        return entries_.front().value;
+        BuiltMap out = entries_.front().value;
+        out.hit = true;
+        return out;
       }
     }
     ++misses_;

@@ -42,6 +42,9 @@ class EnduranceMapCache {
     /// RNG state immediately after map construction (+ jitter); the caller
     /// continues the stream from here exactly as if it had built the map.
     Rng rng_after_build;
+    /// True when this call was served from the cache (the caller paid no
+    /// build cost). Observability only; never affects results.
+    bool hit{false};
   };
 
   /// Return the map for (geometry, params, seed, jitter sigma), building

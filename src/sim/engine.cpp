@@ -10,6 +10,7 @@
 #include "core/maxwe.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "sim/checkpoint.h"
@@ -173,6 +174,8 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   LifetimeResult result;
   result.ideal_lifetime = device_.total_budget();
   const ScopedTimer run_span(obs_.trace, "engine.run");
+  Profiler* const prof = obs_.profiler;
+  const ScopedProfPhase prof_span(prof, ProfPhase::kEngineRun);
 
   if (buffer_ && max_user_writes == 0) {
     throw std::invalid_argument(
@@ -223,11 +226,19 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   std::uint64_t seen_spare_epoch = ~0ull;
   if (cache_resolves) line_cache.assign(logical_lines, 0);
 
+  // Resolve-cache traffic, counted into plain locals (three predictable
+  // adds per lookup) and published once at run end — cheap enough to stay
+  // on even with no observer attached.
+  std::uint64_t resolve_hits = 0;
+  std::uint64_t resolve_misses = 0;
+  std::uint64_t resolve_flushes = 0;
+
   const auto resolve_cached = [&](LogicalLineAddr la) -> PhysLineAddr {
     if (wl_.mapping_epoch() != seen_wl_epoch ||
         spare_.mapping_epoch() != seen_spare_epoch) {
       seen_wl_epoch = wl_.mapping_epoch();
       seen_spare_epoch = spare_.mapping_epoch();
+      ++resolve_flushes;
       if (++cache_version == 0) {
         std::fill(line_cache.begin(), line_cache.end(), 0);
         cache_version = 1;
@@ -235,8 +246,10 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     }
     std::uint64_t& slot = line_cache[la.value()];
     if ((slot >> 32) == cache_version) {
+      ++resolve_hits;
       return PhysLineAddr{slot & 0xffffffffull};
     }
+    ++resolve_misses;
     const PhysLineAddr line = spare_.resolve(wl_.translate(la));
     slot = (static_cast<std::uint64_t>(cache_version) << 32) | line.value();
     return line;
@@ -246,6 +259,8 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   // per-write branch. Returns false when the failure ends the run.
   const auto handle_wear_out = [&](std::uint64_t working_index,
                                    PhysLineAddr line) -> bool {
+    const ScopedProfPhase rescue_span(prof, ProfPhase::kEngineRescue);
+    if (prof != nullptr) prof->add(ProfCounter::kRescueEvents);
     ++line_deaths_;
     if (obs_.events != nullptr) {
       obs_.events->set_now(static_cast<double>(user_writes_));
@@ -287,6 +302,8 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   // transition events, and feed the alarm level into the adaptive cadence
   // controller when one is attached.
   const auto close_detector_window = [&] {
+    const ScopedProfPhase detect_span(prof, ProfPhase::kEngineDetector);
+    if (prof != nullptr) prof->add(ProfCounter::kDetectorWindows);
     const AlarmLevel before = detector_->level();
     const WindowVerdict v = detector_->close_window();
     if (obs_.events != nullptr) {
@@ -366,6 +383,17 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
   WriteCountVector counts_vec;
   std::vector<std::uint64_t> phys_scratch;
 
+  // Chunk-size distributions and the attack's batching contract go to the
+  // metrics registry; histograms are looked up once, never per chunk.
+  HistogramMetric* counts_chunk_hist = nullptr;
+  HistogramMetric* batch_span_hist = nullptr;
+  if (obs_.metrics != nullptr) {
+    counts_chunk_hist = &obs_.metrics->histogram("engine.counts_chunk_writes");
+    batch_span_hist = &obs_.metrics->histogram("engine.batch_span_writes");
+    obs_.metrics->gauge("engine.batch_contract")
+        .set(static_cast<double>(attack_.batch_contract()));
+  }
+
   while (!result.failed &&
          (max_user_writes == 0 || user_writes_ < max_user_writes)) {
     // User-write boundary work, in fixed order so checkpoints capture a
@@ -385,6 +413,7 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       injector_->inject_and_scrub(*injector_scheme_, device_);
     }
     if (checkpoint_interval_ > 0 && user_writes_ >= next_checkpoint_at_) {
+      const ScopedProfPhase ckpt_span(prof, ProfPhase::kEngineCheckpoint);
       save_checkpoint();
       next_checkpoint_at_ += checkpoint_interval_;
     }
@@ -392,6 +421,7 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     // one extra integer compare when a snapshot sink is attached.
     if (obs_.snapshots != nullptr &&
         obs_.snapshots->due(static_cast<double>(user_writes_))) {
+      const ScopedProfPhase snap_span(prof, ProfPhase::kEngineSnapshot);
       SnapshotContext ctx;
       ctx.device = &device_;
       ctx.spare = &spare_;
@@ -448,8 +478,12 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
            std::max(kMinCountsChunk, user_writes_ / 8)});
       if (chunk >= kMinCountsChunk) {
         counts_vec.clear();
-        if (attack_.next_counts(counts_rng_, logical_lines, chunk,
-                                counts_vec)) {
+        const bool drew = [&] {
+          const ScopedProfPhase draw_span(prof, ProfPhase::kEngineCountsDraw);
+          return attack_.next_counts(counts_rng_, logical_lines, chunk,
+                                     counts_vec);
+        }();
+        if (drew) {
           // A mixed attack stops a counts draw at its phase boundary, so
           // the vector may total fewer than `chunk` — the fatal-position
           // credit below must use the actual total, not the request.
@@ -462,16 +496,24 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
           // resumes at the stopping entry's unabsorbed remainder.
           const std::size_t n_entries = counts_vec.size();
           phys_scratch.resize(n_entries);
-          for (std::size_t i = 0; i < n_entries; ++i) {
-            phys_scratch[i] =
-                resolve_cached(LogicalLineAddr{counts_vec.addrs[i]}).value();
+          {
+            const ScopedProfPhase resolve_span(
+                prof, ProfPhase::kEngineCountsResolve);
+            for (std::size_t i = 0; i < n_entries; ++i) {
+              phys_scratch[i] =
+                  resolve_cached(LogicalLineAddr{counts_vec.addrs[i]}).value();
+            }
           }
           std::uint64_t issued = 0;
           std::size_t e = 0;
           while (e < n_entries && !result.failed) {
-            const BulkCountsResult res = device_.write_counts(
-                std::span<const std::uint64_t>(phys_scratch).subspan(e),
-                std::span<const WriteCount>(counts_vec.counts).subspan(e));
+            const BulkCountsResult res = [&] {
+              const ScopedProfPhase write_span(
+                  prof, ProfPhase::kEngineCountsWrite);
+              return device_.write_counts(
+                  std::span<const std::uint64_t>(phys_scratch).subspan(e),
+                  std::span<const WriteCount>(counts_vec.counts).subspan(e));
+            }();
             user_writes_ += res.absorbed;
             issued += res.absorbed;
             if (!res.wore_out) break;
@@ -507,18 +549,30 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
             }
             e = stop;
             if (counts_vec.counts[e] == 0) ++e;
+            const ScopedProfPhase resolve_span(
+                prof, ProfPhase::kEngineCountsResolve);
             for (std::size_t i = e; i < n_entries; ++i) {
               phys_scratch[i] =
                   resolve_cached(LogicalLineAddr{counts_vec.addrs[i]}).value();
             }
           }
           wl_.commit_batched_writes(issued);
+          if (prof != nullptr) {
+            prof->add(ProfCounter::kCountsChunks);
+            prof->add(ProfCounter::kCountsWrites, issued);
+          }
+          if (counts_chunk_hist != nullptr) {
+            counts_chunk_hist->observe(static_cast<double>(issued));
+          }
           continue;
         }
       }
     }
 
-    const AttackRun run = attack_.next_run(rng_, logical_lines, limit);
+    const AttackRun run = [&] {
+      const ScopedProfPhase draw_span(prof, ProfPhase::kEngineBatchDraw);
+      return attack_.next_run(rng_, logical_lines, limit);
+    }();
     // Observe the request stream at generation time: the run form updates
     // the detector's counters exactly as per-write observes would, so
     // bit-identical attacks keep byte-identical detector state across
@@ -528,6 +582,7 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       detector_->observe_run(run.start.value(), run.count, run.stride);
     }
     if (buffer_ != nullptr) {
+      const ScopedProfPhase buffer_span(prof, ProfPhase::kEngineBuffer);
       // limit == 1, so the run is a single write — identical to next().
       const std::optional<LogicalLineAddr> evicted = buffer_->write(run.start);
       if (!evicted) {
@@ -547,12 +602,26 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       // per-write path for this write.
       const std::uint64_t horizon = fastpath_ ? wl_.writes_until_remap() : 0;
       if (horizon == 0) {
-        write_one(run.addr_at(done));
-        ++done;
+        // Coalesce the whole burst of consecutive fallback writes into one
+        // span: a leveler that declines batching (TLSR, --no-fastpath)
+        // funnels *every* write through here, and a per-write clock pair
+        // would cost more than the write itself.
+        const ScopedProfPhase perwrite_span(prof, ProfPhase::kEnginePerWrite);
+        std::uint64_t burst = 0;
+        do {
+          write_one(run.addr_at(done));
+          ++done;
+          ++burst;
+        } while (done < run.count && !result.failed &&
+                 (fastpath_ ? wl_.writes_until_remap() : 0) == 0);
+        if (prof != nullptr) {
+          prof->add(ProfCounter::kPerWriteFallback, burst);
+        }
         continue;
       }
       const std::uint64_t span = std::min(horizon, run.count - done);
       std::uint64_t issued = 0;
+      const ScopedProfPhase batch_span(prof, ProfPhase::kEngineBatchWrite);
       if (run.stride == 0 && cache_resolves) {
         // One address hammered repeatedly: resolve once, bulk-decrement the
         // device budget, re-resolve only after a wear-out rescues the data
@@ -590,6 +659,13 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
       // final write, before the remap ever fired).
       wl_.commit_batched_writes(issued);
       done += issued;
+      if (prof != nullptr) {
+        prof->add(ProfCounter::kBatchRuns);
+        prof->add(ProfCounter::kBatchWrites, issued);
+      }
+      if (batch_span_hist != nullptr) {
+        batch_span_hist->observe(static_cast<double>(issued));
+      }
     }
   }
 
@@ -609,6 +685,9 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     m.counter("engine.absorbed_writes").set(absorbed_writes_);
     m.counter("engine.line_deaths").set(line_deaths_);
     m.counter("engine.device_writes").set(device_.total_writes());
+    m.counter("engine.resolve_cache_hits").set(resolve_hits);
+    m.counter("engine.resolve_cache_misses").set(resolve_misses);
+    m.counter("engine.resolve_cache_flushes").set(resolve_flushes);
     if (buffer_ != nullptr) buffer_->publish_metrics(m);
     const SpareSchemeStats s = spare_.stats();
     m.gauge("spare.spares_remaining")
@@ -626,6 +705,17 @@ LifetimeResult Engine::run(WriteCount max_user_writes) {
     }
     if (adaptive_ != nullptr) {
       m.counter("adaptive.cadence_changes").set(adaptive_->cadence_changes());
+    }
+  }
+  if (prof != nullptr) {
+    prof->add(ProfCounter::kResolveCacheHit, resolve_hits);
+    prof->add(ProfCounter::kResolveCacheMiss, resolve_misses);
+    prof->add(ProfCounter::kResolveCacheFlush, resolve_flushes);
+    if (buffer_ != nullptr) {
+      const DramBufferStats& bs = buffer_->stats();
+      prof->add(ProfCounter::kBufferHit, bs.hits);
+      prof->add(ProfCounter::kBufferMiss, bs.misses);
+      prof->add(ProfCounter::kBufferEvict, bs.evictions);
     }
   }
   if (obs_.snapshots != nullptr) {

@@ -10,6 +10,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "sim/wear_report.h"
@@ -77,6 +78,7 @@ LifetimeResult UniformEventSimulator::run() {
   const std::uint64_t n = geom.num_lines();
   const std::uint64_t u = scheme_.working_lines();
   const ScopedTimer run_span(obs_.trace, "event_sim.run");
+  const ScopedProfPhase prof_span(obs_.profiler, ProfPhase::kEventRun);
 
   // Integer budgets identical to Device's rounding, kept as doubles for the
   // continuous-time arithmetic.
@@ -190,6 +192,10 @@ LifetimeResult UniformEventSimulator::run() {
     }
 
     // Re-home every working index the dead line was serving.
+    const ScopedProfPhase rescue_span(obs_.profiler, ProfPhase::kEventRescue);
+    if (obs_.profiler != nullptr) {
+      obs_.profiler->add(ProfCounter::kRescueEvents);
+    }
     std::uint32_t idx = list_head[line];
     list_head[line] = kNone;
     rate[line] = 0.0;

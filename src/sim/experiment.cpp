@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "attack/attack.h"
@@ -11,6 +12,7 @@
 #include "fault/device_faults.h"
 #include "fault/metadata_faults.h"
 #include "obs/event_log.h"
+#include "obs/profiler.h"
 #include "spare/freep.h"
 #include "nvm/device.h"
 #include "sim/bit_engine.h"
@@ -221,6 +223,13 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
   }
   Rng rng(config.seed);
 
+  // Everything between here and the engine's run() is "setup": map build
+  // (or cache hit), scheme/attack/leveler construction. The span is closed
+  // before run() so setup and run never overlap in the profile.
+  Profiler* const prof = config.observer.profiler;
+  std::optional<ScopedProfPhase> setup_span;
+  setup_span.emplace(prof, ProfPhase::kExperimentSetup);
+
   std::shared_ptr<const EnduranceMap> map;
   if (cache != nullptr) {
     EnduranceMapCache::BuiltMap built =
@@ -231,6 +240,10 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     // is what keeps cached and cold runs bit-identical (the spare schemes
     // draw from the same rng next).
     rng = built.rng_after_build;
+    if (prof != nullptr) {
+      prof->add(built.hit ? ProfCounter::kEnduranceCacheHit
+                          : ProfCounter::kEnduranceCacheMiss);
+    }
   } else {
     const EnduranceModel model(config.endurance);
     auto fresh = std::make_shared<EnduranceMap>(
@@ -298,6 +311,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
           "' is non-stationary — use stochastic mode");
     }
     sim.set_observer(config.observer);
+    setup_span.reset();
     return sim.run();
   }
 
@@ -374,6 +388,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     auto codec = make_codec(config.codec);
     BitEngine engine(device, *attack, *payload, *codec, *wl, *spare, rng);
     engine.set_observer(config.observer);
+    setup_span.reset();
     return engine.run(config.max_user_writes);
   }
 
@@ -420,6 +435,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     }
     engine.restore_state(r).throw_if_error();
   }
+  setup_span.reset();
   return engine.run(config.max_user_writes);
 }
 

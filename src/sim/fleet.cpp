@@ -10,6 +10,7 @@
 #include "obs/heartbeat.h"
 #include "obs/json.h"
 #include "obs/json_parse.h"
+#include "obs/profiler.h"
 #include "sim/checkpoint.h"
 #include "sim/endurance_cache.h"
 #include "util/rng.h"
@@ -357,8 +358,12 @@ std::uint64_t shard_count(const FleetSpec& spec, std::uint64_t shard) {
 }
 
 /// Run one shard's devices (in device order) into a fresh aggregate.
+/// `prof` is the shard's private profiler (nullptr = no profiling): the
+/// shard runs on exactly one thread and its profiler is merged after the
+/// join, so the engines can record into it with no synchronization.
 FleetAggregate run_shard(const FleetSpec& spec, std::uint64_t shard,
-                         EnduranceMapCache* cache) {
+                         EnduranceMapCache* cache, Profiler* prof) {
+  const ScopedProfPhase shard_span(prof, ProfPhase::kFleetShard);
   FleetAggregate agg;
   const std::uint64_t first = shard_first(spec, shard);
   const std::uint64_t count = shard_count(spec, shard);
@@ -367,9 +372,9 @@ FleetAggregate run_shard(const FleetSpec& spec, std::uint64_t shard,
     config.seed = spec.seed_start + d;
     config.attack = fleet_device_attack(spec, d);
     // Fleet devices are self-contained: no caller sinks (they would race
-    // across shards), no per-device checkpoint files. The one sink every
-    // device gets is its own in-memory event log, the source of the
-    // failure-cause taxonomy.
+    // across shards), no per-device checkpoint files. The two sinks a
+    // device can get are its own in-memory event log (the source of the
+    // failure-cause taxonomy) and the shard's private profiler.
     config.observer = Observer{};
     config.checkpoint_out.clear();
     config.checkpoint_interval = 0;
@@ -377,8 +382,12 @@ FleetAggregate run_shard(const FleetSpec& spec, std::uint64_t shard,
     std::ostringstream log_stream;
     EventLog log(log_stream, spec.event_log_max_events);
     config.observer.events = &log;
+    config.observer.profiler = prof;
 
-    const LifetimeResult result = run_experiment(config, cache);
+    const LifetimeResult result = [&] {
+      const ScopedProfPhase device_span(prof, ProfPhase::kFleetDevice);
+      return run_experiment(config, cache);
+    }();
     log.finalize();
     bool truncated = false;
     const std::string cause =
@@ -467,16 +476,46 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
                                       : &EnduranceMapCache::global())
           : nullptr;
 
-  // Completion-side state: checkpoint mirror and heartbeat progress, both
-  // updated under one lock. The progress aggregate merges in completion
-  // order — telemetry only; the returned result merges in index order.
+  // Per-shard private profilers: a shard is claimed by exactly one thread,
+  // so its profiler needs no locks; everything merges into options.profiler
+  // in shard-index order after the join (merge is associative and
+  // commutative, so the result is scheduling-independent).
+  Profiler* const prof = options.profiler;
+  std::vector<Profiler> shard_profilers(prof != nullptr ? num_shards : 0);
+  const auto shard_prof = [&](std::uint64_t shard) -> Profiler* {
+    return prof != nullptr ? &shard_profilers[shard] : nullptr;
+  };
+
+  const std::size_t jobs = std::min<std::size_t>(
+      options.jobs == 0 ? ThreadPool::hardware_workers() : options.jobs,
+      std::max<std::size_t>(pending.size(), 1));
+
+  // Completion-side state: checkpoint mirror, heartbeat progress and shard
+  // wall-time telemetry, all updated under one lock. The progress aggregate
+  // merges in completion order — telemetry only; the returned result merges
+  // in index order.
   std::mutex mu;
   FleetAggregate progress;
+  std::uint64_t shards_done_live = 0;
+  std::uint64_t shards_timed = 0;
+  std::uint64_t shard_wall_sum_ns = 0;
+  std::uint64_t shard_wall_max_ns = 0;
+  for (char d : done) shards_done_live += d != 0 ? 1 : 0;
   if (options.heartbeat != nullptr) {
     for (std::uint64_t i = 0; i < num_shards; ++i) {
       if (done[i] != 0) progress.merge(shard_aggs[i]);
     }
   }
+  const auto make_sample_locked = [&]() {
+    HeartbeatSample s = make_sample(progress, spec.devices);
+    s.shards_done = shards_done_live;
+    s.shards_total = num_shards;
+    s.workers = jobs;
+    s.shards_timed = shards_timed;
+    s.shard_sec_sum = static_cast<double>(shard_wall_sum_ns) * 1e-9;
+    s.shard_sec_max = static_cast<double>(shard_wall_max_ns) * 1e-9;
+    return s;
+  };
   const auto write_checkpoint = [&]() {
     StateWriter w;
     w.u64(fingerprint);
@@ -490,45 +529,80 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     }
     save_checkpoint_file(options.checkpoint_path, w.take()).throw_if_error();
   };
-  const auto complete_shard = [&](std::uint64_t shard, FleetAggregate agg) {
+  const auto complete_shard = [&](std::uint64_t shard, FleetAggregate agg,
+                                  std::uint64_t wall_ns) {
     const std::lock_guard<std::mutex> lock(mu);
     shard_aggs[shard] = std::move(agg);
     StateWriter w;
     shard_aggs[shard].save_state(w);
     shard_blobs[shard] = w.take();
     done[shard] = 1;
-    if (!options.checkpoint_path.empty()) write_checkpoint();
+    ++shards_done_live;
+    ++shards_timed;
+    shard_wall_sum_ns += wall_ns;
+    shard_wall_max_ns = std::max(shard_wall_max_ns, wall_ns);
+    if (!options.checkpoint_path.empty()) {
+      // The checkpoint rewrite is serialized by the lock; attribute it to
+      // the shard whose completion triggered it (that profiler is still
+      // exclusively this thread's until the merge below).
+      const ScopedProfPhase ckpt_span(shard_prof(shard),
+                                      ProfPhase::kFleetCheckpoint);
+      write_checkpoint();
+    }
     if (options.heartbeat != nullptr) {
       progress.merge(shard_aggs[shard]);
-      options.heartbeat->sample(make_sample(progress, spec.devices));
+      options.heartbeat->sample(make_sample_locked());
     }
   };
+  const auto run_one = [&](std::uint64_t shard) {
+    const std::uint64_t start_ns = Profiler::now_ns();
+    FleetAggregate agg = run_shard(spec, shard, cache, shard_prof(shard));
+    complete_shard(shard, std::move(agg), Profiler::now_ns() - start_ns);
+  };
 
-  const std::size_t jobs = std::min<std::size_t>(
-      options.jobs == 0 ? ThreadPool::hardware_workers() : options.jobs,
-      pending.size());
+  const std::uint64_t section_start = Profiler::now_ns();
   if (jobs <= 1) {
-    for (std::uint64_t shard : pending) {
-      complete_shard(shard, run_shard(spec, shard, cache));
+    for (std::uint64_t shard : pending) run_one(shard);
+    if (prof != nullptr && !pending.empty()) {
+      // Serial campaign: one driver (this thread), busy the whole section.
+      const std::uint64_t section_ns = Profiler::now_ns() - section_start;
+      prof->set_utilization({ProfWorkerStats{section_ns, pending.size()}},
+                            section_ns);
     }
   } else {
     ThreadPool pool(jobs - 1);
-    pool.parallel_for_each(pending.size(), [&](std::size_t k) {
-      const std::uint64_t shard = pending[k];
-      complete_shard(shard, run_shard(spec, shard, cache));
-    });
+    std::vector<WorkerUtilization> utilization;
+    pool.parallel_for_each(
+        pending.size(), [&](std::size_t k) { run_one(pending[k]); },
+        prof != nullptr ? &utilization : nullptr);
+    if (prof != nullptr) {
+      const std::uint64_t section_ns = Profiler::now_ns() - section_start;
+      std::vector<ProfWorkerStats> workers;
+      workers.reserve(utilization.size());
+      for (const WorkerUtilization& u : utilization) {
+        workers.push_back(ProfWorkerStats{u.busy_ns, u.tasks});
+      }
+      prof->set_utilization(workers, section_ns);
+    }
+  }
+  if (prof != nullptr) {
+    for (const Profiler& p : shard_profilers) prof->merge(p);
   }
 
   FleetResult result;
   result.shards_total = num_shards;
-  for (std::uint64_t i = 0; i < num_shards; ++i) {
-    if (done[i] == 0) continue;
-    ++result.shards_done;
-    result.aggregate.merge(shard_aggs[i]);
+  {
+    const ScopedProfPhase merge_span(prof, ProfPhase::kFleetMerge);
+    for (std::uint64_t i = 0; i < num_shards; ++i) {
+      if (done[i] == 0) continue;
+      ++result.shards_done;
+      result.aggregate.merge(shard_aggs[i]);
+    }
+    result.aggregate.compress();
   }
-  result.aggregate.compress();
   if (options.heartbeat != nullptr) {
-    options.heartbeat->finish(make_sample(progress, spec.devices));
+    const std::lock_guard<std::mutex> lock(mu);
+    options.heartbeat->finish(make_sample_locked());
   }
   return result;
 }

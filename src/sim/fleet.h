@@ -41,6 +41,7 @@ namespace nvmsec {
 
 class EnduranceMapCache;
 class HeartbeatSink;
+class Profiler;
 class StateWriter;
 class StateReader;
 
@@ -205,6 +206,13 @@ struct FleetOptions {
   /// Simulates preemption without signals; the checkpoint then covers a
   /// deterministic shard subset.
   std::uint64_t stop_after_shards{0};
+  /// Aggregate self-profile for the campaign; nullptr = no profiling.
+  /// Each shard records into its own private Profiler (fleet.shard /
+  /// fleet.device spans plus everything the engines record) and the
+  /// per-shard instances are merged into this one in shard-index order
+  /// after the join; pool worker utilization is attached too. Like the
+  /// heartbeat, attaching a profiler cannot change the fleet result.
+  Profiler* profiler{nullptr};
 };
 
 struct FleetResult {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "sim/checkpoint.h"
 #include "sim/endurance_cache.h"
 #include "util/serialize.h"
@@ -40,6 +41,7 @@ void reject_shared_sinks(std::span<const ExperimentConfig> configs) {
     check(config.observer.trace, "trace");
     check(config.observer.snapshots, "snapshot");
     check(config.observer.events, "event-log");
+    check(config.observer.profiler, "profiler");
   }
 }
 
@@ -172,16 +174,38 @@ std::vector<LifetimeResult> run_experiments(
   const std::size_t jobs =
       std::min(options.effective_jobs(), configs.size());
   if (jobs <= 1) {
-    // Today's exact serial path: one thread, maps rebuilt per run.
+    // Today's exact serial path: one thread, maps rebuilt per run. The
+    // single profiler (when requested) is written by this thread only.
     for (std::size_t i = 0; i < configs.size(); ++i) {
       if (skip(i)) continue;
-      results[i] = run_experiment(configs[i]);
+      if (options.profiler != nullptr) {
+        ExperimentConfig profiled = configs[i];
+        profiled.observer.profiler = options.profiler;
+        results[i] = run_experiment(profiled);
+      } else {
+        results[i] = run_experiment(configs[i]);
+      }
       record(i);
     }
     return results;
   }
 
-  reject_shared_sinks(configs);
+  // Profiled sweeps give every run a private Profiler (no locks on the hot
+  // path) and merge them into options.profiler in input order after the
+  // join; the original configs are never mutated.
+  std::vector<Profiler> run_profilers;
+  std::vector<ExperimentConfig> profiled_configs;
+  std::span<const ExperimentConfig> effective = configs;
+  if (options.profiler != nullptr) {
+    run_profilers.resize(configs.size());
+    profiled_configs.assign(configs.begin(), configs.end());
+    for (std::size_t i = 0; i < profiled_configs.size(); ++i) {
+      profiled_configs[i].observer.profiler = &run_profilers[i];
+    }
+    effective = profiled_configs;
+  }
+
+  reject_shared_sinks(effective);
   EnduranceMapCache* cache =
       options.use_cache
           ? (options.cache != nullptr ? options.cache
@@ -191,11 +215,34 @@ std::vector<LifetimeResult> run_experiments(
   // The calling thread drives alongside the pool inside parallel_for_each,
   // so `jobs` total threads do experiment work.
   ThreadPool pool(jobs - 1);
-  pool.parallel_for_each(configs.size(), [&](std::size_t i) {
-    if (skip(i)) return;
-    results[i] = run_experiment(configs[i], cache);
-    record(i);
-  });
+  std::vector<WorkerUtilization> utilization;
+  const std::uint64_t section_start = Profiler::now_ns();
+  const std::uint64_t cache_evictions_before =
+      cache != nullptr ? cache->evictions() : 0;
+  pool.parallel_for_each(
+      effective.size(),
+      [&](std::size_t i) {
+        if (skip(i)) return;
+        results[i] = run_experiment(effective[i], cache);
+        record(i);
+      },
+      options.profiler != nullptr ? &utilization : nullptr);
+  if (options.profiler != nullptr) {
+    const std::uint64_t section_ns = Profiler::now_ns() - section_start;
+    for (const Profiler& p : run_profilers) options.profiler->merge(p);
+    std::vector<ProfWorkerStats> workers;
+    workers.reserve(utilization.size());
+    for (const WorkerUtilization& u : utilization) {
+      workers.push_back(ProfWorkerStats{u.busy_ns, u.tasks});
+    }
+    options.profiler->set_utilization(workers, section_ns);
+    if (cache != nullptr) {
+      // hit/miss per run already came through the merge; evictions are a
+      // cache-wide property only the sweep level can see.
+      options.profiler->add(ProfCounter::kEnduranceCacheEvict,
+                            cache->evictions() - cache_evictions_before);
+    }
+  }
   return results;
 }
 

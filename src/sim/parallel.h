@@ -28,6 +28,7 @@
 namespace nvmsec {
 
 class EnduranceMapCache;
+class Profiler;
 
 struct ParallelOptions {
   /// Worker threads doing experiment work. 0 = all hardware threads
@@ -50,6 +51,15 @@ struct ParallelOptions {
   /// the runs already recorded there. A record whose config fingerprint no
   /// longer matches the config at that index is discarded and re-run.
   bool resume{false};
+
+  /// Aggregate self-profile for the whole sweep; nullptr = no profiling.
+  /// At jobs > 1 every run records into its own private Profiler and the
+  /// per-run instances are merged into this one in input order after the
+  /// join (merge is associative and commutative, so the result does not
+  /// depend on scheduling); pool worker utilization for the sweep section
+  /// is attached too. Configs must not carry their own observer.profiler
+  /// when this is set — the runner overwrites that field.
+  Profiler* profiler{nullptr};
 
   [[nodiscard]] std::size_t effective_jobs() const;
 };

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -58,6 +59,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for_each(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_each(n, fn, nullptr);
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    std::vector<WorkerUtilization>* utilization) {
+  if (utilization != nullptr) utilization->clear();
   if (n == 0) return;
 
   // Shared by the driver tasks: a dynamic index dispenser and one exception
@@ -69,15 +77,27 @@ void ThreadPool::parallel_for_each(
   };
   auto state = std::make_shared<State>(n);
 
-  const auto drive = [state, &fn, n] {
+  // Each driver writes only its own utilization slot; the future joins
+  // below publish the slots to the caller with no locking in the loop.
+  const auto drive = [state, &fn, n](WorkerUtilization* slot) {
     for (;;) {
       const std::size_t i =
           state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      const std::chrono::steady_clock::time_point start =
+          slot != nullptr ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
       try {
         fn(i);
       } catch (...) {
         state->errors[i] = std::current_exception();
+      }
+      if (slot != nullptr) {
+        slot->busy_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        ++slot->tasks;
       }
     }
   };
@@ -85,10 +105,16 @@ void ThreadPool::parallel_for_each(
   // One driver per worker (capped at n); the caller drives too, so a pool
   // whose workers are all busy with unrelated tasks still makes progress.
   const std::size_t drivers = std::min(worker_count(), n);
+  if (utilization != nullptr) utilization->resize(drivers + 1);
+  const auto slot_for = [utilization](std::size_t i) -> WorkerUtilization* {
+    return utilization != nullptr ? &(*utilization)[i] : nullptr;
+  };
   std::vector<std::future<void>> futures;
   futures.reserve(drivers);
-  for (std::size_t i = 0; i < drivers; ++i) futures.push_back(submit(drive));
-  drive();
+  for (std::size_t i = 0; i < drivers; ++i) {
+    futures.push_back(submit([&drive, slot = slot_for(i)] { drive(slot); }));
+  }
+  drive(slot_for(drivers));
   for (std::future<void>& f : futures) f.get();
 
   for (const std::exception_ptr& error : state->errors) {

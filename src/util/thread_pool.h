@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -23,6 +24,16 @@
 #include <vector>
 
 namespace nvmsec {
+
+/// Per-driver busy time from one parallel_for_each call: how long each
+/// driver (pool workers plus the calling thread, last slot) spent inside
+/// fn(), and how many indices it claimed. Idle time is the section wall
+/// time minus busy_ns; the profiler's utilization report derives worker
+/// imbalance from exactly this.
+struct WorkerUtilization {
+  std::uint64_t busy_ns{0};
+  std::uint64_t tasks{0};
+};
 
 class ThreadPool {
  public:
@@ -51,6 +62,15 @@ class ThreadPool {
   /// not call from inside a pool task.
   void parallel_for_each(std::size_t n,
                          const std::function<void(std::size_t)>& fn);
+
+  /// Same contract, plus per-driver utilization accounting: `utilization`
+  /// is resized to drivers + 1 (each submitted driver occupies one worker
+  /// for the whole call; the final slot is the calling thread) and each
+  /// slot is written only by its own driver — the future join provides the
+  /// happens-before, so there is no per-task synchronization cost.
+  void parallel_for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         std::vector<WorkerUtilization>* utilization);
 
   /// max(1, std::thread::hardware_concurrency()) — the default worker count
   /// everywhere a caller says "use all cores".

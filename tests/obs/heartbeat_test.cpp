@@ -20,6 +20,12 @@ HeartbeatSample make_sample(std::uint64_t done, std::uint64_t total) {
   s.failure_causes = {{"all_backed_lines_worn", done / 2},
                       {"unreplaceable_wear_out", done - done / 2}};
   s.truncated_logs = 3;
+  s.shards_done = done / 100;
+  s.shards_total = total / 100;
+  s.workers = 4;
+  s.shards_timed = done / 100;
+  s.shard_sec_sum = 2.0 * static_cast<double>(done / 100);
+  s.shard_sec_max = 3.0;
   return s;
 }
 
@@ -32,7 +38,7 @@ TEST(HeartbeatSink, LinesMatchDocumentedSchema) {
   const auto lines = testjson::parse_jsonl(out.str());
   ASSERT_EQ(lines.size(), 2u);
   for (const auto& line : lines) {
-    EXPECT_EQ(line.num("v"), 1);
+    EXPECT_EQ(line.num("v"), 2);
     EXPECT_EQ(line.str("type"), "fleet_heartbeat");
     EXPECT_TRUE(line.find("devices_done") != nullptr);
     EXPECT_EQ(line.num("devices_total"), 1000);
@@ -44,9 +50,38 @@ TEST(HeartbeatSink, LinesMatchDocumentedSchema) {
     ASSERT_TRUE(causes != nullptr && causes->is_object());
     EXPECT_EQ(causes->object.size(), 2u);
     EXPECT_EQ(line.num("truncated_logs"), 3);
+    // v2 shard-throughput / utilization fields.
+    EXPECT_EQ(line.num("shards_total"), 10);
+    EXPECT_EQ(line.num("workers"), 4);
+    EXPECT_TRUE(line.find("shard_sec_mean")->is_number());
+    EXPECT_TRUE(line.find("shard_sec_max")->is_number());
+    EXPECT_TRUE(line.find("shard_imbalance")->is_number());
+    EXPECT_TRUE(line.find("worker_busy_frac")->is_number());
   }
   EXPECT_EQ(lines[0].num("devices_done"), 100);
+  EXPECT_EQ(lines[0].num("shards_done"), 1);
+  // shard_sec_mean = sum / timed = 2.0; imbalance = max / mean = 1.5.
+  EXPECT_EQ(lines[0].num("shard_sec_mean"), 2.0);
+  EXPECT_EQ(lines[0].num("shard_imbalance"), 1.5);
   EXPECT_EQ(lines[1].num("devices_done"), 1000);
+  EXPECT_EQ(lines[1].num("shards_done"), 10);
+}
+
+TEST(HeartbeatSink, UtilizationFieldsDefaultToNoData) {
+  // A sample with no timed shards (e.g. a fully resumed campaign) renders
+  // the wall-clock-derived fields as -1, never NaN or a division blowup.
+  std::ostringstream out;
+  HeartbeatSink sink(out, 1);
+  HeartbeatSample s;
+  s.devices_done = 5;
+  s.devices_total = 10;
+  sink.sample(s);
+  const auto lines = testjson::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].num("shard_sec_mean"), -1);
+  EXPECT_EQ(lines[0].num("shard_sec_max"), -1);
+  EXPECT_EQ(lines[0].num("shard_imbalance"), -1);
+  EXPECT_EQ(lines[0].num("worker_busy_frac"), -1);
 }
 
 TEST(HeartbeatSink, IntervalGatesEmission) {

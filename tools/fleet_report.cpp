@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/json_parse.h"
+#include "obs/profile_report.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -447,7 +448,16 @@ void render_compare(Renderer& out, const std::vector<FleetDoc>& fleets) {
   }
 }
 
-void render_all(Renderer& out, const std::vector<FleetDoc>& fleets) {
+void render_profile_section(Renderer& out, const std::string& path) {
+  const nvmsec::ProfileDoc doc = nvmsec::parse_profile(read_file(path));
+  out.heading("Campaign self-profile (" + path + ")");
+  std::ostringstream body;
+  nvmsec::render_profile_summary(body, doc);
+  out.block(body.str());
+}
+
+void render_all(Renderer& out, const std::vector<FleetDoc>& fleets,
+                const std::string& profile_path) {
   out.title("Fleet post-mortem: " + fleets.front().path);
   for (std::size_t i = 0; i < fleets.size(); ++i) {
     if (fleets.size() > 1) {
@@ -455,6 +465,7 @@ void render_all(Renderer& out, const std::vector<FleetDoc>& fleets) {
     }
     render_fleet(out, fleets[i]);
   }
+  if (!profile_path.empty()) render_profile_section(out, profile_path);
   if (fleets.size() > 1) render_compare(out, fleets);
 }
 
@@ -469,6 +480,9 @@ int main(int argc, char** argv) {
   cli.add_flag("compare",
                "comma-separated fleet-result files to compare against "
                "(e.g. Max-WE vs FreeP vs no-spare)", "");
+  cli.add_flag("profile",
+               "campaign self-profile JSON (fleet_sim --profile-out): adds "
+               "top phases, cache hit rates and worker utilization", "");
   cli.add_flag("md", "also write the report as Markdown to this path", "");
 
   try {
@@ -492,8 +506,9 @@ int main(int argc, char** argv) {
       if (!entry.empty()) fleets.push_back(load_fleet(entry));
     }
 
+    const std::string profile_path = cli.get_string("profile");
     Renderer terminal(std::cout, /*md=*/false);
-    render_all(terminal, fleets);
+    render_all(terminal, fleets, profile_path);
 
     if (const std::string md_path = cli.get_string("md"); !md_path.empty()) {
       std::ofstream md_out(md_path, std::ios::binary);
@@ -502,7 +517,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       Renderer md(md_out, /*md=*/true);
-      render_all(md, fleets);
+      render_all(md, fleets, profile_path);
       std::cout << "markdown report: " << md_path << "\n";
     }
     return 0;

@@ -24,7 +24,9 @@
 #include <sstream>
 
 #include "obs/heartbeat.h"
+#include "obs/profiler.h"
 #include "sim/fleet.h"
+#include "util/atomic_file.h"
 #include "util/cli.h"
 #include "util/log.h"
 
@@ -142,7 +144,13 @@ int main(int argc, char** argv) {
                  "resume from --checkpoint-out if it exists, else start "
                  "fresh");
   cli.add_flag("heartbeat-out",
-               "live progress JSONL (devices/sec, ETA, running p50/p99)",
+               "live progress JSONL (devices/sec, ETA, running p50/p99, "
+               "shard throughput, worker utilization)",
+               "");
+  cli.add_flag("profile-out",
+               "write the campaign's aggregate self-profile JSON here "
+               "(phase timings, counters, worker utilization; wall-clock, "
+               "so excluded from byte-identity — feed to maxwe_profile)",
                "");
   cli.add_flag("heartbeat-interval",
                "completed devices between heartbeat lines", "1000");
@@ -251,7 +259,23 @@ int main(int argc, char** argv) {
       options.heartbeat = heartbeat.get();
     }
 
+    std::unique_ptr<Profiler> profiler;
+    const std::string profile_path = cli.get_string("profile-out");
+    if (!profile_path.empty()) {
+      profiler = std::make_unique<Profiler>();
+      options.profiler = profiler.get();
+    }
+
+    const std::uint64_t campaign_start = Profiler::now_ns();
     const FleetResult result = run_fleet(spec, options);
+    if (profiler) {
+      AtomicFileWriter writer(profile_path);
+      writer.open_status().throw_if_error();
+      writer.stream() << profiler->to_json(Profiler::now_ns() -
+                                           campaign_start);
+      writer.commit().throw_if_error();
+      std::cerr << "profile: " << profile_path << "\n";
+    }
     const std::string json = fleet_result_json(spec, result);
     if (const std::string path = cli.get_string("out"); !path.empty()) {
       std::ofstream out(path, std::ios::trunc);

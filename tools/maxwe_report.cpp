@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/json_parse.h"
+#include "obs/profile_report.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -760,6 +761,14 @@ void render_snapshots(Renderer& out, const std::string& path) {
   out.table(t);
 }
 
+void render_profile_section(Renderer& out, const std::string& path) {
+  const nvmsec::ProfileDoc doc = nvmsec::parse_profile(read_file(path));
+  out.heading("Self-profile (" + path + ")");
+  std::ostringstream body;
+  nvmsec::render_profile_summary(body, doc);
+  out.block(body.str());
+}
+
 std::vector<RunReport> load_reports(const std::string& path) {
   std::vector<RunReport> runs = build_reports(parse_jsonl(read_file(path)));
   if (runs.empty()) {
@@ -772,7 +781,8 @@ void render_all(Renderer& out, const std::string& events_path,
                 const std::vector<RunReport>& runs,
                 const std::vector<RunReport>* other, std::size_t top_n,
                 const std::string& metrics_path,
-                const std::string& snapshots_path, bool force_detector) {
+                const std::string& snapshots_path,
+                const std::string& profile_path, bool force_detector) {
   out.title("Max-WE post-mortem: " + events_path);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     if (runs.size() > 1) {
@@ -787,6 +797,7 @@ void render_all(Renderer& out, const std::string& events_path,
   }
   if (!metrics_path.empty()) render_metrics(out, metrics_path);
   if (!snapshots_path.empty()) render_snapshots(out, snapshots_path);
+  if (!profile_path.empty()) render_profile_section(out, profile_path);
   if (other != nullptr) render_compare(out, runs.front(), other->front());
 }
 
@@ -806,6 +817,9 @@ int main(int argc, char** argv) {
                "");
   cli.add_flag("snapshots",
                "wear-snapshot JSONL from the same run (--snapshot-out)", "");
+  cli.add_flag("profile",
+               "self-profile JSON from the same run (--profile-out): adds "
+               "top phases, cache hit rates and utilization", "");
   cli.add_flag("md", "also write the report as Markdown to this path", "");
   cli.add_flag("top", "rows in the top-rescues table", "10");
   cli.add_switch("detector",
@@ -829,6 +843,7 @@ int main(int argc, char** argv) {
     const std::size_t top_n = cli.get_uint("top");
     const std::string metrics_path = cli.get_string("metrics");
     const std::string snapshots_path = cli.get_string("snapshots");
+    const std::string profile_path = cli.get_string("profile");
 
     const std::vector<RunReport> runs = load_reports(events_path);
     std::vector<RunReport> other;
@@ -841,7 +856,7 @@ int main(int argc, char** argv) {
 
     Renderer terminal(std::cout, /*md=*/false);
     render_all(terminal, events_path, runs, other_ptr, top_n, metrics_path,
-               snapshots_path, force_detector);
+               snapshots_path, profile_path, force_detector);
 
     if (const std::string md_path = cli.get_string("md"); !md_path.empty()) {
       std::ofstream md_out(md_path, std::ios::binary);
@@ -851,7 +866,7 @@ int main(int argc, char** argv) {
       }
       Renderer md(md_out, /*md=*/true);
       render_all(md, events_path, runs, other_ptr, top_n, metrics_path,
-                 snapshots_path, force_detector);
+                 snapshots_path, profile_path, force_detector);
       std::cout << "markdown report: " << md_path << "\n";
     }
     return 0;

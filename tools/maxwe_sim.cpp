@@ -133,6 +133,10 @@ int main(int argc, char** argv) {
   cli.add_flag("events-out",
                "decision event log (JSONL flight recorder; feed to "
                "maxwe_report)", "");
+  cli.add_flag("profile-out",
+               "write the aggregate self-profile JSON here (phase timings, "
+               "cache/chunk counters, worker utilization; wall-clock, so "
+               "excluded from byte-identity — feed to maxwe_profile)", "");
   cli.add_flag("checkpoint-out",
                "crash-safe checkpoint file: engine state every "
                "--checkpoint-interval writes (single stochastic run), or "
@@ -295,6 +299,7 @@ int main(int argc, char** argv) {
     obs_config.snapshot_interval = cli.get_uint("snapshot-interval");
     obs_config.snapshot_path = cli.get_string("snapshot-out");
     obs_config.events_path = cli.get_string("events-out");
+    obs_config.profile_path = cli.get_string("profile-out");
     // The obs session must know up front whether this run restores from a
     // checkpoint: a resumed event log is appended to (and rewound to the
     // checkpoint's byte offset by the engine), not truncated.
@@ -306,6 +311,10 @@ int main(int argc, char** argv) {
     if (obs_config.any()) {
       obs = std::make_unique<ObsSession>(obs_config);
       config.observer = obs->observer();
+      // Single runs record straight into the session profiler via the
+      // observer; sweep paths hand it to the runner, which gives every run
+      // a private instance and merges them deterministically at the join.
+      parallel.profiler = obs->profiler();
     }
 
     if (const std::string path = cli.get_string("save-map"); !path.empty()) {
@@ -408,6 +417,9 @@ int main(int argc, char** argv) {
       }
       if (!obs_config.events_path.empty()) {
         std::cout << "events:    " << obs_config.events_path << "\n";
+      }
+      if (!obs_config.profile_path.empty()) {
+        std::cout << "profile:   " << obs_config.profile_path << "\n";
       }
     }
     std::cout << "attack=" << config.attack << " wl=" << config.wear_leveler
