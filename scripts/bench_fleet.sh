@@ -3,9 +3,18 @@
 #
 # Runs the same >= 10k-device campaign at --jobs 1, 2 and 4, checks that all
 # three fleet-result JSONs are byte-identical (the fleet determinism
-# contract — this check is GATING), and records devices/sec at each job
-# count in BENCH_fleet.json (throughput and scaling are informational, NOT
-# gating: they depend on the machine's core count).
+# contract — this check is GATING), records devices/sec at each job count
+# plus the --jobs 0 (auto) utilization witness in BENCH_fleet.json, and
+# measures the append-only checkpoint journal's write cost over the
+# campaign's shards.
+#
+# Two more GATING checks:
+#   * jobs=1 throughput must be >= MIN_SPEEDUP (default 3.0) times the
+#     committed pre-overhaul baseline (BASELINE_DEVICES_PER_SEC) — the
+#     device-setup-amortization floor.
+#   * journal bytes written over the campaign must stay <= 2x the final
+#     journal size (append-only O(campaign), never the rewrite scheme's
+#     O(shards^2) total).
 #
 # Usage: scripts/bench_fleet.sh [build-dir] [output-json] [devices]
 set -euo pipefail
@@ -13,6 +22,10 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_fleet.json}"
 DEVICES="${3:-10000}"
+# Committed jobs=1 rate before the fleet hot-path overhaul (per-device
+# map/spare/device reconstruction, full-rewrite MXWECKPT checkpoints).
+BASELINE_DEVICES_PER_SEC="${BASELINE_DEVICES_PER_SEC:-9157.5}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
 
 TOOL="$BUILD_DIR/tools/fleet_sim"
 if [[ ! -x "$TOOL" ]]; then
@@ -25,8 +38,9 @@ CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 # Small per-device geometry so a 10k-device population finishes in minutes;
 # the fleet layer's cost model (shard fan-out, sketch folds, checkpointing)
 # is what is being measured, not a single device's write loop.
+SHARD_SIZE=256
 FLEET_ARGS=(--devices "$DEVICES" --lines 256 --regions 16
-            --endurance-mean 200 --spare maxwe --shard-size 256)
+            --endurance-mean 200 --spare maxwe --shard-size "$SHARD_SIZE")
 
 now_ns() { date +%s%N; }
 
@@ -55,10 +69,68 @@ for jobs in 2 4; do
 done
 echo "== fleet results byte-identical at jobs 1/2/4"
 
+# GATING: setup-amortization floor vs the committed pre-overhaul baseline.
+SPEEDUP="$(awk -v r="${RATE_AT[1]}" -v b="$BASELINE_DEVICES_PER_SEC" \
+  'BEGIN { printf "%.2f", (b > 0) ? r / b : 0 }')"
+if ! awk -v s="$SPEEDUP" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s >= m) }'; then
+  echo "FAIL: jobs=1 speedup ${SPEEDUP}x vs committed baseline" \
+       "(${BASELINE_DEVICES_PER_SEC}/sec) is below ${MIN_SPEEDUP}x" >&2
+  exit 1
+fi
+echo "== jobs=1 speedup vs committed baseline: ${SPEEDUP}x (floor ${MIN_SPEEDUP}x)"
+
+# --jobs 0 (auto-detect) leg with a heartbeat: byte-identity again, plus
+# the worker_busy_frac utilization witness from the final heartbeat line.
+echo "== fleet: $DEVICES devices, --jobs 0 (auto, $CORES cores)"
+"$TOOL" "${FLEET_ARGS[@]}" --jobs 0 --out "$workdir/fleet_auto.json" \
+  --heartbeat-out "$workdir/auto.heartbeat.jsonl" --heartbeat-interval 1024
+if ! cmp -s "$workdir/fleet_1.json" "$workdir/fleet_auto.json"; then
+  echo "FAIL: --jobs 0 fleet result differs from --jobs 1" >&2
+  exit 1
+fi
+WORKER_BUSY_FRAC="$(tail -1 "$workdir/auto.heartbeat.jsonl" \
+  | grep -o '"worker_busy_frac":[0-9.eE+-]*' | cut -d: -f2 || true)"
+WORKER_BUSY_FRAC="${WORKER_BUSY_FRAC:-null}"
+echo "   worker_busy_frac: $WORKER_BUSY_FRAC"
+
+# Checkpoint-journal cost over the campaign's shards: an append-only store
+# writes each shard record exactly once, so cumulative bytes written must
+# stay within 2x the final journal size (GATING). The old rewrite scheme
+# wrote the whole accumulated state after every shard — its total is the
+# quadratic sum reported alongside for comparison.
+SHARDS=$(( (DEVICES + SHARD_SIZE - 1) / SHARD_SIZE ))
+echo "== fleet: journaling campaign ($SHARDS shards, --jobs 1)"
+"$TOOL" "${FLEET_ARGS[@]}" --jobs 1 --out "$workdir/fleet_journal.json" \
+  --checkpoint-out "$workdir/fleet.jrnl" \
+  --heartbeat-out "$workdir/journal.heartbeat.jsonl" --heartbeat-interval 1024
+if ! cmp -s "$workdir/fleet_1.json" "$workdir/fleet_journal.json"; then
+  echo "FAIL: journaling changed the fleet result" >&2
+  exit 1
+fi
+JOURNAL_FILE_BYTES="$(wc -c < "$workdir/fleet.jrnl" | tr -d ' ')"
+JOURNAL_BYTES_WRITTEN="$(tail -1 "$workdir/journal.heartbeat.jsonl" \
+  | grep -o '"checkpoint_bytes_written":[0-9]*' | cut -d: -f2)"
+if [[ -z "$JOURNAL_BYTES_WRITTEN" ]]; then
+  echo "FAIL: final heartbeat carries no checkpoint_bytes_written" >&2
+  exit 1
+fi
+if (( JOURNAL_BYTES_WRITTEN > 2 * JOURNAL_FILE_BYTES )); then
+  echo "FAIL: journal wrote ${JOURNAL_BYTES_WRITTEN} bytes for a" \
+       "${JOURNAL_FILE_BYTES}-byte final state (append-only bound is 2x)" >&2
+  exit 1
+fi
+# What the rewrite scheme would have cost: after shard k it rewrote k
+# records, so the total is the triangular sum of the per-record size.
+REWRITE_BYTES_ESTIMATE="$(awk -v f="$JOURNAL_FILE_BYTES" -v s="$SHARDS" \
+  'BEGIN { rec = (f - 20) / s; printf "%.0f", s * (s + 1) / 2 * rec + s * 20 }')"
+echo "== journal: $JOURNAL_BYTES_WRITTEN bytes written over $SHARDS shards" \
+     "(final size $JOURNAL_FILE_BYTES; rewrite scheme would have written" \
+     "~$REWRITE_BYTES_ESTIMATE)"
+
 cat > "$OUT_JSON" <<EOF
 {
   "benchmark": "fleet_sim_population",
-  "config": "event 256x16 maxwe uaa, shard 256",
+  "config": "event 256x16 maxwe uaa, shard $SHARD_SIZE",
   "devices": $DEVICES,
   "cores": $CORES,
   "jobs1_seconds": ${SECONDS_AT[1]},
@@ -67,8 +139,18 @@ cat > "$OUT_JSON" <<EOF
   "jobs2_devices_per_sec": ${RATE_AT[2]},
   "jobs4_seconds": ${SECONDS_AT[4]},
   "jobs4_devices_per_sec": ${RATE_AT[4]},
+  "baseline_devices_per_sec": $BASELINE_DEVICES_PER_SEC,
+  "speedup_vs_baseline": $SPEEDUP,
+  "worker_busy_frac": $WORKER_BUSY_FRAC,
+  "checkpoint_bytes": {
+    "shards": $SHARDS,
+    "journal_file_bytes": $JOURNAL_FILE_BYTES,
+    "journal_bytes_written": $JOURNAL_BYTES_WRITTEN,
+    "rewrite_bytes_estimate": $REWRITE_BYTES_ESTIMATE
+  },
   "outputs_identical": true
 }
 EOF
 
-echo "== wrote $OUT_JSON (${RATE_AT[1]} devices/sec serial on $CORES cores)"
+echo "== wrote $OUT_JSON (${RATE_AT[1]} devices/sec serial on $CORES cores," \
+     "${SPEEDUP}x vs baseline)"

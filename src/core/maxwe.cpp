@@ -467,6 +467,31 @@ std::uint64_t MaxWe::mapping_overhead_bits() const {
   return rmt_.storage_bits() + lmt_.storage_bits();
 }
 
+bool MaxWe::rebind(const std::shared_ptr<const EnduranceMap>& endurance,
+                   Rng& rng) {
+  (void)rng;  // MaxWe construction consumes no RNG draws
+  if (endurance == nullptr) return false;
+  const DeviceGeometry& old_geom = endurance_->geometry();
+  const DeviceGeometry& new_geom = endurance->geometry();
+  if (new_geom.num_lines() != old_geom.num_lines() ||
+      new_geom.num_regions() != old_geom.num_regions()) {
+    return false;
+  }
+  endurance_ = endurance;
+  // Fresh boot state, exactly as the constructor would leave it: empty
+  // tables (the RMT pairing is re-derived inside build_allocation), zero
+  // stats, detached observer.
+  rmt_ = RegionMappingTable(new_geom.num_regions(),
+                            new_geom.lines_per_region());
+  stats_ = {};
+  obs_ = Observer{};
+  rmt_redirects_ = nullptr;
+  asr_allocs_ = nullptr;
+  build_allocation();
+  bump_mapping_epoch();
+  return true;
+}
+
 void MaxWe::reset() {
   bump_mapping_epoch();
   stats_ = {};

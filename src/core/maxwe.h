@@ -89,6 +89,12 @@ class MaxWe final : public SpareScheme {
   [[nodiscard]] std::string name() const override { return "maxwe"; }
   [[nodiscard]] SpareSchemeStats stats() const override;
   void reset() override;
+  /// Re-derive the whole allocation (roles, pairing, pools, resolve cache)
+  /// on a new map of the same geometry, reusing this instance's storage.
+  /// Construction consumes no RNG, so the rebound scheme is exactly what a
+  /// fresh MaxWe(endurance, params()) would be. False on geometry mismatch.
+  bool rebind(const std::shared_ptr<const EnduranceMap>& endurance,
+              Rng& rng) override;
   /// Emits the SWR/RWR pairing as trace events on attach, then traces RMT
   /// redirects and additional-spare allocations as they happen and keeps
   /// `maxwe.*` counters/gauges current.

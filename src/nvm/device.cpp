@@ -165,6 +165,27 @@ void Device::reset() {
   worn_out_count_ = 0;
 }
 
+void Device::rebind(std::shared_ptr<const EnduranceMap> endurance) {
+  if (!endurance) {
+    throw std::invalid_argument("Device::rebind: endurance map is null");
+  }
+  endurance_ = std::move(endurance);
+  const std::uint64_t n = endurance_->geometry().num_lines();
+  budget_.resize(n);
+  total_budget_ = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double e = endurance_->line_endurance(PhysLineAddr{i});
+    budget_[i] = static_cast<WriteCount>(std::llround(std::max(1.0, e)));
+    total_budget_ += static_cast<double>(budget_[i]);
+  }
+  remaining_ = budget_;
+  total_writes_ = 0;
+  worn_out_count_ = 0;
+  // Fresh-construction equivalence: a new Device has no observer attached.
+  obs_ = Observer{};
+  wear_outs_ = nullptr;
+}
+
 void Device::save_state(StateWriter& w) const {
   w.u64(total_writes_);
   w.u64(worn_out_count_);

@@ -117,6 +117,11 @@ class Device {
   /// Restore the factory-fresh wear state.
   void reset();
 
+  /// Re-target the device at a different endurance map, reusing the budget
+  /// vectors — equivalent to constructing Device(endurance) fresh, without
+  /// the allocations. The fleet runner's per-worker reuse hook.
+  void rebind(std::shared_ptr<const EnduranceMap> endurance);
+
   /// Checkpointing: per-line remaining budgets plus the aggregate wear
   /// counters. Budgets themselves are rebuilt from the endurance map, and
   /// load_state() cross-checks the saved remainders against them.

@@ -56,6 +56,20 @@ EnduranceMap::EnduranceMap(const DeviceGeometry& geometry,
   recompute_ideal_lifetime();
 }
 
+void EnduranceMap::rebuild_from_model(const EnduranceModel& model, Rng& rng) {
+  // Mirrors from_model(): one sample_current() draw per region, in region
+  // order, validated like the constructor would.
+  for (Endurance& e : region_endurance_) {
+    e = model.endurance_for_current(model.sample_current(rng));
+    if (!(e > 0) || !std::isfinite(e)) {
+      throw std::invalid_argument(
+          "EnduranceMap: endurances must be finite and > 0");
+    }
+  }
+  line_endurance_.clear();
+  recompute_ideal_lifetime();
+}
+
 void EnduranceMap::apply_line_jitter(double sigma, Rng& rng) {
   if (sigma < 0) {
     throw std::invalid_argument("apply_line_jitter: sigma must be >= 0");

@@ -45,6 +45,13 @@ class EnduranceMap {
   /// see. After this call line_endurance() != region_endurance().
   void apply_line_jitter(double sigma, Rng& rng);
 
+  /// In-place resample from `model`: consumes exactly the RNG draws
+  /// from_model() would and leaves the map equal to a freshly built one,
+  /// but reuses the existing region storage (and clears any line jitter).
+  /// The setup-amortization path for callers that build one map per seed
+  /// in a tight loop (the fleet runner).
+  void rebuild_from_model(const EnduranceModel& model, Rng& rng);
+
   /// Fault injection: overwrite one line's endurance (must be > 0). Used to
   /// model latent defects — stuck-at and early-death lines — that the
   /// manufacture-time characterization missed; the faulted copy of the map

@@ -42,14 +42,21 @@ void HeartbeatSink::write_line(const HeartbeatSample& s) {
           : -1.0;
 
   std::string line;
-  line += R"({"v":2,"type":"fleet_heartbeat","devices_done":)";
+  line += R"({"v":3,"type":"fleet_heartbeat","devices_done":)";
   json_append_number(line, static_cast<double>(s.devices_done));
   line += R"(,"devices_total":)";
   json_append_number(line, static_cast<double>(s.devices_total));
-  line += R"(,"devices_per_sec":)";
-  json_append_number(line, rate);
-  line += R"(,"eta_sec":)";
-  json_append_number(line, eta);
+  // v3: no-data fields are omitted instead of carrying a -1 sentinel, so
+  // consumers never have to special-case negative rates or ETAs.
+  const auto maybe = [&line](const char* key, double value) {
+    if (value < 0) return;
+    line += ",\"";
+    line += key;
+    line += "\":";
+    json_append_number(line, value);
+  };
+  maybe("devices_per_sec", rate);
+  maybe("eta_sec", eta);
   line += R"(,"p50":)";
   json_append_number(line, s.p50);
   line += R"(,"p99":)";
@@ -65,21 +72,18 @@ void HeartbeatSink::write_line(const HeartbeatSample& s) {
   }
   line += R"(},"truncated_logs":)";
   json_append_number(line, static_cast<double>(s.truncated_logs));
-  // v2 fields, appended after every v1 field so v1 consumers keep working.
   line += R"(,"shards_done":)";
   json_append_number(line, static_cast<double>(s.shards_done));
   line += R"(,"shards_total":)";
   json_append_number(line, static_cast<double>(s.shards_total));
   line += R"(,"workers":)";
   json_append_number(line, static_cast<double>(s.workers));
-  line += R"(,"shard_sec_mean":)";
-  json_append_number(line, shard_mean);
-  line += R"(,"shard_sec_max":)";
-  json_append_number(line, shard_max);
-  line += R"(,"shard_imbalance":)";
-  json_append_number(line, imbalance);
-  line += R"(,"worker_busy_frac":)";
-  json_append_number(line, busy_frac);
+  maybe("shard_sec_mean", shard_mean);
+  maybe("shard_sec_max", shard_max);
+  maybe("shard_imbalance", imbalance);
+  maybe("worker_busy_frac", busy_frac);
+  maybe("checkpoint_bytes_written",
+        static_cast<double>(s.checkpoint_bytes_written));
   line += "}\n";
   out_ << line;
   out_.flush();

@@ -11,28 +11,35 @@
 //
 // Schema (one JSON object per line, validated by a ctest):
 //
-//   {"v":2,"type":"fleet_heartbeat","devices_done":N,"devices_total":N,
+//   {"v":3,"type":"fleet_heartbeat","devices_done":N,"devices_total":N,
 //    "devices_per_sec":X,"eta_sec":X,"p50":X,"p99":X,
 //    "failure_causes":{"<cause>":N,...},"truncated_logs":N,
 //    "shards_done":N,"shards_total":N,"workers":N,
 //    "shard_sec_mean":X,"shard_sec_max":X,"shard_imbalance":X,
-//    "worker_busy_frac":X}
+//    "worker_busy_frac":X,"checkpoint_bytes_written":N}
 //
-// v2 appended the shard-throughput and worker-utilization fields after
-// truncated_logs; every v1 field kept its name, position and meaning, so
-// v1 consumers that index by key keep working. shard_sec_mean/max cover
-// the shards *newly run* in this process (resumed shards have no wall
-// time) and are -1 until one finishes; shard_imbalance is max/mean (1.0 =
+// v3: fields with no data yet are *omitted* rather than emitted as the v2
+// -1 sentinels — devices_per_sec / eta_sec until the first wall-clock
+// interval elapses, shard_sec_mean / shard_sec_max / shard_imbalance /
+// worker_busy_frac until a shard newly run in this process finishes, and
+// checkpoint_bytes_written whenever the campaign runs without a journal.
+// Fields that are present keep their v2 name, position and meaning.
+// checkpoint_bytes_written is the cumulative bytes this process has
+// appended to the fleet shard journal (sim/fleet_journal.h) — the
+// campaign's checkpoint-write cost, which stays O(total shard state) where
+// the old full-rewrite mirror was quadratic.
+//
+// shard_sec_mean/max cover the shards *newly run* in this process
+// (resumed shards have no wall time); shard_imbalance is max/mean (1.0 =
 // perfectly even shards); worker_busy_frac is the completed shards' total
 // wall time divided by (elapsed x workers) — a live lower bound on pool
 // utilization that converges once the last shard lands.
 //
-// devices_per_sec and eta_sec are wall-clock telemetry and are -1 until
-// the first interval elapses; everything except the utilization fields is
-// simulation state. At jobs > 1 the running p50/p99 reflect whichever
-// shards happened to finish first — they converge to the final
-// (deterministic) values but intermediate lines are telemetry, not
-// results.
+// devices_per_sec and eta_sec are wall-clock telemetry; everything except
+// the utilization fields is simulation state. At jobs > 1 the running
+// p50/p99 reflect whichever shards happened to finish first — they
+// converge to the final (deterministic) values but intermediate lines are
+// telemetry, not results.
 #pragma once
 
 #include <chrono>
@@ -67,6 +74,9 @@ struct HeartbeatSample {
   /// Total / max wall seconds across the newly-run shards.
   double shard_sec_sum{0};
   double shard_sec_max{0};
+  /// v3: cumulative bytes appended to the fleet shard journal by this
+  /// process; negative = no journal attached (field omitted).
+  std::int64_t checkpoint_bytes_written{-1};
 };
 
 class HeartbeatSink {

@@ -1,9 +1,11 @@
 #include "sim/event_sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <tuple>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "sim/wear_report.h"
+#include "util/arena.h"
 
 namespace nvmsec {
 
@@ -80,9 +83,15 @@ LifetimeResult UniformEventSimulator::run() {
   const ScopedTimer run_span(obs_.trace, "event_sim.run");
   const ScopedProfPhase prof_span(obs_.profiler, ProfPhase::kEventRun);
 
+  // Working state lives in a bump arena: a run-local one by default, the
+  // caller's via set_scratch() when many devices run back-to-back.
+  Arena local_scratch;
+  Arena& arena = scratch_ != nullptr ? *scratch_ : local_scratch;
+  arena.reset();
+
   // Integer budgets identical to Device's rounding, kept as doubles for the
   // continuous-time arithmetic.
-  std::vector<double> remaining(n);
+  const std::span<double> remaining = arena.make_span<double>(n);
   for (std::uint64_t l = 0; l < n; ++l) {
     remaining[l] = static_cast<double>(static_cast<WriteCount>(std::llround(
         std::max(1.0, endurance_->line_endurance(PhysLineAddr{l})))));
@@ -90,7 +99,8 @@ LifetimeResult UniformEventSimulator::run() {
 
   // Initial budgets, kept so per-line utilization (consumed / budget) can be
   // reported at end of run — the event-driven analogue of analyze_wear().
-  const std::vector<double> budget = remaining;
+  const std::span<double> budget = arena.make_span<double>(n);
+  std::copy(remaining.begin(), remaining.end(), budget.begin());
 
   // Per-index write rate (writes per round): 1.0 everywhere in the uniform
   // default, the normalized weight vector otherwise. A line's wear rate is
@@ -102,12 +112,14 @@ LifetimeResult UniformEventSimulator::run() {
     return weighted ? index_rates_[idx] : 1.0;
   };
 
-  std::vector<double> rate(n, 0.0);
-  std::vector<double> last_t(n, 0.0);
-  std::vector<std::uint32_t> version(n, 0);
+  const std::span<double> rate = arena.make_span<double>(n);
+  const std::span<double> last_t = arena.make_span<double>(n);
+  const std::span<std::uint32_t> version = arena.make_span<std::uint32_t>(n);
   // Reverse map backing line -> working indices, as intrusive lists.
-  std::vector<std::uint32_t> list_head(n, kNone);
-  std::vector<std::uint32_t> list_next(u, kNone);
+  const std::span<std::uint32_t> list_head = arena.make_span<std::uint32_t>(n);
+  const std::span<std::uint32_t> list_next = arena.make_span<std::uint32_t>(u);
+  std::fill(list_head.begin(), list_head.end(), kNone);
+  std::fill(list_next.begin(), list_next.end(), kNone);
 
   for (std::uint64_t idx = 0; idx < u; ++idx) {
     const std::uint64_t b = scheme_.resolve(idx).value();
@@ -116,7 +128,14 @@ LifetimeResult UniformEventSimulator::run() {
     rate[b] += idx_rate(static_cast<std::uint32_t>(idx));
   }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  // The death heap's storage comes from the arena too: reserving up front
+  // makes the common case (deaths ≈ lines) grow-free, and any overflow
+  // growth still bump-allocates instead of hitting the system allocator.
+  using HeapVec = std::vector<HeapEntry, ArenaAllocator<HeapEntry>>;
+  HeapVec heap_storage{ArenaAllocator<HeapEntry>(&arena)};
+  heap_storage.reserve(n + 64);
+  std::priority_queue<HeapEntry, HeapVec, std::greater<>> heap{
+      std::greater<>{}, std::move(heap_storage)};
   for (std::uint64_t l = 0; l < n; ++l) {
     if (rate[l] > 0.0) {
       heap.emplace(remaining[l] / rate[l], static_cast<std::uint32_t>(l),
@@ -138,9 +157,9 @@ LifetimeResult UniformEventSimulator::run() {
   std::uint64_t deaths = 0;
   // Per-region death counts for region_wear_out events; every line dies at
   // most once here (dead lines are never re-homed onto), so exact.
-  std::vector<std::uint64_t> region_line_deaths;
+  std::span<std::uint64_t> region_line_deaths;
   if (obs_.events != nullptr) {
-    region_line_deaths.assign(geom.num_regions(), 0);
+    region_line_deaths = arena.make_span<std::uint64_t>(geom.num_regions());
   }
 
   while (!heap.empty() && !result.failed) {
@@ -270,13 +289,13 @@ LifetimeResult UniformEventSimulator::run() {
   // definition. Lines still under load accrued wear since their last
   // settle; bring every line up to the failure time first.
   {
-    std::vector<double> utilization(n);
+    const std::span<double> utilization = arena.make_span<double>(n);
     for (std::uint64_t l = 0; l < n; ++l) {
       if (rate[l] > 0.0) settle(l, t);
       utilization[l] =
           budget[l] > 0 ? (budget[l] - remaining[l]) / budget[l] : 0.0;
     }
-    result.wear_gini = gini_coefficient(std::move(utilization));
+    result.wear_gini = gini_coefficient_inplace(utilization);
   }
 
   if (obs_.events != nullptr) {

@@ -34,6 +34,8 @@
 
 namespace nvmsec {
 
+class Arena;
+
 class UniformEventSimulator {
  public:
   /// `scheme` is borrowed and must be freshly reset; the simulator drives
@@ -54,6 +56,14 @@ class UniformEventSimulator {
   /// line, and the scheme must eventually report failure.
   LifetimeResult run();
 
+  /// Borrow a scratch arena for run()'s working state (budgets, rate
+  /// vectors, the death heap). run() resets it on entry, so a caller that
+  /// simulates many devices back-to-back (the fleet runner) pays the
+  /// allocations once and bump-allocates thereafter. nullptr (the default)
+  /// falls back to a run-local arena. Purely an allocation strategy: the
+  /// simulated trajectory is bit-identical either way.
+  void set_scratch(Arena* arena) { scratch_ = arena; }
+
   /// Attach observability sinks. Wear-out events become trace instants
   /// (there is no Device here to emit them), counters mirror the stochastic
   /// engine's names, and snapshots fire on the same user-write cadence —
@@ -66,6 +76,7 @@ class UniformEventSimulator {
   Observer obs_{};
   std::shared_ptr<const EnduranceMap> endurance_;
   SpareScheme& scheme_;
+  Arena* scratch_{nullptr};
   /// Normalized per-index rates (writes per round); empty means uniform.
   std::vector<double> index_rates_;
 };

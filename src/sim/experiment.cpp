@@ -175,8 +175,16 @@ std::uint64_t config_fingerprint(const ExperimentConfig& config) {
 }
 
 LifetimeResult run_experiment(const ExperimentConfig& config) {
-  return run_experiment(config, nullptr);
+  return run_experiment(config, nullptr, nullptr);
 }
+
+LifetimeResult run_experiment(const ExperimentConfig& config,
+                              EnduranceMapCache* cache) {
+  return run_experiment(config, cache, nullptr);
+}
+
+ExperimentWorkspace::ExperimentWorkspace() = default;
+ExperimentWorkspace::~ExperimentWorkspace() = default;
 
 namespace {
 
@@ -191,8 +199,74 @@ const char* mode_name(SimulationMode mode) {
 
 }  // namespace
 
+std::shared_ptr<const EnduranceMap> ExperimentWorkspace::acquire_map(
+    const ExperimentConfig& config, Rng& rng) {
+  const EnduranceModel model(config.endurance);
+  const DeviceGeometry& g = config.geometry;
+  // The slot is reusable only when the geometry matches and nothing else
+  // still holds a reference: map_ itself plus (bookkept) the spare scheme
+  // and device slots. Any other use_count means a previous run's objects
+  // escaped — fall back to a fresh allocation rather than mutate shared
+  // state under someone's feet.
+  const long expected_refs =
+      1 + (spare_on_map_ ? 1 : 0) + (device_on_map_ ? 1 : 0);
+  const bool reusable = map_ != nullptr &&
+                        map_->geometry().num_lines() == g.num_lines() &&
+                        map_->geometry().num_regions() == g.num_regions() &&
+                        map_->geometry().line_bytes() == g.line_bytes() &&
+                        map_.use_count() == expected_refs;
+  if (reusable) {
+    // In-place rebuild consumes exactly the draws from_model would, so the
+    // RNG stream — and everything sampled after it — is unchanged. The
+    // spare/device slots still referencing the map are rebound below
+    // before anything reads through them.
+    map_->rebuild_from_model(model, rng);
+  } else {
+    map_ = std::make_shared<EnduranceMap>(
+        EnduranceMap::from_model(g, model, rng));
+    spare_on_map_ = false;
+    device_on_map_ = false;
+  }
+  if (config.line_jitter_sigma > 0) {
+    map_->apply_line_jitter(config.line_jitter_sigma, rng);
+  }
+  return map_;
+}
+
+SpareScheme* ExperimentWorkspace::acquire_spare(
+    const ExperimentConfig& config,
+    const std::shared_ptr<const EnduranceMap>& map, Rng& rng) {
+  // Reuse requires the same construction key AND a scheme that supports
+  // rebinding. A failed rebind has not touched the RNG stream, so falling
+  // through to fresh construction stays bit-identical.
+  const bool key_match = spare_ != nullptr &&
+                         spare_name_ == config.spare_scheme &&
+                         spare_fraction_ == config.spare_fraction &&
+                         swr_fraction_ == config.swr_fraction;
+  if (!key_match || !spare_->rebind(map, rng)) {
+    spare_ = build_spare_scheme(config, map, rng);
+    spare_name_ = config.spare_scheme;
+    spare_fraction_ = config.spare_fraction;
+    swr_fraction_ = config.swr_fraction;
+  }
+  spare_on_map_ = map.get() == map_.get();
+  return spare_.get();
+}
+
+Device* ExperimentWorkspace::acquire_device(
+    std::shared_ptr<const EnduranceMap> device_map) {
+  device_on_map_ = device_map.get() == map_.get();
+  if (device_ == nullptr) {
+    device_ = std::make_unique<Device>(std::move(device_map));
+  } else {
+    device_->rebind(std::move(device_map));
+  }
+  return device_.get();
+}
+
 LifetimeResult run_experiment(const ExperimentConfig& config,
-                              EnduranceMapCache* cache) {
+                              EnduranceMapCache* cache,
+                              ExperimentWorkspace* workspace) {
   validate_robustness_config(config);
   if (config.observer.events != nullptr) {
     // First event of every run; a resumed run re-emits it, but the engine
@@ -244,6 +318,8 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
       prof->add(built.hit ? ProfCounter::kEnduranceCacheHit
                           : ProfCounter::kEnduranceCacheMiss);
     }
+  } else if (workspace != nullptr) {
+    map = workspace->acquire_map(config, rng);
   } else {
     const EnduranceModel model(config.endurance);
     auto fresh = std::make_shared<EnduranceMap>(
@@ -254,7 +330,14 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     map = std::move(fresh);
   }
 
-  auto spare = build_spare_scheme(config, map, rng);
+  std::unique_ptr<SpareScheme> owned_spare;
+  SpareScheme* spare = nullptr;
+  if (workspace != nullptr) {
+    spare = workspace->acquire_spare(config, map, rng);
+  } else {
+    owned_spare = build_spare_scheme(config, map, rng);
+    spare = owned_spare.get();
+  }
 
   // Device faults live in a copy of the map: the spare scheme and wear
   // leveler above planned on the clean manufacture-time characterization,
@@ -285,6 +368,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
           "stochastic mode to include wear-leveler overhead");
     }
     UniformEventSimulator sim(device_map, *spare);
+    if (workspace != nullptr) sim.set_scratch(&workspace->arena());
     // The event engine bulk-advances any *stationary* per-index write-rate
     // vector (the mean-field limit of the stochastic sampling): uniform for
     // uaa/random, a hot working set for hotspot, the scattered skew for
@@ -392,8 +476,15 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
     return engine.run(config.max_user_writes);
   }
 
-  Device device(device_map);
-  Engine engine(device, *attack, *wl, *spare, rng);
+  std::optional<Device> local_device;
+  Device* device = nullptr;
+  if (workspace != nullptr) {
+    device = workspace->acquire_device(device_map);
+  } else {
+    local_device.emplace(device_map);
+    device = &*local_device;
+  }
+  Engine engine(*device, *attack, *wl, *spare, rng);
   engine.set_fast_path(config.fastpath);
   engine.set_observer(config.observer);
   std::unique_ptr<DramBuffer> buffer;
@@ -405,7 +496,7 @@ LifetimeResult run_experiment(const ExperimentConfig& config,
   std::unique_ptr<MetadataFaultInjector> injector;
   if (config.fault.metadata.any()) {
     // validate_robustness_config() already pinned the scheme to "maxwe".
-    auto* maxwe = dynamic_cast<MaxWe*>(spare.get());
+    auto* maxwe = dynamic_cast<MaxWe*>(spare);
     injector = std::make_unique<MetadataFaultInjector>(config.fault.metadata,
                                                        config.fault.seed);
     engine.set_fault_injection(injector.get(), maxwe);

@@ -16,10 +16,16 @@
 #include "nvm/geometry.h"
 #include "obs/observer.h"
 #include "sim/lifetime.h"
+#include "util/arena.h"
 #include "wearlevel/adaptive.h"
 #include "wearlevel/wear_leveler.h"
 
 namespace nvmsec {
+
+class Device;
+class EnduranceMap;
+class Rng;
+class SpareScheme;
 
 enum class SimulationMode {
   /// Per-write stochastic simulation (any attack, any wear leveler).
@@ -156,6 +162,64 @@ class EnduranceMapCache;
 /// back to the plain overload.
 LifetimeResult run_experiment(const ExperimentConfig& config,
                               EnduranceMapCache* cache);
+
+/// Reusable per-worker state for back-to-back run_experiment calls — the
+/// fleet runner's setup-amortization unit. Holds the heavy objects one
+/// device run constructs and the next run of the same shape can recycle:
+/// the endurance map (rebuilt in place with identical RNG draws), the
+/// spare scheme (rebound via SpareScheme::rebind when the scheme supports
+/// it), the Device wear state, and a bump arena for engine scratch.
+///
+/// Strictly an allocation strategy: run_experiment(config, cache, ws) is
+/// bit-identical to run_experiment(config, cache) for every config, and a
+/// workspace may be handed configs of different shapes — anything that
+/// cannot be recycled is rebuilt fresh. Not thread-safe; one workspace per
+/// worker.
+class ExperimentWorkspace {
+ public:
+  ExperimentWorkspace();
+  ~ExperimentWorkspace();
+  ExperimentWorkspace(const ExperimentWorkspace&) = delete;
+  ExperimentWorkspace& operator=(const ExperimentWorkspace&) = delete;
+
+  [[nodiscard]] Arena& arena() { return arena_; }
+
+ private:
+  friend LifetimeResult run_experiment(const ExperimentConfig& config,
+                                       EnduranceMapCache* cache,
+                                       ExperimentWorkspace* workspace);
+
+  /// Slot acquisition used by run_experiment. Each returns an object
+  /// indistinguishable from fresh construction, reusing the slot's storage
+  /// when the previous run left it in a compatible, exclusively-held state.
+  std::shared_ptr<const EnduranceMap> acquire_map(const ExperimentConfig& config,
+                                                  Rng& rng);
+  SpareScheme* acquire_spare(const ExperimentConfig& config,
+                             const std::shared_ptr<const EnduranceMap>& map,
+                             Rng& rng);
+  Device* acquire_device(std::shared_ptr<const EnduranceMap> device_map);
+
+  Arena arena_;
+  /// Owned endurance-map slot, rebuilt in place between runs when the
+  /// geometry matches and no one else retained a reference.
+  std::shared_ptr<EnduranceMap> map_;
+  /// Spare-scheme slot plus the construction key it was built with.
+  std::unique_ptr<SpareScheme> spare_;
+  std::string spare_name_;
+  double spare_fraction_{-1.0};
+  double swr_fraction_{-1.0};
+  bool spare_on_map_{false};   ///< spare_ holds a reference to map_
+  /// Device slot (stochastic mode), rebound to each run's map.
+  std::unique_ptr<Device> device_;
+  bool device_on_map_{false};  ///< device_ holds a reference to map_
+};
+
+/// Same run again, recycling `workspace`'s objects where the config shape
+/// allows (nullptr = the plain cache overload). Bit-identical to the other
+/// overloads in every case.
+LifetimeResult run_experiment(const ExperimentConfig& config,
+                              EnduranceMapCache* cache,
+                              ExperimentWorkspace* workspace);
 
 /// Paper §5.1's scaled-down stochastic configuration used by the BPA
 /// benches and integration tests: `num_lines` lines, `num_regions` regions,

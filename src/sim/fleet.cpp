@@ -1,8 +1,8 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 
 #include "attack/mixed.h"
@@ -11,8 +11,8 @@
 #include "obs/json.h"
 #include "obs/json_parse.h"
 #include "obs/profiler.h"
-#include "sim/checkpoint.h"
 #include "sim/endurance_cache.h"
+#include "sim/fleet_journal.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -21,6 +21,23 @@ namespace nvmsec {
 
 // ---------------------------------------------------------------------------
 // Failure-cause extraction
+
+namespace {
+
+/// No end_of_life event survived (truncated log, or a run without an event
+/// sink): classify the LifetimeResult instead of reporting garbage.
+std::string classify_from_result(const LifetimeResult& result) {
+  if (!result.failed) return std::string(kCauseWriteCapReached);
+  if (result.failure_reason.starts_with("unreplaceable wear-out")) {
+    return std::string(kCauseUnreplaceableWearOut);
+  }
+  if (result.failure_reason.starts_with("all backed lines worn")) {
+    return std::string(kCauseAllBackedLinesWorn);
+  }
+  return std::string(kCauseUnknown);
+}
+
+}  // namespace
 
 std::string classify_failure_cause(std::string_view event_jsonl,
                                    const LifetimeResult& result,
@@ -47,17 +64,15 @@ std::string classify_failure_cause(std::string_view event_jsonl,
   }
   if (log_truncated != nullptr) *log_truncated = truncated;
   if (!from_event.empty()) return from_event;
+  return classify_from_result(result);
+}
 
-  // No end_of_life event survived (truncated log, or a run without an event
-  // sink): classify the LifetimeResult instead of reporting garbage.
-  if (!result.failed) return std::string(kCauseWriteCapReached);
-  if (result.failure_reason.starts_with("unreplaceable wear-out")) {
-    return std::string(kCauseUnreplaceableWearOut);
-  }
-  if (result.failure_reason.starts_with("all backed lines worn")) {
-    return std::string(kCauseAllBackedLinesWorn);
-  }
-  return std::string(kCauseUnknown);
+std::string classify_failure_cause(const EventLog& log,
+                                   const LifetimeResult& result,
+                                   bool* log_truncated) {
+  if (log_truncated != nullptr) *log_truncated = log.truncated();
+  if (!log.end_of_life_cause().empty()) return log.end_of_life_cause();
+  return classify_from_result(result);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,37 +376,43 @@ std::uint64_t shard_count(const FleetSpec& spec, std::uint64_t shard) {
 /// `prof` is the shard's private profiler (nullptr = no profiling): the
 /// shard runs on exactly one thread and its profiler is merged after the
 /// join, so the engines can record into it with no synchronization.
+/// `workspace` is the worker's reusable setup state (maps, spare scheme,
+/// device, arena); it is an allocation strategy only and cannot change the
+/// aggregate.
 FleetAggregate run_shard(const FleetSpec& spec, std::uint64_t shard,
-                         EnduranceMapCache* cache, Profiler* prof) {
+                         EnduranceMapCache* cache,
+                         ExperimentWorkspace* workspace, Profiler* prof) {
   const ScopedProfPhase shard_span(prof, ProfPhase::kFleetShard);
   FleetAggregate agg;
   const std::uint64_t first = shard_first(spec, shard);
   const std::uint64_t count = shard_count(spec, shard);
+  // One config and one event log serve the whole shard; per-device setup
+  // touches only the fields that vary (seed and attack). Fleet devices are
+  // self-contained: no caller sinks (they would race across shards), no
+  // per-device checkpoint files. The two sinks a device gets are its own
+  // count-only event log — cause capture with identical admission
+  // arithmetic to a streaming log, but no JSON formatting or parsing — and
+  // the shard's private profiler.
+  ExperimentConfig config = spec.base;
+  config.observer = Observer{};
+  config.checkpoint_out.clear();
+  config.checkpoint_interval = 0;
+  config.resume_from.clear();
+  EventLog log(spec.event_log_max_events);
+  config.observer.events = &log;
+  config.observer.profiler = prof;
   for (std::uint64_t d = first; d < first + count; ++d) {
-    ExperimentConfig config = spec.base;
     config.seed = spec.seed_start + d;
     config.attack = fleet_device_attack(spec, d);
-    // Fleet devices are self-contained: no caller sinks (they would race
-    // across shards), no per-device checkpoint files. The two sinks a
-    // device can get are its own in-memory event log (the source of the
-    // failure-cause taxonomy) and the shard's private profiler.
-    config.observer = Observer{};
-    config.checkpoint_out.clear();
-    config.checkpoint_interval = 0;
-    config.resume_from.clear();
-    std::ostringstream log_stream;
-    EventLog log(log_stream, spec.event_log_max_events);
-    config.observer.events = &log;
-    config.observer.profiler = prof;
+    log.reset(spec.event_log_max_events);
 
     const LifetimeResult result = [&] {
       const ScopedProfPhase device_span(prof, ProfPhase::kFleetDevice);
-      return run_experiment(config, cache);
+      return run_experiment(config, cache, workspace);
     }();
     log.finalize();
     bool truncated = false;
-    const std::string cause =
-        classify_failure_cause(log_stream.view(), result, &truncated);
+    const std::string cause = classify_failure_cause(log, result, &truncated);
     agg.add(d, result, cause, truncated);
   }
   agg.compress();  // canonical serialized form before checkpoint/merge
@@ -420,45 +441,44 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
   const std::uint64_t fingerprint = fleet_fingerprint(spec);
 
   std::vector<FleetAggregate> shard_aggs(num_shards);
-  std::vector<std::vector<std::uint8_t>> shard_blobs(num_shards);
   std::vector<char> done(num_shards, 0);
 
   if (options.resume && options.checkpoint_path.empty()) {
     throw std::invalid_argument(
         "run_fleet: resume needs a checkpoint_path to resume from");
   }
+  bool journal_exists = false;
   if (options.resume) {
-    Result<std::vector<std::uint8_t>> payload =
-        load_checkpoint_file(options.checkpoint_path);
-    if (payload.ok()) {
-      StateReader r(payload.value());
-      std::uint64_t file_fingerprint = 0;
-      std::uint64_t file_count = 0;
-      r.u64(file_fingerprint).throw_if_error();
-      if (file_fingerprint != fingerprint) {
-        throw std::runtime_error(
-            "run_fleet: checkpoint '" + options.checkpoint_path +
-            "' was written by a different population spec; delete it or "
-            "restore the original spec");
-      }
-      r.u64(file_count).throw_if_error();
-      for (std::uint64_t k = 0; k < file_count; ++k) {
-        std::uint64_t index = 0;
-        std::vector<std::uint8_t> blob;
-        r.u64(index).throw_if_error();
-        r.bytes(blob).throw_if_error();
-        if (index >= num_shards) {
+    Result<std::vector<FleetJournalRecord>> replayed =
+        FleetJournal::replay(options.checkpoint_path, fingerprint);
+    if (replayed.ok()) {
+      journal_exists = true;
+      for (const FleetJournalRecord& rec : replayed.value()) {
+        if (rec.shard_index >= num_shards) {
           throw std::runtime_error(
-              "run_fleet: checkpoint shard index out of range");
+              "run_fleet: journal shard index out of range");
         }
-        StateReader shard_reader(blob);
-        shard_aggs[index].load_state(shard_reader).throw_if_error();
-        shard_blobs[index] = std::move(blob);
-        done[index] = 1;
+        // A shard may appear twice (crash between append and the process
+        // dying, then a re-run): records are immutable once framed, so the
+        // last one simply wins.
+        FleetAggregate agg;
+        StateReader shard_reader(rec.payload);
+        agg.load_state(shard_reader).throw_if_error();
+        shard_aggs[rec.shard_index] = std::move(agg);
+        done[rec.shard_index] = 1;
       }
-    } else if (payload.status().code() != StatusCode::kNotFound) {
-      payload.status().throw_if_error();
+    } else if (replayed.status().code() != StatusCode::kNotFound) {
+      replayed.status().throw_if_error();
     }
+  }
+  FleetJournal journal;
+  if (!options.checkpoint_path.empty()) {
+    // Fresh campaigns (and resumes that found no file) start a new journal;
+    // a replayed journal is extended in place — its torn tail, if any, was
+    // truncated during replay.
+    journal.open(options.checkpoint_path, fingerprint,
+                 /*truncate=*/!journal_exists)
+        .throw_if_error();
   }
 
   std::vector<std::uint64_t> pending;
@@ -470,11 +490,35 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     pending.resize(options.stop_after_shards);
   }
 
+  // Fleet device seeds are all distinct, so a shared endurance-map cache
+  // never hits within a campaign — per-worker workspaces (in-place map
+  // rebuilds) replace it on the default path. An explicitly supplied cache
+  // still wins: the caller is sharing maps across campaigns.
   EnduranceMapCache* cache =
-      options.use_cache
-          ? (options.cache != nullptr ? options.cache
-                                      : &EnduranceMapCache::global())
-          : nullptr;
+      options.use_cache && options.cache != nullptr ? options.cache : nullptr;
+
+  // Per-worker reusable setup state, pooled across shards: a worker checks
+  // a workspace out for a shard and returns it after, so steady-state shard
+  // execution reuses the previous shard's map/spare/device/arena instead of
+  // reallocating them per device.
+  std::mutex workspace_mu;
+  std::vector<std::unique_ptr<ExperimentWorkspace>> workspace_pool;
+  const auto acquire_workspace = [&]() -> std::unique_ptr<ExperimentWorkspace> {
+    {
+      const std::lock_guard<std::mutex> lock(workspace_mu);
+      if (!workspace_pool.empty()) {
+        std::unique_ptr<ExperimentWorkspace> ws =
+            std::move(workspace_pool.back());
+        workspace_pool.pop_back();
+        return ws;
+      }
+    }
+    return std::make_unique<ExperimentWorkspace>();
+  };
+  const auto release_workspace = [&](std::unique_ptr<ExperimentWorkspace> ws) {
+    const std::lock_guard<std::mutex> lock(workspace_mu);
+    workspace_pool.push_back(std::move(ws));
+  };
 
   // Per-shard private profilers: a shard is claimed by exactly one thread,
   // so its profiler needs no locks; everything merges into options.profiler
@@ -514,40 +558,30 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     s.shards_timed = shards_timed;
     s.shard_sec_sum = static_cast<double>(shard_wall_sum_ns) * 1e-9;
     s.shard_sec_max = static_cast<double>(shard_wall_max_ns) * 1e-9;
-    return s;
-  };
-  const auto write_checkpoint = [&]() {
-    StateWriter w;
-    w.u64(fingerprint);
-    std::uint64_t count = 0;
-    for (char d : done) count += d != 0 ? 1 : 0;
-    w.u64(count);
-    for (std::uint64_t i = 0; i < num_shards; ++i) {
-      if (done[i] == 0) continue;
-      w.u64(i);
-      w.bytes(shard_blobs[i]);
+    if (journal.is_open()) {
+      s.checkpoint_bytes_written =
+          static_cast<std::int64_t>(journal.bytes_written());
     }
-    save_checkpoint_file(options.checkpoint_path, w.take()).throw_if_error();
+    return s;
   };
   const auto complete_shard = [&](std::uint64_t shard, FleetAggregate agg,
                                   std::uint64_t wall_ns) {
     const std::lock_guard<std::mutex> lock(mu);
     shard_aggs[shard] = std::move(agg);
-    StateWriter w;
-    shard_aggs[shard].save_state(w);
-    shard_blobs[shard] = w.take();
     done[shard] = 1;
     ++shards_done_live;
     ++shards_timed;
     shard_wall_sum_ns += wall_ns;
     shard_wall_max_ns = std::max(shard_wall_max_ns, wall_ns);
-    if (!options.checkpoint_path.empty()) {
-      // The checkpoint rewrite is serialized by the lock; attribute it to
-      // the shard whose completion triggered it (that profiler is still
+    if (journal.is_open()) {
+      // The journal append is serialized by the lock; attribute it to the
+      // shard whose completion triggered it (that profiler is still
       // exclusively this thread's until the merge below).
       const ScopedProfPhase ckpt_span(shard_prof(shard),
                                       ProfPhase::kFleetCheckpoint);
-      write_checkpoint();
+      StateWriter w;
+      shard_aggs[shard].save_state(w);
+      journal.append(shard, w.buffer()).throw_if_error();
     }
     if (options.heartbeat != nullptr) {
       progress.merge(shard_aggs[shard]);
@@ -556,7 +590,10 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetOptions& options) {
   };
   const auto run_one = [&](std::uint64_t shard) {
     const std::uint64_t start_ns = Profiler::now_ns();
-    FleetAggregate agg = run_shard(spec, shard, cache, shard_prof(shard));
+    std::unique_ptr<ExperimentWorkspace> ws = acquire_workspace();
+    FleetAggregate agg =
+        run_shard(spec, shard, cache, ws.get(), shard_prof(shard));
+    release_workspace(std::move(ws));
     complete_shard(shard, std::move(agg), Profiler::now_ns() - start_ns);
   };
 

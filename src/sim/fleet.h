@@ -17,9 +17,9 @@
 //   - Completed shards merge into the final aggregate in shard-index
 //     order, so the fleet result is bit-identical at every --jobs level.
 //   - Each completed shard's aggregate is canonicalized (compressed) and
-//     mirrored to a MXWECKPT checkpoint file; a SIGKILLed campaign resumes
-//     by re-running only the missing shards and produces a byte-identical
-//     fleet result.
+//     appended to a MXWEJRNL shard journal (sim/fleet_journal.h); a
+//     SIGKILLed campaign resumes by replaying the journal, re-running only
+//     the missing shards, and produces a byte-identical fleet result.
 //
 // The live heartbeat (obs/heartbeat.h) is the one deliberately
 // non-deterministic output: it reports progress in completion order and
@@ -40,6 +40,7 @@
 namespace nvmsec {
 
 class EnduranceMapCache;
+class EventLog;
 class HeartbeatSink;
 class Profiler;
 class StateWriter;
@@ -61,6 +62,14 @@ inline constexpr std::string_view kCauseUnknown = "unknown";
 /// a truncated log degrades gracefully instead of misclassifying the run.
 /// Sets `*log_truncated` (when non-null) iff the marker was present.
 std::string classify_failure_cause(std::string_view event_jsonl,
+                                   const LifetimeResult& result,
+                                   bool* log_truncated = nullptr);
+
+/// Same classification without a JSONL parse: reads the cause the EventLog
+/// captured from its admitted event stream (obs/event_log.h count-only
+/// mode). Agrees byte-for-byte with the string overload on the log's
+/// serialized form — the fleet hot path uses this one.
+std::string classify_failure_cause(const EventLog& log,
                                    const LifetimeResult& result,
                                    bool* log_truncated = nullptr);
 
@@ -192,13 +201,18 @@ struct FleetSpec {
 struct FleetOptions {
   /// Worker threads. 0 = all hardware threads, 1 = serial.
   std::size_t jobs{1};
-  /// Share endurance maps across devices with identical map inputs.
+  /// Honor an explicitly supplied `cache` below. Fleet seeds are all
+  /// distinct, so a shared endurance-map cache never hits within a
+  /// campaign; by default each worker instead reuses its own workspace
+  /// (in-place map rebuilds — see ExperimentWorkspace). Set `cache` only
+  /// to share maps with other campaigns in the same process.
   bool use_cache{true};
   EnduranceMapCache* cache{nullptr};
-  /// Crash safety: mirror every completed shard's aggregate to this
-  /// MXWECKPT file (atomic rewrite). Empty disables.
+  /// Crash safety: append every completed shard's aggregate to this
+  /// MXWEJRNL journal file (sim/fleet_journal.h; O(shard) bytes per
+  /// completion, torn tails self-heal on replay). Empty disables.
   std::string checkpoint_path;
-  /// Load completed shards from checkpoint_path and run only the rest.
+  /// Replay completed shards from checkpoint_path and run only the rest.
   bool resume{false};
   /// Live progress sink (obs/heartbeat.h); nullptr = zero heartbeat work.
   HeartbeatSink* heartbeat{nullptr};

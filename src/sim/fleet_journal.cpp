@@ -1,0 +1,186 @@
+#include "sim/fleet_journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "sim/checkpoint.h"
+#include "util/crc32.h"
+
+namespace nvmsec {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+// len(u32) + shard_index(u64) + crc(u32); payload excluded.
+constexpr std::size_t kRecordOverhead = 4 + 8 + 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<FleetJournalRecord>> FleetJournal::replay(
+    const std::string& path, std::uint64_t fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::not_found("fleet journal '" + path +
+                             "' cannot be opened (does it exist?)");
+  }
+  char magic[sizeof(kFleetJournalMagic)];
+  if (!in.read(magic, sizeof(magic))) {
+    return Status::corruption("fleet journal '" + path +
+                              "': file shorter than the header");
+  }
+  if (std::memcmp(magic, kFleetJournalMagic, sizeof(magic)) != 0) {
+    if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0) {
+      return Status::version_mismatch(
+          "'" + path +
+          "' is a legacy MXWECKPT fleet checkpoint; this build resumes from "
+          "append-only journals only — delete the file (the campaign "
+          "restarts from shard 0) or finish it with the build that wrote "
+          "it");
+    }
+    return Status::corruption("'" + path +
+                              "' is not a fleet journal (bad magic)");
+  }
+  unsigned char header[4 + 8];
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) {
+    return Status::corruption("fleet journal '" + path +
+                              "': file shorter than the header");
+  }
+  const std::uint32_t version = get_u32(header);
+  if (version != kFleetJournalVersion) {
+    return Status::version_mismatch(
+        "fleet journal '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFleetJournalVersion));
+  }
+  const std::uint64_t file_fingerprint = get_u64(header + 4);
+  if (file_fingerprint != fingerprint) {
+    return Status::failed_precondition(
+        "fleet journal '" + path +
+        "' was written by a different population spec; delete it or restore "
+        "the original spec");
+  }
+
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  std::vector<FleetJournalRecord> records;
+  std::uint64_t good_end = kHeaderBytes;
+  std::uint64_t offset = kHeaderBytes;
+  std::vector<unsigned char> frame;
+  while (offset + kRecordOverhead <= file_size) {
+    in.seekg(static_cast<std::streamoff>(offset));
+    unsigned char len_buf[4];
+    if (!in.read(reinterpret_cast<char*>(len_buf), sizeof(len_buf))) break;
+    const std::uint64_t len = get_u32(len_buf);
+    if (offset + kRecordOverhead + len > file_size) break;  // torn tail
+    // shard_index + payload: the CRC-covered span.
+    frame.resize(8 + len);
+    if (!in.read(reinterpret_cast<char*>(frame.data()),
+                 static_cast<std::streamsize>(frame.size()))) {
+      break;
+    }
+    unsigned char crc_buf[4];
+    if (!in.read(reinterpret_cast<char*>(crc_buf), sizeof(crc_buf))) break;
+    if (get_u32(crc_buf) != crc32(frame.data(), frame.size())) break;
+    FleetJournalRecord rec;
+    rec.shard_index = get_u64(frame.data());
+    rec.payload.assign(frame.begin() + 8, frame.end());
+    records.push_back(std::move(rec));
+    offset += kRecordOverhead + len;
+    good_end = offset;
+  }
+  in.close();
+
+  if (good_end < file_size) {
+    // Torn tail from a mid-append SIGKILL: drop it so the next append does
+    // not splice new bytes onto half a record.
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_end, ec);
+    if (ec) {
+      return Status::io_error("fleet journal '" + path +
+                              "': cannot truncate torn tail: " + ec.message());
+    }
+  }
+  return records;
+}
+
+Status FleetJournal::open(const std::string& path, std::uint64_t fingerprint,
+                          bool truncate) {
+  path_ = path;
+  bytes_written_ = 0;
+  const auto mode = std::ios::binary | std::ios::out |
+                    (truncate ? std::ios::trunc : std::ios::app);
+  out_.open(path, mode);
+  if (!out_) {
+    return Status::io_error("fleet journal '" + path + "': cannot open for " +
+                            (truncate ? "writing" : "appending"));
+  }
+  if (truncate) {
+    std::string header;
+    header.append(kFleetJournalMagic, sizeof(kFleetJournalMagic));
+    put_u32(header, kFleetJournalVersion);
+    put_u64(header, fingerprint);
+    out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out_.flush();
+    if (!out_) {
+      return Status::io_error("fleet journal '" + path +
+                              "': header write failed");
+    }
+    bytes_written_ += header.size();
+  }
+  return Status::ok_status();
+}
+
+Status FleetJournal::append(std::uint64_t shard_index,
+                            const std::vector<std::uint8_t>& payload) {
+  if (!out_.is_open()) {
+    return Status::failed_precondition("fleet journal: append before open");
+  }
+  if (payload.size() > UINT32_MAX) {
+    return Status::failed_precondition(
+        "fleet journal: shard payload exceeds the u32 record frame");
+  }
+  std::string rec;
+  rec.reserve(kRecordOverhead + payload.size());
+  put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  put_u64(rec, shard_index);
+  if (!payload.empty()) {
+    rec.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  }
+  // CRC covers shard_index + payload (everything after the length field).
+  rec.append(4, '\0');
+  const std::uint32_t crc = crc32(rec.data() + 4, 8 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    rec[rec.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>(crc >> (8 * i));
+  }
+  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::io_error("fleet journal '" + path_ + "': append failed");
+  }
+  bytes_written_ += rec.size();
+  return Status::ok_status();
+}
+
+}  // namespace nvmsec

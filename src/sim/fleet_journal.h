@@ -1,0 +1,92 @@
+// Append-only fleet shard journal.
+//
+// The fleet runner's crash-safety store. The old MXWECKPT mirror rewrote
+// the whole campaign state after every completed shard — O(shards_done)
+// bytes per shard, O(shards^2) over a campaign. The journal appends one
+// CRC-framed record per completed shard instead, so a campaign writes
+// O(total shard state) bytes total and each completion costs O(one shard).
+//
+// File layout:
+//
+//   offset  size  field
+//   0       8     magic "MXWEJRNL"
+//   8       4     format version (little-endian u32, currently 1)
+//   12      8     fleet fingerprint (little-endian u64)
+//   20      ...   records, back to back
+//
+// Record layout:
+//
+//   offset  size  field
+//   0       4     payload size n (little-endian u32)
+//   4       8     shard index (little-endian u64)
+//   12      n     payload (FleetAggregate::save_state bytes)
+//   12+n    4     CRC-32 of bytes [4, 12+n) (little-endian u32)
+//
+// Appends are plain writes + flush, not atomic renames: a SIGKILL can tear
+// the last record. Recovery relies on the framing instead — replay() walks
+// records until the first short or CRC-failing one and truncates the file
+// there, so a torn tail costs exactly the shard that was being written
+// (which the resumed campaign re-runs). Records never mutate once their
+// CRC has hit the disk, so everything before the tail is trustworthy.
+//
+// A shard index may legitimately appear more than once (a resumed campaign
+// appends to the same file); the last valid record for an index wins.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nvmsec {
+
+inline constexpr char kFleetJournalMagic[8] = {'M', 'X', 'W', 'E',
+                                               'J', 'R', 'N', 'L'};
+inline constexpr std::uint32_t kFleetJournalVersion = 1;
+
+/// One recovered record from FleetJournal::replay().
+struct FleetJournalRecord {
+  std::uint64_t shard_index{0};
+  std::vector<std::uint8_t> payload;
+};
+
+class FleetJournal {
+ public:
+  /// Parse an existing journal at `path`: validate the header against
+  /// `fingerprint`, walk the records, truncate any torn tail in place, and
+  /// return the valid records in file order. Errors: not_found (no file),
+  /// version_mismatch (legacy MXWECKPT checkpoint or a future journal
+  /// version), failed_precondition (foreign fingerprint), corruption (bad
+  /// magic / header), io_error.
+  [[nodiscard]] static Result<std::vector<FleetJournalRecord>> replay(
+      const std::string& path, std::uint64_t fingerprint);
+
+  FleetJournal() = default;
+  FleetJournal(const FleetJournal&) = delete;
+  FleetJournal& operator=(const FleetJournal&) = delete;
+
+  /// Open `path` for appending. `truncate` starts a fresh journal (header
+  /// rewritten); otherwise records append after the existing valid content
+  /// (callers must have run replay() first so the torn tail is gone).
+  [[nodiscard]] Status open(const std::string& path, std::uint64_t fingerprint,
+                            bool truncate);
+
+  /// Append one shard record and flush it to the OS.
+  [[nodiscard]] Status append(std::uint64_t shard_index,
+                              const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+  /// Bytes this process has appended (header included when it wrote one):
+  /// the campaign's checkpoint-write cost, surfaced in the heartbeat.
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t bytes_written_{0};
+};
+
+}  // namespace nvmsec

@@ -5,7 +5,7 @@
 
 namespace nvmsec {
 
-double gini_coefficient(std::vector<double> values) {
+double gini_coefficient_inplace(std::span<double> values) {
   if (values.empty()) return 0.0;
   for (double v : values) {
     if (v < 0) throw std::invalid_argument("gini_coefficient: negative value");
@@ -20,6 +20,10 @@ double gini_coefficient(std::vector<double> values) {
   if (total <= 0) return 0.0;
   // Gini = (2 * sum(i * x_i) / (n * sum x)) - (n + 1) / n, with x sorted.
   return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+double gini_coefficient(std::vector<double> values) {
+  return gini_coefficient_inplace(std::span<double>(values));
 }
 
 WearReport analyze_wear(const Device& device) {

@@ -8,6 +8,7 @@
 // Max-WE's "maximize the weak lines' endurance" directly observable.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "nvm/device.h"
@@ -36,5 +37,9 @@ WearReport analyze_wear(const Device& device);
 
 /// Gini coefficient of non-negative values; 0 for empty/uniform input.
 double gini_coefficient(std::vector<double> values);
+
+/// Same, over caller-owned scratch (sorted in place, no allocation) — the
+/// allocation-free variant the fleet hot path uses.
+double gini_coefficient_inplace(std::span<double> values);
 
 }  // namespace nvmsec

@@ -77,6 +77,21 @@ class SpareScheme {
   /// Restore boot state (mappings, pools, death counters).
   virtual void reset() = 0;
 
+  /// Re-target the scheme at a different endurance map, restoring boot
+  /// state and re-deriving the boot-time allocation — the fleet runner's
+  /// setup-amortization hook, so one scheme object serves many devices.
+  /// An implementation must leave the scheme indistinguishable from one
+  /// freshly constructed on `endurance` (consuming identical draws from
+  /// `rng` if its construction samples any). Returns false when the scheme
+  /// does not support rebinding (the default); the caller then constructs
+  /// a fresh instance.
+  virtual bool rebind(const std::shared_ptr<const EnduranceMap>& endurance,
+                      Rng& rng) {
+    (void)endurance;
+    (void)rng;
+    return false;
+  }
+
   /// Attach observability sinks. The default is a no-op; schemes with
   /// interesting internal events (Max-WE's RMT redirects and spare-pool
   /// allocations) override it to emit trace events and counters.

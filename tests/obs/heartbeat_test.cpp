@@ -38,21 +38,19 @@ TEST(HeartbeatSink, LinesMatchDocumentedSchema) {
   const auto lines = testjson::parse_jsonl(out.str());
   ASSERT_EQ(lines.size(), 2u);
   for (const auto& line : lines) {
-    EXPECT_EQ(line.num("v"), 2);
+    EXPECT_EQ(line.num("v"), 3);
     EXPECT_EQ(line.str("type"), "fleet_heartbeat");
     EXPECT_TRUE(line.find("devices_done") != nullptr);
     EXPECT_EQ(line.num("devices_total"), 1000);
-    EXPECT_TRUE(line.find("devices_per_sec")->is_number());
-    EXPECT_TRUE(line.find("eta_sec")->is_number());
     EXPECT_EQ(line.num("p50"), 1.25);
     EXPECT_EQ(line.num("p99"), 0.5);
     const testjson::JsonValue* causes = line.find("failure_causes");
     ASSERT_TRUE(causes != nullptr && causes->is_object());
     EXPECT_EQ(causes->object.size(), 2u);
     EXPECT_EQ(line.num("truncated_logs"), 3);
-    // v2 shard-throughput / utilization fields.
     EXPECT_EQ(line.num("shards_total"), 10);
     EXPECT_EQ(line.num("workers"), 4);
+    // Shards were timed in this sample, so the throughput fields exist.
     EXPECT_TRUE(line.find("shard_sec_mean")->is_number());
     EXPECT_TRUE(line.find("shard_sec_max")->is_number());
     EXPECT_TRUE(line.find("shard_imbalance")->is_number());
@@ -67,9 +65,10 @@ TEST(HeartbeatSink, LinesMatchDocumentedSchema) {
   EXPECT_EQ(lines[1].num("shards_done"), 10);
 }
 
-TEST(HeartbeatSink, UtilizationFieldsDefaultToNoData) {
-  // A sample with no timed shards (e.g. a fully resumed campaign) renders
-  // the wall-clock-derived fields as -1, never NaN or a division blowup.
+TEST(HeartbeatSink, NoDataFieldsAreOmitted) {
+  // v3: a sample with no timed shards (e.g. a fully resumed campaign) and
+  // no journal omits the wall-clock-derived and checkpoint fields instead
+  // of emitting -1 sentinels — consumers never see a negative rate.
   std::ostringstream out;
   HeartbeatSink sink(out, 1);
   HeartbeatSample s;
@@ -78,10 +77,25 @@ TEST(HeartbeatSink, UtilizationFieldsDefaultToNoData) {
   sink.sample(s);
   const auto lines = testjson::parse_jsonl(out.str());
   ASSERT_EQ(lines.size(), 1u);
-  EXPECT_EQ(lines[0].num("shard_sec_mean"), -1);
-  EXPECT_EQ(lines[0].num("shard_sec_max"), -1);
-  EXPECT_EQ(lines[0].num("shard_imbalance"), -1);
-  EXPECT_EQ(lines[0].num("worker_busy_frac"), -1);
+  EXPECT_EQ(lines[0].find("shard_sec_mean"), nullptr);
+  EXPECT_EQ(lines[0].find("shard_sec_max"), nullptr);
+  EXPECT_EQ(lines[0].find("shard_imbalance"), nullptr);
+  EXPECT_EQ(lines[0].find("worker_busy_frac"), nullptr);
+  EXPECT_EQ(lines[0].find("checkpoint_bytes_written"), nullptr);
+  // The always-present fields are unaffected.
+  EXPECT_EQ(lines[0].num("devices_done"), 5);
+  EXPECT_EQ(lines[0].num("shards_done"), 0);
+}
+
+TEST(HeartbeatSink, CheckpointBytesAppearWithAJournal) {
+  std::ostringstream out;
+  HeartbeatSink sink(out, 1);
+  HeartbeatSample s = make_sample(100, 1000);
+  s.checkpoint_bytes_written = 4096;
+  sink.sample(s);
+  const auto lines = testjson::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].num("checkpoint_bytes_written"), 4096);
 }
 
 TEST(HeartbeatSink, IntervalGatesEmission) {

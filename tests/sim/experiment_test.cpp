@@ -245,5 +245,80 @@ TEST(ExperimentTest, FingerprintCoversHotspotWorkingSet) {
   EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
 }
 
+void expect_identical(const LifetimeResult& fresh, const LifetimeResult& ws) {
+  EXPECT_EQ(fresh.user_writes, ws.user_writes);
+  EXPECT_EQ(fresh.overhead_writes, ws.overhead_writes);
+  EXPECT_EQ(fresh.device_writes, ws.device_writes);
+  EXPECT_EQ(fresh.ideal_lifetime, ws.ideal_lifetime);
+  EXPECT_EQ(fresh.normalized, ws.normalized);
+  EXPECT_EQ(fresh.line_deaths, ws.line_deaths);
+  EXPECT_EQ(fresh.failed, ws.failed);
+  EXPECT_EQ(fresh.failure_reason, ws.failure_reason);
+  EXPECT_EQ(fresh.wear_gini, ws.wear_gini);
+}
+
+TEST(ExperimentWorkspaceTest, EventModeReuseIsBitIdentical) {
+  // The fleet hot path: one workspace, many devices of the same shape.
+  // Every reused run must match a fresh construction bit for bit.
+  ExperimentWorkspace ws;
+  for (const char* scheme : {"maxwe", "pcd", "none"}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      ExperimentConfig c = small_event_config();
+      c.spare_scheme = scheme;
+      c.seed = seed;
+      const LifetimeResult fresh = run_experiment(c);
+      const LifetimeResult reused = run_experiment(c, nullptr, &ws);
+      expect_identical(fresh, reused);
+    }
+  }
+}
+
+TEST(ExperimentWorkspaceTest, StochasticModeReuseIsBitIdentical) {
+  ExperimentWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentConfig c = scaled_stochastic_config(512, 32, 300.0);
+    c.attack = "bpa";
+    c.wear_leveler = "tlsr";
+    c.spare_scheme = "maxwe";
+    c.seed = seed;
+    const LifetimeResult fresh = run_experiment(c);
+    const LifetimeResult reused = run_experiment(c, nullptr, &ws);
+    expect_identical(fresh, reused);
+  }
+}
+
+TEST(ExperimentWorkspaceTest, ShapeChangesRebuildCleanly) {
+  // Alternating geometries, schemes, and modes through one workspace:
+  // whatever cannot be recycled must be rebuilt, never mixed up.
+  ExperimentWorkspace ws;
+  ExperimentConfig big = small_event_config();
+  big.spare_scheme = "maxwe";
+  ExperimentConfig small = small_event_config();
+  small.geometry = DeviceGeometry::scaled(1024, 64);
+  small.spare_scheme = "ps";
+  ExperimentConfig stoch = scaled_stochastic_config(512, 32, 300.0);
+  stoch.spare_scheme = "maxwe";
+  for (const ExperimentConfig* c : {&big, &small, &stoch, &big, &stoch}) {
+    const LifetimeResult fresh = run_experiment(*c);
+    const LifetimeResult reused = run_experiment(*c, nullptr, &ws);
+    expect_identical(fresh, reused);
+  }
+}
+
+TEST(ExperimentWorkspaceTest, LineJitterRunsMatchThroughReuse) {
+  // apply_line_jitter draws extra RNG — the rebuild path must consume the
+  // identical stream so the jittered map (and everything after) matches.
+  ExperimentWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentConfig c = small_event_config();
+    c.spare_scheme = "maxwe";
+    c.line_jitter_sigma = 0.2;
+    c.seed = seed;
+    const LifetimeResult fresh = run_experiment(c);
+    const LifetimeResult reused = run_experiment(c, nullptr, &ws);
+    expect_identical(fresh, reused);
+  }
+}
+
 }  // namespace
 }  // namespace nvmsec

@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 
+#include "obs/event_log.h"
 #include "util/serialize.h"
 
 namespace nvmsec {
@@ -220,6 +222,71 @@ TEST(ClassifyFailureCause, FallbackClassification) {
 
   LifetimeResult garbage = odd;
   EXPECT_EQ(classify_failure_cause("{not json", garbage), kCauseUnknown);
+}
+
+TEST(ClassifyFailureCause, CountOnlyLogAgreesWithStreamingLog) {
+  // The fleet hot path classifies from a count-only EventLog; it must give
+  // the same answer as parsing the bytes a streaming log would have
+  // written for the identical event sequence.
+  const auto drive = [](EventLog& log, std::uint64_t events_before_eol) {
+    for (std::uint64_t i = 0; i < events_before_eol; ++i) {
+      log.set_now(static_cast<double>(i));
+      log.emit("write", {{"line", static_cast<double>(i % 7)}});
+    }
+    log.emit("end_of_life", {{"cause", std::string_view("all_backed_lines_worn")}});
+    log.finalize();
+  };
+
+  LifetimeResult result;
+  result.failed = true;
+  result.failure_reason = "unreplaceable wear-out at line 17";
+
+  // Case 1: end_of_life admitted within the cap.
+  {
+    std::ostringstream sink;
+    EventLog streaming(sink, /*max_events=*/100);
+    EventLog counting(/*max_events=*/100);
+    drive(streaming, 10);
+    drive(counting, 10);
+    bool stream_trunc = true;
+    bool count_trunc = true;
+    EXPECT_EQ(classify_failure_cause(sink.str(), result, &stream_trunc),
+              classify_failure_cause(counting, result, &count_trunc));
+    EXPECT_EQ(classify_failure_cause(counting, result),
+              kCauseAllBackedLinesWorn);
+    EXPECT_EQ(stream_trunc, count_trunc);
+    EXPECT_FALSE(count_trunc);
+  }
+
+  // Case 2: cap hit before end_of_life — both fall back to the result.
+  {
+    std::ostringstream sink;
+    EventLog streaming(sink, /*max_events=*/5);
+    EventLog counting(/*max_events=*/5);
+    drive(streaming, 10);
+    drive(counting, 10);
+    bool stream_trunc = false;
+    bool count_trunc = false;
+    EXPECT_EQ(classify_failure_cause(sink.str(), result, &stream_trunc),
+              classify_failure_cause(counting, result, &count_trunc));
+    EXPECT_EQ(classify_failure_cause(counting, result),
+              kCauseUnreplaceableWearOut);
+    EXPECT_EQ(stream_trunc, count_trunc);
+    EXPECT_TRUE(count_trunc);
+  }
+
+  // Case 3: reset() rearms the count-only log for the next device.
+  {
+    EventLog counting(/*max_events=*/5);
+    drive(counting, 10);
+    EXPECT_TRUE(counting.truncated());
+    counting.reset(100);
+    EXPECT_FALSE(counting.truncated());
+    EXPECT_TRUE(counting.end_of_life_cause().empty());
+    drive(counting, 3);
+    EXPECT_EQ(classify_failure_cause(counting, result),
+              kCauseAllBackedLinesWorn);
+  }
 }
 
 TEST(ExemplarSet, KeepsTrueExtremesAndMerges) {

@@ -113,12 +113,13 @@ if(NOT fleet_doc MATCHES "\"fleet.shard\"" OR
   message(FATAL_ERROR "fleet profile is missing fleet.shard/fleet.device")
 endif()
 
-# Heartbeat v2 fields must be present when the campaign ran with a sink.
+# Heartbeat v3 utilization fields must appear once shards have landed (the
+# final line always has timed shards in a fresh campaign).
 file(READ ${WORK_DIR}/prof_fleet.heartbeat.jsonl heartbeat)
-if(NOT heartbeat MATCHES "\"v\":2" OR
+if(NOT heartbeat MATCHES "\"v\":3" OR
    NOT heartbeat MATCHES "\"shard_imbalance\"" OR
    NOT heartbeat MATCHES "\"worker_busy_frac\"")
-  message(FATAL_ERROR "heartbeat lines are missing the v2 fields")
+  message(FATAL_ERROR "heartbeat lines are missing the v3 fields")
 endif()
 
 # --- renderer --------------------------------------------------------------
